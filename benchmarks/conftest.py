@@ -1,0 +1,70 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench regenerates one paper table or figure: it runs the real
+experiment (replications included), prints the paper-vs-reproduction
+rows, and writes the same report under ``results/``.  pytest-benchmark
+wraps the run in ``benchmark.pedantic(rounds=1)`` so the experiment
+executes exactly once while its wall-clock time is still recorded.
+
+Scaling knobs (environment):
+
+* ``VOODB_REPLICATIONS`` — replications per experiment point
+  (default 3 for benches; the paper used 100);
+* ``VOODB_BENCH_HOTN`` — transactions per replication (default 1000,
+  the Table 5 value).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_replications() -> int:
+    """Replications per point for benches (smaller default than tests)."""
+    return int(os.environ.get("VOODB_REPLICATIONS", "3"))
+
+
+def bench_hotn() -> int:
+    """Transactions per replication (Table 5 default: 1000)."""
+    return int(os.environ.get("VOODB_BENCH_HOTN", "1000"))
+
+
+def publish(name: str, report: str) -> None:
+    """Print the regenerated rows and persist them under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
+    print()
+    print(report)
+
+
+def fmt_rows(title: str, header: list, rows: list) -> str:
+    """Small aligned-table formatter for the ablation benches."""
+    table = [header] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(str(r[i])) for r in table) for i in range(len(header))]
+    lines = [title]
+    for row in table:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run ``fn`` exactly once under timing; print/persist its report.
+
+    Usage::
+
+        def test_bench_figure6(regenerate):
+            regenerate("figure6", lambda: format_series(figure6(...)))
+    """
+
+    def _run(name: str, fn):
+        report = benchmark.pedantic(fn, rounds=1, iterations=1)
+        publish(name, report)
+        return report
+
+    return _run

@@ -1,0 +1,48 @@
+"""Ablation: system classes (Table 3 SYSCLASS; §3.3 genericity).
+
+Reruns one workload under all four Client-Server organizations with a
+*finite* network (1 MB/s, the Table 3 default — the O2 validation used
++inf) to expose what the organization itself costs: message counts,
+bytes shipped, and response time.  Server-side disk I/Os stay identical
+by construction, which is the §3.3 design point.
+"""
+
+from conftest import bench_replications, fmt_rows
+from repro.core import SystemClass, VOODBConfig, build_database, run_replication
+from repro.ocb import OCBConfig
+
+
+def run_ablation() -> str:
+    ocb = OCBConfig(nc=20, no=4000, hotn=300)
+    build_database(ocb)
+    replications = bench_replications()
+    rows = []
+    for sysclass in SystemClass:
+        config = VOODBConfig(
+            sysclass=sysclass, netthru=1.0, buffsize=1024, ocb=ocb
+        )
+        ios = msgs = mbytes = resp = 0.0
+        for r in range(replications):
+            result = run_replication(config, seed=1 + r)
+            ios += result.total_ios
+            msgs += result.phase.network_messages
+            mbytes += result.phase.network_bytes
+            resp += result.mean_response_time_ms
+        rows.append(
+            [
+                sysclass.value,
+                f"{ios / replications:.0f}",
+                f"{msgs / replications:.0f}",
+                f"{mbytes / replications / 2**20:.2f}",
+                f"{resp / replications:.2f}",
+            ]
+        )
+    return fmt_rows(
+        "Ablation: system class at 1 MB/s network (NC=20/NO=4000, HOTN=300)",
+        ["system class", "mean I/Os", "messages", "MB shipped", "resp ms"],
+        rows,
+    )
+
+
+def test_bench_ablation_architectures(regenerate):
+    regenerate("ablation_architectures", run_ablation)

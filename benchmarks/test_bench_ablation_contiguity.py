@@ -1,0 +1,95 @@
+"""Ablation: the Figure 5 contiguous-page disk shortcut.
+
+The "Access Disk" rule skips search+latency when the requested page
+follows the previously loaded one.  Two measurements:
+
+* **transaction processing** — OCB's traversals jump across the base,
+  so consecutive page numbers are rare and the shortcut buys almost
+  nothing (the table's near-identical elapsed times are the finding);
+* **bulk reorganization** — DSTC's reorganization reads sorted batches
+  and writes freshly appended (hence contiguous) cluster pages, where
+  the shortcut collapses the time bill by an order of magnitude.
+
+I/O *counts* are identical in both cases by construction — contiguity
+is a time optimization, which is exactly how Figure 5 draws it.
+"""
+
+from conftest import bench_replications, fmt_rows
+from repro.core import VOODBSimulation, build_database, run_replication
+from repro.systems.dstc_experiment import (
+    DSTC_EXPERIMENT_PARAMETERS,
+    HIERARCHY_DEPTH,
+    HIERARCHY_REF_TYPE,
+    texas_dstc_config,
+)
+from repro.systems.o2 import o2_config
+
+
+def transaction_rows(replications: int) -> list:
+    base = o2_config(nc=50, no=8000, cache_mb=6, hotn=500)
+    build_database(base.ocb)
+    rows = []
+    for enabled in (True, False):
+        config = base.with_changes(sequential_optimization=enabled)
+        ios = seq = elapsed = 0.0
+        for r in range(replications):
+            result = run_replication(config, seed=1 + r)
+            ios += result.total_ios
+            seq += result.phase.sequential_reads
+            elapsed += result.phase.elapsed_ms
+        rows.append(
+            [
+                "transactions",
+                "on" if enabled else "off",
+                f"{ios / replications:.0f}",
+                f"{seq / replications:.0f}",
+                f"{elapsed / replications:.0f}",
+            ]
+        )
+    return rows
+
+
+def reorganization_rows() -> list:
+    rows = []
+    for enabled in (True, False):
+        config = texas_dstc_config(memory_mb=64).with_changes(
+            sequential_optimization=enabled
+        )
+        model = VOODBSimulation(
+            config,
+            seed=1,
+            clustering_kwargs={"dstc_parameters": DSTC_EXPERIMENT_PARAMETERS},
+        )
+        model.run_phase(
+            config.ocb.hotn,
+            workload="hierarchy",
+            stream_label="usage",
+            hierarchy_type=HIERARCHY_REF_TYPE,
+            hierarchy_depth=HIERARCHY_DEPTH,
+        )
+        before = model.sim.now
+        seq_before = model.io.sequential_accesses
+        report = model.demand_clustering()
+        rows.append(
+            [
+                "reorganization",
+                "on" if enabled else "off",
+                f"{report.overhead_ios}",
+                f"{model.io.sequential_accesses - seq_before}",
+                f"{model.sim.now - before:.0f}",
+            ]
+        )
+    return rows
+
+
+def run_ablation() -> str:
+    rows = transaction_rows(bench_replications()) + reorganization_rows()
+    return fmt_rows(
+        "Ablation: Figure 5 contiguity shortcut",
+        ["workload", "shortcut", "I/Os", "sequential", "elapsed ms"],
+        rows,
+    )
+
+
+def test_bench_ablation_contiguity(regenerate):
+    regenerate("ablation_contiguity", run_ablation)

@@ -1,0 +1,105 @@
+"""Ablation: DSTC parameter sensitivity (the paper's §5 future work).
+
+"Future work [...] is first performing intensive simulation experiments
+with DSTC.  It would be interesting to know the right value for DSTC's
+parameters in various conditions."  This bench sweeps the selection
+threshold Tfa and the observation period around the calibrated §4.4
+values and reports the resulting gain, overhead and cluster statistics.
+"""
+
+from conftest import fmt_rows
+from repro.clustering import DSTCParameters
+from repro.core import VOODBSimulation, build_database
+from repro.systems.dstc_experiment import (
+    DSTC_EXPERIMENT_PARAMETERS,
+    HIERARCHY_DEPTH,
+    HIERARCHY_REF_TYPE,
+    texas_dstc_config,
+)
+
+TFA_SWEEP = (2.0, 4.0, 8.0)
+PERIOD_SWEEP = (250, 1000)
+
+
+def run_protocol(params: DSTCParameters, seed: int = 1) -> dict:
+    config = texas_dstc_config(memory_mb=64)
+    model = VOODBSimulation(
+        config, seed=seed, clustering_kwargs={"dstc_parameters": params}
+    )
+    pre = model.run_phase(
+        config.ocb.hotn,
+        workload="hierarchy",
+        stream_label="usage",
+        hierarchy_type=HIERARCHY_REF_TYPE,
+        hierarchy_depth=HIERARCHY_DEPTH,
+    )
+    report = model.demand_clustering()
+    post = model.run_phase(
+        config.ocb.hotn,
+        workload="hierarchy",
+        stream_label="usage",
+        hierarchy_type=HIERARCHY_REF_TYPE,
+        hierarchy_depth=HIERARCHY_DEPTH,
+    )
+    # Cold re-run: empties memory so the gain reflects placement quality
+    # alone (the warm Table 6 protocol under-reports poor cluster
+    # coverage, since un-reorganized pages stay cached).
+    model.memory.invalidate_all()
+    cold = model.run_phase(
+        config.ocb.hotn,
+        workload="hierarchy",
+        stream_label="usage",
+        hierarchy_type=HIERARCHY_REF_TYPE,
+        hierarchy_depth=HIERARCHY_DEPTH,
+    )
+    return {
+        "gain": pre.total_ios / post.total_ios if post.total_ios else float("inf"),
+        "cold_gain": pre.total_ios / cold.total_ios if cold.total_ios else float("inf"),
+        "overhead": report.overhead_ios,
+        "clusters": report.clusters,
+        "objects": report.clustered_objects,
+    }
+
+
+def run_ablation() -> str:
+    build_database(texas_dstc_config().ocb)
+    rows = []
+    for period in PERIOD_SWEEP:
+        for tfa in TFA_SWEEP:
+            params = DSTCParameters(
+                observation_period=period,
+                tfa=tfa,
+                tfe=DSTC_EXPERIMENT_PARAMETERS.tfe,
+                tfc=DSTC_EXPERIMENT_PARAMETERS.tfc,
+                w=DSTC_EXPERIMENT_PARAMETERS.w,
+                max_cluster_size=DSTC_EXPERIMENT_PARAMETERS.max_cluster_size,
+            )
+            outcome = run_protocol(params)
+            rows.append(
+                [
+                    period,
+                    f"{tfa:.0f}",
+                    f"{outcome['gain']:.2f}",
+                    f"{outcome['cold_gain']:.2f}",
+                    outcome["overhead"],
+                    outcome["clusters"],
+                    outcome["objects"],
+                ]
+            )
+    return fmt_rows(
+        "Ablation: DSTC sensitivity (Texas 64 MB, §4.4 workload)",
+        [
+            "period",
+            "tfa",
+            "warm gain",
+            "cold gain",
+            "overhead I/Os",
+            "clusters",
+            "clustered objects",
+        ],
+        rows,
+    )
+
+
+def test_bench_ablation_dstc_sensitivity(regenerate):
+    regenerate("ablation_dstc_sensitivity", run_ablation)

@@ -1,0 +1,102 @@
+"""Ablation: dynamic workloads (OCB's insert/delete operations).
+
+OCB's workload model also covers dynamic operations; the validation
+experiments run read-only, but a clustering is only useful if it
+survives churn.  Protocol:
+
+1. observe + reorganize exactly like the Table 6 protocol;
+2. run a churn phase of pure inserts/deletes (0 / 500 / 2000
+   transactions, uniform over the base);
+3. cold-measure the hierarchy workload again.
+
+The headline finding is *graceful degradation*: relocation-style
+reorganization keeps surviving cluster members co-located, so uniform
+churn punches holes (lower page utilization, shorter traversals — watch
+the accesses column shrink) without breaking the hot working set's
+locality.  Inserts land unclustered at the extent's end and stay
+invisible to the measured traversals until DSTC observes them again —
+the adaptivity loop its observation periods and aging factor implement.
+"""
+
+from conftest import fmt_rows
+from repro.core import VOODBSimulation, build_database
+from repro.systems.dstc_experiment import (
+    DSTC_EXPERIMENT_PARAMETERS,
+    HIERARCHY_DEPTH,
+    HIERARCHY_REF_TYPE,
+    texas_dstc_config,
+)
+
+CHURN_TRANSACTIONS = (0, 500, 2000)
+
+
+def run_level(churn_txns: int, seed: int = 1) -> dict:
+    config = texas_dstc_config(memory_mb=64)
+    model = VOODBSimulation(
+        config,
+        seed=seed,
+        clustering_kwargs={"dstc_parameters": DSTC_EXPERIMENT_PARAMETERS},
+        clone_database=True,  # the churn phase mutates the graph
+    )
+
+    def usage_phase():
+        return model.run_phase(
+            config.ocb.hotn,
+            workload="hierarchy",
+            stream_label="usage",
+            hierarchy_type=HIERARCHY_REF_TYPE,
+            hierarchy_depth=HIERARCHY_DEPTH,
+        )
+
+    pre = usage_phase()
+    report = model.demand_clustering()
+    if churn_txns:
+        # Churn hits the whole base uniformly (root_region=0), not the
+        # hot region the measured traversals live in.
+        churn_ocb = config.ocb.with_changes(
+            pset=0.0, psimple=0.0, phier=0.0, pstoch=0.0,
+            pinsert=0.5, pdelete=0.5, root_region=0,
+        )
+        model.run_phase(
+            churn_txns, stream_label="churn", ocb_override=churn_ocb
+        )
+    model.memory.invalidate_all()  # cold measure: placement quality only
+    post = usage_phase()
+    return {
+        "pre": pre.total_ios,
+        "post": post.total_ios,
+        "post_accesses": post.object_accesses,
+        "gain": pre.total_ios / post.total_ios if post.total_ios else float("inf"),
+        "clusters": report.clusters,
+        "live": model.db.live_objects(),
+        "allocated": len(model.db),
+    }
+
+
+def run_ablation() -> str:
+    build_database(texas_dstc_config().ocb)
+    rows = []
+    for churn in CHURN_TRANSACTIONS:
+        outcome = run_level(churn)
+        rows.append(
+            [
+                churn,
+                outcome["pre"],
+                outcome["post"],
+                outcome["post_accesses"],
+                f"{outcome['gain']:.2f}",
+                outcome["clusters"],
+                outcome["live"],
+                outcome["allocated"],
+            ]
+        )
+    return fmt_rows(
+        "Ablation: insert/delete churn after clustering (Texas 64 MB)",
+        ["churn txns", "pre I/Os", "cold post I/Os", "post accesses",
+         "gain", "clusters", "live objects", "allocated OIDs"],
+        rows,
+    )
+
+
+def test_bench_ablation_dynamic_workload(regenerate):
+    regenerate("ablation_dynamic_workload", run_ablation)

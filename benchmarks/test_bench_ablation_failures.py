@@ -1,0 +1,53 @@
+"""Ablation: random hazards (the §5 failures extension module).
+
+"VOODB could also take into account random hazards, like benign or
+serious system failures, in order to observe how the studied OODB
+behaves and recovers in critical conditions."  This bench injects
+transient I/O faults and system crashes of increasing violence into the
+O2 configuration and reports the damage: I/Os (crashes cool the cache),
+throughput and downtime.
+"""
+
+from conftest import fmt_rows
+from repro.core import FailureConfig, build_database, run_replication
+from repro.systems.o2 import o2_config
+
+SCENARIOS = (
+    ("healthy", FailureConfig()),
+    ("transients", FailureConfig(transient_mtbf_ms=500.0)),
+    ("rare crashes", FailureConfig(crash_mtbf_ms=60_000.0)),
+    ("crash storm", FailureConfig(crash_mtbf_ms=8_000.0)),
+    (
+        "both",
+        FailureConfig(transient_mtbf_ms=500.0, crash_mtbf_ms=8_000.0),
+    ),
+)
+
+
+def run_ablation() -> str:
+    base = o2_config(nc=20, no=4000, hotn=400)
+    build_database(base.ocb)
+    rows = []
+    for label, failures in SCENARIOS:
+        config = base.with_changes(failures=failures)
+        result = run_replication(config, seed=1)
+        phase = result.phase
+        rows.append(
+            [
+                label,
+                result.total_ios,
+                phase.transient_faults,
+                phase.crashes,
+                f"{phase.downtime_ms:.0f}",
+                f"{phase.throughput_tps:.2f}",
+            ]
+        )
+    return fmt_rows(
+        "Ablation: failure injection (O2, NC=20/NO=4000, HOTN=400)",
+        ["scenario", "I/Os", "transients", "crashes", "downtime ms", "txn/s"],
+        rows,
+    )
+
+
+def test_bench_ablation_failures(regenerate):
+    regenerate("ablation_failures", run_ablation)

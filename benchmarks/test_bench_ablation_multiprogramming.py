@@ -1,0 +1,46 @@
+"""Ablation: users and multiprogramming level (Table 3 MULTILVL/NUSERS).
+
+The validation experiments run a single user; Table 1's database
+scheduler only matters beyond that.  This bench sweeps concurrent users
+at two multiprogramming levels and reports throughput, lock waits and
+response time — the concurrency half of VOODB the paper's §5 extensions
+(concurrency control) would build on.
+"""
+
+from conftest import fmt_rows
+from repro.core import build_database, run_replication
+from repro.systems.o2 import o2_config
+
+USER_SWEEP = (1, 2, 4, 8)
+MPL_SWEEP = (1, 10)
+
+
+def run_ablation() -> str:
+    rows = []
+    for multilvl in MPL_SWEEP:
+        for nusers in USER_SWEEP:
+            config = o2_config(nc=20, no=4000, hotn=240).with_changes(
+                nusers=nusers, multilvl=multilvl
+            )
+            build_database(config.ocb)
+            result = run_replication(config, seed=1)
+            phase = result.phase
+            rows.append(
+                [
+                    multilvl,
+                    nusers,
+                    f"{phase.throughput_tps:.2f}",
+                    phase.lock_waits,
+                    f"{phase.lock_wait_time_ms:.0f}",
+                    f"{result.mean_response_time_ms:.1f}",
+                ]
+            )
+    return fmt_rows(
+        "Ablation: multiprogramming (O2, NC=20/NO=4000, HOTN=240)",
+        ["MPL", "users", "txn/s", "lock waits", "wait ms", "resp ms"],
+        rows,
+    )
+
+
+def test_bench_ablation_multiprogramming(regenerate):
+    regenerate("ablation_multiprogramming", run_ablation)

@@ -1,0 +1,46 @@
+"""Ablation: initial placement (Table 3 INITPL).
+
+Sequential (creation order) vs Optimized Sequential (class extents
+contiguous, the Table 4 default for both O2 and Texas).  With OCB's
+object-locality window, extent contiguity translates reference locality
+into page proximity — fewer distinct pages per traversal, fewer I/Os.
+"""
+
+from conftest import bench_replications, fmt_rows
+from repro.core import build_database, run_replication
+from repro.systems.o2 import o2_config
+from repro.systems.texas import texas_config
+
+
+def run_ablation() -> str:
+    replications = bench_replications()
+    rows = []
+    for system, base in (
+        ("O2", o2_config(nc=50, no=8000, hotn=500)),
+        ("Texas", texas_config(nc=50, no=8000, hotn=500)),
+    ):
+        build_database(base.ocb)
+        for initpl in ("sequential", "optimized_sequential"):
+            config = base.with_changes(initpl=initpl)
+            ios = seq = 0.0
+            for r in range(replications):
+                result = run_replication(config, seed=1 + r)
+                ios += result.total_ios
+                seq += result.phase.sequential_reads
+            rows.append(
+                [
+                    system,
+                    initpl,
+                    f"{ios / replications:.0f}",
+                    f"{seq / replications:.0f}",
+                ]
+            )
+    return fmt_rows(
+        "Ablation: initial placement (NC=50/NO=8000, HOTN=500)",
+        ["system", "placement", "mean I/Os", "sequential reads"],
+        rows,
+    )
+
+
+def test_bench_ablation_placement(regenerate):
+    regenerate("ablation_placement", run_ablation)

@@ -1,0 +1,46 @@
+"""Ablation: prefetching policies (Table 3 PREFETCH; §5 extension).
+
+The paper ships PREFETCH=None and names prefetching as a planned
+extension that influences performance "a lot".  This bench compares
+none / one-ahead / cluster-span prefetch on the O2 configuration with a
+tight cache: prefetching adds reads (some wasted) but converts future
+random misses into cheap sequential transfers.
+"""
+
+from conftest import bench_replications, fmt_rows
+from repro.core import build_database, run_replication
+from repro.systems.o2 import o2_config
+
+
+def run_ablation() -> str:
+    base = o2_config(nc=50, no=8000, cache_mb=6, hotn=500)
+    build_database(base.ocb)
+    replications = bench_replications()
+    rows = []
+    for prefetch in ("none", "one_ahead", "cluster"):
+        config = base.with_changes(prefetch=prefetch)
+        ios = fetched = hits = elapsed = 0.0
+        for r in range(replications):
+            result = run_replication(config, seed=1 + r)
+            ios += result.total_ios
+            fetched += result.phase.prefetched_pages
+            hits += result.phase.prefetch_hits
+            elapsed += result.phase.elapsed_ms
+        rows.append(
+            [
+                prefetch,
+                f"{ios / replications:.0f}",
+                f"{fetched / replications:.0f}",
+                f"{hits / replications:.0f}",
+                f"{elapsed / replications:.0f}",
+            ]
+        )
+    return fmt_rows(
+        "Ablation: prefetching policy (O2, 6 MB cache, NC=50/NO=8000)",
+        ["prefetch", "mean I/Os", "prefetched", "prefetch hits", "elapsed ms"],
+        rows,
+    )
+
+
+def test_bench_ablation_prefetch(regenerate):
+    regenerate("ablation_prefetch", run_ablation)

@@ -1,0 +1,47 @@
+"""Ablation: buffer page replacement strategies (Table 3 PGREP).
+
+Table 3 makes the replacement strategy a first-class parameter and §5
+lists the shipped set (RANDOM, FIFO, LFU, LRU-K, CLOCK, GCLOCK...).
+This bench reruns the O2 configuration — cache deliberately smaller than
+the base so the policy actually matters — once per policy and reports
+mean I/Os, hit rate and elapsed simulated time.
+"""
+
+from conftest import bench_replications, fmt_rows
+from repro.core import build_database, run_replication
+from repro.systems.o2 import o2_config
+
+POLICIES = ("LRU", "LRU-2", "CLOCK", "GCLOCK", "FIFO", "LFU", "MRU", "RANDOM")
+
+
+def run_ablation() -> str:
+    base = o2_config(nc=50, no=8000, cache_mb=6, hotn=500)
+    build_database(base.ocb)
+    replications = bench_replications()
+    rows = []
+    for policy in POLICIES:
+        config = base.with_changes(pgrep=policy)
+        ios, hit, elapsed = 0.0, 0.0, 0.0
+        for r in range(replications):
+            result = run_replication(config, seed=1 + r)
+            ios += result.total_ios
+            hit += result.hit_rate
+            elapsed += result.phase.elapsed_ms
+        rows.append(
+            [
+                policy,
+                f"{ios / replications:.1f}",
+                f"{hit / replications:.3f}",
+                f"{elapsed / replications:.0f}",
+            ]
+        )
+    rows.sort(key=lambda r: float(r[1]))
+    return fmt_rows(
+        "Ablation: page replacement policy (O2, 6 MB cache, NC=50/NO=8000)",
+        ["policy", "mean I/Os", "hit rate", "elapsed ms"],
+        rows,
+    )
+
+
+def test_bench_ablation_replacement(regenerate):
+    regenerate("ablation_replacement", run_ablation)

@@ -1,0 +1,16 @@
+"""Regenerate paper Figure 10 — Texas: mean I/Os vs number of instances (50 classes).
+
+Same sweep as Figure 9 with the 50-class schema.
+"""
+
+from conftest import bench_hotn, bench_replications
+from repro.experiments.figures import figure10
+from repro.experiments.report import format_series
+
+
+def test_bench_figure10(regenerate):
+    def run():
+        series = figure10(replications=bench_replications(), hotn=bench_hotn())
+        return format_series(series)
+
+    regenerate("figure10", run)

@@ -1,0 +1,17 @@
+"""Regenerate paper Figure 7 — O2: mean I/Os vs number of instances (50 classes).
+
+Same sweep as Figure 6 with the 50-class schema (bigger objects,
+bigger base, more I/Os at every point).
+"""
+
+from conftest import bench_hotn, bench_replications
+from repro.experiments.figures import figure7
+from repro.experiments.report import format_series
+
+
+def test_bench_figure7(regenerate):
+    def run():
+        series = figure7(replications=bench_replications(), hotn=bench_hotn())
+        return format_series(series)
+
+    regenerate("figure7", run)

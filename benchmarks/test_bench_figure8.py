@@ -1,0 +1,18 @@
+"""Regenerate paper Figure 8 — O2: mean I/Os vs server cache size.
+
+Sweeps the cache over {8..64} MB at NC=50/NO=20000; the paper's
+claim is a roughly linear degradation once the ~28 MB base stops
+fitting, flat once it fits.
+"""
+
+from conftest import bench_hotn, bench_replications
+from repro.experiments.figures import figure8
+from repro.experiments.report import format_series
+
+
+def test_bench_figure8(regenerate):
+    def run():
+        series = figure8(replications=bench_replications(), hotn=bench_hotn())
+        return format_series(series)
+
+    regenerate("figure8", run)

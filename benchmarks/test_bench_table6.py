@@ -1,0 +1,18 @@
+"""Regenerate paper Table 6 — effects of DSTC on Texas, mid-sized base.
+
+The §4.4 protocol at 64 MB: 1000 depth-3 hierarchy traversals
+(pre-clustering usage), an externally demanded DSTC reorganization
+(clustering overhead), and a replay of the same transactions
+(post-clustering usage); the gain row is pre/post.
+"""
+
+from conftest import bench_replications
+from repro.experiments.report import format_dstc_table
+from repro.experiments.tables import table6
+
+
+def test_bench_table6(regenerate):
+    def run():
+        return format_dstc_table(table6(replications=bench_replications()))
+
+    regenerate("table6", run)

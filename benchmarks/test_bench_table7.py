@@ -1,0 +1,17 @@
+"""Regenerate paper Table 7 — DSTC clustering statistics.
+
+Cluster count and mean objects per cluster from the same §4.4 run as
+Table 6 (the paper validates DSTC's *behaviour*, not only its I/Os, by
+checking the simulated clusters match the real system's).
+"""
+
+from conftest import bench_replications
+from repro.experiments.report import format_table7
+from repro.experiments.tables import table7
+
+
+def test_bench_table7(regenerate):
+    def run():
+        return format_table7(table7(replications=bench_replications()))
+
+    regenerate("table7", run)

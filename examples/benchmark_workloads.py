@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Reusing classic benchmark workloads inside VOODB (paper §2).
+
+"It is then possible to reuse workload models from existing benchmarks
+(like HyperModel, OO1 or OO7) or establish a specific model."  This
+example runs OCB parameterizations of OO1, OO7 and HyperModel — plus
+OCB's own default mix — against the same simulated page server, showing
+how differently the classic workloads stress the same system.
+
+Run:  python examples/benchmark_workloads.py
+"""
+
+from repro import ExperimentRunner, o2_config
+from repro.ocb import OCBConfig
+from repro.ocb.presets import (
+    hypermodel_workload,
+    oo1_workload,
+    oo7_workload,
+)
+
+WORKLOADS = [
+    ("OCB default", OCBConfig(nc=20, no=6000, hotn=300)),
+    ("OO1 (Cattell)", oo1_workload(no=6000, hotn=300)),
+    ("OO7-like", oo7_workload(no=6000, hotn=300)),
+    ("HyperModel-like", hypermodel_workload(no=6000, hotn=300)),
+]
+
+
+def main() -> None:
+    print("Same page server (Table 4 O2 config), four classic workloads")
+    print(f"(NO=6000, 300 transactions, 3 replications each)\n")
+    header = (
+        f"{'workload':>16} {'mean I/Os':>10} {'hit rate':>9} "
+        f"{'accesses/txn':>13} {'resp ms':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, ocb in WORKLOADS:
+        config = o2_config(nc=ocb.nc, no=ocb.no, hotn=ocb.hotn)
+        config = config.with_changes(ocb=ocb)
+        runner = ExperimentRunner(config)
+        runner.run(replications=3)
+        ios = runner.mean("total_ios")
+        hit = runner.mean("hit_rate")
+        accesses = runner.mean("object_accesses") / ocb.hotn
+        resp = runner.mean("mean_response_time_ms")
+        print(
+            f"{label:>16} {ios:>10.0f} {hit:>9.3f} "
+            f"{accesses:>13.1f} {resp:>9.2f}"
+        )
+    print()
+    print("OO1's 1%-locality traversals cache beautifully; OO7's raw")
+    print("traversals visit an order of magnitude more objects per")
+    print("transaction; HyperModel's closure mix sits in between —")
+    print("one simulator, four benchmark personalities (§2's reuse claim).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The §4.4 DSTC clustering study, end to end.
+
+Replays the paper's protocol on the Texas instantiation:
+
+1. a *pre-clustering* usage phase — 1000 depth-3 hierarchy traversals
+   drawn from a hot root region (the paper's "favorable conditions");
+2. an external clustering demand — DSTC selects, consolidates, builds
+   clusters, and the Clustering Manager physically reorganizes the base
+   (its I/Os are the clustering overhead of Table 6);
+3. a *post-clustering* phase replaying the same transactions.
+
+Also demonstrates the memory-scarcity effect of Table 8 by re-running
+the protocol at 8 MB.
+
+Run:  python examples/clustering_study.py
+"""
+
+from repro import VOODBSimulation, texas_dstc_config
+from repro.systems.dstc_experiment import (
+    DSTC_EXPERIMENT_PARAMETERS,
+    HIERARCHY_DEPTH,
+    HIERARCHY_REF_TYPE,
+)
+
+
+def run_protocol(memory_mb: float, transactions: int = 1000) -> None:
+    config = texas_dstc_config(memory_mb=memory_mb, hotn=transactions)
+    model = VOODBSimulation(
+        config,
+        seed=1,
+        clustering_kwargs={"dstc_parameters": DSTC_EXPERIMENT_PARAMETERS},
+    )
+
+    print(f"--- Texas with {memory_mb:.0f} MB of memory "
+          f"({config.buffsize} page frames) ---")
+    pre = model.run_phase(
+        transactions,
+        workload="hierarchy",
+        stream_label="usage",
+        hierarchy_type=HIERARCHY_REF_TYPE,
+        hierarchy_depth=HIERARCHY_DEPTH,
+    )
+    print(f"pre-clustering usage:   {pre.total_ios:6d} I/Os "
+          f"({pre.swap_reads + pre.swap_writes} of them swap)")
+
+    report = model.demand_clustering()
+    print(f"clustering overhead:    {report.overhead_ios:6d} I/Os "
+          f"({report.clusters} clusters, "
+          f"{report.mean_objects_per_cluster:.1f} objects/cluster)")
+
+    post = model.run_phase(
+        transactions,
+        workload="hierarchy",
+        stream_label="usage",
+        hierarchy_type=HIERARCHY_REF_TYPE,
+        hierarchy_depth=HIERARCHY_DEPTH,
+    )
+    gain = pre.total_ios / post.total_ios if post.total_ios else float("inf")
+    print(f"post-clustering usage:  {post.total_ios:6d} I/Os")
+    print(f"gain:                   {gain:6.2f}x")
+    print()
+
+
+def main() -> None:
+    print("DSTC clustering study (paper §4.4, Tables 6-8)")
+    print("=" * 60)
+    # Table 6/7: mid-sized base, ample memory.
+    run_protocol(memory_mb=64)
+    # Table 8: same base, scarce memory -> the gain explodes, because a
+    # good clustering keeps the working set inside the few frames left.
+    run_protocol(memory_mb=8)
+    print("Paper reference: gain 5.36x at 64 MB (Table 6), "
+          "28.42x at 8 MB (Table 8);")
+    print("simulated overhead is ~36x below the Texas measurement because "
+          "logical OIDs")
+    print("need no reference-update scan after objects move (§4.4).")
+
+
+if __name__ == "__main__":
+    main()

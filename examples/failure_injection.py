@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Critical conditions: how a simulated OODB degrades under failures.
+
+Implements the paper's §5 suggestion — "VOODB could also take into
+account random hazards, like benign or serious system failures, in
+order to observe how the studied OODB behaves and recovers in critical
+conditions" — and uses it to compare how two buffer sizes ride out a
+crashy environment (bigger buffers lose more on every crash).
+
+Run:  python examples/failure_injection.py
+"""
+
+from repro import OCBConfig
+from repro.core import FailureConfig, build_database, run_replication
+from repro.systems.o2 import o2_config
+
+WORKLOAD = dict(nc=20, no=4000, hotn=400)
+
+
+def main() -> None:
+    build_database(o2_config(**WORKLOAD).ocb)
+    print("O2 under increasing hazard levels (NC=20, NO=4000, 400 txns)")
+    header = (
+        f"{'scenario':>22} {'I/Os':>6} {'faults':>7} {'crashes':>8} "
+        f"{'downtime ms':>12} {'txn/s':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    scenarios = [
+        ("healthy", FailureConfig()),
+        ("flaky disk", FailureConfig(transient_mtbf_ms=300.0)),
+        ("nightly crash", FailureConfig(crash_mtbf_ms=30_000.0)),
+        ("crash storm", FailureConfig(crash_mtbf_ms=5_000.0)),
+    ]
+    for label, failures in scenarios:
+        config = o2_config(**WORKLOAD).with_changes(failures=failures)
+        result = run_replication(config, seed=7)
+        phase = result.phase
+        print(
+            f"{label:>22} {result.total_ios:>6} {phase.transient_faults:>7} "
+            f"{phase.crashes:>8} {phase.downtime_ms:>12.0f} "
+            f"{phase.throughput_tps:>7.2f}"
+        )
+
+    print()
+    print("Does a bigger cache help as much in a crashy environment?")
+    big = dict(nc=20, no=8000, hotn=400)  # ~10 MB stored base
+    build_database(o2_config(**big).ocb)
+    print(f"{'cache MB':>9} {'healthy I/Os':>13} {'crashy I/Os':>12} {'penalty':>8}")
+    for cache_mb in (4, 8, 32):
+        healthy = run_replication(o2_config(cache_mb=cache_mb, **big), seed=7)
+        crashy = run_replication(
+            o2_config(cache_mb=cache_mb, **big).with_changes(
+                failures=FailureConfig(crash_mtbf_ms=5_000.0)
+            ),
+            seed=7,
+        )
+        penalty = crashy.total_ios / healthy.total_ios
+        print(
+            f"{cache_mb:>9} {healthy.total_ios:>13} "
+            f"{crashy.total_ios:>12} {penalty:>8.2f}x"
+        )
+    print()
+    print("Crashes tax exactly what caching saved: the system whose cache")
+    print("was big enough to hold the base loses the most, relatively, on")
+    print("every crash — a sizing trade-off only visible under hazards.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access,
+so PEP 517/660 editable installs cannot build. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` with the pip.conf shipped in this repo) fall back to
+``setup.py develop``, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""VOODB — a generic discrete-event random simulation model for OODBs.
+
+Reproduction of: J. Darmont, M. Schneider, "VOODB: A Generic
+Discrete-Event Random Simulation Model to Evaluate the Performances of
+OODBs", Proceedings of the 25th VLDB Conference, Edinburgh, 1999.
+
+Packages (bottom-up):
+
+* :mod:`repro.despy` — the discrete-event simulation kernel (the paper's
+  DESP-C++, ported);
+* :mod:`repro.ocb` — the OCB benchmark workload substrate;
+* :mod:`repro.core` — the VOODB evaluation model itself;
+* :mod:`repro.clustering` — placement + clustering policies (DSTC...);
+* :mod:`repro.systems` — the O2 and Texas instantiations of Table 4;
+* :mod:`repro.experiments` — replication running, Figures 6-11 and
+  Tables 6-8 regeneration.
+
+Quickstart::
+
+    from repro import o2_config, ExperimentRunner
+
+    runner = ExperimentRunner(o2_config(nc=50, no=20_000))
+    runner.run(replications=10)
+    print(runner.interval("total_ios"))
+"""
+
+from repro.clustering import (
+    DSTC,
+    ClusteringPolicy,
+    DSTCParameters,
+    GreedyGraphClustering,
+    NoClustering,
+)
+from repro.core import (
+    MemoryModel,
+    SimulationResults,
+    SystemClass,
+    VOODBConfig,
+    VOODBSimulation,
+    build_database,
+    run_replication,
+)
+from repro.despy import RandomStream, Simulation
+from repro.experiments import (
+    ExperimentRunner,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    format_dstc_table,
+    format_series,
+    format_table7,
+    table6,
+    table7,
+    table8,
+)
+from repro.ocb import Database, OCBConfig, Schema, TransactionGenerator
+from repro.systems import o2_config, texas_config, texas_dstc_config
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "VOODBConfig",
+    "OCBConfig",
+    "SystemClass",
+    "MemoryModel",
+    "o2_config",
+    "texas_config",
+    "texas_dstc_config",
+    # model
+    "VOODBSimulation",
+    "run_replication",
+    "build_database",
+    "SimulationResults",
+    # substrate
+    "Simulation",
+    "RandomStream",
+    "Schema",
+    "Database",
+    "TransactionGenerator",
+    # clustering
+    "ClusteringPolicy",
+    "NoClustering",
+    "DSTC",
+    "DSTCParameters",
+    "GreedyGraphClustering",
+    # experiments
+    "ExperimentRunner",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "table6",
+    "table7",
+    "table8",
+    "format_series",
+    "format_dstc_table",
+    "format_table7",
+]

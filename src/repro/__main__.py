@@ -1,0 +1,106 @@
+"""Command-line regeneration of the paper's evaluation.
+
+Usage::
+
+    python -m repro figures              # Figures 6-11
+    python -m repro figure 8             # one figure
+    python -m repro tables               # Tables 6-8
+    python -m repro all                  # everything
+    python -m repro all -r 10            # 10 replications per point
+    python -m repro figure 11 -o out.txt # also write the report to a file
+
+Every command prints the paper's published series (benchmark and
+simulation) next to this reproduction's means with 95% confidence
+intervals — the same reports the benchmark harness writes under
+``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import (
+    format_dstc_table,
+    format_series,
+    format_table7,
+)
+from repro.experiments.tables import table6, table8
+
+
+def _emit(report: str, output: Optional[str]) -> None:
+    print(report)
+    print()
+    if output:
+        with open(output, "a", encoding="utf-8") as sink:
+            sink.write(report + "\n\n")
+
+
+def run_figures(
+    numbers: List[str], replications: Optional[int], hotn: int, output: Optional[str]
+) -> None:
+    for number in numbers:
+        series = ALL_FIGURES[number](replications=replications, hotn=hotn)
+        _emit(format_series(series), output)
+
+
+def run_tables(replications: Optional[int], output: Optional[str]) -> None:
+    result6 = table6(replications=replications)
+    _emit(format_dstc_table(result6), output)
+    _emit(format_table7(result6), output)
+    _emit(format_dstc_table(table8(replications=replications)), output)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the VOODB paper's figures and tables.",
+    )
+    parser.add_argument(
+        "-r",
+        "--replications",
+        type=int,
+        default=None,
+        help="replications per experiment point "
+        "(default: VOODB_REPLICATIONS or 5; the paper used 100)",
+    )
+    parser.add_argument(
+        "--hotn",
+        type=int,
+        default=1000,
+        help="transactions per replication (Table 5 default: 1000)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="append the reports to this file as well",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("figures", help="regenerate Figures 6-11")
+    sub.add_parser("tables", help="regenerate Tables 6-8")
+    sub.add_parser("all", help="regenerate everything")
+    one = sub.add_parser("figure", help="regenerate a single figure")
+    one.add_argument("number", choices=sorted(ALL_FIGURES, key=int))
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    figure_numbers = sorted(ALL_FIGURES, key=int)
+    if args.command == "figure":
+        run_figures([args.number], args.replications, args.hotn, args.output)
+    elif args.command == "figures":
+        run_figures(figure_numbers, args.replications, args.hotn, args.output)
+    elif args.command == "tables":
+        run_tables(args.replications, args.output)
+    else:  # all
+        run_figures(figure_numbers, args.replications, args.hotn, args.output)
+        run_tables(args.replications, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""clustering — the Clustering Manager's pluggable policies.
+
+Figure 4's Clustering Manager is the only component that changes when two
+clustering algorithms are compared: "The only treatments that differ when
+two distinct clustering algorithms are tested are those performed by the
+Clustering Manager.  Other treatments in the model remain the same."
+
+This package supplies:
+
+* **initial placement** policies (Table 3 INITPL: Sequential, Optimized
+  Sequential) that lay the generated object base onto disk pages
+  (`placement`);
+* the **clustering policy** interface and the trivial ``NoClustering``
+  (`base`);
+* **DSTC** — the Dynamic, Statistical, Tunable Clustering technique of
+  Bullat & Schneider the paper evaluates in §4.4 (`dstc`);
+* a **greedy static graph clustering** baseline in the spirit of the
+  Tsangaris & Naughton comparisons the paper cites, used by the ablation
+  benches (`greedy`).
+"""
+
+from repro.clustering.base import ClusteringPolicy, NoClustering, make_clustering_policy
+from repro.clustering.dstc import DSTC, DSTCParameters
+from repro.clustering.greedy import GreedyGraphClustering
+from repro.clustering.placement import (
+    PageMap,
+    make_placement,
+    optimized_sequential_placement,
+    sequential_placement,
+)
+
+__all__ = [
+    "ClusteringPolicy",
+    "NoClustering",
+    "DSTC",
+    "DSTCParameters",
+    "GreedyGraphClustering",
+    "make_clustering_policy",
+    "PageMap",
+    "make_placement",
+    "sequential_placement",
+    "optimized_sequential_placement",
+]

@@ -1,0 +1,91 @@
+"""The clustering-policy interface and the no-clustering default.
+
+Figure 4 confines algorithm-specific behaviour to two activities of the
+Clustering Manager: "Perform treatment related to clustering (statistics
+collection, etc.)" — the per-access hook — and "Perform Clustering" —
+the reorganization.  A :class:`ClusteringPolicy` supplies exactly those
+two behaviours; the Clustering Manager
+(:mod:`repro.core.clustering_manager`) owns everything else (trigger
+plumbing, physical reorganization I/O, cache invalidation), so swapping
+policies swaps *only* what the paper says should differ.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.ocb.database import Database
+
+
+class ClusteringPolicy(ABC):
+    """Strategy plugged into the Clustering Manager (Table 3 CLUSTP)."""
+
+    name: str = "abstract"
+
+    def attach(self, db: Database) -> None:
+        """Called once, before the workload starts."""
+        self.db = db
+
+    @abstractmethod
+    def on_object_access(self, oid: int, previous_oid: Optional[int]) -> None:
+        """Statistics-collection hook, called for every object access.
+
+        ``previous_oid`` is the previously accessed object of the same
+        transaction (None at the transaction's first access) — the
+        navigational link usage-based policies feed on.
+        """
+
+    @abstractmethod
+    def on_transaction_end(self) -> bool:
+        """Called after each transaction; True requests a reorganization
+        (Figure 4 "automatic triggering")."""
+
+    @abstractmethod
+    def build_clusters(self) -> List[List[int]]:
+        """Produce the cluster set to install at reorganization time.
+
+        Each cluster is an ordered list of OIDs (placement order); an
+        object may appear in at most one cluster.  Returning an empty
+        list cancels the reorganization.
+        """
+
+    def notify_reorganized(self, clusters: List[List[int]]) -> None:
+        """Called after the physical reorganization completed."""
+
+
+class NoClustering(ClusteringPolicy):
+    """Table 3 default (CLUSTP = None): collect nothing, never trigger."""
+
+    name = "none"
+
+    def on_object_access(self, oid: int, previous_oid: Optional[int]) -> None:
+        pass
+
+    def on_transaction_end(self) -> bool:
+        return False
+
+    def build_clusters(self) -> List[List[int]]:
+        return []
+
+
+def make_clustering_policy(name: str, **kwargs) -> ClusteringPolicy:
+    """Build a policy from its Table 3 CLUSTP code.
+
+    Imports locally to keep the policy modules optional at import time.
+    """
+    key = name.strip().lower()
+    if key in ("none", ""):
+        return NoClustering()
+    if key == "dstc":
+        from repro.clustering.dstc import DSTC, DSTCParameters
+
+        params = kwargs.pop("dstc_parameters", None) or DSTCParameters(**kwargs)
+        return DSTC(params)
+    if key == "greedy":
+        from repro.clustering.greedy import GreedyGraphClustering
+
+        return GreedyGraphClustering(**kwargs)
+    raise ValueError(
+        f"unknown clustering policy {name!r}; known: none, dstc, greedy"
+    )

@@ -1,0 +1,113 @@
+"""core — the VOODB generic discrete-event evaluation model.
+
+The paper's primary contribution: a parameterized, modular simulation
+model of an OODBMS (knowledge model of Figure 4, parameters of Table 3),
+able to mimic different Client-Server organizations and to host
+interchangeable clustering policies.
+
+Modules map one-to-one onto the knowledge model's active resources:
+
+==============================  =========================================
+Figure 4 swimlane               module
+==============================  =========================================
+Users                           :mod:`repro.core.users`
+Transaction Manager             :mod:`repro.core.transaction_manager`
+Clustering Manager              :mod:`repro.core.clustering_manager`
+Object Manager                  :mod:`repro.core.object_manager`
+Buffering Manager               :mod:`repro.core.buffering` (+
+                                :mod:`repro.core.virtual_memory`,
+                                :mod:`repro.core.replacement`,
+                                :mod:`repro.core.prefetch`)
+I/O Subsystem                   :mod:`repro.core.io_subsystem`
+==============================  =========================================
+
+plus the passive resources of Table 1 (:mod:`repro.core.locks`,
+:mod:`repro.core.network`) and the system-class strategies of §3.3
+(:mod:`repro.core.architectures`).  :mod:`repro.core.model` assembles
+them into :class:`VOODBSimulation`.
+"""
+
+from repro.core.architectures import (
+    Architecture,
+    Centralized,
+    DBServer,
+    ObjectServer,
+    PageServer,
+    make_architecture,
+)
+from repro.core.buffering import AccessOutcome, BufferManager
+from repro.core.clustering_manager import ClusteringManager
+from repro.core.failures import FailureConfig, FailureInjector, NoFailures
+from repro.core.io_subsystem import IOSubsystem
+from repro.core.locks import LockManager
+from repro.core.model import (
+    VOODBSimulation,
+    build_database,
+    clear_database_cache,
+    run_replication,
+)
+from repro.core.network import Network
+from repro.core.object_manager import ObjectManager
+from repro.core.parameters import (
+    ALLOWED_PAGE_SIZES,
+    MemoryModel,
+    SystemClass,
+    VOODBConfig,
+)
+from repro.core.prefetch import (
+    ClusterPrefetch,
+    NoPrefetch,
+    OneAheadPrefetch,
+    PrefetchPolicy,
+    make_prefetch_policy,
+)
+from repro.core.replacement import (
+    ReplacementPolicy,
+    available_policies,
+    make_replacement_policy,
+)
+from repro.core.results import ClusteringReport, PhaseResults, SimulationResults
+from repro.core.transaction_manager import TransactionManager
+from repro.core.users import Users
+from repro.core.virtual_memory import VirtualMemoryManager
+
+__all__ = [
+    "VOODBConfig",
+    "SystemClass",
+    "MemoryModel",
+    "ALLOWED_PAGE_SIZES",
+    "VOODBSimulation",
+    "run_replication",
+    "build_database",
+    "clear_database_cache",
+    "SimulationResults",
+    "PhaseResults",
+    "ClusteringReport",
+    "Architecture",
+    "Centralized",
+    "PageServer",
+    "ObjectServer",
+    "DBServer",
+    "make_architecture",
+    "BufferManager",
+    "AccessOutcome",
+    "VirtualMemoryManager",
+    "ReplacementPolicy",
+    "make_replacement_policy",
+    "available_policies",
+    "PrefetchPolicy",
+    "NoPrefetch",
+    "OneAheadPrefetch",
+    "ClusterPrefetch",
+    "make_prefetch_policy",
+    "IOSubsystem",
+    "Network",
+    "LockManager",
+    "FailureConfig",
+    "FailureInjector",
+    "NoFailures",
+    "ObjectManager",
+    "ClusteringManager",
+    "TransactionManager",
+    "Users",
+]

@@ -1,0 +1,257 @@
+"""System-class strategies (Table 3 SYSCLASS; paper §3.3).
+
+"Our generic model allows simulating the behavior of different types of
+OODBMSs.  It is [...] especially suitable to page server systems (like
+ObjectStore or O2), but can also be used to model object server systems
+(like ORION or ONTOS), or database server systems [...].  The
+organization of the VOODB components is controlled by the 'System class'
+parameter."
+
+Each strategy implements the object-access path of Figure 4 for one
+organization:
+
+* :class:`Centralized` — client and server are the same machine (Texas):
+  Object Manager → memory → disk, no network.
+* :class:`PageServer` — O2's organization: the client asks the server
+  for the *page* holding the object; the page ships back whole.  An
+  optional client page cache (``client_buffsize``) absorbs repeats.
+* :class:`ObjectServer` — ORION/ONTOS: the client asks for the *object*;
+  only the object's bytes ship.  The optional client cache holds objects.
+* :class:`DBServer` — the whole transaction ships to the server and only
+  request/result messages cross the network.
+
+The shared server-side path (memory access, dirty write-back, swap
+traffic, the read itself, prefetching) lives in the base class so that
+architectures differ *only* in where requests travel — which is the
+point of the paper's genericity claim.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.buffering import BufferManager
+from repro.core.network import Network
+from repro.core.object_manager import ObjectManager
+from repro.core.parameters import SystemClass, VOODBConfig
+from repro.core.prefetch import PrefetchPolicy
+from repro.ocb.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.despy.engine import Simulation
+    from repro.core.io_subsystem import IOSubsystem
+
+
+class Architecture(ABC):
+    """The object-access path of one system class."""
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        config: VOODBConfig,
+        db: Database,
+        object_manager: ObjectManager,
+        memory,
+        io: "IOSubsystem",
+        network: Network,
+        prefetcher: PrefetchPolicy,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.db = db
+        self.object_manager = object_manager
+        self.memory = memory
+        self.io = io
+        self.network = network
+        self.prefetcher = prefetcher
+        self._prefetched_unused: set[int] = set()
+        # Counters
+        self.prefetched_pages = 0
+        self.prefetch_hits = 0
+        self.client_hits = 0
+        self.client_misses = 0
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def access_object(self, oid: int, write: bool):
+        """Process-generator performing one object access end to end."""
+
+    def begin_transaction(self):
+        """Hook before a transaction's accesses (network for DB server)."""
+        return
+        yield  # pragma: no cover - makes this an (empty) generator
+
+    def end_transaction(self):
+        """Hook after a transaction's accesses."""
+        return
+        yield  # pragma: no cover - makes this an (empty) generator
+
+    # ------------------------------------------------------------------
+    # Shared server-side page path
+    # ------------------------------------------------------------------
+    def _server_page_access(self, page: int, write: bool):
+        """Figure 4's Buffering Manager → I/O Subsystem chain for a page."""
+        outcome = self.memory.access(page, write)
+        if outcome.hit:
+            if page in self._prefetched_unused:
+                self._prefetched_unused.discard(page)
+                self.prefetch_hits += 1
+            return
+        for victim in outcome.writeback_pages:
+            yield from self.io.write_page(victim)
+        for __ in getattr(outcome, "swap_out_pages", ()):
+            yield from self.io.swap_write()
+        if getattr(outcome, "swap_read", False):
+            yield from self.io.swap_read()
+        if outcome.read_page is not None:
+            yield from self.io.read_page(outcome.read_page)
+            yield from self._prefetch_after_miss(page)
+
+    def _prefetch_after_miss(self, page: int):
+        admit = getattr(self.memory, "admit_prefetched", None)
+        if admit is None:
+            return  # prefetching needs a buffer; the VM model has none
+        for extra in self.prefetcher.pages_after_miss(
+            page, self.object_manager.total_pages
+        ):
+            outcome = admit(extra)
+            if outcome is None:
+                continue
+            for victim in outcome.writeback_pages:
+                yield from self.io.write_page(victim)
+            yield from self.io.read_page(extra)
+            self._prefetched_unused.add(extra)
+            self.prefetched_pages += 1
+
+    def _server_object_access(self, oid: int, write: bool):
+        """Fetch every page of the object, then run the swizzle hook."""
+        for page in self.object_manager.pages_of(oid):
+            yield from self._server_page_access(page, write)
+        for __ in self.memory.note_object_access(oid):
+            yield from self.io.swap_write()
+
+    def notify_reorganized(self) -> None:
+        """Clustering moved objects: client/prefetch state is stale."""
+        self._prefetched_unused.clear()
+
+
+class Centralized(Architecture):
+    """SYSCLASS = Centralized (Texas): everything is local."""
+
+    name = "centralized"
+
+    def access_object(self, oid: int, write: bool):
+        yield from self._server_object_access(oid, write)
+
+
+class PageServer(Architecture):
+    """SYSCLASS = Page Server (O2, ObjectStore): pages ship to clients."""
+
+    name = "page_server"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.client_cache: Optional[BufferManager] = None
+        if self.config.client_buffsize > 0:
+            self.client_cache = BufferManager(
+                self.config,
+                self.sim.stream("client-cache"),
+                capacity=self.config.client_buffsize,
+            )
+
+    def access_object(self, oid: int, write: bool):
+        for page in self.object_manager.pages_of(oid):
+            if self.client_cache is not None:
+                if self.client_cache.access(page, False).hit:
+                    self.client_hits += 1
+                    continue
+                self.client_misses += 1
+            yield from self.network.transfer(self.config.message_bytes)
+            yield from self._server_page_access(page, write)
+            yield from self.network.transfer(self.config.pgsize)
+
+    def notify_reorganized(self) -> None:
+        super().notify_reorganized()
+        if self.client_cache is not None:
+            self.client_cache.invalidate_all()
+
+
+class ObjectServer(Architecture):
+    """SYSCLASS = Object Server (ORION, ONTOS): objects ship to clients."""
+
+    name = "object_server"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.client_cache: Optional[BufferManager] = None
+        if self.config.client_buffsize > 0:
+            # The client cache is object-granular: translate its page
+            # budget into object slots at mean object size.
+            mean_size = max(1.0, self.db.config.mean_instance_size)
+            slots = max(
+                1,
+                int(
+                    self.config.client_buffsize
+                    * self.config.usable_page_bytes
+                    / mean_size
+                ),
+            )
+            self.client_cache = BufferManager(
+                self.config, self.sim.stream("client-cache"), capacity=slots
+            )
+
+    def access_object(self, oid: int, write: bool):
+        if self.client_cache is not None:
+            if self.client_cache.access(oid, False).hit:
+                self.client_hits += 1
+                return
+            self.client_misses += 1
+        yield from self.network.transfer(self.config.message_bytes)
+        yield from self._server_object_access(oid, write)
+        yield from self.network.transfer(self.db.size(oid))
+
+    def notify_reorganized(self) -> None:
+        super().notify_reorganized()
+        if self.client_cache is not None:
+            self.client_cache.invalidate_all()
+
+
+class DBServer(Architecture):
+    """SYSCLASS = DB Server: transactions ship, data stays put."""
+
+    name = "db_server"
+
+    def begin_transaction(self):
+        yield from self.network.transfer(self.config.message_bytes)
+
+    def end_transaction(self):
+        yield from self.network.transfer(self.config.message_bytes)
+
+    def access_object(self, oid: int, write: bool):
+        yield from self._server_object_access(oid, write)
+
+
+_ARCHITECTURES: Dict[SystemClass, type] = {
+    SystemClass.CENTRALIZED: Centralized,
+    SystemClass.PAGE_SERVER: PageServer,
+    SystemClass.OBJECT_SERVER: ObjectServer,
+    SystemClass.DB_SERVER: DBServer,
+}
+
+
+def make_architecture(
+    sim: "Simulation",
+    config: VOODBConfig,
+    db: Database,
+    object_manager: ObjectManager,
+    memory,
+    io: "IOSubsystem",
+    network: Network,
+    prefetcher: PrefetchPolicy,
+) -> Architecture:
+    """Instantiate the strategy selected by ``config.sysclass``."""
+    cls = _ARCHITECTURES[config.sysclass]
+    return cls(sim, config, db, object_manager, memory, io, network, prefetcher)

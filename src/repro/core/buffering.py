@@ -1,0 +1,171 @@
+"""The Buffering Manager (knowledge model, Figure 4).
+
+"[The Object Manager] requests the page from the Buffering Manager that
+checks if the page is present in the memory buffer.  If not, it requests
+the page from the I/O Subsystem" — this module is that check.
+
+The buffer holds up to BUFFSIZE page frames; residency is decided by the
+pluggable replacement policy (Table 3 PGREP, :mod:`repro.core.replacement`)
+and optionally widened by a prefetcher (Table 3 PREFETCH,
+:mod:`repro.core.prefetch`).
+
+The protocol with the Transaction Manager is miss-with-reservation:
+``access(page)`` immediately claims a frame on a miss (evicting if
+needed) and reports what disk work the caller owes — the page read plus
+a possible dirty-victim write.  Claiming the frame before the simulated
+I/O completes keeps two concurrent transactions from double-loading the
+same page, which is the role page latches play in a real server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.despy.randomstream import RandomStream
+from repro.core.parameters import VOODBConfig
+from repro.core.replacement import ReplacementPolicy, make_replacement_policy
+
+
+@dataclass
+class AccessOutcome:
+    """What one buffer access requires from the caller.
+
+    ``hit`` — page was resident, no disk work.
+    ``read_page`` — page to read from disk (None on hit).
+    ``writeback_pages`` — dirty victims the caller must write first.
+    """
+
+    hit: bool
+    read_page: Optional[int] = None
+    writeback_pages: List[int] = field(default_factory=list)
+
+
+class BufferManager:
+    """A BUFFSIZE-frame database buffer with pluggable replacement."""
+
+    def __init__(
+        self,
+        config: VOODBConfig,
+        rng: RandomStream,
+        capacity: Optional[int] = None,
+        policy: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        self.config = config
+        self.capacity = capacity if capacity is not None else config.buffsize
+        if self.capacity < 1:
+            raise ValueError(f"buffer capacity must be >= 1, got {self.capacity}")
+        self.policy = policy or make_replacement_policy(config.pgrep, rng)
+        #: frame table: page -> dirty flag
+        self._frames: Dict[int, bool] = {}
+        # Counters
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_writebacks = 0
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    def access(self, page: int, write: bool = False) -> AccessOutcome:
+        """Reference one page; reserve its frame immediately on a miss."""
+        frames = self._frames
+        if page in frames:
+            self.hits += 1
+            if write:
+                frames[page] = True
+            self.policy.on_hit(page)
+            return AccessOutcome(hit=True)
+        self.misses += 1
+        writebacks = self._make_room(1)
+        frames[page] = write
+        self.policy.on_admit(page)
+        return AccessOutcome(hit=False, read_page=page, writeback_pages=writebacks)
+
+    def admit_prefetched(self, page: int) -> Optional[AccessOutcome]:
+        """Bring a page in without counting a hit/miss (prefetch path).
+
+        Returns the outcome (read + possible writebacks), or None if the
+        page is already resident.
+        """
+        if page in self._frames:
+            return None
+        writebacks = self._make_room(1)
+        self._frames[page] = False
+        self.policy.on_admit(page)
+        return AccessOutcome(hit=False, read_page=page, writeback_pages=writebacks)
+
+    def _make_room(self, needed: int) -> List[int]:
+        writebacks: List[int] = []
+        while len(self._frames) + needed > self.capacity:
+            victim = self.policy.choose_victim()
+            dirty = self._frames.pop(victim)
+            self.evictions += 1
+            if dirty:
+                self.dirty_writebacks += 1
+                writebacks.append(victim)
+        return writebacks
+
+    def note_object_access(self, oid: int) -> List[int]:
+        """Hook for memory models reacting to object-level accesses.
+
+        A plain database buffer does nothing here; the Texas virtual-
+        memory model (:mod:`repro.core.virtual_memory`) overrides this to
+        run its reservation cascade.  Returns pages owed as swap writes.
+        """
+        return []
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def contains(self, page: int) -> bool:
+        return page in self._frames
+
+    def is_dirty(self, page: int) -> bool:
+        return self._frames.get(page, False)
+
+    def invalidate(self, page: int) -> bool:
+        """Drop a page without write-back (clustering moved its objects)."""
+        if page in self._frames:
+            del self._frames[page]
+            self.policy.forget(page)
+            return True
+        return False
+
+    def invalidate_all(self) -> int:
+        """Empty the buffer (post-reorganization), returning frames dropped."""
+        count = len(self._frames)
+        for page in list(self._frames):
+            self.invalidate(page)
+        return count
+
+    def flush(self) -> List[int]:
+        """Clean every dirty frame, returning the pages to write."""
+        dirty = [page for page, d in self._frames.items() if d]
+        for page in dirty:
+            self._frames[page] = False
+        return dirty
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_writebacks = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BufferManager {self.resident_pages}/{self.capacity} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,149 @@
+"""Random hazards: benign and serious system failures (paper §5).
+
+"VOODB could also take into account random hazards, like benign or
+serious system failures, in order to observe how the studied OODB
+behaves and recovers in critical conditions.  Such features could be
+included in VOODB as new modules."  This is that module.
+
+Two hazard classes, both Poisson processes in simulated time:
+
+* **benign failures** — transient I/O faults (a bad sector, a
+  controller hiccup): the affected disk operation is retried, paying
+  ``transient_penalty_ms`` extra;
+* **serious failures** — system crashes: every buffer frame is lost
+  and the system is down for ``recovery_time_ms`` (log-replay style
+  recovery) before the interrupted I/O completes; the workload resumes
+  against a cold cache.
+
+Hazards are sampled by *thinning on observation instants* rather than
+by standing timer events (so workload phases still drain naturally):
+transient faults are probed per disk operation
+(:meth:`FailureInjector.io_penalty`), crashes per transaction boundary
+(:meth:`FailureInjector.crash_check` — a warm-cache system that never
+touches the disk still crashes).  Faults falling in an unobserved
+window are folded into the next probe, which is when they would first
+be noticed anyway.
+
+Both hazards are disabled by default — the paper's validation
+experiments ran on healthy systems; the failure ablation bench and
+`examples` turn them on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.despy.randomstream import RandomStream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.despy.engine import Simulation
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """Hazard parameters (all disabled at their defaults)."""
+
+    #: Mean simulated ms between transient I/O faults (0 = never).
+    transient_mtbf_ms: float = 0.0
+    #: Extra service time one transient fault costs (retry + repositioning).
+    transient_penalty_ms: float = 25.0
+    #: Mean simulated ms between system crashes (0 = never).
+    crash_mtbf_ms: float = 0.0
+    #: Downtime per crash (recovery: log replay, cache rebuild...).
+    recovery_time_ms: float = 5_000.0
+
+    def __post_init__(self) -> None:
+        if self.transient_mtbf_ms < 0 or self.crash_mtbf_ms < 0:
+            raise ValueError("MTBF values must be >= 0 (0 disables)")
+        if self.transient_penalty_ms < 0 or self.recovery_time_ms < 0:
+            raise ValueError("penalty/recovery times must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.transient_mtbf_ms > 0 or self.crash_mtbf_ms > 0
+
+
+class FailureInjector:
+    """Draws hazards and charges them to the I/O subsystem."""
+
+    def __init__(self, sim: "Simulation", config: FailureConfig, memory) -> None:
+        self.sim = sim
+        self.config = config
+        self.memory = memory
+        self._rng: RandomStream = sim.stream("failures")
+        self._last_transient_check = 0.0
+        self._last_crash_check = 0.0
+        # Counters
+        self.transient_faults = 0
+        self.crashes = 0
+        self.downtime_ms = 0.0
+        self.frames_lost = 0
+
+    def io_penalty(self) -> float:
+        """Extra service time the next disk operation owes to transient
+        faults (benign hazards live at the I/O level)."""
+        if self.config.transient_mtbf_ms <= 0:
+            return 0.0
+        if self._draws_fault(self.sim.now, "_last_transient_check",
+                             self.config.transient_mtbf_ms):
+            self.transient_faults += 1
+            return self.config.transient_penalty_ms
+        return 0.0
+
+    def crash_check(self) -> float:
+        """Crash probe at a transaction boundary.
+
+        Serious hazards are checked per transaction (they strike whether
+        or not the workload happens to be touching the disk — a
+        warm-cache system still crashes).  If a crash landed since the
+        last check, the buffer is emptied here and the returned recovery
+        downtime must be held by the caller.
+        """
+        if self.config.crash_mtbf_ms <= 0:
+            return 0.0
+        if self._draws_fault(self.sim.now, "_last_crash_check",
+                             self.config.crash_mtbf_ms):
+            self.crashes += 1
+            self.frames_lost += self.memory.invalidate_all()
+            self.downtime_ms += self.config.recovery_time_ms
+            return self.config.recovery_time_ms
+        return 0.0
+
+    def _draws_fault(self, now: float, marker: str, mtbf: float) -> bool:
+        """Poisson thinning: did >= 1 fault land since the last check?
+
+        Multiple faults in one window fold into one (a controller retries
+        once; a second crash during recovery is absorbed by it).
+        """
+        last = getattr(self, marker)
+        setattr(self, marker, now)
+        elapsed = now - last
+        if elapsed <= 0:
+            return False
+        probability = 1.0 - math.exp(-elapsed / mtbf)
+        return self._rng.bernoulli(probability)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FailureInjector transients={self.transient_faults} "
+            f"crashes={self.crashes}>"
+        )
+
+
+class NoFailures:
+    """Null injector used when hazards are disabled (zero overhead)."""
+
+    transient_faults = 0
+    crashes = 0
+    downtime_ms = 0.0
+    frames_lost = 0
+
+    @staticmethod
+    def io_penalty() -> float:
+        return 0.0
+
+    @staticmethod
+    def crash_check() -> float:
+        return 0.0

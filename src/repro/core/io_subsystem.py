@@ -1,0 +1,151 @@
+"""The I/O Subsystem: physical disk accesses (Figure 5).
+
+The knowledge model's "Access Disk" functioning rule (paper Figure 5)
+decomposes an I/O request into *search time* + *latency time* + *transfer
+time*, with one optimization: **if the requested page is contiguous to
+the previously loaded page, search and latency are skipped** and only the
+transfer is paid.  That shortcut is why initial placement and clustering
+matter to response time and not only to I/O counts.
+
+The disk itself is a despy :class:`~repro.despy.resource.Resource` of
+capacity 1 — the "server disk controller and secondary storage" passive
+resource of Table 1 — so concurrent transactions serialize on it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List
+
+from repro.despy.process import Hold, Release, Request
+from repro.despy.resource import Resource
+from repro.core.failures import NoFailures
+from repro.core.parameters import VOODBConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.despy.engine import Simulation
+
+
+class IOSubsystem:
+    """Disk model with per-page timing and the Figure 5 shortcut."""
+
+    def __init__(self, sim: "Simulation", config: VOODBConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.disk = Resource(sim, "disk", capacity=1)
+        #: hazard source consulted per operation (§5 failures module);
+        #: the model swaps in a live FailureInjector when configured.
+        self.failures = NoFailures()
+        self._last_page: int = -2  # nothing is contiguous to the start
+        # Counters
+        self.reads = 0
+        self.writes = 0
+        self.swap_reads = 0
+        self.swap_writes = 0
+        self.sequential_accesses = 0
+        self.busy_time_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def access_time(self, page: int) -> float:
+        """Service time for one page, applying the contiguity shortcut."""
+        if page == self._last_page + 1 and self.config.sequential_optimization:
+            self.sequential_accesses += 1
+            time = self.config.sequential_io_time
+        else:
+            time = self.config.random_io_time
+        self._last_page = page
+        return time
+
+    # ------------------------------------------------------------------
+    # Process-style operations (yield from these inside processes)
+    # ------------------------------------------------------------------
+    def read_page(self, page: int):
+        """Read one page: reserve the disk, pay the service time."""
+        yield Request(self.disk)
+        time = self.access_time(page) + self.failures.io_penalty()
+        self.reads += 1
+        self.busy_time_ms += time
+        yield Hold(time)
+        yield Release(self.disk)
+
+    def write_page(self, page: int):
+        """Write one page (same head mechanics as a read)."""
+        yield Request(self.disk)
+        time = self.access_time(page) + self.failures.io_penalty()
+        self.writes += 1
+        self.busy_time_ms += time
+        yield Hold(time)
+        yield Release(self.disk)
+
+    def read_pages(self, pages: Iterable[int]):
+        """Bulk read; sorts the batch so contiguous runs pay transfer only.
+
+        Used by the Clustering Manager's reorganization, which reads whole
+        regions of the base (paper §4.4 "clustering overhead").
+        """
+        batch: List[int] = sorted(set(pages))
+        yield Request(self.disk)
+        total = self.failures.io_penalty() if batch else 0.0
+        for page in batch:
+            time = self.access_time(page)
+            self.reads += 1
+            total += time
+        self.busy_time_ms += total
+        yield Hold(total)
+        yield Release(self.disk)
+
+    def write_pages(self, pages: Iterable[int]):
+        """Bulk write, contiguity-aware like :meth:`read_pages`."""
+        batch: List[int] = sorted(set(pages))
+        yield Request(self.disk)
+        total = self.failures.io_penalty() if batch else 0.0
+        for page in batch:
+            time = self.access_time(page)
+            self.writes += 1
+            total += time
+        self.busy_time_ms += total
+        yield Hold(total)
+        yield Release(self.disk)
+
+    def swap_read(self):
+        """Read one page back from the swap partition.
+
+        Swap lives in its own disk region, so the transfer pays the full
+        random-access cost and breaks database-region contiguity (the arm
+        moved) — §4.3.2's "costly swap".
+        """
+        yield Request(self.disk)
+        self._last_page = -2
+        time = self.config.random_io_time + self.failures.io_penalty()
+        self.swap_reads += 1
+        self.busy_time_ms += time
+        yield Hold(time)
+        yield Release(self.disk)
+
+    def swap_write(self):
+        """Write one page out to the swap partition."""
+        yield Request(self.disk)
+        self._last_page = -2
+        time = self.config.random_io_time + self.failures.io_penalty()
+        self.swap_writes += 1
+        self.busy_time_ms += time
+        yield Hold(time)
+        yield Release(self.disk)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_ios(self) -> int:
+        return self.reads + self.writes + self.swap_reads + self.swap_writes
+
+    def reset_counters(self) -> None:
+        """Zero the counters (used at workload-phase boundaries)."""
+        self.reads = 0
+        self.writes = 0
+        self.swap_reads = 0
+        self.swap_writes = 0
+        self.sequential_accesses = 0
+        self.busy_time_ms = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<IOSubsystem reads={self.reads} writes={self.writes}>"

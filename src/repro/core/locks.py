@@ -1,0 +1,143 @@
+"""The transaction scheduler: multiprogramming admission + object locks.
+
+Table 1's last passive resource: "Database.  Its concurrent access is
+managed by a scheduler that applies a transaction scheduling policy that
+depends on the multiprogramming level."  Table 3 contributes MULTILVL
+(max concurrent transactions) and the per-lock GETLOCK/RELLOCK times.
+
+Admission is a despy Resource of capacity MULTILVL.  Object locks are
+shared/exclusive; because OCB transactions know their full access trace
+up front, locks are acquired in sorted-OID order (conservative two-phase
+locking), which makes deadlock impossible — a scheduling policy choice,
+not a cheat: it is what a validation model wants, since the paper's
+experiments never exercise deadlock handling (NUSERS=1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
+
+from repro.despy.process import Hold, Release, Request, WaitFor
+from repro.despy.resource import Gate, Resource
+from repro.core.parameters import VOODBConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.despy.engine import Simulation
+
+
+class _LockEntry:
+    """State of one object's lock: holders + waiters."""
+
+    __slots__ = ("exclusive", "holders", "waiters")
+
+    def __init__(self) -> None:
+        self.exclusive = False
+        self.holders: set[int] = set()  # transaction ids
+        self.waiters: List[Tuple[int, bool, Gate]] = []  # (txn, write, gate)
+
+
+class LockManager:
+    """MULTILVL admission plus shared/exclusive object locking."""
+
+    def __init__(self, sim: "Simulation", config: VOODBConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.admission = Resource(sim, "scheduler", capacity=config.multilvl)
+        self._table: Dict[int, _LockEntry] = {}
+        # Counters
+        self.acquisitions = 0
+        self.releases = 0
+        self.waits = 0
+        self.wait_time_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # Transaction-side protocol (yield from within processes)
+    # ------------------------------------------------------------------
+    def admit(self):
+        """Enter the multiprogramming mix (may queue)."""
+        yield Request(self.admission)
+
+    def leave(self):
+        yield Release(self.admission)
+
+    def acquire_all(self, txn_id: int, oids: Iterable[int], writes: set):
+        """Acquire locks on every distinct object, sorted (deadlock-free).
+
+        Pays GETLOCK per lock; blocks while any lock conflicts.
+        """
+        distinct = sorted(set(oids))
+        lock_cost = self.config.getlock * len(distinct)
+        if lock_cost > 0:
+            yield Hold(lock_cost)
+        for oid in distinct:
+            want_write = oid in writes
+            while not self._grant(txn_id, oid, want_write):
+                gate = Gate(self.sim, f"lock-{oid}")
+                self._table[oid].waiters.append((txn_id, want_write, gate))
+                self.waits += 1
+                started = self.sim.now
+                yield WaitFor(gate)
+                self.wait_time_ms += self.sim.now - started
+            self.acquisitions += 1
+
+    def release_all(self, txn_id: int, oids: Iterable[int]):
+        """Release every lock, paying RELLOCK per lock, waking waiters."""
+        distinct = sorted(set(oids))
+        release_cost = self.config.rellock * len(distinct)
+        if release_cost > 0:
+            yield Hold(release_cost)
+        for oid in distinct:
+            self._release(txn_id, oid)
+
+    # ------------------------------------------------------------------
+    # Lock table mechanics
+    # ------------------------------------------------------------------
+    def _grant(self, txn_id: int, oid: int, write: bool) -> bool:
+        entry = self._table.get(oid)
+        if entry is None:
+            entry = self._table[oid] = _LockEntry()
+        if txn_id in entry.holders:
+            # Lock upgrade: allowed only if sole holder.
+            if write and not entry.exclusive:
+                if entry.holders == {txn_id}:
+                    entry.exclusive = True
+                    return True
+                return False
+            return True
+        if not entry.holders:
+            entry.holders.add(txn_id)
+            entry.exclusive = write
+            return True
+        if entry.exclusive or write:
+            return False
+        entry.holders.add(txn_id)
+        return True
+
+    def _release(self, txn_id: int, oid: int) -> None:
+        entry = self._table.get(oid)
+        if entry is None or txn_id not in entry.holders:
+            return
+        entry.holders.discard(txn_id)
+        self.releases += 1
+        if entry.holders:
+            return
+        entry.exclusive = False
+        # Wake every waiter; each re-checks its grant on resume.  Waking
+        # all (rather than the head) keeps the policy simple and live.
+        waiters, entry.waiters = entry.waiters, []
+        if not waiters:
+            del self._table[oid]
+            return
+        for __, __, gate in waiters:
+            gate.open()
+
+    # ------------------------------------------------------------------
+    @property
+    def locked_objects(self) -> int:
+        return len(self._table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LockManager locked={self.locked_objects} "
+            f"waits={self.waits} mpl={self.config.multilvl}>"
+        )

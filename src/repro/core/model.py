@@ -1,0 +1,317 @@
+"""VOODB: assembly of the generic evaluation model.
+
+This module instantiates Figure 4 — Users, Transaction Manager,
+Clustering Manager, Object Manager, Buffering Manager (or the Texas
+virtual-memory model), I/O Subsystem — over one despy simulation, wires
+the passive resources of Table 1 (scheduler, disk, network medium), and
+runs replications.
+
+Passive resources (Table 1) in this assembly:
+
+* server processor and main memory — the memory model (BUFFSIZE frames);
+* server disk controller and secondary storage — the IOSubsystem's
+  capacity-1 disk resource;
+* database scheduler — the LockManager's MULTILVL admission resource
+  plus the object lock table.
+
+Public entry points:
+
+* :class:`VOODBSimulation` — one replication, with the multi-phase API
+  the DSTC experiments need (``run_phase`` / ``demand_clustering``);
+* :func:`run_replication` — the standard COLDN-warm-up + HOTN-measured
+  run of §4.3, returning :class:`SimulationResults`;
+* :func:`build_database` — cached OCB base construction (the base is a
+  pure function of the OCB config, so experiment sweeps share it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.despy.engine import Simulation
+from repro.despy.randomstream import RandomStream
+from repro.clustering.base import make_clustering_policy
+from repro.clustering.placement import make_placement
+from repro.core.architectures import make_architecture
+from repro.core.buffering import BufferManager
+from repro.core.clustering_manager import ClusteringManager
+from repro.core.failures import FailureInjector, NoFailures
+from repro.core.io_subsystem import IOSubsystem
+from repro.core.locks import LockManager
+from repro.core.network import Network
+from repro.core.object_manager import ObjectManager
+from repro.core.parameters import MemoryModel, VOODBConfig
+from repro.core.prefetch import make_prefetch_policy
+from repro.core.results import ClusteringReport, PhaseResults, SimulationResults
+from repro.core.transaction_manager import TransactionManager
+from repro.core.users import Users
+from repro.core.virtual_memory import VirtualMemoryManager
+from repro.ocb.database import Database
+from repro.ocb.parameters import OCBConfig
+from repro.ocb.schema import Schema
+
+# ----------------------------------------------------------------------
+# Database cache
+# ----------------------------------------------------------------------
+_DATABASE_CACHE: Dict[OCBConfig, Database] = {}
+
+
+def build_database(ocb: OCBConfig) -> Database:
+    """Generate (or reuse) the OCB base for a config.
+
+    The base is deterministic in ``ocb`` (including ``rseed``), so
+    experiment sweeps that vary only VOODB parameters or replication
+    seeds share one graph — exactly how §4.4 "reused the object base".
+    """
+    db = _DATABASE_CACHE.get(ocb)
+    if db is None:
+        rng = RandomStream(ocb.rseed, "ocb-generation")
+        db = Database.generate(Schema.generate(ocb, rng), rng)
+        _DATABASE_CACHE[ocb] = db
+    return db
+
+
+def clear_database_cache() -> None:
+    """Drop cached bases (tests and memory-conscious sweeps)."""
+    _DATABASE_CACHE.clear()
+
+
+class VOODBSimulation:
+    """One replication of the VOODB evaluation model."""
+
+    def __init__(
+        self,
+        config: VOODBConfig,
+        seed: int = 0,
+        database: Optional[Database] = None,
+        clustering_kwargs: Optional[dict] = None,
+        clone_database: Optional[bool] = None,
+    ) -> None:
+        self.config = config
+        self.seed = seed
+        self.db = database if database is not None else build_database(config.ocb)
+        if len(self.db) != config.ocb.no:
+            raise ValueError(
+                "database/config mismatch: "
+                f"db has {len(self.db)} objects, config.ocb.no={config.ocb.no}"
+            )
+        if clone_database is None:
+            clone_database = config.ocb.pinsert + config.ocb.pdelete > 0
+        if clone_database:
+            # Dynamic workloads mutate the graph: give this replication
+            # its own copy so the shared cache stays pristine.  Callers
+            # planning a dynamic ``ocb_override`` phase must pass
+            # ``clone_database=True`` themselves.
+            self.db = self.db.clone()
+        self.sim = Simulation(seed=seed)
+
+        # Figure 4 active resources, bottom-up.
+        placement = make_placement(self.db, config.initpl, config.usable_page_bytes)
+        self.object_manager = ObjectManager(self.db, placement)
+        self.io = IOSubsystem(self.sim, config)
+        self.network = Network(self.sim, config)
+        self.locks = LockManager(self.sim, config)
+        if config.memory_model is MemoryModel.VIRTUAL_MEMORY:
+            self.memory = VirtualMemoryManager(
+                config,
+                self.sim.stream("memory"),
+                pages_referenced_by_page=self.object_manager.pages_referenced_by_page,
+            )
+        else:
+            self.memory = BufferManager(config, self.sim.stream("memory"))
+        if config.failures.enabled:
+            self.failures = FailureInjector(self.sim, config.failures, self.memory)
+            self.io.failures = self.failures
+        else:
+            self.failures = NoFailures()
+        policy = make_clustering_policy(config.clustp, **(clustering_kwargs or {}))
+        self.clustering = ClusteringManager(
+            config, self.db, self.object_manager, self.memory, self.io, policy
+        )
+        prefetcher = make_prefetch_policy(config.prefetch)
+        self.architecture = make_architecture(
+            self.sim,
+            config,
+            self.db,
+            self.object_manager,
+            self.memory,
+            self.io,
+            self.network,
+            prefetcher,
+        )
+        self.tm = TransactionManager(
+            self.sim,
+            config,
+            self.architecture,
+            self.locks,
+            self.clustering,
+            failures=self.failures,
+        )
+        self.users = Users(self.sim, config, self.db, self.tm)
+        self._phase_counter = 0
+
+    # ------------------------------------------------------------------
+    # Phase API
+    # ------------------------------------------------------------------
+    def run_phase(
+        self,
+        transactions: Optional[int] = None,
+        workload: str = "mix",
+        stream_label: Optional[str] = None,
+        hierarchy_type: int = 0,
+        hierarchy_depth: Optional[int] = None,
+        ocb_override: Optional[OCBConfig] = None,
+    ) -> PhaseResults:
+        """Run one batch of transactions and return its metrics.
+
+        Usage I/Os are separated from clustering overhead: reorganization
+        reads/writes performed inside the phase (automatic triggering)
+        are reported in the clustering report, not in the phase's I/Os.
+        ``ocb_override`` swaps the workload definition for this phase
+        only (churn phases, workload-drift studies).
+        """
+        if transactions is None:
+            transactions = self.config.ocb.hotn
+        if stream_label is None:
+            stream_label = f"phase-{self._phase_counter}"
+        self._phase_counter += 1
+        snapshot = self._snapshot()
+        self.tm.begin_phase()
+        self.users.launch(
+            transactions,
+            workload=workload,
+            stream_label=stream_label,
+            hierarchy_type=hierarchy_type,
+            hierarchy_depth=hierarchy_depth,
+            ocb_override=ocb_override,
+        )
+        self.sim.run()
+        return self._collect(snapshot)
+
+    def demand_clustering(self) -> ClusteringReport:
+        """Figure 4's external clustering demand, run to completion.
+
+        Returns a report of the *delta* caused by this demand (overhead
+        I/Os, clusters installed), leaving cumulative accounting in
+        ``self.clustering.report``.
+        """
+        before_reads = self.clustering.report.overhead_reads
+        before_writes = self.clustering.report.overhead_writes
+        before_reorgs = self.clustering.report.reorganizations
+        self.sim.process(
+            self.clustering.demand_clustering(), name="clustering-demand"
+        )
+        self.sim.run()
+        self.architecture.notify_reorganized()
+        report = self.clustering.report
+        return ClusteringReport(
+            policy=report.policy,
+            reorganizations=report.reorganizations - before_reorgs,
+            overhead_reads=report.overhead_reads - before_reads,
+            overhead_writes=report.overhead_writes - before_writes,
+            clusters=report.clusters,
+            clustered_objects=report.clustered_objects,
+            moved_objects=report.clustered_objects,
+        )
+
+    # ------------------------------------------------------------------
+    # Standard run (§4.3): COLDN warm-up + HOTN measured
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResults:
+        ocb = self.config.ocb
+        if ocb.coldn > 0:
+            self.run_phase(ocb.coldn, stream_label="cold")
+        phase = self.run_phase(ocb.hotn, stream_label="hot")
+        return SimulationResults(
+            phase=phase, clustering=self.clustering.report, seed=self.seed
+        )
+
+    # ------------------------------------------------------------------
+    # Counter snapshots
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> Dict[str, float]:
+        io, memory, network, locks, tm = (
+            self.io,
+            self.memory,
+            self.network,
+            self.locks,
+            self.tm,
+        )
+        arch = self.architecture
+        report = self.clustering.report
+        return {
+            "time": self.sim.now,
+            "reads": io.reads,
+            "writes": io.writes,
+            "swap_reads": io.swap_reads,
+            "swap_writes": io.swap_writes,
+            "sequential": io.sequential_accesses,
+            "hits": memory.hits,
+            "misses": memory.misses,
+            "prefetched": arch.prefetched_pages,
+            "prefetch_hits": arch.prefetch_hits,
+            "net_messages": network.messages,
+            "net_bytes": network.bytes_sent,
+            "net_time": network.busy_time_ms,
+            "lock_acq": locks.acquisitions,
+            "lock_waits": locks.waits,
+            "lock_wait_time": locks.wait_time_ms,
+            "transactions": tm.transactions_executed,
+            "accesses": tm.objects_accessed,
+            "overhead_reads": report.overhead_reads,
+            "overhead_writes": report.overhead_writes,
+            "transient_faults": self.failures.transient_faults,
+            "crashes": self.failures.crashes,
+            "downtime": self.failures.downtime_ms,
+        }
+
+    def _collect(self, snapshot: Dict[str, float]) -> PhaseResults:
+        current = self._snapshot()
+
+        def delta(key: str) -> float:
+            return current[key] - snapshot[key]
+
+        # Reorganizations inside the phase billed I/Os on the shared
+        # disk; pull them out of the usage figures.
+        overhead_reads = delta("overhead_reads")
+        overhead_writes = delta("overhead_writes")
+        response = self.tm.phase_response
+        return PhaseResults(
+            transactions=int(delta("transactions")),
+            object_accesses=int(delta("accesses")),
+            reads=int(delta("reads") - overhead_reads),
+            writes=int(delta("writes") - overhead_writes),
+            swap_reads=int(delta("swap_reads")),
+            swap_writes=int(delta("swap_writes")),
+            buffer_hits=int(delta("hits")),
+            buffer_misses=int(delta("misses")),
+            prefetched_pages=int(delta("prefetched")),
+            prefetch_hits=int(delta("prefetch_hits")),
+            sequential_reads=int(delta("sequential")),
+            network_messages=int(delta("net_messages")),
+            network_bytes=int(delta("net_bytes")),
+            network_time_ms=delta("net_time"),
+            lock_acquisitions=int(delta("lock_acq")),
+            lock_waits=int(delta("lock_waits")),
+            lock_wait_time_ms=delta("lock_wait_time"),
+            response_time_sum_ms=response.total,
+            response_time_max_ms=max(response.maximum, 0.0),
+            elapsed_ms=delta("time"),
+            transactions_by_kind=dict(self.tm.phase_kind_counts),
+            transient_faults=int(delta("transient_faults")),
+            crashes=int(delta("crashes")),
+            downtime_ms=delta("downtime"),
+        )
+
+
+def run_replication(
+    config: VOODBConfig,
+    seed: int = 0,
+    database: Optional[Database] = None,
+    clustering_kwargs: Optional[dict] = None,
+) -> SimulationResults:
+    """Run one standard replication (§4.3 protocol) and return results."""
+    model = VOODBSimulation(
+        config, seed=seed, database=database, clustering_kwargs=clustering_kwargs
+    )
+    return model.run()

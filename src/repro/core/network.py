@@ -1,0 +1,69 @@
+"""The network between clients and server (Table 3 NETTHRU).
+
+Client-Server system classes exchange messages: object/page requests
+upstream, objects/pages/results downstream.  The model is a single
+shared medium of NETTHRU MB/s — a despy Resource of capacity 1, so
+concurrent transfers serialize (half-duplex LAN, 1999-appropriate).
+
+Table 4 sets NETTHRU = +∞ for the O2 experiments (server and bench
+client on one workstation), which this model honors by skipping the
+resource entirely: zero time, but messages and bytes still counted, so
+I/O-oriented results are unaffected while the ablation benches can dial
+real throughputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.despy.process import Hold, Release, Request
+from repro.despy.resource import Resource
+from repro.core.parameters import VOODBConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.despy.engine import Simulation
+
+
+class Network:
+    """Throughput-limited message transport with counters."""
+
+    def __init__(self, sim: "Simulation", config: VOODBConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.infinite = math.isinf(config.netthru)
+        self.medium = None if self.infinite else Resource(sim, "network", 1)
+        self._ms_per_byte = config.network_ms_per_byte
+        # Counters
+        self.messages = 0
+        self.bytes_sent = 0
+        self.busy_time_ms = 0.0
+
+    def transfer_time(self, nbytes: int) -> float:
+        return nbytes * self._ms_per_byte
+
+    def transfer(self, nbytes: int):
+        """Ship one message of ``nbytes`` (yield from inside a process)."""
+        self.messages += 1
+        self.bytes_sent += nbytes
+        if self.infinite:
+            return
+        time = self.transfer_time(nbytes)
+        self.busy_time_ms += time
+        yield Request(self.medium)
+        yield Hold(time)
+        yield Release(self.medium)
+
+    def request_response(self, request_bytes: int, response_bytes: int):
+        """A request/response round trip as two transfers."""
+        yield from self.transfer(request_bytes)
+        yield from self.transfer(response_bytes)
+
+    def reset_counters(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.busy_time_ms = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        throughput = "inf" if self.infinite else f"{self.config.netthru}MB/s"
+        return f"<Network {throughput} messages={self.messages}>"

@@ -1,0 +1,109 @@
+"""The Object Manager (knowledge model, Figure 4).
+
+"A given object is requested by the Transaction Manager to the Object
+Manager that finds out which disk page contains the object."
+
+The Object Manager owns the OID→page mapping (a
+:class:`~repro.clustering.placement.PageMap`) and rebuilds it when the
+Clustering Manager reorganizes the base.  OIDs are logical — §4.4 notes
+that simulation models "necessarily use logical OIDs", which is exactly
+why simulated clustering overhead excludes Texas' physical-OID
+reference-update scan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.clustering.placement import PageMap
+from repro.ocb.database import Database
+
+
+class ObjectManager:
+    """Logical-OID object-to-page directory."""
+
+    def __init__(self, db: Database, page_map: PageMap) -> None:
+        self.db = db
+        self._page_map = page_map
+        self.lookups = 0
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def pages_of(self, oid: int) -> range:
+        """Page span holding the object (one page for ordinary objects)."""
+        self.lookups += 1
+        return self._page_map.pages_of(oid)
+
+    def page_of(self, oid: int) -> int:
+        self.lookups += 1
+        return self._page_map.page_of(oid)
+
+    def pages_referenced_by(self, oid: int) -> List[int]:
+        """Pages of every object ``oid`` references (swizzling cascade)."""
+        page_map = self._page_map
+        return [page_map.page_of(target) for target in self.db.refs(oid)]
+
+    def pages_referenced_by_page(self, page: int) -> List[int]:
+        """Distinct pages referenced by the objects living on ``page``.
+
+        This is what Texas' page-fault-time pointer swizzling reserves
+        (see :mod:`repro.core.virtual_memory`).
+        """
+        page_map = self._page_map
+        db = self.db
+        targets = {
+            page_map.page_of(target)
+            for oid in page_map.objects_on(page)
+            for target in db.refs(oid)
+        }
+        targets.discard(page)
+        return sorted(targets)
+
+    # ------------------------------------------------------------------
+    # Directory maintenance
+    # ------------------------------------------------------------------
+    @property
+    def page_map(self) -> PageMap:
+        return self._page_map
+
+    @property
+    def total_pages(self) -> int:
+        return self._page_map.total_pages
+
+    def objects_on(self, page: int) -> Sequence[int]:
+        return self._page_map.objects_on(page)
+
+    def pages_holding(self, oids: Iterable[int]) -> List[int]:
+        """Distinct pages (sorted) currently holding the given objects."""
+        page_map = self._page_map
+        pages = {
+            page for oid in oids for page in page_map.pages_of(oid)
+        }
+        return sorted(pages)
+
+    def rebuild(self, page_map: PageMap) -> None:
+        """Install a new mapping after a clustering reorganization."""
+        if len(page_map) != len(self.db):
+            raise ValueError(
+                f"new page map covers {len(page_map)} of {len(self.db)} objects"
+            )
+        self._page_map = page_map
+        self.rebuilds += 1
+
+    def allocate(self, oid: int, usable_page_bytes: int) -> int:
+        """Assign disk space to a freshly inserted object.
+
+        Called by the Transaction Manager when it executes an OCB insert
+        transaction; returns the object's first page.
+        """
+        return self._page_map.append_object(
+            oid, self.db.size(oid), usable_page_bytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ObjectManager objects={len(self.db)} "
+            f"pages={self.total_pages} rebuilds={self.rebuilds}>"
+        )

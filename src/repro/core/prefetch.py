@@ -1,0 +1,77 @@
+"""Prefetching policies (Table 3 PREFETCH; §5 extension).
+
+Table 3's default — and the setting of every validation experiment — is
+**None**.  The paper's conclusion calls prefetching out as a component
+"demonstrated to influence the performances of OODBs a lot" that VOODB
+should gain; these policies are that extension, exercised by the
+ablation benches:
+
+* :class:`NoPrefetch` — the Table 4 behaviour;
+* :class:`OneAheadPrefetch` — on every miss of page *p*, also fetch
+  *p+1* (sequential read-ahead; synergizes with the Figure 5 contiguity
+  shortcut, making the extra fetch nearly free in time);
+* :class:`ClusterPrefetch` — fetch the next ``span`` pages, modelling
+  cluster-sized reads for bases reorganized by a clustering policy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+
+class PrefetchPolicy(ABC):
+    """Decides which extra pages to stage on each buffer miss."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def pages_after_miss(self, page: int, total_pages: int) -> List[int]:
+        """Extra pages to fetch after missing ``page``."""
+
+
+class NoPrefetch(PrefetchPolicy):
+    """Table 3 default: no prefetching."""
+
+    name = "none"
+
+    def pages_after_miss(self, page: int, total_pages: int) -> List[int]:
+        return []
+
+
+class OneAheadPrefetch(PrefetchPolicy):
+    """Sequential read-ahead of the single next page."""
+
+    name = "one_ahead"
+
+    def pages_after_miss(self, page: int, total_pages: int) -> List[int]:
+        nxt = page + 1
+        return [nxt] if nxt < total_pages else []
+
+
+class ClusterPrefetch(PrefetchPolicy):
+    """Read the next ``span`` pages — a cluster-sized fetch."""
+
+    name = "cluster"
+
+    def __init__(self, span: int = 4) -> None:
+        if span < 1:
+            raise ValueError(f"span must be >= 1, got {span}")
+        self.span = span
+
+    def pages_after_miss(self, page: int, total_pages: int) -> List[int]:
+        return [p for p in range(page + 1, page + 1 + self.span) if p < total_pages]
+
+
+def make_prefetch_policy(name: str, cluster_span: int = 4) -> PrefetchPolicy:
+    """Build a policy from its Table 3 PREFETCH code."""
+    key = name.strip().lower()
+    if key in ("none", ""):
+        return NoPrefetch()
+    if key == "one_ahead":
+        return OneAheadPrefetch()
+    if key == "cluster":
+        return ClusterPrefetch(cluster_span)
+    raise ValueError(
+        f"unknown prefetch policy {name!r}; known: none, one_ahead, cluster"
+    )

@@ -1,0 +1,371 @@
+"""Buffer page replacement strategies (Table 3: PGREP).
+
+Table 3 lists RANDOM | FIFO | LFU | LRU-K | CLOCK | GCLOCK with LRU-1 as
+the default; §5 notes these "basic buffering strategies" as the ones
+VOODB currently provides.  This module implements them all (plus MRU,
+a classic foil for sequential-flooding discussions) behind one small
+interface used by the Buffering Manager:
+
+* ``on_admit(page)`` — a page entered the buffer;
+* ``on_hit(page)``   — a resident page was referenced;
+* ``choose_victim()`` — pick and forget the page to evict;
+* ``forget(page)``   — the page left the buffer for another reason
+  (invalidation after clustering reorganization).
+
+Policies keep their own bookkeeping; the Buffering Manager owns the
+actual frame table.  Victim selection is O(log n) worst case everywhere
+(lazy heaps for LFU/LRU-K, hand sweeps for CLOCK/GCLOCK are amortized
+O(1) per admission).
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional
+
+from repro.despy.randomstream import RandomStream
+
+
+class ReplacementPolicy(ABC):
+    """Interface between the Buffering Manager and a strategy."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def on_admit(self, page: int) -> None: ...
+
+    @abstractmethod
+    def on_hit(self, page: int) -> None: ...
+
+    @abstractmethod
+    def choose_victim(self) -> int:
+        """Return the page to evict, removing it from the bookkeeping."""
+
+    @abstractmethod
+    def forget(self, page: int) -> None: ...
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least Recently Used (Table 3's LRU-1 default).
+
+    Exploits dict insertion order: re-inserting on every reference keeps
+    the coldest page first.
+    """
+
+    name = "LRU"
+
+    def __init__(self) -> None:
+        self._order: Dict[int, None] = {}
+
+    def on_admit(self, page: int) -> None:
+        self._order[page] = None
+
+    def on_hit(self, page: int) -> None:
+        del self._order[page]
+        self._order[page] = None
+
+    def choose_victim(self) -> int:
+        page = next(iter(self._order))
+        del self._order[page]
+        return page
+
+    def forget(self, page: int) -> None:
+        self._order.pop(page, None)
+
+
+class MRUPolicy(ReplacementPolicy):
+    """Most Recently Used — evicts the hottest page (anti-LRU foil)."""
+
+    name = "MRU"
+
+    def __init__(self) -> None:
+        self._order: Dict[int, None] = {}
+
+    def on_admit(self, page: int) -> None:
+        self._order[page] = None
+
+    def on_hit(self, page: int) -> None:
+        del self._order[page]
+        self._order[page] = None
+
+    def choose_victim(self) -> int:
+        page = next(reversed(self._order))
+        del self._order[page]
+        return page
+
+    def forget(self, page: int) -> None:
+        self._order.pop(page, None)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First In First Out — references do not refresh residency."""
+
+    name = "FIFO"
+
+    def __init__(self) -> None:
+        self._order: Dict[int, None] = {}
+
+    def on_admit(self, page: int) -> None:
+        self._order[page] = None
+
+    def on_hit(self, page: int) -> None:
+        pass
+
+    def choose_victim(self) -> int:
+        page = next(iter(self._order))
+        del self._order[page]
+        return page
+
+    def forget(self, page: int) -> None:
+        self._order.pop(page, None)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim (Table 3's RANDOM)."""
+
+    name = "RANDOM"
+
+    def __init__(self, rng: RandomStream) -> None:
+        self._rng = rng
+        self._pages: List[int] = []
+        self._slot: Dict[int, int] = {}
+
+    def on_admit(self, page: int) -> None:
+        self._slot[page] = len(self._pages)
+        self._pages.append(page)
+
+    def on_hit(self, page: int) -> None:
+        pass
+
+    def choose_victim(self) -> int:
+        index = self._rng.randint(0, len(self._pages) - 1)
+        page = self._pages[index]
+        self._remove_at(index)
+        return page
+
+    def forget(self, page: int) -> None:
+        index = self._slot.get(page)
+        if index is not None:
+            self._remove_at(index)
+
+    def _remove_at(self, index: int) -> None:
+        page = self._pages[index]
+        last = self._pages[-1]
+        self._pages[index] = last
+        self._slot[last] = index
+        self._pages.pop()
+        del self._slot[page]
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Least Frequently Used, FIFO among ties, via a lazy heap."""
+
+    name = "LFU"
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._heap: List[tuple[int, int, int]] = []
+        self._seq = 0
+
+    def _push(self, page: int) -> None:
+        heapq.heappush(self._heap, (self._counts[page], self._seq, page))
+        self._seq += 1
+
+    def on_admit(self, page: int) -> None:
+        self._counts[page] = 1
+        self._push(page)
+
+    def on_hit(self, page: int) -> None:
+        self._counts[page] += 1
+        self._push(page)
+
+    def choose_victim(self) -> int:
+        while True:
+            count, __, page = heapq.heappop(self._heap)
+            if self._counts.get(page) == count:
+                del self._counts[page]
+                return page
+            # stale entry (page was re-referenced or evicted): skip
+
+    def forget(self, page: int) -> None:
+        self._counts.pop(page, None)
+
+
+class LRUKPolicy(ReplacementPolicy):
+    """LRU-K: evict the page whose K-th most recent reference is oldest.
+
+    Pages with fewer than K references rank as minus infinity (classic
+    O'Neil backward-K-distance), falling back to the oldest first
+    reference among themselves.
+    """
+
+    name = "LRU-K"
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"LRU-K needs k >= 1, got {k}")
+        self.k = k
+        self._clock = 0
+        self._history: Dict[int, List[int]] = {}
+        self._heap: List[tuple[float, int, int]] = []
+        self._seq = 0
+
+    def _kth_key(self, page: int) -> float:
+        history = self._history[page]
+        if len(history) < self.k:
+            # Effectively -inf rank; the tiny offset tie-breaks by the
+            # earliest reference so the coldest under-referenced page
+            # goes first.
+            return -1e18 + history[0]
+        return float(history[-self.k])
+
+    def _touch(self, page: int) -> None:
+        self._clock += 1
+        history = self._history.setdefault(page, [])
+        history.append(self._clock)
+        if len(history) > self.k:
+            del history[0]
+        heapq.heappush(self._heap, (self._kth_key(page), self._seq, page))
+        self._seq += 1
+
+    def on_admit(self, page: int) -> None:
+        self._history.pop(page, None)
+        self._touch(page)
+
+    def on_hit(self, page: int) -> None:
+        self._touch(page)
+
+    def choose_victim(self) -> int:
+        while True:
+            key, __, page = heapq.heappop(self._heap)
+            if page in self._history and self._kth_key(page) == key:
+                del self._history[page]
+                return page
+
+    def forget(self, page: int) -> None:
+        self._history.pop(page, None)
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance CLOCK: a hand sweeps reference bits."""
+
+    name = "CLOCK"
+
+    def __init__(self) -> None:
+        self._pages: List[int] = []
+        self._refbit: Dict[int, bool] = {}
+        self._hand = 0
+
+    def on_admit(self, page: int) -> None:
+        self._pages.append(page)
+        self._refbit[page] = False
+
+    def on_hit(self, page: int) -> None:
+        self._refbit[page] = True
+
+    def choose_victim(self) -> int:
+        while True:
+            if self._hand >= len(self._pages):
+                self._hand = 0
+            page = self._pages[self._hand]
+            if page not in self._refbit:
+                self._pages.pop(self._hand)
+                continue
+            if self._refbit[page]:
+                self._refbit[page] = False
+                self._hand += 1
+            else:
+                self._pages.pop(self._hand)
+                del self._refbit[page]
+                return page
+
+    def forget(self, page: int) -> None:
+        # Lazy removal: drop the bit now, compact when the hand passes.
+        self._refbit.pop(page, None)
+
+
+class GClockPolicy(ReplacementPolicy):
+    """Generalized CLOCK: counters decremented by the sweeping hand."""
+
+    name = "GCLOCK"
+
+    def __init__(self, initial_weight: int = 2) -> None:
+        if initial_weight < 1:
+            raise ValueError("initial_weight must be >= 1")
+        self.initial_weight = initial_weight
+        self._pages: List[int] = []
+        self._count: Dict[int, int] = {}
+        self._hand = 0
+
+    def on_admit(self, page: int) -> None:
+        self._pages.append(page)
+        self._count[page] = self.initial_weight
+
+    def on_hit(self, page: int) -> None:
+        self._count[page] += 1
+
+    def choose_victim(self) -> int:
+        while True:
+            if self._hand >= len(self._pages):
+                self._hand = 0
+            page = self._pages[self._hand]
+            if page not in self._count:
+                self._pages.pop(self._hand)
+                continue
+            if self._count[page] > 0:
+                self._count[page] -= 1
+                self._hand += 1
+            else:
+                self._pages.pop(self._hand)
+                del self._count[page]
+                return page
+
+    def forget(self, page: int) -> None:
+        self._count.pop(page, None)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+#: Factories for Table 3's PGREP values.  ``rng`` is only consumed by
+#: RANDOM but passed uniformly for interface simplicity.
+_FACTORIES: Dict[str, Callable[[RandomStream], ReplacementPolicy]] = {
+    "LRU": lambda rng: LRUPolicy(),
+    "MRU": lambda rng: MRUPolicy(),
+    "FIFO": lambda rng: FIFOPolicy(),
+    "RANDOM": lambda rng: RandomPolicy(rng),
+    "LFU": lambda rng: LFUPolicy(),
+    "CLOCK": lambda rng: ClockPolicy(),
+    "GCLOCK": lambda rng: GClockPolicy(),
+}
+
+
+def available_policies() -> List[str]:
+    """Registry keys plus the parameterized LRU-K form."""
+    return sorted(_FACTORIES) + ["LRU-<k>"]
+
+
+def make_replacement_policy(name: str, rng: RandomStream) -> ReplacementPolicy:
+    """Build a policy from its Table 3 PGREP code.
+
+    ``LRU-<k>`` (e.g. ``LRU-2``) builds :class:`LRUKPolicy`; ``LRU`` and
+    ``LRU-1`` are the plain LRU default.
+    """
+    key = name.strip().upper()
+    if key in ("LRU", "LRU-1"):
+        return LRUPolicy()
+    if key.startswith("LRU-"):
+        try:
+            k = int(key[4:])
+        except ValueError as exc:
+            raise ValueError(f"bad LRU-K policy name {name!r}") from exc
+        return LRUKPolicy(k)
+    if key in _FACTORIES:
+        return _FACTORIES[key](rng)
+    raise ValueError(
+        f"unknown replacement policy {name!r}; known: {available_policies()}"
+    )

@@ -1,0 +1,171 @@
+"""Result containers for VOODB runs.
+
+The paper's headline metric is the **mean number of I/Os necessary to
+perform the transactions** (Figures 6-11); the DSTC experiments add
+clustering overhead I/Os and cluster statistics (Tables 6-8).  This
+module also reports the standard simulation outputs (response times,
+throughput, hit rates, utilizations) that VOODB's genericity claims
+cover.
+
+:class:`PhaseResults` holds the metrics of one workload phase of one
+replication; :class:`SimulationResults` extends it with clustering info
+for a complete replication.  Both flatten to ``dict`` for the
+:class:`~repro.despy.stats.ReplicationAnalyzer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class PhaseResults:
+    """Metrics of one workload phase (a batch of transactions)."""
+
+    transactions: int = 0
+    object_accesses: int = 0
+    #: Pages read from disk for transaction processing (usage reads).
+    reads: int = 0
+    #: Pages written to disk for transaction processing (dirty evictions).
+    writes: int = 0
+    #: Swap I/Os (virtual-memory model only; included in reads+writes? no:
+    #: counted separately and *added* into total_ios).
+    swap_reads: int = 0
+    swap_writes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    prefetched_pages: int = 0
+    prefetch_hits: int = 0
+    sequential_reads: int = 0
+    network_messages: int = 0
+    network_bytes: int = 0
+    network_time_ms: float = 0.0
+    lock_acquisitions: int = 0
+    lock_waits: int = 0
+    lock_wait_time_ms: float = 0.0
+    response_time_sum_ms: float = 0.0
+    response_time_max_ms: float = 0.0
+    elapsed_ms: float = 0.0
+    transactions_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Hazards charged during the phase (§5 failures module).
+    transient_faults: int = 0
+    crashes: int = 0
+    downtime_ms: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_ios(self) -> int:
+        """Usage I/Os of the phase: reads + writes + swap traffic.
+
+        This is the figure the paper plots ("mean number of I/Os" over
+        the HOTN transactions, averaged across replications).
+        """
+        return self.reads + self.writes + self.swap_reads + self.swap_writes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.buffer_hits + self.buffer_misses
+        return self.buffer_hits / total if total else 0.0
+
+    @property
+    def mean_response_time_ms(self) -> float:
+        if self.transactions == 0:
+            return 0.0
+        return self.response_time_sum_ms / self.transactions
+
+    @property
+    def throughput_tps(self) -> float:
+        """Transactions per (simulated) second."""
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return self.transactions / (self.elapsed_ms / 1000.0)
+
+    def to_metrics(self, prefix: str = "") -> Dict[str, float]:
+        """Flatten to a metric dict for the ReplicationAnalyzer."""
+        return {
+            f"{prefix}transactions": float(self.transactions),
+            f"{prefix}object_accesses": float(self.object_accesses),
+            f"{prefix}total_ios": float(self.total_ios),
+            f"{prefix}reads": float(self.reads),
+            f"{prefix}writes": float(self.writes),
+            f"{prefix}swap_ios": float(self.swap_reads + self.swap_writes),
+            f"{prefix}hit_rate": self.hit_rate,
+            f"{prefix}sequential_reads": float(self.sequential_reads),
+            f"{prefix}network_messages": float(self.network_messages),
+            f"{prefix}network_bytes": float(self.network_bytes),
+            f"{prefix}network_time_ms": self.network_time_ms,
+            f"{prefix}lock_waits": float(self.lock_waits),
+            f"{prefix}mean_response_time_ms": self.mean_response_time_ms,
+            f"{prefix}throughput_tps": self.throughput_tps,
+            f"{prefix}elapsed_ms": self.elapsed_ms,
+            f"{prefix}transient_faults": float(self.transient_faults),
+            f"{prefix}crashes": float(self.crashes),
+            f"{prefix}downtime_ms": self.downtime_ms,
+        }
+
+
+@dataclass
+class ClusteringReport:
+    """Outcome of the Clustering Manager over one replication."""
+
+    policy: str = "none"
+    reorganizations: int = 0
+    #: I/Os spent reorganizing the base (paper Table 6 "clustering
+    #: overhead") — reads of old pages plus writes of new pages.
+    overhead_reads: int = 0
+    overhead_writes: int = 0
+    clusters: int = 0
+    clustered_objects: int = 0
+    moved_objects: int = 0
+
+    @property
+    def overhead_ios(self) -> int:
+        return self.overhead_reads + self.overhead_writes
+
+    @property
+    def mean_objects_per_cluster(self) -> float:
+        """Paper Table 7 "mean number of obj./clust."."""
+        if self.clusters == 0:
+            return 0.0
+        return self.clustered_objects / self.clusters
+
+    def to_metrics(self, prefix: str = "clustering_") -> Dict[str, float]:
+        return {
+            f"{prefix}reorganizations": float(self.reorganizations),
+            f"{prefix}overhead_ios": float(self.overhead_ios),
+            f"{prefix}clusters": float(self.clusters),
+            f"{prefix}objects_per_cluster": self.mean_objects_per_cluster,
+            f"{prefix}moved_objects": float(self.moved_objects),
+        }
+
+
+@dataclass
+class SimulationResults:
+    """Complete results of one VOODB replication."""
+
+    phase: PhaseResults
+    clustering: ClusteringReport
+    seed: int = 0
+    #: Results of extra phases keyed by the name given to ``run_phase``.
+    extra_phases: Dict[str, PhaseResults] = field(default_factory=dict)
+
+    # Convenience pass-throughs for the headline metrics -----------------
+    @property
+    def total_ios(self) -> int:
+        return self.phase.total_ios
+
+    @property
+    def mean_response_time_ms(self) -> float:
+        return self.phase.mean_response_time_ms
+
+    @property
+    def hit_rate(self) -> float:
+        return self.phase.hit_rate
+
+    def to_metrics(self) -> Dict[str, float]:
+        metrics = self.phase.to_metrics()
+        metrics.update(self.clustering.to_metrics())
+        for name, phase in self.extra_phases.items():
+            metrics.update(phase.to_metrics(prefix=f"{name}_"))
+        return metrics

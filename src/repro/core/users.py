@@ -1,0 +1,113 @@
+"""The Users (knowledge model, Figure 4): transaction sources.
+
+NUSERS user processes each draw transactions from their own OCB
+generator (common random numbers: user *u* of phase *p* always sees the
+same stream for a given replication seed) and submit them to the
+Transaction Manager, thinking ``thinktime`` between transactions.
+
+Users are also where Figure 4's *external clustering demand* comes from;
+the model surfaces that as
+:meth:`repro.core.model.VOODBSimulation.demand_clustering`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.despy.process import Hold, Process
+from repro.despy.randomstream import RandomStream
+from repro.core.parameters import VOODBConfig
+from repro.core.transaction_manager import TransactionManager
+from repro.ocb.database import Database
+from repro.ocb.transactions import TransactionGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.despy.engine import Simulation
+
+
+class Users:
+    """Spawns NUSERS transaction-submitting processes per phase."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        config: VOODBConfig,
+        db: Database,
+        tm: TransactionManager,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.db = db
+        self.tm = tm
+        self.transactions_submitted = 0
+
+    def launch(
+        self,
+        total_transactions: int,
+        workload: str = "mix",
+        stream_label: str = "workload",
+        hierarchy_type: int = 0,
+        hierarchy_depth: Optional[int] = None,
+        ocb_override=None,
+    ) -> List[Process]:
+        """Start the user processes for one phase.
+
+        ``workload`` is ``"mix"`` (the Table 5 transaction mix) or
+        ``"hierarchy"`` (§4.4's pure depth-``hierarchy_depth`` hierarchy
+        traversals over reference type ``hierarchy_type``).
+
+        ``stream_label`` names the workload random stream: two phases
+        launched with the same label replay the identical transaction
+        sequence — how §4.4 measures the same usage before and after
+        clustering.
+
+        ``ocb_override`` substitutes a different OCB workload definition
+        for this phase only (e.g. a churn phase of pure inserts/deletes
+        between two measured phases).
+        """
+        if total_transactions < 0:
+            raise ValueError("total_transactions must be >= 0")
+        if workload not in ("mix", "hierarchy"):
+            raise ValueError(f"unknown workload {workload!r}")
+        ocb = ocb_override if ocb_override is not None else self.config.ocb
+        nusers = self.config.nusers
+        share = total_transactions // nusers
+        remainder = total_transactions % nusers
+        processes: List[Process] = []
+        for user in range(nusers):
+            count = share + (1 if user < remainder else 0)
+            if count == 0:
+                continue
+            rng = RandomStream(self.sim.seed, f"{stream_label}/user-{user}")
+            generator = TransactionGenerator(self.db, ocb, rng)
+            processes.append(
+                self.sim.process(
+                    self._user_process(
+                        generator, count, workload, hierarchy_type, hierarchy_depth
+                    ),
+                    name=f"user-{user}/{stream_label}",
+                )
+            )
+        return processes
+
+    def _user_process(
+        self,
+        generator: TransactionGenerator,
+        count: int,
+        workload: str,
+        hierarchy_type: int,
+        hierarchy_depth: Optional[int],
+    ):
+        think = generator.config.thinktime
+        if workload == "hierarchy":
+            depth = hierarchy_depth
+            if depth is None:
+                depth = self.config.ocb.hiedepth
+            transactions = generator.hierarchy_only(count, hierarchy_type, depth)
+        else:
+            transactions = generator.transactions(count)
+        for txn in transactions:
+            self.transactions_submitted += 1
+            yield from self.tm.execute_with_envelope(txn)
+            if think > 0:
+                yield Hold(think)

@@ -1,0 +1,15 @@
+"""Exception hierarchy for the despy simulation kernel."""
+
+
+class DespyError(Exception):
+    """Base class for every error raised by the despy kernel."""
+
+
+class SchedulingError(DespyError):
+    """Raised for invalid scheduling requests (negative delays, events
+    scheduled in the past, cancelling an already-executed event...)."""
+
+
+class ResourceError(DespyError):
+    """Raised for invalid resource operations (releasing a resource that
+    is not held, non-positive capacity...)."""

@@ -1,0 +1,103 @@
+"""Event and event-list primitives.
+
+The event list is the heart of a discrete-event kernel: a priority queue
+ordered by ``(time, priority, sequence)``.  The sequence number makes the
+ordering total and deterministic — two events scheduled for the same time
+and priority always execute in scheduling order, which is what makes the
+whole simulation reproducible for a given random seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A pending occurrence in simulated time.
+
+    Events are created by :meth:`repro.despy.engine.Simulation.schedule`;
+    user code normally only keeps a reference in order to ``cancel()`` it.
+    """
+
+    __slots__ = ("time", "priority", "seq", "handler", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        handler: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.handler = handler
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.handler, "__qualname__", repr(self.handler))
+        return f"<Event t={self.time:.6g} prio={self.priority} {name}{state}>"
+
+
+class EventList:
+    """A deterministic future-event list backed by a binary heap."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        priority: int,
+        handler: Callable[..., Any],
+        args: tuple = (),
+    ) -> Event:
+        """Insert a new event and return it (so callers may cancel it)."""
+        event = Event(time, priority, self._seq, handler, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the next non-cancelled event.
+
+        Cancelled events are lazily discarded here, which keeps
+        :meth:`Event.cancel` O(1).
+        """
+        while True:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the list is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,107 @@
+"""Observation collectors: running moments and time-weighted averages.
+
+Two collectors cover everything the kernel and the VOODB model report:
+
+* :class:`OnlineStats` — Welford's streaming mean/variance for discrete
+  observations (wait times, I/Os per transaction, response times);
+* :class:`TimeWeightedStats` — the integral of a piecewise-constant value
+  over simulated time (queue lengths, resource busy units), whose
+  ``time_average`` is the standard output of queueing simulations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.despy.engine import Simulation
+
+
+class OnlineStats:
+    """Streaming count/mean/variance/min/max via Welford's algorithm."""
+
+    __slots__ = ("n", "mean", "_m2", "minimum", "maximum", "total")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        self.n += 1
+        self.total += value
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new collector equivalent to seeing both streams."""
+        merged = OnlineStats()
+        merged.n = self.n + other.n
+        if merged.n == 0:
+            return merged
+        delta = other.mean - self.mean
+        merged.mean = self.mean + delta * other.n / merged.n
+        merged._m2 = self._m2 + other._m2 + delta**2 * self.n * other.n / merged.n
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        merged.total = self.total + other.total
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OnlineStats n={self.n} mean={self.mean:.6g}>"
+
+
+class TimeWeightedStats:
+    """Integral of a piecewise-constant signal over simulated time.
+
+    Call :meth:`record` with the *new* value each time the signal changes;
+    the collector accumulates ``old_value * elapsed`` automatically.
+    """
+
+    __slots__ = ("sim", "_last_time", "_last_value", "_area", "_start")
+
+    def __init__(self, sim: "Simulation", initial: float = 0.0) -> None:
+        self.sim = sim
+        self._start = sim.now
+        self._last_time = sim.now
+        self._last_value = initial
+        self._area = 0.0
+
+    def record(self, value: float) -> None:
+        now = self.sim.now
+        self._area += self._last_value * (now - self._last_time)
+        self._last_time = now
+        self._last_value = value
+
+    @property
+    def current(self) -> float:
+        return self._last_value
+
+    def time_average(self) -> float:
+        """Average value from construction until the current clock."""
+        now = self.sim.now
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._last_value
+        area = self._area + self._last_value * (now - self._last_time)
+        return area / elapsed

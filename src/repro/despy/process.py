@@ -1,0 +1,145 @@
+"""Generator-based processes and their command protocol.
+
+DESP-C++ models describe each *client* (paper Table 2: a transaction or
+sub-transaction flowing through the system) as a sequence of service
+demands on resources.  In despy a client is a generator that yields
+command objects:
+
+``yield Hold(duration)``
+    advance simulated time for this process;
+``yield Request(resource, priority=0)``
+    queue for one capacity unit of a resource, resuming once granted;
+``yield Release(resource)``
+    give the unit back (also available as a plain method call,
+    ``resource.release(process)``, from non-process code);
+``yield WaitFor(gate)``
+    block until :meth:`repro.despy.resource.Gate.open` is called.
+
+A process may also ``return`` at any point; the kernel then runs its
+completion callbacks (see :meth:`Process.on_complete`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.despy.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.despy.engine import Simulation
+    from repro.despy.resource import Gate, Resource
+
+
+class Hold:
+    """Command: advance this process by ``duration`` simulated time units."""
+
+    __slots__ = ("duration", "priority")
+
+    def __init__(self, duration: float, priority: int = 0) -> None:
+        if duration < 0:
+            raise SchedulingError(f"hold duration must be >= 0, got {duration}")
+        self.duration = duration
+        self.priority = priority
+
+
+class Request:
+    """Command: acquire one capacity unit of ``resource``.
+
+    Lower ``priority`` values are served first (ties broken FIFO), which
+    matches the priority-queue discipline of DESP-C++ resources.
+    """
+
+    __slots__ = ("resource", "priority")
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        self.resource = resource
+        self.priority = priority
+
+
+class Release:
+    """Command: release one previously acquired unit of ``resource``."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        self.resource = resource
+
+
+class WaitFor:
+    """Command: block until the given :class:`Gate` opens."""
+
+    __slots__ = ("gate",)
+
+    def __init__(self, gate: "Gate") -> None:
+        self.gate = gate
+
+
+class Process:
+    """A running generator inside a :class:`Simulation`.
+
+    Do not instantiate directly — use :meth:`Simulation.process`.
+    """
+
+    __slots__ = ("sim", "name", "_generator", "_done", "_callbacks", "value")
+
+    def __init__(self, sim: "Simulation", generator: Generator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self._done = False
+        self._callbacks: list[Callable[["Process"], None]] = []
+        #: value returned by the generator (``return x`` → ``value == x``)
+        self.value: Any = None
+
+    @property
+    def done(self) -> bool:
+        """True once the generator has run to completion."""
+        return self._done
+
+    def on_complete(self, callback: Callable[["Process"], None]) -> None:
+        """Register ``callback(process)`` to run when the process ends."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Kernel interface
+    # ------------------------------------------------------------------
+    def _step(self, send_value: Any) -> None:
+        """Advance the generator one command and interpret the result."""
+        try:
+            command = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.value = stop.value
+            self._finish()
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Hold):
+            self.sim.schedule(
+                command.duration, self._step, None, priority=command.priority
+            )
+        elif isinstance(command, Request):
+            command.resource._enqueue(self, command.priority)
+        elif isinstance(command, Release):
+            command.resource.release(self)
+            self.sim.schedule(0.0, self._step, None)
+        elif isinstance(command, WaitFor):
+            command.gate._wait(self)
+        else:
+            raise SchedulingError(
+                f"process {self.name!r} yielded unsupported command "
+                f"{command!r}; expected Hold/Request/Release/WaitFor"
+            )
+
+    def _finish(self) -> None:
+        self._done = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "active"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,134 @@
+"""Reproducible, independent random streams.
+
+A discrete-event *random* simulation needs several independent sources of
+randomness (inter-arrival times, service times, workload choices...) that
+are all reproducible from one root seed, so that a replication can be
+replayed exactly and so that replication *r* of two different system
+configurations sees the same workload (common random numbers — the
+variance-reduction setup the paper's O2-vs-Texas comparisons rely on).
+
+Each :class:`RandomStream` derives its own seed from ``(root_seed, name)``
+through SHA-256, which makes distinct named streams statistically
+independent while remaining pure functions of the root seed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from a root seed and a stream name."""
+    digest = hashlib.sha256(f"{root_seed}/{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStream:
+    """One named random stream with the distributions VOODB needs."""
+
+    def __init__(self, root_seed: int, name: str) -> None:
+        self.name = name
+        self.root_seed = root_seed
+        self._rng = random.Random(derive_seed(root_seed, name))
+        self._zipf_cdfs: dict[tuple[int, float], list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Continuous distributions
+    # ------------------------------------------------------------------
+    def uniform(self, low: float, high: float) -> float:
+        return self._rng.uniform(low, high)
+
+    def exponential(self, mean: float) -> float:
+        """Exponential with the given *mean* (not rate)."""
+        if mean <= 0:
+            raise ValueError(f"exponential mean must be > 0, got {mean}")
+        return self._rng.expovariate(1.0 / mean)
+
+    def normal(self, mean: float, stdev: float) -> float:
+        return self._rng.gauss(mean, stdev)
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        return self._rng.lognormvariate(mu, sigma)
+
+    def triangular(self, low: float, high: float, mode: float) -> float:
+        return self._rng.triangular(low, high, mode)
+
+    # ------------------------------------------------------------------
+    # Discrete distributions
+    # ------------------------------------------------------------------
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        return self._rng.randint(low, high)
+
+    def bernoulli(self, p: float) -> bool:
+        return self._rng.random() < p
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._rng.choice(items)
+
+    def sample(self, items: Sequence[T], k: int) -> list[T]:
+        return self._rng.sample(items, k)
+
+    def shuffle(self, items: list) -> None:
+        self._rng.shuffle(items)
+
+    def discrete(self, probabilities: Sequence[float]) -> int:
+        """Index drawn according to ``probabilities`` (must sum to ~1).
+
+        Used for the OCB transaction mix (PSET/PSIMPLE/PHIER/PSTOCH).
+        """
+        if any(p < 0 for p in probabilities):
+            raise ValueError("probabilities must be >= 0")
+        total = sum(probabilities)
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(f"probabilities sum to {total}, expected 1.0")
+        u = self._rng.random() * total
+        cumulative = 0.0
+        for index, p in enumerate(probabilities):
+            cumulative += p
+            if u < cumulative:
+                return index
+        return len(probabilities) - 1
+
+    def zipf_index(self, n: int, skew: float) -> int:
+        """Zipf-like index in [0, n): rank r drawn with weight 1/(r+1)^skew.
+
+        ``skew=0`` degenerates to the uniform distribution.  OCB's object
+        locality windows use this to make low-index objects hotter than
+        others.  The inverse CDF is cached per ``(n, skew)`` so repeated
+        draws cost one binary search.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if skew == 0.0:
+            return self._rng.randrange(n)
+        cdf = self._zipf_cdfs.get((n, skew))
+        if cdf is None:
+            cdf = _zipf_cdf(n, skew)
+            self._zipf_cdfs[(n, skew)] = cdf
+        return bisect.bisect_right(cdf, self._rng.random() * cdf[-1])
+
+    def spawn(self, name: str) -> "RandomStream":
+        """Create a child stream seeded from this stream's identity."""
+        return RandomStream(derive_seed(self.root_seed, self.name), name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RandomStream {self.name!r} root={self.root_seed}>"
+
+
+def _zipf_cdf(n: int, skew: float) -> list[float]:
+    """Unnormalized cumulative Zipf weights for ranks 0..n-1."""
+    cumulative = 0.0
+    cdf = []
+    for rank in range(n):
+        cumulative += 1.0 / (rank + 1) ** skew
+        cdf.append(cumulative)
+    return cdf

@@ -1,0 +1,169 @@
+"""Passive resources: capacity-limited queues with usage statistics.
+
+Paper Table 1 lists VOODB's passive resources (processors and main
+memory, disk controller, the database scheduler); Table 2 maps each to a
+``RESOURCE STATION`` in QNAP2 and an ``instance of class Resource`` in
+DESP-C++.  This module is that class.
+
+A :class:`Resource` offers two faces:
+
+* the *process* face — ``yield Request(res)`` / ``yield Release(res)``
+  from process generators;
+* the *plain* face — :meth:`Resource.try_acquire` / :meth:`Resource.release`
+  for immediate, non-blocking use from event handlers.
+
+Both update the same time-weighted statistics, which is how resource
+utilization and queue lengths are reported at the end of a replication.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Optional
+
+from repro.despy.errors import ResourceError
+from repro.despy.monitor import OnlineStats, TimeWeightedStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.despy.engine import Simulation
+    from repro.despy.process import Process
+
+
+class Resource:
+    """A capacity-limited passive resource with a priority/FIFO queue."""
+
+    def __init__(self, sim: "Simulation", name: str, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: list[tuple[int, int, "Process", float]] = []
+        self._queue_seq = 0
+        # Statistics
+        self.busy_units = TimeWeightedStats(sim)
+        self.queue_length = TimeWeightedStats(sim)
+        self.wait_times = OnlineStats()
+        self.total_requests = 0
+        self.total_served = 0
+
+    # ------------------------------------------------------------------
+    # Plain (non-blocking) face
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> int:
+        """Capacity units currently free."""
+        return self.capacity - self._in_use
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def try_acquire(self) -> bool:
+        """Take one unit immediately if available; never queues."""
+        self.total_requests += 1
+        if self._in_use < self.capacity:
+            self._take()
+            self.wait_times.record(0.0)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Process face (used by the Request/Release commands)
+    # ------------------------------------------------------------------
+    def _enqueue(self, process: "Process", priority: int) -> None:
+        self.total_requests += 1
+        if self._in_use < self.capacity and not self._queue:
+            self._take()
+            self.wait_times.record(0.0)
+            self.sim.schedule(0.0, process._step, None)
+            return
+        heapq.heappush(
+            self._queue, (priority, self._queue_seq, process, self.sim.now)
+        )
+        self._queue_seq += 1
+        self.queue_length.record(len(self._queue))
+
+    def release(self, process: Optional["Process"] = None) -> None:
+        """Return one capacity unit, waking the next queued process."""
+        if self._in_use <= 0:
+            raise ResourceError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        self.busy_units.record(self._in_use)
+        if self._queue:
+            __, __, waiter, enqueue_time = heapq.heappop(self._queue)
+            self.queue_length.record(len(self._queue))
+            self._take()
+            self.wait_times.record(self.sim.now - enqueue_time)
+            self.sim.schedule(0.0, waiter._step, None)
+
+    def _take(self) -> None:
+        self._in_use += 1
+        self.total_served += 1
+        self.busy_units.record(self._in_use)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Time-averaged fraction of capacity in use so far."""
+        return self.busy_units.time_average() / self.capacity
+
+    def mean_queue_length(self) -> float:
+        return self.queue_length.time_average()
+
+    def mean_wait(self) -> float:
+        return self.wait_times.mean
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Resource {self.name!r} {self._in_use}/{self.capacity} "
+            f"queued={len(self._queue)}>"
+        )
+
+
+class Gate:
+    """A broadcast synchronization point (closed until opened).
+
+    Processes yielding :class:`~repro.despy.process.WaitFor` on a closed
+    gate suspend; :meth:`open` releases them all at the current time.  A
+    gate can be re-closed and reused — VOODB uses one to model the
+    external clustering demand of Figure 4.
+    """
+
+    def __init__(self, sim: "Simulation", name: str = "gate") -> None:
+        self.sim = sim
+        self.name = name
+        self._open = False
+        self._waiters: list["Process"] = []
+        self.times_opened = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def _wait(self, process: "Process") -> None:
+        if self._open:
+            self.sim.schedule(0.0, process._step, None)
+        else:
+            self._waiters.append(process)
+
+    def open(self) -> None:
+        """Open the gate, releasing every waiting process."""
+        self._open = True
+        self.times_opened += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim.schedule(0.0, process._step, None)
+
+    def close(self) -> None:
+        self._open = False

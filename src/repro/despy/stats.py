@@ -1,0 +1,198 @@
+"""Replication statistics: the [Ban96] confidence-interval method.
+
+Paper §4.2.2: simulation results are achieved with 95% confidence
+intervals.  For observations with sample mean X̄ and sample standard
+deviation σ, the half-interval width is
+
+    h = t(n-1, 1-α/2) · σ / √n
+
+where t is the Student t quantile, n the number of replications and
+α = 1 - c.  The paper first runs a pilot study with n = 10 replications,
+then sizes the full study with n* = n · (h/h*)² where h* is the desired
+half-width, and settles on 100 replications for every experiment.
+
+This module implements exactly that workflow:
+
+* :func:`confidence_interval` — one-shot CI for a list of observations;
+* :func:`required_replications` — the n* pilot-study formula;
+* :class:`ReplicationAnalyzer` — collects per-replication metric
+  dictionaries and reports mean/CI per metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence
+
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with its symmetric Student-t confidence interval."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    @property
+    def relative_half_width(self) -> float:
+        """h / |X̄| — the paper targets 5% of the sample mean."""
+        if self.mean == 0:
+            return math.inf if self.half_width > 0 else 0.0
+        return self.half_width / abs(self.mean)
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.2f} ± {self.half_width:.2f} "
+            f"({self.confidence:.0%}, n={self.n})"
+        )
+
+
+def student_t_quantile(degrees: int, probability: float) -> float:
+    """Quantile of the Student t distribution (wraps scipy)."""
+    if degrees < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {degrees}")
+    return float(_scipy_stats.t.ppf(probability, degrees))
+
+
+def confidence_interval(
+    observations: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval for the mean of the observations.
+
+    Implements h = t(n-1, 1-α/2)·σ/√n from paper §4.2.2.  A single
+    observation yields a degenerate interval of half-width 0 (the paper
+    never reports single-replication results; this keeps small tests
+    convenient).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = len(observations)
+    if n == 0:
+        raise ValueError("cannot build a confidence interval from no data")
+    mean = sum(observations) / n
+    if n == 1:
+        return ConfidenceInterval(mean, 0.0, confidence, 1)
+    variance = sum((x - mean) ** 2 for x in observations) / (n - 1)
+    alpha = 1.0 - confidence
+    t = student_t_quantile(n - 1, 1.0 - alpha / 2.0)
+    half_width = t * math.sqrt(variance / n)
+    return ConfidenceInterval(mean, half_width, confidence, n)
+
+
+def required_replications(
+    pilot_half_width: float, desired_half_width: float, pilot_n: int
+) -> int:
+    """Additional replications n* = n·(h/h*)² from the pilot study.
+
+    Returns the number of replications *beyond* the pilot run needed to
+    shrink the half-width from ``pilot_half_width`` to
+    ``desired_half_width`` (paper §4.2.2).
+    """
+    if pilot_n < 1:
+        raise ValueError("pilot study needs at least one replication")
+    if desired_half_width <= 0:
+        raise ValueError("desired half-width must be positive")
+    if pilot_half_width <= desired_half_width:
+        return 0
+    return math.ceil(pilot_n * (pilot_half_width / desired_half_width) ** 2)
+
+
+def batch_means_interval(
+    observations: Sequence[float],
+    batches: int = 10,
+    confidence: float = 0.95,
+    warmup: int = 0,
+) -> ConfidenceInterval:
+    """Confidence interval from a single long run via batch means.
+
+    The other output-analysis technique of [Ban96]: instead of n
+    independent replications, one long run is split into ``batches``
+    contiguous batches whose means are treated as (approximately
+    independent) observations.  ``warmup`` initial observations are
+    discarded first (initial-transient deletion).  Useful for
+    steady-state metrics where restarting the system per replication is
+    wasteful; the replication method of §4.2.2 remains the default.
+    """
+    if batches < 2:
+        raise ValueError(f"need at least 2 batches, got {batches}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    data = list(observations[warmup:])
+    if len(data) < batches:
+        raise ValueError(
+            f"{len(data)} post-warmup observations cannot fill {batches} batches"
+        )
+    batch_size = len(data) // batches
+    means = []
+    for b in range(batches):
+        chunk = data[b * batch_size : (b + 1) * batch_size]
+        means.append(sum(chunk) / len(chunk))
+    return confidence_interval(means, confidence)
+
+
+class ReplicationAnalyzer:
+    """Aggregates per-replication metrics into means and intervals.
+
+    Each replication contributes a mapping ``{metric_name: value}``; the
+    analyzer reports a :class:`ConfidenceInterval` per metric and can run
+    the paper's pilot-study sizing for any of them.
+    """
+
+    def __init__(self, confidence: float = 0.95) -> None:
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+        self.confidence = confidence
+        self._observations: Dict[str, list[float]] = {}
+        self.replications = 0
+
+    def add(self, metrics: Mapping[str, float]) -> None:
+        """Record the metric dictionary of one completed replication."""
+        self.replications += 1
+        for name, value in metrics.items():
+            self._observations.setdefault(name, []).append(float(value))
+
+    def metrics(self) -> Iterable[str]:
+        return self._observations.keys()
+
+    def observations(self, metric: str) -> list[float]:
+        return list(self._observations[metric])
+
+    def interval(self, metric: str) -> ConfidenceInterval:
+        if metric not in self._observations:
+            raise KeyError(f"no observations recorded for metric {metric!r}")
+        return confidence_interval(self._observations[metric], self.confidence)
+
+    def mean(self, metric: str) -> float:
+        return self.interval(metric).mean
+
+    def summary(self) -> Dict[str, ConfidenceInterval]:
+        return {name: self.interval(name) for name in self._observations}
+
+    def additional_replications_for(
+        self, metric: str, relative_half_width: float = 0.05
+    ) -> int:
+        """Pilot-study sizing: replications still needed so that the
+        half-width falls below ``relative_half_width``·|mean| (the paper's
+        "within 5% of the sample mean with 95% confidence")."""
+        interval = self.interval(metric)
+        target = abs(interval.mean) * relative_half_width
+        if target == 0.0:
+            return 0
+        return required_replications(
+            interval.half_width, target, interval.n
+        )

@@ -1,0 +1,89 @@
+"""Closed-form queueing results used to validate the kernel.
+
+DESP-C++ was validated by re-running QNAP2 models and comparing outputs
+(paper §3.2.1).  QNAP2 is proprietary, so this reproduction validates the
+kernel against an even harder oracle: exact stationary results for M/M/1
+and M/M/c queues.  The test suite builds those queues out of despy
+primitives and asserts the simulated utilization, queue length and
+response time land on these formulas.
+
+Notation: ``arrival_rate`` λ, ``service_rate`` μ, ``servers`` c,
+ρ = λ/(cμ) must be < 1 for stationarity.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _check_stable(arrival_rate: float, service_rate: float, servers: int = 1) -> float:
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    if servers < 1:
+        raise ValueError("need at least one server")
+    rho = arrival_rate / (servers * service_rate)
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: utilization {rho:.3f} >= 1")
+    return rho
+
+
+def mm1_utilization(arrival_rate: float, service_rate: float) -> float:
+    """Server utilization ρ = λ/μ of the M/M/1 queue."""
+    return _check_stable(arrival_rate, service_rate)
+
+
+def mm1_mean_queue_length(arrival_rate: float, service_rate: float) -> float:
+    """Mean number waiting in queue, Lq = ρ²/(1-ρ)."""
+    rho = _check_stable(arrival_rate, service_rate)
+    return rho * rho / (1.0 - rho)
+
+
+def mm1_mean_response_time(arrival_rate: float, service_rate: float) -> float:
+    """Mean sojourn time (wait + service), W = 1/(μ-λ)."""
+    _check_stable(arrival_rate, service_rate)
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mmc_erlang_c(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Erlang C: probability an arrival must wait in an M/M/c queue."""
+    rho = _check_stable(arrival_rate, service_rate, servers)
+    a = arrival_rate / service_rate  # offered load in Erlangs
+    summation = sum(a**k / math.factorial(k) for k in range(servers))
+    tail = a**servers / (math.factorial(servers) * (1.0 - rho))
+    return tail / (summation + tail)
+
+
+def mmc_mean_queue_length(
+    arrival_rate: float, service_rate: float, servers: int
+) -> float:
+    """Mean number waiting in queue for M/M/c: Lq = C·ρ/(1-ρ)."""
+    rho = _check_stable(arrival_rate, service_rate, servers)
+    c_prob = mmc_erlang_c(arrival_rate, service_rate, servers)
+    return c_prob * rho / (1.0 - rho)
+
+
+def mmc_mean_response_time(
+    arrival_rate: float, service_rate: float, servers: int
+) -> float:
+    """Mean sojourn time for M/M/c: W = C/(cμ-λ) + 1/μ."""
+    _check_stable(arrival_rate, service_rate, servers)
+    c_prob = mmc_erlang_c(arrival_rate, service_rate, servers)
+    return c_prob / (servers * service_rate - arrival_rate) + 1.0 / service_rate
+
+
+def md1_mean_queue_length(arrival_rate: float, service_rate: float) -> float:
+    """M/D/1 (deterministic service): Lq = ρ²/(2(1-ρ)).
+
+    Deterministic service is despy's bread and butter — VOODB's disk
+    times are constants — so this Pollaczek-Khinchine special case is
+    the validation oracle closest to how the model actually runs.
+    """
+    rho = _check_stable(arrival_rate, service_rate)
+    return rho * rho / (2.0 * (1.0 - rho))
+
+
+def md1_mean_response_time(arrival_rate: float, service_rate: float) -> float:
+    """M/D/1 mean sojourn time: Wq + service = Lq/λ + 1/μ."""
+    _check_stable(arrival_rate, service_rate)
+    lq = md1_mean_queue_length(arrival_rate, service_rate)
+    return lq / arrival_rate + 1.0 / service_rate

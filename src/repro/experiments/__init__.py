@@ -1,0 +1,68 @@
+"""experiments — replication running and figure/table regeneration.
+
+The paper's experimental protocol (§4.2.2): every result is the mean of
+independent replications with 95% Student-t confidence intervals, sized
+by a pilot study (the authors settle on 100 replications).  This package
+wraps that protocol (`runner`) and regenerates every evaluation artifact:
+
+* `figures` — Figures 6-11 (database-size, cache-size and memory-size
+  sweeps on the O2 and Texas instantiations);
+* `tables` — Tables 6-8 (the DSTC pre/overhead/post protocol);
+* `report` — text rendering that prints the paper's published series
+  next to the reproduction's, which is what the benchmark harness and
+  EXPERIMENTS.md consume.
+
+Replication counts default to the ``VOODB_REPLICATIONS`` environment
+variable (fallback 5) so the full suite stays laptop-sized; pass
+``replications=100`` for paper-fidelity runs.
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_REPLICATIONS,
+    ExperimentRunner,
+    default_replications,
+)
+from repro.experiments.figures import (
+    ExperimentSeries,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    run_figure,
+)
+from repro.experiments.tables import (
+    DSTCExperimentResult,
+    run_dstc_experiment,
+    table6,
+    table7,
+    table8,
+)
+from repro.experiments.report import (
+    format_dstc_table,
+    format_series,
+    format_table7,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "DEFAULT_REPLICATIONS",
+    "default_replications",
+    "ExperimentSeries",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "run_figure",
+    "DSTCExperimentResult",
+    "run_dstc_experiment",
+    "table6",
+    "table7",
+    "table8",
+    "format_series",
+    "format_dstc_table",
+    "format_table7",
+]

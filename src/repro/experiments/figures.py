@@ -1,0 +1,136 @@
+"""Regeneration of Figures 6-11 (paper §4.3).
+
+Each ``figureN()`` runs the corresponding parameter sweep — database
+size for Figures 6/7 (O2) and 9/10 (Texas), cache size for Figure 8
+(O2), available memory for Figure 11 (Texas) — with replications and
+confidence intervals, and returns an :class:`ExperimentSeries` holding
+the reproduction next to the paper's published benchmark and simulation
+series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.despy.stats import ConfidenceInterval
+from repro.core.parameters import VOODBConfig
+from repro.experiments.runner import ExperimentRunner, default_replications
+from repro.systems import reference_data
+from repro.systems.o2 import o2_config
+from repro.systems.reference_data import FigureReference
+from repro.systems.texas import texas_config
+
+#: The headline metric of every figure.
+METRIC = "total_ios"
+
+
+@dataclass
+class ExperimentSeries:
+    """One regenerated figure: x values, intervals, and paper series."""
+
+    reference: FigureReference
+    x_values: Tuple[int, ...]
+    intervals: List[ConfidenceInterval]
+    replications: int
+    metric: str = METRIC
+
+    @property
+    def means(self) -> List[float]:
+        return [ci.mean for ci in self.intervals]
+
+    def is_monotonic_increasing(self) -> bool:
+        means = self.means
+        return all(a <= b for a, b in zip(means, means[1:]))
+
+    def is_monotonic_decreasing(self) -> bool:
+        means = self.means
+        return all(a >= b for a, b in zip(means, means[1:]))
+
+
+def run_figure(
+    reference: FigureReference,
+    config_for_x: Callable[[int], VOODBConfig],
+    replications: Optional[int] = None,
+    base_seed: int = 1,
+) -> ExperimentSeries:
+    """Sweep the figure's x axis, running replications at each point."""
+    count = replications if replications is not None else default_replications()
+    intervals: List[ConfidenceInterval] = []
+    for x in reference.x_values:
+        runner = ExperimentRunner(config_for_x(x))
+        runner.run(replications=count, base_seed=base_seed)
+        intervals.append(runner.interval(METRIC))
+    return ExperimentSeries(
+        reference=reference,
+        x_values=reference.x_values,
+        intervals=intervals,
+        replications=count,
+    )
+
+
+# ----------------------------------------------------------------------
+# The six figures
+# ----------------------------------------------------------------------
+def figure6(replications: Optional[int] = None, hotn: int = 1000) -> ExperimentSeries:
+    """O2: mean I/Os vs number of instances, 20 classes."""
+    return run_figure(
+        reference_data.FIGURE_6,
+        lambda no: o2_config(nc=20, no=no, hotn=hotn),
+        replications,
+    )
+
+
+def figure7(replications: Optional[int] = None, hotn: int = 1000) -> ExperimentSeries:
+    """O2: mean I/Os vs number of instances, 50 classes."""
+    return run_figure(
+        reference_data.FIGURE_7,
+        lambda no: o2_config(nc=50, no=no, hotn=hotn),
+        replications,
+    )
+
+
+def figure8(replications: Optional[int] = None, hotn: int = 1000) -> ExperimentSeries:
+    """O2: mean I/Os vs server cache size (NC=50, NO=20 000)."""
+    return run_figure(
+        reference_data.FIGURE_8,
+        lambda mb: o2_config(nc=50, no=20_000, cache_mb=mb, hotn=hotn),
+        replications,
+    )
+
+
+def figure9(replications: Optional[int] = None, hotn: int = 1000) -> ExperimentSeries:
+    """Texas: mean I/Os vs number of instances, 20 classes."""
+    return run_figure(
+        reference_data.FIGURE_9,
+        lambda no: texas_config(nc=20, no=no, hotn=hotn),
+        replications,
+    )
+
+
+def figure10(replications: Optional[int] = None, hotn: int = 1000) -> ExperimentSeries:
+    """Texas: mean I/Os vs number of instances, 50 classes."""
+    return run_figure(
+        reference_data.FIGURE_10,
+        lambda no: texas_config(nc=50, no=no, hotn=hotn),
+        replications,
+    )
+
+
+def figure11(replications: Optional[int] = None, hotn: int = 1000) -> ExperimentSeries:
+    """Texas: mean I/Os vs available main memory (NC=50, NO=20 000)."""
+    return run_figure(
+        reference_data.FIGURE_11,
+        lambda mb: texas_config(nc=50, no=20_000, memory_mb=mb, hotn=hotn),
+        replications,
+    )
+
+
+ALL_FIGURES: Dict[str, Callable[..., ExperimentSeries]] = {
+    "6": figure6,
+    "7": figure7,
+    "8": figure8,
+    "9": figure9,
+    "10": figure10,
+    "11": figure11,
+}

@@ -1,0 +1,137 @@
+"""Text rendering of regenerated figures and tables.
+
+The benchmark harness prints "the same rows/series the paper reports":
+for each figure, the x sweep with the paper's benchmark series, the
+paper's simulation series and this reproduction side by side; for the
+DSTC tables, the pre/overhead/post/gain rows.  EXPERIMENTS.md is built
+from this output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.figures import ExperimentSeries
+from repro.experiments.tables import TABLE_7_REFERENCE, DSTCExperimentResult
+
+
+def _format_row(columns: List[str], widths: List[int]) -> str:
+    return "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+
+
+def format_series(series: ExperimentSeries) -> str:
+    """Render one figure as an aligned paper-vs-reproduction table."""
+    ref = series.reference
+    lines = [
+        f"Figure {ref.figure}: {ref.title}",
+        f"(paper series digitized from the plot; reproduction = mean of "
+        f"{series.replications} replications, 95% CI)",
+    ]
+    header = [ref.x_label, "paper bench", "paper sim", "repro", "±CI"]
+    widths = [max(len(header[0]), 10), 12, 12, 12, 8]
+    lines.append(_format_row(header, widths))
+    for x, bench, sim, ci in zip(
+        series.x_values, ref.benchmark, ref.simulation, series.intervals
+    ):
+        lines.append(
+            _format_row(
+                [
+                    x,
+                    f"{bench:.0f}",
+                    f"{sim:.0f}",
+                    f"{ci.mean:.1f}",
+                    f"{ci.half_width:.1f}",
+                ],
+                widths,
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_dstc_table(result: DSTCExperimentResult) -> str:
+    """Render a Table 6/8-style block (pre / overhead / post / gain)."""
+    ref = result.reference
+    lines = [
+        f"Table {ref.table}: effects of DSTC on the performances "
+        f"(mean number of I/Os) - memory {result.memory_mb:.0f} MB, "
+        f"{result.replications} replications",
+    ]
+    header = ["row", "paper bench", "paper sim", "repro", "±CI"]
+    widths = [22, 12, 12, 12, 8]
+    lines.append(_format_row(header, widths))
+
+    def row(name: str, bench, sim, ci) -> str:
+        return _format_row(
+            [
+                name,
+                "-" if bench is None else f"{bench:.2f}",
+                "-" if sim is None else f"{sim:.2f}",
+                f"{ci.mean:.2f}",
+                f"{ci.half_width:.2f}",
+            ],
+            widths,
+        )
+
+    lines.append(
+        row(
+            "pre-clustering usage",
+            ref.pre_clustering_bench,
+            ref.pre_clustering_sim,
+            result.pre_clustering,
+        )
+    )
+    if ref.overhead_sim is not None:
+        lines.append(
+            row(
+                "clustering overhead",
+                ref.overhead_bench,
+                ref.overhead_sim,
+                result.clustering_overhead,
+            )
+        )
+    lines.append(
+        row(
+            "post-clustering usage",
+            ref.post_clustering_bench,
+            ref.post_clustering_sim,
+            result.post_clustering,
+        )
+    )
+    lines.append(row("gain", ref.gain_bench, ref.gain_sim, result.gain))
+    return "\n".join(lines)
+
+
+def format_table7(result: DSTCExperimentResult) -> str:
+    """Render the Table 7 block (cluster count and mean size)."""
+    ref = TABLE_7_REFERENCE
+    lines = [
+        f"Table 7: DSTC clustering ({result.replications} replications)",
+    ]
+    header = ["row", "paper bench", "paper sim", "repro", "±CI"]
+    widths = [26, 12, 12, 12, 8]
+    lines.append(_format_row(header, widths))
+    lines.append(
+        _format_row(
+            [
+                "mean number of clusters",
+                f"{ref['mean_clusters_bench']:.2f}",
+                f"{ref['mean_clusters_sim']:.2f}",
+                f"{result.clusters.mean:.2f}",
+                f"{result.clusters.half_width:.2f}",
+            ],
+            widths,
+        )
+    )
+    lines.append(
+        _format_row(
+            [
+                "mean number of obj./clust.",
+                f"{ref['mean_objects_per_cluster_bench']:.2f}",
+                f"{ref['mean_objects_per_cluster_sim']:.2f}",
+                f"{result.objects_per_cluster.mean:.2f}",
+                f"{result.objects_per_cluster.half_width:.2f}",
+            ],
+            widths,
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Replication orchestration: the paper's §4.2.2 protocol.
+
+One :class:`ExperimentRunner` wraps one VOODB configuration.  It runs
+independent replications (seeds ``base_seed + r``), feeds their metric
+dictionaries to a :class:`~repro.despy.stats.ReplicationAnalyzer`, and
+reports Student-t confidence intervals.  The pilot-study sizing of the
+paper ("we first performed a pilot study with n = 10, then computed the
+number of necessary additional replications n*") is available as
+:meth:`ExperimentRunner.pilot_study`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+from repro.despy.stats import ConfidenceInterval, ReplicationAnalyzer
+from repro.core.model import VOODBSimulation, build_database, run_replication
+from repro.core.parameters import VOODBConfig
+
+#: Fallback replication count when ``VOODB_REPLICATIONS`` is unset.
+DEFAULT_REPLICATIONS = 5
+
+
+def default_replications() -> int:
+    """Replications per experiment point, from the environment.
+
+    The paper used 100; the default here keeps the full suite
+    laptop-sized.  Set ``VOODB_REPLICATIONS=100`` for fidelity runs.
+    """
+    value = os.environ.get("VOODB_REPLICATIONS", "")
+    if not value:
+        return DEFAULT_REPLICATIONS
+    count = int(value)
+    if count < 1:
+        raise ValueError(f"VOODB_REPLICATIONS must be >= 1, got {count}")
+    return count
+
+
+class ExperimentRunner:
+    """Runs replications of one configuration and aggregates metrics."""
+
+    def __init__(
+        self,
+        config: VOODBConfig,
+        confidence: float = 0.95,
+        replication: Optional[Callable[[VOODBConfig, int], Dict[str, float]]] = None,
+    ) -> None:
+        self.config = config
+        self.analyzer = ReplicationAnalyzer(confidence=confidence)
+        self._replication = replication or self._default_replication
+
+    @staticmethod
+    def _default_replication(config: VOODBConfig, seed: int) -> Dict[str, float]:
+        return run_replication(config, seed=seed).to_metrics()
+
+    # ------------------------------------------------------------------
+    def run(
+        self, replications: Optional[int] = None, base_seed: int = 1
+    ) -> ReplicationAnalyzer:
+        """Run ``replications`` independent replications (cached base)."""
+        count = replications if replications is not None else default_replications()
+        if count < 1:
+            raise ValueError(f"replications must be >= 1, got {count}")
+        build_database(self.config.ocb)  # warm the shared-base cache once
+        for r in range(count):
+            self.analyzer.add(self._replication(self.config, base_seed + r))
+        return self.analyzer
+
+    def interval(self, metric: str) -> ConfidenceInterval:
+        return self.analyzer.interval(metric)
+
+    def mean(self, metric: str) -> float:
+        return self.analyzer.mean(metric)
+
+    # ------------------------------------------------------------------
+    def pilot_study(
+        self,
+        metric: str = "total_ios",
+        pilot_n: int = 10,
+        relative_half_width: float = 0.05,
+        base_seed: int = 1,
+    ) -> int:
+        """§4.2.2's sizing: run a pilot, return total replications needed.
+
+        Returns ``pilot_n + n*`` where n* = n·(h/h*)² — the number of
+        replications for the half-width to fall below
+        ``relative_half_width`` of the mean at the configured confidence.
+        """
+        self.run(replications=pilot_n, base_seed=base_seed)
+        additional = self.analyzer.additional_replications_for(
+            metric, relative_half_width
+        )
+        return pilot_n + additional
+
+
+def run_model_phases(
+    config: VOODBConfig,
+    seed: int,
+    phase_plan: Callable[[VOODBSimulation], Dict[str, float]],
+    clustering_kwargs: Optional[dict] = None,
+) -> Dict[str, float]:
+    """Helper for multi-phase protocols (the §4.4 DSTC experiment).
+
+    Builds the model and hands it to ``phase_plan``, which drives phases
+    and returns the metric dictionary for this replication.
+    """
+    model = VOODBSimulation(config, seed=seed, clustering_kwargs=clustering_kwargs)
+    return phase_plan(model)

@@ -1,0 +1,136 @@
+"""Regeneration of Tables 6, 7 and 8 (paper §4.4).
+
+One replication of the DSTC protocol is three steps on one model
+instance: a pre-clustering usage phase, an externally demanded
+reorganization, and a post-clustering usage phase replaying the *same*
+transactions (common random numbers, like the paper's "in the same
+conditions").  Tables 6 and 7 read off the 64 MB run; Table 8 re-runs
+the protocol at 8 MB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.despy.stats import ConfidenceInterval, ReplicationAnalyzer
+from repro.core.model import VOODBSimulation, build_database
+from repro.experiments.runner import default_replications
+from repro.systems.dstc_experiment import (
+    DSTC_EXPERIMENT_PARAMETERS,
+    HIERARCHY_DEPTH,
+    HIERARCHY_REF_TYPE,
+    texas_dstc_config,
+)
+from repro.systems.reference_data import (
+    TABLE_6,
+    TABLE_7,
+    TABLE_8,
+    DSTCTableReference,
+)
+
+
+def run_dstc_replication(memory_mb: float, seed: int) -> Dict[str, float]:
+    """One §4.4 protocol replication; returns the table-row metrics."""
+    config = texas_dstc_config(memory_mb=memory_mb)
+    model = VOODBSimulation(
+        config,
+        seed=seed,
+        clustering_kwargs={"dstc_parameters": DSTC_EXPERIMENT_PARAMETERS},
+    )
+    pre = model.run_phase(
+        config.ocb.hotn,
+        workload="hierarchy",
+        stream_label="usage",
+        hierarchy_type=HIERARCHY_REF_TYPE,
+        hierarchy_depth=HIERARCHY_DEPTH,
+    )
+    report = model.demand_clustering()
+    post = model.run_phase(
+        config.ocb.hotn,
+        workload="hierarchy",
+        stream_label="usage",
+        hierarchy_type=HIERARCHY_REF_TYPE,
+        hierarchy_depth=HIERARCHY_DEPTH,
+    )
+    gain = pre.total_ios / post.total_ios if post.total_ios else float("inf")
+    return {
+        "pre_clustering_ios": float(pre.total_ios),
+        "clustering_overhead_ios": float(report.overhead_ios),
+        "post_clustering_ios": float(post.total_ios),
+        "gain": gain,
+        "clusters": float(report.clusters),
+        "objects_per_cluster": report.mean_objects_per_cluster,
+    }
+
+
+@dataclass
+class DSTCExperimentResult:
+    """Aggregated §4.4 protocol results with paper reference columns."""
+
+    memory_mb: float
+    replications: int
+    pre_clustering: ConfidenceInterval
+    clustering_overhead: ConfidenceInterval
+    post_clustering: ConfidenceInterval
+    gain: ConfidenceInterval
+    clusters: ConfidenceInterval
+    objects_per_cluster: ConfidenceInterval
+    reference: DSTCTableReference
+
+    @property
+    def gain_of_means(self) -> float:
+        """Gain computed like the paper's table row: pre-mean / post-mean."""
+        if self.post_clustering.mean == 0:
+            return float("inf")
+        return self.pre_clustering.mean / self.post_clustering.mean
+
+
+def run_dstc_experiment(
+    memory_mb: float,
+    replications: Optional[int] = None,
+    base_seed: int = 1,
+) -> DSTCExperimentResult:
+    """Run the full protocol at one memory size, with replications."""
+    count = replications if replications is not None else default_replications()
+    config = texas_dstc_config(memory_mb=memory_mb)
+    build_database(config.ocb)  # share the base across replications
+    analyzer = ReplicationAnalyzer()
+    for r in range(count):
+        analyzer.add(run_dstc_replication(memory_mb, base_seed + r))
+    reference = TABLE_6 if memory_mb >= 32 else TABLE_8
+    return DSTCExperimentResult(
+        memory_mb=memory_mb,
+        replications=count,
+        pre_clustering=analyzer.interval("pre_clustering_ios"),
+        clustering_overhead=analyzer.interval("clustering_overhead_ios"),
+        post_clustering=analyzer.interval("post_clustering_ios"),
+        gain=analyzer.interval("gain"),
+        clusters=analyzer.interval("clusters"),
+        objects_per_cluster=analyzer.interval("objects_per_cluster"),
+        reference=reference,
+    )
+
+
+def table6(replications: Optional[int] = None) -> DSTCExperimentResult:
+    """Effects of DSTC on Texas, mid-sized base (64 MB memory)."""
+    return run_dstc_experiment(TABLE_6.memory_mb, replications)
+
+
+def table7(replications: Optional[int] = None) -> DSTCExperimentResult:
+    """DSTC cluster statistics — same run as Table 6.
+
+    Returned as the full experiment result; the Table 7 rows are the
+    ``clusters`` and ``objects_per_cluster`` intervals (reference values
+    in :data:`repro.systems.reference_data.TABLE_7`).
+    """
+    return table6(replications)
+
+
+def table8(replications: Optional[int] = None) -> DSTCExperimentResult:
+    """Effects of DSTC on Texas, 'large' base (8 MB memory)."""
+    return run_dstc_experiment(TABLE_8.memory_mb, replications)
+
+
+#: Reference dictionary re-exported for the report module.
+TABLE_7_REFERENCE = TABLE_7

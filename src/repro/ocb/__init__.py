@@ -1,0 +1,55 @@
+"""ocb — the Object Clustering Benchmark workload substrate.
+
+VOODB does not define its own workload: it embeds the OCB generic
+benchmark (Darmont et al., EDBT '98), "tunable through a thorough set of
+26 parameters" (paper §3.3).  This package reproduces OCB's two halves:
+
+* a **database generator** — a schema of ``NC`` interlinked classes and a
+  graph of ``NO`` objects whose inter-object references the transactions
+  navigate (``schema``, ``database``);
+* a **workload generator** — the four transaction types of paper
+  Table 5 (set-oriented access, simple traversal, hierarchy traversal,
+  stochastic traversal) drawn with probabilities PSET/PSIMPLE/PHIER/
+  PSTOCH (``transactions``).
+
+The VOODB paper only prints the OCB parameters its experiments vary
+(Table 5 plus NC/NO); the remaining generator knobs are reconstructed and
+documented field-by-field in :class:`~repro.ocb.parameters.OCBConfig`.
+"""
+
+from repro.ocb.database import Database, ObjectInstance
+from repro.ocb.parameters import OCBConfig
+from repro.ocb.presets import (
+    hypermodel_workload,
+    oo1_workload,
+    oo7_workload,
+    preset_workload,
+)
+from repro.ocb.schema import ClassReference, OCBClass, Schema
+from repro.ocb.transactions import (
+    HierarchyTraversal,
+    SetOrientedAccess,
+    SimpleTraversal,
+    StochasticTraversal,
+    Transaction,
+    TransactionGenerator,
+)
+
+__all__ = [
+    "OCBConfig",
+    "Schema",
+    "OCBClass",
+    "ClassReference",
+    "Database",
+    "ObjectInstance",
+    "Transaction",
+    "TransactionGenerator",
+    "SetOrientedAccess",
+    "SimpleTraversal",
+    "HierarchyTraversal",
+    "StochasticTraversal",
+    "preset_workload",
+    "oo1_workload",
+    "oo7_workload",
+    "hypermodel_workload",
+]

@@ -1,0 +1,268 @@
+"""OCB object-graph generation: NO interlinked instances.
+
+The object graph is what the workload navigates and what the Clustering
+Manager reorganizes, so its representation is optimized for the two hot
+operations:
+
+* ``refs(oid)`` — the ordered list of OIDs an object references (used by
+  every traversal step);
+* ``size(oid)`` / ``class_of(oid)`` — for the Object Manager's page
+  mapping.
+
+Internally the graph is flat lists indexed by OID — the simulation runs
+hundreds of thousands of accesses per replication, and attribute-heavy
+object wrappers would dominate the profile.  :class:`ObjectInstance` is a
+convenience view for user code and tests, materialized on demand.
+
+OIDs are **logical** (0..NO-1): the paper's §4.4 discussion of Texas'
+physical OIDs explicitly notes simulation models "necessarily use logical
+OIDs", and the page mapping lives in the Object Manager, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.despy.randomstream import RandomStream
+from repro.ocb.parameters import OCBConfig
+from repro.ocb.schema import Schema
+
+
+@dataclass(frozen=True)
+class ObjectInstance:
+    """A materialized view of one object (convenience, not the hot path)."""
+
+    oid: int
+    cid: int
+    size: int
+    refs: tuple[int, ...]
+    ref_types: tuple[int, ...]
+
+
+class Database:
+    """A generated OCB object base.
+
+    Build one with :meth:`generate`.  All per-object state is held in
+    parallel lists indexed by OID.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        obj_class: List[int],
+        obj_refs: List[List[int]],
+        obj_ref_types: List[List[int]],
+        instances_by_class: List[List[int]],
+    ) -> None:
+        self.schema = schema
+        self.config = schema.config
+        self._obj_class = obj_class
+        self._obj_refs = obj_refs
+        self._obj_ref_types = obj_ref_types
+        self._instances_by_class = instances_by_class
+        #: reverse reference index (target -> referrers), built lazily on
+        #: the first delete and maintained by insert/delete afterwards
+        self._referrers: dict[int, set[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(cls, schema: Schema, rng: RandomStream) -> "Database":
+        """Instantiate NO objects of the schema's classes.
+
+        Each object belongs to one class (uniform by default, Zipf-skewed
+        by ``class_instance_skew``) and carries one reference per
+        class-level reference.  Targets are instances of the referenced
+        class drawn inside the object-locality window (OLOCREF) around the
+        object's own position in the class extent — locality is what makes
+        clustering worthwhile, so the knob matters to the DSTC experiments.
+        """
+        config = schema.config
+        no, nc = config.no, config.nc
+
+        # 1. Assign classes round-robin over a shuffled template so every
+        #    class has at least one instance when NO >= NC (uniform), or
+        #    Zipf-draw when skewed.
+        obj_class: List[int] = [0] * no
+        if config.class_instance_skew > 0:
+            for oid in range(no):
+                obj_class[oid] = rng.zipf_index(nc, config.class_instance_skew)
+        else:
+            for oid in range(no):
+                obj_class[oid] = oid % nc
+            rng.shuffle(obj_class)
+
+        instances_by_class: List[List[int]] = [[] for __ in range(nc)]
+        position_in_class: List[int] = [0] * no
+        for oid in range(no):
+            cid = obj_class[oid]
+            position_in_class[oid] = len(instances_by_class[cid])
+            instances_by_class[cid].append(oid)
+
+        # 2. Wire references.
+        window = min(config.object_locality, no)
+        obj_refs: List[List[int]] = [[] for __ in range(no)]
+        obj_ref_types: List[List[int]] = [[] for __ in range(no)]
+        for oid in range(no):
+            own_position = position_in_class[oid]
+            for class_ref in schema[obj_class[oid]].references:
+                extent = instances_by_class[class_ref.target_cid]
+                if not extent:
+                    continue
+                span = min(window, len(extent))
+                if config.reference_skew > 0:
+                    delta = rng.zipf_index(span, config.reference_skew)
+                else:
+                    delta = rng.randint(0, span - 1)
+                target = extent[(own_position + delta) % len(extent)]
+                obj_refs[oid].append(target)
+                obj_ref_types[oid].append(class_ref.ref_type)
+        return cls(schema, obj_class, obj_refs, obj_ref_types, instances_by_class)
+
+    # ------------------------------------------------------------------
+    # Dynamic operations (OCB's insert/delete workload half)
+    # ------------------------------------------------------------------
+    def clone(self) -> "Database":
+        """Deep-copy the object graph.
+
+        Workloads with inserts/deletes mutate the database; the model
+        clones the cached base per replication so replications stay
+        independent.
+        """
+        return Database(
+            self.schema,
+            list(self._obj_class),
+            [list(refs) for refs in self._obj_refs],
+            [list(types) for types in self._obj_ref_types],
+            [list(extent) for extent in self._instances_by_class],
+        )
+
+    def insert_object(
+        self, cid: int, refs: List[int], ref_types: List[int]
+    ) -> int:
+        """Create one instance of class ``cid``; returns its new OID."""
+        if not 0 <= cid < self.config.nc:
+            raise ValueError(f"class id {cid} out of range")
+        if len(refs) != len(ref_types):
+            raise ValueError("refs and ref_types must have equal length")
+        for target in refs:
+            if not 0 <= target < len(self._obj_class):
+                raise ValueError(f"reference target {target} out of range")
+        oid = len(self._obj_class)
+        self._obj_class.append(cid)
+        self._obj_refs.append(list(refs))
+        self._obj_ref_types.append(list(ref_types))
+        self._instances_by_class[cid].append(oid)
+        if self._referrers is not None:
+            for target in refs:
+                self._referrers.setdefault(target, set()).add(oid)
+        return oid
+
+    def delete_object(self, oid: int) -> List[int]:
+        """Remove one object; returns the OIDs whose references changed.
+
+        The object becomes a tombstone (its OID stays allocated so the
+        flat lists keep their indexing); every reference *to* it is
+        dropped from the referencing objects, which is the reference-
+        cleanup work a real store performs on delete.
+        """
+        if self.is_deleted(oid):
+            raise ValueError(f"object {oid} is already deleted")
+        cid = self._obj_class[oid]
+        self._instances_by_class[cid].remove(oid)
+        referrers = self._reverse_index()
+        own_refs = list(self._obj_refs[oid])
+        self._obj_class[oid] = -1  # tombstone
+        self._obj_refs[oid] = []
+        self._obj_ref_types[oid] = []
+        for target in own_refs:
+            referrers.get(target, set()).discard(oid)
+        dirty = sorted(referrers.pop(oid, ()))
+        for other in dirty:
+            kept = [
+                (t, rt)
+                for t, rt in zip(self._obj_refs[other], self._obj_ref_types[other])
+                if t != oid
+            ]
+            self._obj_refs[other] = [t for t, __ in kept]
+            self._obj_ref_types[other] = [rt for __, rt in kept]
+        return dirty
+
+    def _reverse_index(self) -> dict:
+        if self._referrers is None:
+            referrers: dict[int, set[int]] = {}
+            for oid, refs in enumerate(self._obj_refs):
+                for target in refs:
+                    referrers.setdefault(target, set()).add(oid)
+            self._referrers = referrers
+        return self._referrers
+
+    def is_deleted(self, oid: int) -> bool:
+        return self._obj_class[oid] == -1
+
+    def live_objects(self) -> int:
+        return sum(len(extent) for extent in self._instances_by_class)
+
+    # ------------------------------------------------------------------
+    # Hot-path accessors
+    # ------------------------------------------------------------------
+    def class_of(self, oid: int) -> int:
+        return self._obj_class[oid]
+
+    def refs(self, oid: int) -> Sequence[int]:
+        return self._obj_refs[oid]
+
+    def ref_types(self, oid: int) -> Sequence[int]:
+        return self._obj_ref_types[oid]
+
+    def refs_of_type(self, oid: int, ref_type: int) -> List[int]:
+        return [
+            target
+            for target, t in zip(self._obj_refs[oid], self._obj_ref_types[oid])
+            if t == ref_type
+        ]
+
+    def size(self, oid: int) -> int:
+        cid = self._obj_class[oid]
+        if cid < 0:
+            return 0  # tombstone: its disk slot is garbage, not payload
+        return self.schema[cid].instance_size
+
+    def instances_of(self, cid: int) -> Sequence[int]:
+        return self._instances_by_class[cid]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._obj_class)
+
+    def __iter__(self) -> Iterator[ObjectInstance]:
+        for oid in range(len(self)):
+            yield self.instance(oid)
+
+    def instance(self, oid: int) -> ObjectInstance:
+        """Materialize the convenience view of one object."""
+        return ObjectInstance(
+            oid=oid,
+            cid=self._obj_class[oid],
+            size=self.size(oid),
+            refs=tuple(self._obj_refs[oid]),
+            ref_types=tuple(self._obj_ref_types[oid]),
+        )
+
+    def total_bytes(self) -> int:
+        """Total object payload (what the placement maps onto pages)."""
+        sizes = [c.instance_size for c in self.schema.classes]
+        return sum(sizes[cid] for cid in self._obj_class)
+
+    def total_references(self) -> int:
+        return sum(len(refs) for refs in self._obj_refs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Database no={len(self)} nc={self.config.nc} "
+            f"bytes={self.total_bytes()}>"
+        )

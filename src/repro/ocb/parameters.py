@@ -1,0 +1,219 @@
+"""The OCB parameter set.
+
+OCB is "tunable through a thorough set of 26 parameters" (paper §3.3).
+The VOODB paper itself prints only the ones its experiments set: NC, NO
+(§4.3) and the Table 5 workload (COLDN, HOTN, PSET/SETDEPTH,
+PSIMPLE/SIMDEPTH, PHIER/HIEDEPTH, PSTOCH/STODEPTH); everything else is
+"set up to their default values".  This module reconstructs the full set.
+
+Provenance legend used in the field comments:
+
+* ``[paper]``      — value printed in the VOODB paper;
+* ``[ocb]``        — parameter named by the OCB benchmark, default chosen
+  to reproduce derived quantities the VOODB paper prints (database sizes
+  of ~20–28 MB at NC=50/NO=20 000, I/O counts in the figures' ranges);
+* ``[reconstructed]`` — knob needed by the generator with no printed
+  value anywhere; the default and its rationale are given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class OCBConfig:
+    """Complete parameterization of an OCB database + workload.
+
+    Instances are immutable; use :meth:`with_changes` to derive variants
+    (experiments sweep NC/NO/workload without touching the rest).
+    """
+
+    # ------------------------------------------------------------------
+    # Database (generator) parameters
+    # ------------------------------------------------------------------
+    #: [paper] NC — number of classes in the schema (§4.3 uses 20 and 50).
+    nc: int = 50
+    #: [paper] NO — number of object instances (§4.3 sweeps 500..20 000).
+    no: int = 20_000
+    #: [ocb] MAXNREF — max references per class; per-class count is drawn
+    #: uniformly in [1, MAXNREF].  Default 4 keeps the mean all-references
+    #: fan-out at 2.5, which puts the Table 5 mix's object counts (and
+    #: hence simulated I/O counts) in the figures' ranges.
+    maxnref: int = 4
+    #: [ocb] BASESIZE — base instance size in bytes.
+    basesize: int = 50
+    #: [ocb] NREFT — number of reference types (inheritance, aggregation,
+    #: association, other).  Hierarchy traversals follow a single type.
+    nreft: int = 4
+    #: [reconstructed] probability that a reference is of type 0
+    #: (inheritance); remaining types share the rest uniformly.  Weighting
+    #: type 0 makes depth-HIEDEPTH hierarchy traversals non-trivial (the
+    #: §4.4 DSTC workload needs multi-object traversals) without inflating
+    #: the all-references fan-out that set/simple traversals see.
+    inheritance_weight: float = 0.5
+    #: [reconstructed] instance size = BASESIZE × (1 + cid % maxsizemult):
+    #: later classes are bigger, modelling attribute accumulation down the
+    #: inheritance DAG.  40 gives a ~17.5 MB base at NC=50/NO=20 000
+    #: (paper: ~20 MB in Texas) and a ~10.5 MB base at NC=20 — which is
+    #: what separates the 20-class from the 50-class I/O curves in
+    #: Figures 6/7 and 9/10.
+    maxsizemult: int = 40
+    #: [ocb] CLOCREF — class locality of reference: a class references
+    #: classes within this window of its own id.  NC (default) = none.
+    class_locality: int = 50
+    #: [ocb] OLOCREF — object reference locality: an object references
+    #: instances within this window of its own position inside the target
+    #: class extent.  100 (default) gives traversals the page-level
+    #: locality that makes the paper's pre-clustering I/O counts (~1.9
+    #: I/Os per depth-3 hierarchy traversal, Table 6) reachable at all;
+    #: set it to NO to disable locality.
+    object_locality: int = 100
+    #: [reconstructed] Zipf skew of reference-target choice inside the
+    #: locality window (0 = uniform, like OCB's default).
+    reference_skew: float = 0.0
+    #: [reconstructed] how instances are spread over classes: uniform by
+    #: default; >0 skews instance counts toward low class ids.
+    class_instance_skew: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Workload parameters (Table 5)
+    # ------------------------------------------------------------------
+    #: [paper] COLDN — transactions of the cold run (not measured).
+    coldn: int = 0
+    #: [paper] HOTN — transactions of the warm run (measured).
+    hotn: int = 1000
+    #: [paper] PSET — set-oriented access occurrence probability.
+    pset: float = 0.25
+    #: [paper] PSIMPLE — simple traversal occurrence probability.
+    psimple: float = 0.25
+    #: [paper] PHIER — hierarchy traversal occurrence probability.
+    phier: float = 0.25
+    #: [paper] PSTOCH — stochastic traversal occurrence probability.
+    pstoch: float = 0.25
+    #: [ocb] object insertion occurrence probability (OCB's workload also
+    #: covers dynamic operations; 0 in every validation experiment).
+    pinsert: float = 0.0
+    #: [ocb] object deletion occurrence probability (includes the
+    #: reference-cleanup writes a real store performs on delete).
+    pdelete: float = 0.0
+    #: [paper] SETDEPTH — set-oriented access depth.
+    setdepth: int = 3
+    #: [paper] SIMDEPTH — simple traversal depth.
+    simdepth: int = 3
+    #: [paper] HIEDEPTH — hierarchy traversal depth.
+    hiedepth: int = 5
+    #: [paper] STODEPTH — stochastic traversal depth (walk length).
+    stodepth: int = 50
+
+    # ------------------------------------------------------------------
+    # Workload parameters (remaining OCB knobs)
+    # ------------------------------------------------------------------
+    #: [ocb] think time between two transactions of one user (seconds of
+    #: simulated time; the validation experiments use 0).
+    thinktime: float = 0.0
+    #: [reconstructed] Zipf skew of root-object selection (0 = uniform).
+    root_skew: float = 0.0
+    #: [reconstructed] hot root region: when > 0, transaction roots are
+    #: drawn uniformly from the first ``root_region`` OIDs only.  This is
+    #: how §4.4's "favorable conditions" workload (characteristic
+    #: transactions whose traversals repeat) is modelled; 0 disables it.
+    root_region: int = 0
+    #: [ocb] probability that an individual object access is a write
+    #: (read/write ratio; the validation experiments are read-only).
+    pwrite: float = 0.0
+    #: [ocb] RSEED — seed of the database-generation random stream.  The
+    #: *workload* stream is seeded per replication by the simulation.
+    rseed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nc < 1:
+            raise ValueError(f"nc must be >= 1, got {self.nc}")
+        if self.no < 1:
+            raise ValueError(f"no must be >= 1, got {self.no}")
+        if self.maxnref < 1:
+            raise ValueError(f"maxnref must be >= 1, got {self.maxnref}")
+        if self.basesize < 1:
+            raise ValueError(f"basesize must be >= 1, got {self.basesize}")
+        if self.nreft < 1:
+            raise ValueError(f"nreft must be >= 1, got {self.nreft}")
+        if self.maxsizemult < 1:
+            raise ValueError(f"maxsizemult must be >= 1, got {self.maxsizemult}")
+        if not 0 < self.class_locality:
+            raise ValueError("class_locality must be positive")
+        if not 0 < self.object_locality:
+            raise ValueError("object_locality must be positive")
+        if self.coldn < 0 or self.hotn < 0:
+            raise ValueError("coldn/hotn must be >= 0")
+        if self.coldn + self.hotn == 0:
+            raise ValueError("workload needs at least one transaction")
+        total = (
+            self.pset
+            + self.psimple
+            + self.phier
+            + self.pstoch
+            + self.pinsert
+            + self.pdelete
+        )
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(
+                f"transaction probabilities sum to {total}, expected 1.0"
+            )
+        if not 0.0 <= self.inheritance_weight <= 1.0:
+            raise ValueError(
+                f"inheritance_weight must be in [0, 1], got {self.inheritance_weight}"
+            )
+        for name in ("pset", "psimple", "phier", "pstoch", "pinsert",
+                     "pdelete", "pwrite"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("setdepth", "simdepth", "hiedepth", "stodepth"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.thinktime < 0:
+            raise ValueError("thinktime must be >= 0")
+        if self.root_region < 0:
+            raise ValueError("root_region must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def transaction_probabilities(
+        self,
+    ) -> Tuple[float, float, float, float, float, float]:
+        """(PSET, PSIMPLE, PHIER, PSTOCH, PINSERT, PDELETE) in generator order."""
+        return (
+            self.pset,
+            self.psimple,
+            self.phier,
+            self.pstoch,
+            self.pinsert,
+            self.pdelete,
+        )
+
+    @property
+    def mean_instance_size(self) -> float:
+        """Mean object size in bytes under the size model.
+
+        Sizes are ``basesize × (1 + cid % maxsizemult)`` with instances
+        spread uniformly over classes, so the mean follows the mean of
+        ``cid % maxsizemult`` over the NC class ids.
+        """
+        mean_mod = sum(cid % self.maxsizemult for cid in range(self.nc)) / self.nc
+        return self.basesize * (1 + mean_mod)
+
+    @property
+    def expected_database_bytes(self) -> float:
+        """Expected total object payload of the generated base."""
+        return self.no * self.mean_instance_size
+
+    @property
+    def total_transactions(self) -> int:
+        return self.coldn + self.hotn
+
+    def with_changes(self, **changes) -> "OCBConfig":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **changes)

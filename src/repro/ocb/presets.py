@@ -1,0 +1,126 @@
+"""Workload presets approximating classic OODB benchmarks.
+
+Paper §2: "We also propose that the workload model be separately
+characterized.  It is then possible to reuse workload models from
+existing benchmarks (like HyperModel [And90], OO1 [Cat91] or OO7
+[Car93]) or establish a specific model."  OCB was designed to subsume
+those benchmarks through its parameters; these presets are the
+corresponding parameterizations.
+
+They are *approximations by construction* — each maps the cited
+benchmark's database shape and operation mix onto OCB's knobs, the same
+move the OCB paper makes when arguing genericity:
+
+* **OO1** ("the Cattell benchmark"): 20 000 small parts, exactly 3
+  connections each, connections biased to "nearby" parts (1% locality),
+  lookup + traversal (depth 7) operations;
+* **OO7**: a composition hierarchy (assemblies → composite parts →
+  atomic parts) exercised by deep traversals (T1 raw traversal depth 7)
+  over a 3-connected atomic-part graph;
+* **HyperModel**: a hypertext document graph with five relation types
+  and heavy recursive closure operations (depth 5 on every relation).
+"""
+
+from __future__ import annotations
+
+from repro.ocb.parameters import OCBConfig
+
+
+def oo1_workload(no: int = 20_000, hotn: int = 1000) -> OCBConfig:
+    """OO1/Cattell: small parts, 3 connections, strong locality.
+
+    OO1's parts weigh ~50 bytes plus three (to, type, length)
+    connections; 90% of connections land within the 1% of parts closest
+    by id — OCB's object-locality window at 1% of NO.  The measured mix
+    is lookup-and-traverse: depth-7 traversals (OO1's "traversal" op)
+    and single-object reads approximated by depth-0 set accesses.
+    """
+    return OCBConfig(
+        nc=2,                      # OO1's schema: parts + connections
+        no=no,
+        maxnref=3,                 # exactly-3 modelled as uniform 1..3
+        basesize=50,
+        maxsizemult=2,             # parts are uniformly small
+        object_locality=max(1, no // 100),  # the 1% locality rule
+        inheritance_weight=1.0,    # one connection type dominates
+        hotn=hotn,
+        pset=0.5,                  # lookups
+        psimple=0.0,
+        phier=0.5,                 # traversals over the connection type
+        pstoch=0.0,
+        setdepth=0,                # lookup touches the object itself
+        hiedepth=7,                # OO1 traversal depth
+    )
+
+
+def oo7_workload(no: int = 10_000, hotn: int = 500) -> OCBConfig:
+    """OO7-like: composition hierarchy swept by deep raw traversals.
+
+    OO7's module → assemblies → composite parts → atomic parts shape is
+    approximated by a 30-class schema whose instance sizes grow down the
+    hierarchy, fanout 3 (atomic parts are 3-connected), and a T1-style
+    depth-7 traversal as the dominant operation, with stochastic walks
+    standing in for the T6 "random path" operations.
+    """
+    return OCBConfig(
+        nc=30,
+        no=no,
+        maxnref=3,
+        basesize=100,
+        maxsizemult=20,
+        object_locality=max(1, no // 20),
+        inheritance_weight=0.6,    # composition links dominate
+        hotn=hotn,
+        pset=0.1,
+        psimple=0.6,               # T1 raw traversal: visit everything
+        phier=0.2,
+        pstoch=0.1,
+        simdepth=5,
+        hiedepth=7,
+        stodepth=20,
+    )
+
+
+def hypermodel_workload(no: int = 15_000, hotn: int = 500) -> OCBConfig:
+    """HyperModel-like: hypertext nodes, five relations, closures.
+
+    HyperModel's document graph carries parent/child (1-N),
+    partOf/parts (M-N) and refTo/refFrom relations — five reference
+    types in OCB terms — and its heaviest operations are transitive
+    closures over one relation (hierarchy traversals, depth 5) mixed
+    with neighborhood reads (set accesses).
+    """
+    return OCBConfig(
+        nc=10,
+        no=no,
+        maxnref=5,
+        nreft=5,
+        basesize=128,              # text nodes with attributes
+        maxsizemult=8,
+        object_locality=max(1, no // 10),
+        inheritance_weight=0.4,    # parent/child is the hot relation
+        hotn=hotn,
+        pset=0.3,
+        psimple=0.1,
+        phier=0.5,                 # closure operations dominate
+        pstoch=0.1,
+        setdepth=1,
+        hiedepth=5,
+        stodepth=10,
+    )
+
+
+#: Registry for lookups by name.
+PRESETS = {
+    "oo1": oo1_workload,
+    "oo7": oo7_workload,
+    "hypermodel": hypermodel_workload,
+}
+
+
+def preset_workload(name: str, **overrides) -> OCBConfig:
+    """Build a preset workload by name (``oo1``, ``oo7``, ``hypermodel``)."""
+    key = name.strip().lower()
+    if key not in PRESETS:
+        raise ValueError(f"unknown preset {name!r}; known: {sorted(PRESETS)}")
+    return PRESETS[key](**overrides)

@@ -1,0 +1,142 @@
+"""OCB schema generation: NC interlinked classes.
+
+The schema is the class-level half of the OCB database.  Each class gets
+
+* an **instance size** — ``BASESIZE × uniform-int[1, maxsizemult]`` bytes
+  (see the provenance notes in :mod:`repro.ocb.parameters`);
+* a **reference list** — ``uniform-int[1, MAXNREF]`` references, each with
+  a target class drawn inside the class-locality window and a reference
+  type in ``[0, NREFT)``.
+
+Reference types matter to the workload: a *hierarchy traversal* (Table 5)
+follows only references of one type, whereas set-oriented accesses and
+simple traversals follow them all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.despy.randomstream import RandomStream
+from repro.ocb.parameters import OCBConfig
+
+#: Conventional names of the four default reference types ([Dar98] models
+#: inheritance, aggregation and association links between classes).
+REFERENCE_TYPE_NAMES = ("inheritance", "aggregation", "association", "other")
+
+
+def reference_type_name(ref_type: int) -> str:
+    """Human-readable name of a reference type index."""
+    if 0 <= ref_type < len(REFERENCE_TYPE_NAMES):
+        return REFERENCE_TYPE_NAMES[ref_type]
+    return f"type-{ref_type}"
+
+
+def _draw_ref_type(config: OCBConfig, rng: RandomStream) -> int:
+    """Draw a reference type: type 0 with ``inheritance_weight``, rest uniform."""
+    if config.nreft == 1:
+        return 0
+    if rng.bernoulli(config.inheritance_weight):
+        return 0
+    return rng.randint(1, config.nreft - 1)
+
+
+@dataclass(frozen=True)
+class ClassReference:
+    """One class-level reference: this class points at ``target_cid``."""
+
+    target_cid: int
+    ref_type: int
+
+
+@dataclass(frozen=True)
+class OCBClass:
+    """One class of the OCB schema."""
+
+    cid: int
+    instance_size: int
+    references: tuple[ClassReference, ...]
+
+    @property
+    def nrefs(self) -> int:
+        return len(self.references)
+
+    def references_of_type(self, ref_type: int) -> List[ClassReference]:
+        return [r for r in self.references if r.ref_type == ref_type]
+
+
+class Schema:
+    """An immutable generated OCB schema.
+
+    Build one with :meth:`generate`; the constructor is for tests that
+    need hand-crafted schemas.
+    """
+
+    def __init__(self, classes: List[OCBClass], config: OCBConfig) -> None:
+        if len(classes) != config.nc:
+            raise ValueError(
+                f"schema has {len(classes)} classes, config.nc={config.nc}"
+            )
+        self.classes = classes
+        self.config = config
+
+    @classmethod
+    def generate(cls, config: OCBConfig, rng: RandomStream) -> "Schema":
+        """Generate the NC classes of the schema.
+
+        Instance sizes follow ``BASESIZE × (1 + cid % maxsizemult)`` —
+        later classes accumulate more attributes (see the provenance note
+        in :mod:`repro.ocb.parameters`).
+
+        The class-locality window (CLOCREF) bounds how far a reference may
+        point: class ``i`` references classes ``(i + d) % NC`` with ``d``
+        drawn in ``[0, window)``, optionally Zipf-skewed toward nearby
+        classes.  A window of NC (the default) reproduces OCB's default
+        "any class may reference any class".
+
+        Reference types are drawn with ``inheritance_weight`` probability
+        of type 0 and the remaining mass split over types ``1..NREFT-1``.
+        """
+        window = min(config.class_locality, config.nc)
+        classes: List[OCBClass] = []
+        for cid in range(config.nc):
+            size = config.basesize * (1 + cid % config.maxsizemult)
+            nrefs = rng.randint(1, config.maxnref)
+            refs = []
+            for __ in range(nrefs):
+                if config.reference_skew > 0:
+                    delta = rng.zipf_index(window, config.reference_skew)
+                else:
+                    delta = rng.randint(0, window - 1)
+                target = (cid + delta) % config.nc
+                refs.append(ClassReference(target, _draw_ref_type(config, rng)))
+            classes.append(OCBClass(cid, size, tuple(refs)))
+        return cls(classes, config)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    def __getitem__(self, cid: int) -> OCBClass:
+        return self.classes[cid]
+
+    def __iter__(self):
+        return iter(self.classes)
+
+    def total_references(self) -> int:
+        return sum(c.nrefs for c in self.classes)
+
+    def mean_references(self) -> float:
+        return self.total_references() / len(self.classes)
+
+    def mean_instance_size(self) -> float:
+        return sum(c.instance_size for c in self.classes) / len(self.classes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Schema nc={len(self.classes)} "
+            f"refs/class={self.mean_references():.2f}>"
+        )

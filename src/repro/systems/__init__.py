@@ -1,0 +1,32 @@
+"""systems — the paper's validated system instantiations.
+
+Table 4 parameterizes VOODB twice: as the **O2** page server running on
+the authors' IBM RISC 6000 workstation, and as the **Texas** persistent
+store on their Linux PC.  This package ships those instantiations as
+ready-made config builders (`o2`, `texas`), the §4.4 DSTC experiment
+setup (`dstc_experiment`), and the paper's published numbers — both the
+benchmarked and the simulated series of every figure and table — as
+reference data for shape comparison (`reference_data`).
+"""
+
+from repro.systems.dstc_experiment import (
+    DSTC_EXPERIMENT_PARAMETERS,
+    HIERARCHY_DEPTH,
+    HIERARCHY_REF_TYPE,
+    texas_dstc_config,
+)
+from repro.systems.o2 import O2_SERVER_CACHE_MB, o2_config
+from repro.systems.texas import TEXAS_DEFAULT_MEMORY_MB, texas_config
+from repro.systems import reference_data
+
+__all__ = [
+    "o2_config",
+    "O2_SERVER_CACHE_MB",
+    "texas_config",
+    "TEXAS_DEFAULT_MEMORY_MB",
+    "texas_dstc_config",
+    "DSTC_EXPERIMENT_PARAMETERS",
+    "HIERARCHY_REF_TYPE",
+    "HIERARCHY_DEPTH",
+    "reference_data",
+]

@@ -1,0 +1,79 @@
+"""The O2 instantiation of VOODB (paper Table 4, left column).
+
+O2 ([Deu91]) is the page-server OODB the paper benchmarks on an IBM
+RISC 6000 43P240 (AIX 4, 1 GB RAM, 16 MB server cache).  Table 4's
+settings:
+
+=============================  =======================
+System class                   Page server
+Network throughput             +∞ (same-host client)
+Disk page size                 4096 bytes
+Buffer size                    3840 pages (16 MB cache)
+Page replacement               LRU
+Prefetching / clustering       None
+Initial placement              Optimized sequential
+Disk search / latency / xfer   6.3 / 2.99 / 0.7 ms
+Multiprogramming level         10
+Lock acquisition / release     0.5 / 0.5 ms
+Users                          1
+=============================  =======================
+
+Reconstructed knob: ``storage_overhead`` = 1.6, chosen so the NC=50 /
+NO=20 000 OCB base occupies ~28 MB — the size §4.3.1 states for O2
+("the database size (about 28 MB on an average)").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.parameters import SystemClass, VOODBConfig
+from repro.ocb.parameters import OCBConfig
+
+#: O2's default server cache (§4.2.1: "16 MB by default").
+O2_SERVER_CACHE_MB = 16.0
+#: Table 4: 3840 pages for the 16 MB cache -> 240 pages per MB.
+O2_PAGES_PER_MB = 240
+#: Storage overhead making the default base ~28 MB on disk (§4.3.1).
+O2_STORAGE_OVERHEAD = 1.6
+
+
+def o2_buffer_pages(cache_mb: float) -> int:
+    """Server cache size in pages (Figure 8 sweeps this)."""
+    if cache_mb <= 0:
+        raise ValueError(f"cache_mb must be > 0, got {cache_mb}")
+    return max(1, int(cache_mb * O2_PAGES_PER_MB))
+
+
+def o2_config(
+    nc: int = 50,
+    no: int = 20_000,
+    cache_mb: float = O2_SERVER_CACHE_MB,
+    hotn: int = 1000,
+    **ocb_overrides,
+) -> VOODBConfig:
+    """Build the Table 4 O2 configuration.
+
+    ``nc``/``no`` sweep the Figures 6/7 database sizes; ``cache_mb``
+    sweeps Figure 8.  Extra keyword arguments override OCB fields.
+    """
+    ocb = OCBConfig(nc=nc, no=no, hotn=hotn, **ocb_overrides)
+    return VOODBConfig(
+        sysclass=SystemClass.PAGE_SERVER,
+        netthru=math.inf,
+        pgsize=4096,
+        buffsize=o2_buffer_pages(cache_mb),
+        pgrep="LRU",
+        prefetch="none",
+        clustp="none",
+        initpl="optimized_sequential",
+        disksea=6.3,
+        disklat=2.99,
+        disktra=0.7,
+        multilvl=10,
+        getlock=0.5,
+        rellock=0.5,
+        nusers=1,
+        storage_overhead=O2_STORAGE_OVERHEAD,
+        ocb=ocb,
+    )

@@ -1,0 +1,156 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Two provenances, kept apart deliberately:
+
+* **Tables 6-8** print exact values — they are copied verbatim.
+* **Figures 6-11** are line charts; the series below are *digitized by
+  eye* from the plots and carry no more than ~10-15% precision.  They
+  exist so the regeneration harness can print paper-vs-reproduction
+  rows and so the shape tests can check tendencies (monotonicity,
+  orderings, knee positions) — never absolute equality.
+
+Each figure has two series, ``benchmark`` (measured on the real system)
+and ``simulation`` (the paper's VOODB runs); our reproduction is a third
+column next to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Database sizes (number of instances NO) swept by Figures 6/7/9/10.
+INSTANCE_SWEEP: Tuple[int, ...] = (500, 1000, 2000, 5000, 10_000, 20_000)
+#: Memory/cache sizes (MB) swept by Figures 8 and 11.
+MEMORY_SWEEP_MB: Tuple[int, ...] = (8, 12, 16, 24, 32, 64)
+
+
+@dataclass(frozen=True)
+class FigureReference:
+    """One paper figure: x-axis values and the two published series."""
+
+    figure: str
+    title: str
+    x_label: str
+    x_values: Tuple[int, ...]
+    benchmark: Tuple[float, ...]
+    simulation: Tuple[float, ...]
+    digitized: bool = True
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.x_values) == len(self.benchmark) == len(self.simulation)
+        ):
+            raise ValueError(f"figure {self.figure}: series length mismatch")
+
+
+FIGURE_6 = FigureReference(
+    figure="6",
+    title="Mean number of I/Os depending on number of instances (O2 - 20 classes)",
+    x_label="number of instances",
+    x_values=INSTANCE_SWEEP,
+    benchmark=(350.0, 550.0, 1000.0, 1800.0, 2600.0, 4200.0),
+    simulation=(300.0, 500.0, 900.0, 1700.0, 2800.0, 4000.0),
+)
+
+FIGURE_7 = FigureReference(
+    figure="7",
+    title="Mean number of I/Os depending on number of instances (O2 - 50 classes)",
+    x_label="number of instances",
+    x_values=INSTANCE_SWEEP,
+    benchmark=(500.0, 800.0, 1400.0, 2700.0, 4200.0, 6500.0),
+    simulation=(400.0, 700.0, 1200.0, 2500.0, 3800.0, 6200.0),
+)
+
+FIGURE_8 = FigureReference(
+    figure="8",
+    title="Mean number of I/Os depending on cache size (O2)",
+    x_label="cache size (MB)",
+    x_values=MEMORY_SWEEP_MB,
+    benchmark=(52_000.0, 44_000.0, 36_000.0, 22_000.0, 9_000.0, 6_000.0),
+    simulation=(50_000.0, 42_000.0, 35_000.0, 21_000.0, 8_000.0, 5_500.0),
+)
+
+FIGURE_9 = FigureReference(
+    figure="9",
+    title="Mean number of I/Os depending on number of instances (Texas - 20 classes)",
+    x_label="number of instances",
+    x_values=INSTANCE_SWEEP,
+    benchmark=(180.0, 320.0, 600.0, 1100.0, 1600.0, 2400.0),
+    simulation=(150.0, 280.0, 550.0, 1000.0, 1500.0, 2200.0),
+)
+
+FIGURE_10 = FigureReference(
+    figure="10",
+    title="Mean number of I/Os depending on number of instances (Texas - 50 classes)",
+    x_label="number of instances",
+    x_values=INSTANCE_SWEEP,
+    benchmark=(250.0, 500.0, 950.0, 2100.0, 3200.0, 4800.0),
+    simulation=(220.0, 450.0, 900.0, 2000.0, 3000.0, 4500.0),
+)
+
+FIGURE_11 = FigureReference(
+    figure="11",
+    title="Mean number of I/Os depending on memory size (Texas)",
+    x_label="available memory under Linux (MB)",
+    x_values=MEMORY_SWEEP_MB,
+    benchmark=(105_000.0, 55_000.0, 25_000.0, 6_000.0, 3_000.0, 2_500.0),
+    simulation=(100_000.0, 50_000.0, 22_000.0, 5_500.0, 2_800.0, 2_400.0),
+)
+
+ALL_FIGURES: Dict[str, FigureReference] = {
+    ref.figure: ref
+    for ref in (FIGURE_6, FIGURE_7, FIGURE_8, FIGURE_9, FIGURE_10, FIGURE_11)
+}
+
+
+@dataclass(frozen=True)
+class DSTCTableReference:
+    """Exact values from one DSTC effect table (Tables 6 and 8)."""
+
+    table: str
+    memory_mb: float
+    pre_clustering_bench: float
+    pre_clustering_sim: float
+    post_clustering_bench: float
+    post_clustering_sim: float
+    gain_bench: float
+    gain_sim: float
+    overhead_bench: float | None = None
+    overhead_sim: float | None = None
+
+
+#: Table 6 — effects of DSTC, mid-sized base (exact).
+TABLE_6 = DSTCTableReference(
+    table="6",
+    memory_mb=64.0,
+    pre_clustering_bench=1890.70,
+    pre_clustering_sim=1878.80,
+    overhead_bench=12_799.60,
+    overhead_sim=354.50,
+    post_clustering_bench=330.60,
+    post_clustering_sim=350.50,
+    gain_bench=5.71,
+    gain_sim=5.36,
+)
+
+#: Table 8 — effects of DSTC, "large" base / 8 MB memory (exact).
+#: (No overhead row: the paper reuses the already-clustered base.)
+TABLE_8 = DSTCTableReference(
+    table="8",
+    memory_mb=8.0,
+    pre_clustering_bench=12_504.60,
+    pre_clustering_sim=12_547.80,
+    post_clustering_bench=424.30,
+    post_clustering_sim=441.50,
+    gain_bench=29.47,
+    gain_sim=28.42,
+)
+
+#: Table 7 — DSTC clustering statistics (exact).
+TABLE_7 = {
+    "mean_clusters_bench": 82.23,
+    "mean_clusters_sim": 84.01,
+    "mean_objects_per_cluster_bench": 12.83,
+    "mean_objects_per_cluster_sim": 13.73,
+}

@@ -1,0 +1,89 @@
+"""The Texas instantiation of VOODB (paper Table 4, right column).
+
+Texas ([Sin92]) is a *persistent store*, not a server: it maps the base
+into virtual memory on the authors' PC (Pentium-II 266, 64 MB SDRAM,
+Linux 2.0.30, 64 MB swap).  Table 4's settings:
+
+=============================  =======================
+System class                   Centralized
+Network throughput             N/A
+Disk page size                 4096 bytes
+Page replacement               LRU (the OS's approximation)
+Prefetching / clustering       None (DSTC in §4.4)
+Initial placement              Optimized sequential
+Disk search / latency / xfer   7.4 / 4.3 / 0.5 ms
+Multiprogramming level         1
+Lock acquisition / release     0 / 0 ms
+Users                          1
+=============================  =======================
+
+Reconstructed knobs:
+
+* ``storage_overhead`` = 1.2, so the NC=50/NO=20 000 base stores at
+  ~21 MB (§4.4: "about 20 MB on an average" / §4.3.2: "about 21 MB").
+* **memory frames** — Texas' capacity is the machine's *available
+  memory*, not a database buffer.  We model it as
+  ``(memory_mb − OS_RESIDENT_MB) × 256`` 4 KB frames, i.e. everything
+  beyond a fixed ~4 MB OS/process footprint pages the database.  Table 4
+  prints "3275 pages", but 3275 pages (≈13 MB) cannot reproduce Figure
+  11's flat region at 32-64 MB (the ~21 MB base must fit); the
+  subtractive model can, and degrades steeply below ~24 MB exactly as
+  Figure 11 shows.  The deviation is recorded in EXPERIMENTS.md.
+* ``memory_model`` = virtual memory — §4.3.2's page-reservation /
+  swap mechanism (see :mod:`repro.core.virtual_memory`).
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import MemoryModel, SystemClass, VOODBConfig
+from repro.ocb.parameters import OCBConfig
+
+#: The benchmark machine's RAM (§4.2.1).
+TEXAS_DEFAULT_MEMORY_MB = 64.0
+#: Fixed OS + process resident footprint under Linux 2.0 (reconstructed).
+OS_RESIDENT_MB = 4.0
+#: Storage overhead making the default base ~21 MB on disk (§4.3.2).
+TEXAS_STORAGE_OVERHEAD = 1.2
+
+
+def texas_memory_frames(memory_mb: float) -> int:
+    """Page frames available to Texas on a ``memory_mb`` machine."""
+    if memory_mb <= 0:
+        raise ValueError(f"memory_mb must be > 0, got {memory_mb}")
+    return max(1, int((memory_mb - OS_RESIDENT_MB) * 256))
+
+
+def texas_config(
+    nc: int = 50,
+    no: int = 20_000,
+    memory_mb: float = TEXAS_DEFAULT_MEMORY_MB,
+    hotn: int = 1000,
+    clustp: str = "none",
+    **ocb_overrides,
+) -> VOODBConfig:
+    """Build the Table 4 Texas configuration.
+
+    ``nc``/``no`` sweep the Figures 9/10 database sizes; ``memory_mb``
+    sweeps Figure 11 ("Linux allows setting up memory size at boot
+    time").  ``clustp="dstc"`` arms the §4.4 clustering policy.
+    """
+    ocb = OCBConfig(nc=nc, no=no, hotn=hotn, **ocb_overrides)
+    return VOODBConfig(
+        sysclass=SystemClass.CENTRALIZED,
+        memory_model=MemoryModel.VIRTUAL_MEMORY,
+        pgsize=4096,
+        buffsize=texas_memory_frames(memory_mb),
+        pgrep="LRU",
+        prefetch="none",
+        clustp=clustp,
+        initpl="optimized_sequential",
+        disksea=7.4,
+        disklat=4.3,
+        disktra=0.5,
+        multilvl=1,
+        getlock=0.0,
+        rellock=0.0,
+        nusers=1,
+        storage_overhead=TEXAS_STORAGE_OVERHEAD,
+        ocb=ocb,
+    )

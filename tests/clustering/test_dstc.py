@@ -1,0 +1,202 @@
+"""Unit tests for the DSTC clustering technique."""
+
+import pytest
+
+from repro.clustering import DSTC, DSTCParameters
+
+
+def observe_transaction(dstc: DSTC, trace):
+    previous = None
+    for oid in trace:
+        dstc.on_object_access(oid, previous)
+        previous = oid
+    return dstc.on_transaction_end()
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        params = DSTCParameters()
+        assert params.observation_period >= 1
+        assert not params.auto_trigger
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("observation_period", 0),
+            ("tfa", -1.0),
+            ("tfe", -0.5),
+            ("tfc", -0.1),
+            ("w", 1.5),
+            ("w", -0.1),
+            ("max_cluster_size", 1),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            DSTCParameters(**{field: value})
+
+
+class TestObservation:
+    def test_counts_objects_and_links(self):
+        dstc = DSTC(DSTCParameters(observation_period=100))
+        observe_transaction(dstc, [1, 2, 3])
+        assert dstc._obj_counts == {1: 1.0, 2: 1.0, 3: 1.0}
+        assert dstc._link_counts == {(1, 2): 1.0, (2, 3): 1.0}
+
+    def test_links_are_undirected(self):
+        dstc = DSTC(DSTCParameters(observation_period=100))
+        observe_transaction(dstc, [2, 1])
+        observe_transaction(dstc, [1, 2])
+        assert dstc._link_counts == {(1, 2): 2.0}
+
+    def test_self_links_ignored(self):
+        dstc = DSTC(DSTCParameters(observation_period=100))
+        observe_transaction(dstc, [1, 1, 2])
+        assert (1, 1) not in dstc._link_counts
+
+    def test_transaction_counter(self):
+        dstc = DSTC(DSTCParameters(observation_period=100))
+        for _ in range(5):
+            observe_transaction(dstc, [1, 2])
+        assert dstc.observed_transactions == 5
+
+
+class TestSelectionConsolidation:
+    def test_selection_filters_cold_objects(self):
+        dstc = DSTC(DSTCParameters(observation_period=10, tfa=2, tfe=2))
+        for _ in range(3):
+            observe_transaction(dstc, [1, 2])
+        observe_transaction(dstc, [7, 8])  # cold pair, seen once
+        dstc.close_observation_period()
+        assert 1 in dstc._obj_weights
+        assert 7 not in dstc._obj_weights
+        assert (1, 2) in dstc._link_weights
+        assert (7, 8) not in dstc._link_weights
+
+    def test_links_need_both_endpoints_selected(self):
+        dstc = DSTC(DSTCParameters(observation_period=10, tfa=2, tfe=1))
+        observe_transaction(dstc, [1, 2])
+        observe_transaction(dstc, [1, 3])
+        # 1 passes tfa; 2 and 3 do not -> no links survive
+        dstc.close_observation_period()
+        assert dstc._link_weights == {}
+
+    def test_consolidation_ages_old_weights(self):
+        dstc = DSTC(DSTCParameters(observation_period=10, tfa=1, tfe=1, w=0.5))
+        for _ in range(4):
+            observe_transaction(dstc, [1, 2])
+        dstc.close_observation_period()
+        first = dstc._obj_weights[1]
+        dstc.close_observation_period()  # empty period: pure decay
+        assert dstc._obj_weights[1] == pytest.approx(first * 0.5)
+
+    def test_period_boundary_automatic(self):
+        dstc = DSTC(DSTCParameters(observation_period=3, tfa=1, tfe=1))
+        for _ in range(3):
+            observe_transaction(dstc, [1, 2])
+        assert dstc.periods_closed == 1
+        assert dstc._obj_counts == {}
+
+    def test_flush_observations_closes_partial_period(self):
+        dstc = DSTC(DSTCParameters(observation_period=1000, tfa=1, tfe=1))
+        observe_transaction(dstc, [1, 2])
+        dstc.flush_observations()
+        assert dstc.periods_closed == 1
+        assert dstc.tracked_objects == 2
+
+    def test_flush_on_empty_stats_is_noop(self):
+        dstc = DSTC(DSTCParameters(observation_period=1000))
+        dstc.flush_observations()
+        assert dstc.periods_closed == 0
+
+
+class TestClusterBuilding:
+    def make_hot(self, traces, **params):
+        defaults = dict(observation_period=1000, tfa=2, tfe=2, tfc=2)
+        defaults.update(params)
+        dstc = DSTC(DSTCParameters(**defaults))
+        for trace in traces:
+            observe_transaction(dstc, trace)
+        dstc.flush_observations()
+        return dstc
+
+    def test_repeated_traversal_forms_one_cluster(self):
+        dstc = self.make_hot([[1, 2, 3]] * 3)
+        clusters = dstc.build_clusters()
+        assert len(clusters) == 1
+        assert set(clusters[0]) == {1, 2, 3}
+
+    def test_cluster_order_follows_links(self):
+        dstc = self.make_hot([[1, 2, 3, 4]] * 3)
+        (cluster,) = dstc.build_clusters()
+        # the walk starts at the hottest object and follows chain links
+        assert cluster[0] in (1, 2, 3, 4)
+        # consecutive members of the cluster are linked in the stats
+        links = set(dstc._link_weights)
+        for a, b in zip(cluster, cluster[1:]):
+            assert (min(a, b), max(a, b)) in links
+
+    def test_disjoint_traversals_form_separate_clusters(self):
+        dstc = self.make_hot([[1, 2]] * 3 + [[10, 11]] * 3)
+        clusters = dstc.build_clusters()
+        assert len(clusters) == 2
+        assert {frozenset(c) for c in clusters} == {
+            frozenset({1, 2}),
+            frozenset({10, 11}),
+        }
+
+    def test_shared_object_merges_clusters(self):
+        dstc = self.make_hot([[1, 2, 5]] * 3 + [[5, 8, 9]] * 3)
+        clusters = dstc.build_clusters()
+        assert len(clusters) == 1
+        assert set(clusters[0]) == {1, 2, 5, 8, 9}
+
+    def test_max_cluster_size_splits(self):
+        trace = list(range(10))
+        dstc = self.make_hot([trace] * 3, max_cluster_size=4)
+        clusters = dstc.build_clusters()
+        assert all(len(c) <= 4 for c in clusters)
+        assert sum(len(c) for c in clusters) == 10
+
+    def test_weak_links_excluded_by_tfc(self):
+        dstc = self.make_hot([[1, 2]] * 5 + [[2, 3]] * 5, tfc=20)
+        assert dstc.build_clusters() == []
+
+    def test_objects_appear_in_at_most_one_cluster(self):
+        traces = [[i, i + 1, i + 2] for i in range(0, 30, 2)] * 3
+        dstc = self.make_hot(traces)
+        clusters = dstc.build_clusters()
+        seen = [oid for c in clusters for oid in c]
+        assert len(seen) == len(set(seen))
+
+    def test_no_stats_no_clusters(self):
+        dstc = DSTC()
+        assert dstc.build_clusters() == []
+
+
+class TestTrigger:
+    def test_auto_trigger_fires_on_new_clusters(self):
+        dstc = DSTC(
+            DSTCParameters(
+                observation_period=3, tfa=2, tfe=2, tfc=2, auto_trigger=True
+            )
+        )
+        fired = [observe_transaction(dstc, [1, 2, 3]) for _ in range(3)]
+        assert fired == [False, False, True]
+
+    def test_auto_trigger_quiet_when_clusters_unchanged(self):
+        dstc = DSTC(
+            DSTCParameters(
+                observation_period=2, tfa=2, tfe=2, tfc=1, w=1.0, auto_trigger=True
+            )
+        )
+        assert not observe_transaction(dstc, [1, 2])
+        assert observe_transaction(dstc, [1, 2])  # period ends, clusters new
+        dstc.notify_reorganized(dstc.build_clusters())
+        assert not observe_transaction(dstc, [1, 2])
+        assert not observe_transaction(dstc, [1, 2])  # same clusters: quiet
+
+    def test_no_auto_trigger_by_default(self):
+        dstc = DSTC(DSTCParameters(observation_period=2, tfa=1, tfe=1))
+        assert not observe_transaction(dstc, [1, 2])
+        assert not observe_transaction(dstc, [1, 2])

@@ -1,0 +1,65 @@
+"""Unit tests for the greedy static graph-partitioning baseline."""
+
+import pytest
+
+from repro.despy import RandomStream
+from repro.clustering import GreedyGraphClustering
+from repro.ocb import Database, OCBConfig, Schema
+
+
+@pytest.fixture(scope="module")
+def db():
+    config = OCBConfig(nc=4, no=120)
+    rng = RandomStream(4, "greedy")
+    return Database.generate(Schema.generate(config, rng), rng)
+
+
+def make_policy(db, **kwargs):
+    policy = GreedyGraphClustering(**kwargs)
+    policy.attach(db)
+    return policy
+
+
+class TestStaticBehaviour:
+    def test_hooks_are_noops(self, db):
+        policy = make_policy(db)
+        policy.on_object_access(1, None)
+        assert policy.on_transaction_end() is False
+
+    def test_clusters_partition_objects(self, db):
+        policy = make_policy(db)
+        clusters = policy.build_clusters()
+        seen = [oid for c in clusters for oid in c]
+        assert len(seen) == len(set(seen))
+        assert all(0 <= oid < len(db) for oid in seen)
+
+    def test_max_cluster_size_respected(self, db):
+        policy = make_policy(db, max_cluster_size=5)
+        assert all(len(c) <= 5 for c in policy.build_clusters())
+
+    def test_clusters_have_at_least_two_members(self, db):
+        policy = make_policy(db)
+        assert all(len(c) >= 2 for c in policy.build_clusters())
+
+    def test_members_connected_to_cluster(self, db):
+        """Every non-seed member is referenced by an earlier member."""
+        policy = make_policy(db, max_cluster_size=8)
+        for cluster in policy.build_clusters():
+            for i, oid in enumerate(cluster[1:], start=1):
+                earlier = cluster[:i]
+                assert any(oid in db.refs(e) for e in earlier)
+
+    def test_deterministic(self, db):
+        a = make_policy(db).build_clusters()
+        b = make_policy(db).build_clusters()
+        assert a == b
+
+    def test_unweighted_seeding_also_partitions(self, db):
+        unweighted = make_policy(db, use_weights=False).build_clusters()
+        seen = [o for c in unweighted for o in c]
+        assert len(seen) == len(set(seen))
+        assert all(len(c) >= 2 for c in unweighted)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            GreedyGraphClustering(max_cluster_size=1)

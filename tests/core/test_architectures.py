@@ -1,0 +1,115 @@
+"""Unit tests for the system-class strategies (§3.3 genericity)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Centralized,
+    DBServer,
+    ObjectServer,
+    PageServer,
+    SystemClass,
+    VOODBConfig,
+    VOODBSimulation,
+)
+from repro.ocb import OCBConfig
+
+SMALL_OCB = OCBConfig(nc=5, no=200, hotn=50)
+
+
+def build_model(sysclass, **overrides) -> VOODBSimulation:
+    config = VOODBConfig(
+        sysclass=sysclass,
+        buffsize=64,
+        netthru=overrides.pop("netthru", 10.0),
+        ocb=overrides.pop("ocb", SMALL_OCB),
+        **overrides,
+    )
+    return VOODBSimulation(config, seed=7)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "sysclass,cls",
+        [
+            (SystemClass.CENTRALIZED, Centralized),
+            (SystemClass.PAGE_SERVER, PageServer),
+            (SystemClass.OBJECT_SERVER, ObjectServer),
+            (SystemClass.DB_SERVER, DBServer),
+        ],
+    )
+    def test_model_builds_selected_architecture(self, sysclass, cls):
+        model = build_model(sysclass)
+        assert isinstance(model.architecture, cls)
+
+
+class TestNetworkBehaviour:
+    def test_centralized_never_touches_network(self):
+        model = build_model(SystemClass.CENTRALIZED)
+        model.run()
+        assert model.network.messages == 0
+
+    def test_page_server_ships_one_page_per_access(self):
+        model = build_model(SystemClass.PAGE_SERVER)
+        results = model.run()
+        # one request + one page reply per page access
+        assert model.network.messages == 2 * results.phase.object_accesses
+
+    def test_object_server_ships_objects(self):
+        model = build_model(SystemClass.OBJECT_SERVER)
+        results = model.run()
+        assert model.network.messages == 2 * results.phase.object_accesses
+        # replies carry object payloads, smaller than pages on average
+        page_model = build_model(SystemClass.PAGE_SERVER)
+        page_results = page_model.run()
+        bytes_per_msg_obj = model.network.bytes_sent / model.network.messages
+        bytes_per_msg_page = (
+            page_model.network.bytes_sent / page_model.network.messages
+        )
+        assert bytes_per_msg_obj < bytes_per_msg_page
+
+    def test_db_server_ships_two_messages_per_transaction(self):
+        model = build_model(SystemClass.DB_SERVER)
+        results = model.run()
+        assert model.network.messages == 2 * results.phase.transactions
+
+    def test_io_counts_independent_of_architecture_without_client_cache(self):
+        """§3.3: the server-side I/O path is shared; with an infinite
+        network and no client cache, every organization sees the same
+        disk traffic for the same workload."""
+        totals = {}
+        for sysclass in (
+            SystemClass.CENTRALIZED,
+            SystemClass.PAGE_SERVER,
+            SystemClass.OBJECT_SERVER,
+            SystemClass.DB_SERVER,
+        ):
+            model = build_model(sysclass, netthru=math.inf)
+            totals[sysclass] = model.run().total_ios
+        assert len(set(totals.values())) == 1
+
+    def test_finite_network_slows_response_time(self):
+        fast = build_model(SystemClass.PAGE_SERVER, netthru=math.inf).run()
+        slow = build_model(SystemClass.PAGE_SERVER, netthru=0.5).run()
+        assert slow.mean_response_time_ms > fast.mean_response_time_ms
+
+
+class TestClientCache:
+    def test_page_server_client_cache_absorbs_repeats(self):
+        without = build_model(SystemClass.PAGE_SERVER)
+        with_cache = build_model(SystemClass.PAGE_SERVER, client_buffsize=64)
+        r_without = without.run()
+        r_with = with_cache.run()
+        assert with_cache.architecture.client_hits > 0
+        assert with_cache.network.messages < without.network.messages
+        assert r_with.phase.transactions == r_without.phase.transactions
+
+    def test_object_server_client_cache_absorbs_repeats(self):
+        model = build_model(SystemClass.OBJECT_SERVER, client_buffsize=16)
+        model.run()
+        assert model.architecture.client_hits > 0
+
+    def test_no_client_cache_by_default(self):
+        model = build_model(SystemClass.PAGE_SERVER)
+        assert model.architecture.client_cache is None

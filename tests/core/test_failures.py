@@ -1,0 +1,123 @@
+"""Unit and integration tests for the §5 failure-injection module."""
+
+import pytest
+
+from repro.core import (
+    FailureConfig,
+    SystemClass,
+    VOODBConfig,
+    VOODBSimulation,
+    run_replication,
+)
+from repro.core.failures import NoFailures
+from repro.ocb import OCBConfig
+
+SMALL = OCBConfig(nc=5, no=300, hotn=80)
+
+
+def config_with(failures: FailureConfig) -> VOODBConfig:
+    return VOODBConfig(
+        sysclass=SystemClass.CENTRALIZED,
+        buffsize=64,
+        failures=failures,
+        ocb=SMALL,
+    )
+
+
+class TestFailureConfig:
+    def test_disabled_by_default(self):
+        assert not FailureConfig().enabled
+        assert not VOODBConfig().failures.enabled
+
+    def test_enabled_flags(self):
+        assert FailureConfig(transient_mtbf_ms=100.0).enabled
+        assert FailureConfig(crash_mtbf_ms=100.0).enabled
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("transient_mtbf_ms", -1.0),
+            ("crash_mtbf_ms", -1.0),
+            ("transient_penalty_ms", -1.0),
+            ("recovery_time_ms", -1.0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            FailureConfig(**{field: value})
+
+
+class TestNullInjector:
+    def test_no_failures_is_free(self):
+        assert NoFailures.io_penalty() == 0.0
+        assert NoFailures.crashes == 0
+
+    def test_healthy_run_reports_no_hazards(self):
+        results = run_replication(config_with(FailureConfig()), seed=1)
+        assert results.phase.transient_faults == 0
+        assert results.phase.crashes == 0
+        assert results.phase.downtime_ms == 0.0
+
+    def test_model_uses_null_injector_when_disabled(self):
+        model = VOODBSimulation(config_with(FailureConfig()), seed=1)
+        assert isinstance(model.failures, NoFailures) or model.failures is NoFailures
+
+
+class TestTransientFaults:
+    def test_faults_occur_and_slow_the_run(self):
+        healthy = run_replication(config_with(FailureConfig()), seed=1)
+        faulty = run_replication(
+            config_with(FailureConfig(transient_mtbf_ms=50.0)), seed=1
+        )
+        assert faulty.phase.transient_faults > 0
+        assert faulty.phase.elapsed_ms > healthy.phase.elapsed_ms
+        # faults cost time, never I/Os
+        assert faulty.total_ios == healthy.total_ios
+
+    def test_fault_rate_scales_with_mtbf(self):
+        rare = run_replication(
+            config_with(FailureConfig(transient_mtbf_ms=10_000.0)), seed=1
+        )
+        frequent = run_replication(
+            config_with(FailureConfig(transient_mtbf_ms=20.0)), seed=1
+        )
+        assert frequent.phase.transient_faults > rare.phase.transient_faults
+
+    def test_reproducible(self):
+        a = run_replication(
+            config_with(FailureConfig(transient_mtbf_ms=50.0)), seed=9
+        )
+        b = run_replication(
+            config_with(FailureConfig(transient_mtbf_ms=50.0)), seed=9
+        )
+        assert a.phase.transient_faults == b.phase.transient_faults
+        assert a.phase.elapsed_ms == pytest.approx(b.phase.elapsed_ms)
+
+
+class TestCrashes:
+    def crash_config(self, mtbf=300.0, recovery=500.0):
+        return config_with(
+            FailureConfig(crash_mtbf_ms=mtbf, recovery_time_ms=recovery)
+        )
+
+    def test_crashes_lose_the_buffer_and_cost_downtime(self):
+        results = run_replication(self.crash_config(), seed=1)
+        phase = results.phase
+        assert phase.crashes > 0
+        assert phase.downtime_ms == pytest.approx(phase.crashes * 500.0)
+
+    def test_crashes_increase_ios_via_cold_cache(self):
+        healthy = run_replication(config_with(FailureConfig()), seed=1)
+        crashing = run_replication(self.crash_config(mtbf=200.0), seed=1)
+        assert crashing.total_ios > healthy.total_ios
+
+    def test_workload_still_completes(self):
+        results = run_replication(self.crash_config(mtbf=100.0), seed=1)
+        assert results.phase.transactions == SMALL.hotn
+
+    def test_metrics_flattened(self):
+        results = run_replication(self.crash_config(), seed=1)
+        metrics = results.to_metrics()
+        assert metrics["crashes"] == float(results.phase.crashes)
+        assert "transient_faults" in metrics
+        assert "downtime_ms" in metrics

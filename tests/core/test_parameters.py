@@ -1,0 +1,115 @@
+"""Unit tests for VOODBConfig (paper Table 3)."""
+
+import math
+
+import pytest
+
+from repro.core import ALLOWED_PAGE_SIZES, MemoryModel, SystemClass, VOODBConfig
+
+
+class TestTable3Defaults:
+    def test_defaults_match_table3(self):
+        config = VOODBConfig()
+        assert config.sysclass is SystemClass.PAGE_SERVER
+        assert config.netthru == 1.0
+        assert config.pgsize == 4096
+        assert config.buffsize == 500
+        assert config.pgrep == "LRU"
+        assert config.prefetch == "none"
+        assert config.clustp == "none"
+        assert config.initpl == "optimized_sequential"
+        assert config.disksea == 7.4
+        assert config.disklat == 4.3
+        assert config.disktra == 0.5
+        assert config.multilvl == 10
+        assert config.getlock == 0.5
+        assert config.rellock == 0.5
+        assert config.nusers == 1
+
+    def test_default_memory_model_is_buffer(self):
+        assert VOODBConfig().memory_model is MemoryModel.BUFFER
+
+    def test_embedded_ocb_defaults(self):
+        config = VOODBConfig()
+        assert config.ocb.nc == 50
+        assert config.ocb.no == 20_000
+
+
+class TestValidation:
+    def test_page_size_restricted_to_table3_values(self):
+        for size in ALLOWED_PAGE_SIZES:
+            assert VOODBConfig(pgsize=size).pgsize == size
+        with pytest.raises(ValueError):
+            VOODBConfig(pgsize=8192)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("buffsize", 0),
+            ("netthru", 0.0),
+            ("netthru", -1.0),
+            ("disksea", -1.0),
+            ("disklat", -0.1),
+            ("disktra", -0.1),
+            ("multilvl", 0),
+            ("getlock", -1.0),
+            ("rellock", -1.0),
+            ("nusers", 0),
+            ("storage_overhead", 0.5),
+            ("cpu_per_object", -1.0),
+            ("client_buffsize", -1),
+            ("message_bytes", -1),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            VOODBConfig(**{field: value})
+
+    def test_string_sysclass_coerced(self):
+        config = VOODBConfig(sysclass="centralized")
+        assert config.sysclass is SystemClass.CENTRALIZED
+
+    def test_string_memory_model_coerced(self):
+        config = VOODBConfig(memory_model="virtual_memory")
+        assert config.memory_model is MemoryModel.VIRTUAL_MEMORY
+
+    def test_unknown_sysclass_rejected(self):
+        with pytest.raises(ValueError):
+            VOODBConfig(sysclass="mainframe")
+
+
+class TestDerived:
+    def test_usable_page_bytes_with_overhead(self):
+        config = VOODBConfig(pgsize=4096, storage_overhead=1.6)
+        assert config.usable_page_bytes == 2560
+
+    def test_usable_page_bytes_without_overhead(self):
+        assert VOODBConfig(pgsize=4096).usable_page_bytes == 4096
+
+    def test_random_io_time_is_sum(self):
+        config = VOODBConfig(disksea=6.3, disklat=2.99, disktra=0.7)
+        assert config.random_io_time == pytest.approx(9.99)
+
+    def test_sequential_io_time_is_transfer_only(self):
+        config = VOODBConfig(disktra=0.7)
+        assert config.sequential_io_time == pytest.approx(0.7)
+
+    def test_network_ms_per_byte(self):
+        config = VOODBConfig(netthru=1.0)
+        # 1 MB/s = 1048576 bytes / 1000 ms
+        assert config.network_ms_per_byte == pytest.approx(1000.0 / 2**20)
+
+    def test_network_infinite_throughput_is_free(self):
+        assert VOODBConfig(netthru=math.inf).network_ms_per_byte == 0.0
+
+    def test_buffer_bytes(self):
+        config = VOODBConfig(buffsize=500, pgsize=4096)
+        assert config.buffer_bytes() == 500 * 4096
+
+    def test_with_changes(self):
+        config = VOODBConfig()
+        changed = config.with_changes(buffsize=1000)
+        assert changed.buffsize == 1000
+        assert config.buffsize == 500
+        with pytest.raises(ValueError):
+            config.with_changes(buffsize=0)

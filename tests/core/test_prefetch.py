@@ -1,0 +1,85 @@
+"""Unit tests for the prefetching policies (Table 3 PREFETCH)."""
+
+import pytest
+
+from repro.core import (
+    ClusterPrefetch,
+    NoPrefetch,
+    OneAheadPrefetch,
+    SystemClass,
+    VOODBConfig,
+    VOODBSimulation,
+    make_prefetch_policy,
+)
+from repro.ocb import OCBConfig
+
+
+class TestPolicies:
+    def test_no_prefetch_returns_nothing(self):
+        assert NoPrefetch().pages_after_miss(5, 100) == []
+
+    def test_one_ahead(self):
+        assert OneAheadPrefetch().pages_after_miss(5, 100) == [6]
+
+    def test_one_ahead_respects_end_of_extent(self):
+        assert OneAheadPrefetch().pages_after_miss(99, 100) == []
+
+    def test_cluster_span(self):
+        assert ClusterPrefetch(span=3).pages_after_miss(5, 100) == [6, 7, 8]
+
+    def test_cluster_span_clipped_at_extent(self):
+        assert ClusterPrefetch(span=4).pages_after_miss(98, 100) == [99]
+
+    def test_cluster_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            ClusterPrefetch(span=0)
+
+
+class TestFactory:
+    def test_factory_names(self):
+        assert isinstance(make_prefetch_policy("none"), NoPrefetch)
+        assert isinstance(make_prefetch_policy("one_ahead"), OneAheadPrefetch)
+        assert isinstance(make_prefetch_policy("cluster"), ClusterPrefetch)
+
+    def test_cluster_span_forwarded(self):
+        policy = make_prefetch_policy("cluster", cluster_span=7)
+        assert policy.span == 7
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_prefetch_policy("oracle")
+
+
+class TestIntegration:
+    def _run(self, prefetch):
+        config = VOODBConfig(
+            sysclass=SystemClass.CENTRALIZED,
+            buffsize=64,
+            prefetch=prefetch,
+            ocb=OCBConfig(nc=5, no=300, hotn=60),
+        )
+        model = VOODBSimulation(config, seed=3)
+        return model, model.run()
+
+    def test_one_ahead_prefetches_pages(self):
+        model, results = self._run("one_ahead")
+        assert results.phase.prefetched_pages > 0
+
+    def test_prefetch_hits_counted(self):
+        model, results = self._run("one_ahead")
+        assert results.phase.prefetch_hits <= results.phase.prefetched_pages
+
+    def test_no_prefetch_stages_nothing(self):
+        model, results = self._run("none")
+        assert results.phase.prefetched_pages == 0
+
+    def test_prefetch_skipped_under_virtual_memory(self):
+        config = VOODBConfig(
+            sysclass=SystemClass.CENTRALIZED,
+            memory_model="virtual_memory",
+            buffsize=64,
+            prefetch="one_ahead",
+            ocb=OCBConfig(nc=5, no=300, hotn=60),
+        )
+        results = VOODBSimulation(config, seed=3).run()
+        assert results.phase.prefetched_pages == 0

@@ -1,0 +1,111 @@
+"""Property-based tests for buffer/VM invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.despy import RandomStream
+from repro.core import BufferManager, VOODBConfig, VirtualMemoryManager
+
+POLICIES = ["LRU", "FIFO", "LFU", "CLOCK", "GCLOCK", "RANDOM", "MRU", "LRU-2"]
+
+
+@given(
+    policy=st.sampled_from(POLICIES),
+    capacity=st.integers(min_value=1, max_value=16),
+    accesses=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=40), st.booleans()),
+        min_size=1,
+        max_size=300,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_buffer_never_exceeds_capacity_and_stays_consistent(
+    policy, capacity, accesses
+):
+    config = VOODBConfig(buffsize=capacity, pgrep=policy)
+    buf = BufferManager(config, RandomStream(9, "prop"))
+    for page, write in accesses:
+        outcome = buf.access(page, write)
+        # a reported read is always the page just requested
+        if not outcome.hit:
+            assert outcome.read_page == page
+        # residency after access is guaranteed
+        assert buf.contains(page)
+        assert buf.resident_pages <= capacity
+    assert buf.hits + buf.misses == len(accesses)
+
+
+@given(
+    policy=st.sampled_from(POLICIES),
+    capacity=st.integers(min_value=2, max_value=12),
+    accesses=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_dirty_pages_never_silently_dropped(policy, capacity, accesses):
+    """Every write-back victim was dirty when evicted, and at the end the
+    dirty residents are exactly the shadow dirty set."""
+    config = VOODBConfig(buffsize=capacity, pgrep=policy)
+    buf = BufferManager(config, RandomStream(11, "prop"))
+    shadow_dirty: set = set()
+    for page in accesses:
+        write = page % 3 == 0
+        outcome = buf.access(page, write)
+        for victim in outcome.writeback_pages:
+            assert victim in shadow_dirty
+            shadow_dirty.discard(victim)
+        if write:
+            shadow_dirty.add(page)
+        # clean evictions are silent: reconcile the shadow set against
+        # residency (only resident pages can still be dirty)
+        shadow_dirty = {p for p in shadow_dirty if buf.contains(p)}
+    assert set(buf.flush()) == shadow_dirty
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=10),
+    accesses=st.lists(st.integers(min_value=0, max_value=25), min_size=1, max_size=200),
+    fanout=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_virtual_memory_frame_invariants(capacity, accesses, fanout):
+    refs = {p: [(p + k + 1) % 26 for k in range(fanout)] for p in range(26)}
+    config = VOODBConfig(buffsize=capacity)
+    vm = VirtualMemoryManager(
+        config,
+        RandomStream(13, "prop"),
+        pages_referenced_by_page=lambda page: refs.get(page, []),
+        capacity=capacity,
+    )
+    for page in accesses:
+        outcome = vm.access(page)
+        assert vm.resident_pages + vm.reserved_pages <= capacity
+        # after an access the page is always resident
+        assert vm.contains(page)
+        # an access never both swap-reads and first-touch... it may do
+        # both swap_read and read_page (swapped reservation), but then it
+        # must have been reserved before; either way counts are coherent
+        if outcome.hit:
+            assert outcome.read_page is None and not outcome.swap_read
+    assert vm.hits + vm.misses == len(accesses)
+    assert vm.swap_ins <= vm.swap_outs
+
+
+@given(
+    capacity=st.integers(min_value=2, max_value=8),
+    pages=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=80),
+)
+@settings(max_examples=40, deadline=None)
+def test_buffer_determinism(capacity, pages):
+    """Same access sequence + same seed -> identical outcomes."""
+
+    def run():
+        config = VOODBConfig(buffsize=capacity, pgrep="RANDOM")
+        buf = BufferManager(config, RandomStream(5, "det"))
+        trace = []
+        for page in pages:
+            outcome = buf.access(page)
+            trace.append((outcome.hit, tuple(outcome.writeback_pages)))
+        return trace
+
+    assert run() == run()

@@ -1,0 +1,119 @@
+"""Unit tests for the Users component (Figure 4's transaction sources)."""
+
+import pytest
+
+from repro.core import SystemClass, VOODBConfig, VOODBSimulation
+from repro.ocb import OCBConfig
+
+SMALL = OCBConfig(nc=5, no=300, hotn=60)
+
+
+def make_model(**overrides) -> VOODBSimulation:
+    config = VOODBConfig(
+        sysclass=SystemClass.CENTRALIZED,
+        buffsize=64,
+        ocb=overrides.pop("ocb", SMALL),
+        **overrides,
+    )
+    return VOODBSimulation(config, seed=5)
+
+
+class TestLaunch:
+    def test_rejects_negative_count(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.users.launch(-1)
+
+    def test_rejects_unknown_workload(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="unknown workload"):
+            model.users.launch(10, workload="oltp")
+
+    def test_zero_transactions_launches_nothing(self):
+        model = make_model()
+        assert model.users.launch(0) == []
+
+    def test_transactions_divided_across_users(self):
+        model = make_model(nusers=4)
+        processes = model.users.launch(10, stream_label="split")
+        assert len(processes) == 4
+        model.sim.run()
+        assert model.tm.transactions_executed == 10
+
+    def test_more_users_than_transactions(self):
+        model = make_model(nusers=8)
+        processes = model.users.launch(3, stream_label="sparse")
+        assert len(processes) == 3  # idle users spawn no process
+        model.sim.run()
+        assert model.tm.transactions_executed == 3
+
+    def test_submission_counter(self):
+        model = make_model()
+        model.users.launch(7, stream_label="count")
+        model.sim.run()
+        assert model.users.transactions_submitted == 7
+
+
+class TestStreams:
+    def test_same_label_same_workload(self):
+        a = make_model()
+        a.users.launch(20, stream_label="same")
+        a.sim.run()
+        b = make_model()
+        b.users.launch(20, stream_label="same")
+        b.sim.run()
+        assert a.tm.objects_accessed == b.tm.objects_accessed
+
+    def test_different_labels_differ(self):
+        a = make_model()
+        a.users.launch(20, stream_label="one")
+        a.sim.run()
+        b = make_model()
+        b.users.launch(20, stream_label="two")
+        b.sim.run()
+        assert a.tm.objects_accessed != b.tm.objects_accessed
+
+    def test_users_draw_independent_streams(self):
+        """Two users with the same label still see different transactions
+        (per-user stream names)."""
+        model = make_model(nusers=2)
+        model.users.launch(40, stream_label="multi")
+        model.sim.run()
+        kinds = model.tm.phase_kind_counts
+        assert sum(kinds.values()) == 40
+
+
+class TestThinkTime:
+    def test_think_time_stretches_the_run(self):
+        fast = make_model()
+        fast.users.launch(20, stream_label="t")
+        fast.sim.run()
+        slow = make_model(ocb=SMALL.with_changes(thinktime=100.0))
+        slow.users.launch(20, stream_label="t")
+        slow.sim.run()
+        assert slow.sim.now >= fast.sim.now + 19 * 100.0
+
+
+class TestOcbOverride:
+    def test_override_changes_phase_mix_only(self):
+        model = make_model()
+        hier_only = SMALL.with_changes(
+            pset=0.0, psimple=0.0, phier=1.0, pstoch=0.0
+        )
+        phase = model.run_phase(
+            15, stream_label="ov", ocb_override=hier_only
+        )
+        assert phase.transactions_by_kind == {"hierarchy": 15}
+        # next phase reverts to the configured mix
+        phase2 = model.run_phase(30, stream_label="normal")
+        assert len(phase2.transactions_by_kind) > 1
+
+    def test_override_think_time_applies(self):
+        model = make_model()
+        before = model.sim.now
+        model.run_phase(
+            5,
+            stream_label="think",
+            ocb_override=SMALL.with_changes(thinktime=50.0),
+        )
+        assert model.sim.now - before >= 4 * 50.0

@@ -1,0 +1,177 @@
+"""Unit tests for the Simulation engine: clock, scheduling, streams."""
+
+import math
+
+import pytest
+
+from repro.despy import Simulation
+from repro.despy.errors import SchedulingError
+
+
+class TestScheduling:
+    def test_schedule_runs_handler_at_offset(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_schedule_passes_args(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(1.0, lambda a, b: seen.append((a, b)), "x", 2)
+        sim.run()
+        assert seen == [("x", 2)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SchedulingError):
+            sim.schedule(math.nan, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule_at(3.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulation()
+        failures = []
+
+        def try_past():
+            try:
+                sim.schedule_at(1.0, lambda: None)
+            except SchedulingError:
+                failures.append(sim.now)
+
+        sim.schedule(2.0, try_past)
+        sim.run()
+        assert failures == [2.0]
+
+    def test_drained_simulation_is_reusable(self):
+        """Multi-phase experiments schedule fresh work after a drain."""
+        sim = Simulation()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.run()
+        sim.schedule(3.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.0, 5.0]
+
+    def test_events_chain_from_handlers(self):
+        sim = Simulation()
+        seen = []
+
+        def first():
+            seen.append(("first", sim.now))
+            sim.schedule(2.0, second)
+
+        def second():
+            seen.append(("second", sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [("first", 1.0), ("second", 3.0)]
+
+
+class TestRunControl:
+    def test_run_until_pauses_clock_at_horizon(self):
+        sim = Simulation()
+        sim.schedule(10.0, lambda: None)
+        end = sim.run(until=4.0)
+        assert end == 4.0
+        assert sim.pending_events == 1
+
+    def test_run_resumes_after_horizon(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(10.0, lambda: seen.append(sim.now))
+        sim.run(until=4.0)
+        sim.run()
+        assert seen == [10.0]
+
+    def test_run_after_drain_is_noop(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.run() == 1.0
+
+    def test_stop_drops_pending_events(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(sim.now), sim.stop()))
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.0]
+
+    def test_empty_run_finishes_at_zero(self):
+        sim = Simulation()
+        assert sim.run() == 0.0
+
+    def test_run_until_advances_idle_clock_to_horizon(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        end = sim.run(until=9.0)
+        assert end == 9.0
+
+    def test_events_executed_counter(self):
+        sim = Simulation()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+
+class TestStreams:
+    def test_stream_is_cached_by_name(self):
+        sim = Simulation(seed=1)
+        assert sim.stream("disk") is sim.stream("disk")
+
+    def test_streams_reproducible_across_simulations(self):
+        a = Simulation(seed=99).stream("disk")
+        b = Simulation(seed=99).stream("disk")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_named_streams_differ(self):
+        sim = Simulation(seed=99)
+        a = sim.stream("disk")
+        b = sim.stream("network")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = Simulation(seed=1).stream("disk")
+        b = Simulation(seed=2).stream("disk")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+class TestTrace:
+    def test_trace_callback_sees_events(self):
+        lines = []
+        sim = Simulation(trace=lambda t, msg: lines.append((t, msg)))
+        sim.schedule(1.5, lambda: None)
+        sim.run()
+        assert len(lines) == 1
+        assert lines[0][0] == 1.5
+
+    def test_determinism_same_seed_same_trace(self):
+        def build():
+            sim = Simulation(seed=5)
+            order = []
+
+            def recurring(n):
+                order.append((round(sim.now, 9), n))
+                if n < 20:
+                    delay = sim.stream("d").exponential(1.0)
+                    sim.schedule(delay, recurring, n + 1)
+
+            sim.schedule(0.0, recurring, 0)
+            sim.run()
+            return order
+
+        assert build() == build()

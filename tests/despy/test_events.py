@@ -1,0 +1,90 @@
+"""Unit tests for the event list: ordering, cancellation, determinism."""
+
+import pytest
+
+from repro.despy.events import Event, EventList
+
+
+def _noop():
+    pass
+
+
+class TestEventOrdering:
+    def test_pop_returns_events_in_time_order(self):
+        events = EventList()
+        events.push(3.0, 0, _noop)
+        events.push(1.0, 0, _noop)
+        events.push(2.0, 0, _noop)
+        times = [events.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_priority_breaks_time_ties(self):
+        events = EventList()
+        low = events.push(1.0, 5, _noop)
+        high = events.push(1.0, -5, _noop)
+        assert events.pop() is high
+        assert events.pop() is low
+
+    def test_insertion_order_breaks_full_ties(self):
+        events = EventList()
+        first = events.push(1.0, 0, _noop)
+        second = events.push(1.0, 0, _noop)
+        third = events.push(1.0, 0, _noop)
+        assert [events.pop() for _ in range(3)] == [first, second, third]
+
+    def test_event_comparison_is_total(self):
+        a = Event(1.0, 0, 0, _noop, ())
+        b = Event(1.0, 0, 1, _noop, ())
+        assert a < b
+        assert not b < a
+
+
+class TestCancellation:
+    def test_cancelled_events_are_skipped_by_pop(self):
+        events = EventList()
+        doomed = events.push(1.0, 0, _noop)
+        survivor = events.push(2.0, 0, _noop)
+        doomed.cancel()
+        assert events.pop() is survivor
+
+    def test_peek_time_skips_cancelled_head(self):
+        events = EventList()
+        doomed = events.push(1.0, 0, _noop)
+        events.push(5.0, 0, _noop)
+        doomed.cancel()
+        assert events.peek_time() == 5.0
+
+    def test_peek_time_empty_returns_none(self):
+        assert EventList().peek_time() is None
+
+    def test_len_counts_cancelled_until_discarded(self):
+        events = EventList()
+        doomed = events.push(1.0, 0, _noop)
+        doomed.cancel()
+        assert len(events) == 1
+        assert events.peek_time() is None
+        assert len(events) == 0
+
+
+class TestEventListBasics:
+    def test_bool_reflects_emptiness(self):
+        events = EventList()
+        assert not events
+        events.push(1.0, 0, _noop)
+        assert events
+
+    def test_clear_empties_the_list(self):
+        events = EventList()
+        events.push(1.0, 0, _noop)
+        events.clear()
+        assert len(events) == 0
+
+    def test_push_stores_handler_and_args(self):
+        events = EventList()
+        event = events.push(1.0, 0, _noop, args=(1, 2))
+        assert event.handler is _noop
+        assert event.args == (1, 2)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventList().pop()

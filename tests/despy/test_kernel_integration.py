@@ -1,0 +1,169 @@
+"""Kernel integration scenarios: composed processes, gates, resources.
+
+These exercise the kernel the way VOODB composes it — chained
+sub-generators (``yield from``), resource pipelines, gate-coordinated
+phases — complementing the per-feature unit tests.
+"""
+
+import pytest
+
+from repro.despy import Hold, Release, Request, Simulation, WaitFor
+from repro.despy.resource import Gate, Resource
+
+
+class TestComposition:
+    def test_yield_from_chains_like_voodb_access_paths(self):
+        """TM -> architecture -> IO style delegation, three levels deep."""
+        sim = Simulation()
+        disk = Resource(sim, "disk")
+        log = []
+
+        def io_layer(page):
+            yield Request(disk)
+            yield Hold(10.0)
+            yield Release(disk)
+            log.append(("io", page, sim.now))
+
+        def access_layer(oid):
+            yield Hold(1.0)
+            yield from io_layer(oid * 10)
+
+        def transaction(oids):
+            for oid in oids:
+                yield from access_layer(oid)
+            log.append(("done", None, sim.now))
+
+        sim.process(transaction([1, 2]))
+        sim.run()
+        assert log == [
+            ("io", 10, 11.0),
+            ("io", 20, 22.0),
+            ("done", None, 22.0),
+        ]
+
+    def test_empty_subgenerator_is_transparent(self):
+        """Architectures' no-op hooks: yield from of a bodyless generator."""
+        sim = Simulation()
+        seen = []
+
+        def noop():
+            return
+            yield  # pragma: no cover
+
+        def proc():
+            yield from noop()
+            yield Hold(1.0)
+            seen.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert seen == [1.0]
+
+    def test_pipeline_of_two_resources(self):
+        """Network + disk in series: total latency adds, order preserved."""
+        sim = Simulation()
+        network = Resource(sim, "net")
+        disk = Resource(sim, "disk")
+        finished = []
+
+        def request(tag):
+            yield Request(network)
+            yield Hold(2.0)
+            yield Release(network)
+            yield Request(disk)
+            yield Hold(5.0)
+            yield Release(disk)
+            finished.append((tag, sim.now))
+
+        for tag in range(3):
+            sim.process(request(tag))
+        sim.run()
+        # network stage pipelines with disk stage
+        assert finished == [(0, 7.0), (1, 12.0), (2, 17.0)]
+
+
+class TestGateCoordination:
+    def test_barrier_start(self):
+        """Processes wait on a gate, a coordinator releases them together."""
+        sim = Simulation()
+        gate = Gate(sim, "start")
+        starts = []
+
+        def worker(tag):
+            yield WaitFor(gate)
+            starts.append((tag, sim.now))
+            yield Hold(1.0)
+
+        def coordinator():
+            yield Hold(5.0)
+            gate.open()
+
+        for tag in range(3):
+            sim.process(worker(tag))
+        sim.process(coordinator())
+        sim.run()
+        assert [t for __, t in starts] == [5.0, 5.0, 5.0]
+
+    def test_phased_execution_like_dstc_protocol(self):
+        """run -> drain -> run again on one clock (the §4.4 phases)."""
+        sim = Simulation()
+        timeline = []
+
+        def phase(name, duration):
+            yield Hold(duration)
+            timeline.append((name, sim.now))
+
+        sim.process(phase("usage-1", 10.0))
+        sim.run()
+        sim.process(phase("reorganize", 3.0))
+        sim.run()
+        sim.process(phase("usage-2", 10.0))
+        sim.run()
+        assert timeline == [
+            ("usage-1", 10.0),
+            ("reorganize", 13.0),
+            ("usage-2", 23.0),
+        ]
+
+
+class TestDeterminismUnderContention:
+    def test_fifo_service_order_is_stable(self):
+        sim = Simulation()
+        res = Resource(sim, "r")
+        order = []
+
+        def job(tag):
+            yield Request(res)
+            order.append(tag)
+            yield Hold(1.0)
+            yield Release(res)
+
+        for tag in range(10):
+            sim.process(job(tag))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_full_scenario_replays_identically(self):
+        def run():
+            sim = Simulation(seed=21)
+            res = Resource(sim, "r", capacity=2)
+            trace = []
+
+            def job(tag):
+                service = sim.stream("svc")
+                yield Request(res)
+                yield Hold(service.exponential(3.0))
+                yield Release(res)
+                trace.append((tag, round(sim.now, 9)))
+
+            def source():
+                arrivals = sim.stream("arr")
+                for tag in range(30):
+                    yield Hold(arrivals.exponential(1.0))
+                    sim.process(job(tag))
+
+            sim.process(source())
+            sim.run()
+            return trace
+
+        assert run() == run()

@@ -1,0 +1,116 @@
+"""Unit tests for the observation collectors."""
+
+import math
+
+import pytest
+
+from repro.despy import Simulation
+from repro.despy.monitor import OnlineStats, TimeWeightedStats
+
+
+class TestOnlineStats:
+    def test_empty_stats(self):
+        stats = OnlineStats()
+        assert stats.n == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_mean_and_variance_match_textbook(self):
+        stats = OnlineStats()
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for x in data:
+            stats.record(x)
+        assert stats.mean == pytest.approx(5.0)
+        # unbiased sample variance of the classic dataset is 32/7
+        assert stats.variance == pytest.approx(32.0 / 7.0)
+        assert stats.stdev == pytest.approx(math.sqrt(32.0 / 7.0))
+
+    def test_min_max_total(self):
+        stats = OnlineStats()
+        for x in [3.0, -1.0, 10.0]:
+            stats.record(x)
+        assert stats.minimum == -1.0
+        assert stats.maximum == 10.0
+        assert stats.total == 12.0
+
+    def test_single_observation_variance_zero(self):
+        stats = OnlineStats()
+        stats.record(5.0)
+        assert stats.variance == 0.0
+
+    def test_merge_equivalent_to_combined_stream(self):
+        a, b, combined = OnlineStats(), OnlineStats(), OnlineStats()
+        left = [1.0, 2.0, 3.0]
+        right = [10.0, 20.0]
+        for x in left:
+            a.record(x)
+            combined.record(x)
+        for x in right:
+            b.record(x)
+            combined.record(x)
+        merged = a.merge(b)
+        assert merged.n == combined.n
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+        assert merged.total == pytest.approx(combined.total)
+
+    def test_merge_with_empty(self):
+        a = OnlineStats()
+        a.record(4.0)
+        merged = a.merge(OnlineStats())
+        assert merged.n == 1
+        assert merged.mean == 4.0
+
+
+class TestTimeWeightedStats:
+    def test_constant_signal_average_is_value(self):
+        sim = Simulation()
+        tw = TimeWeightedStats(sim, initial=3.0)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert tw.time_average() == pytest.approx(3.0)
+
+    def test_step_signal(self):
+        sim = Simulation()
+        tw = TimeWeightedStats(sim, initial=0.0)
+        sim.schedule(4.0, lambda: tw.record(2.0))
+        sim.schedule(8.0, lambda: None)
+        sim.run()
+        # 0 for 4 units then 2 for 4 units -> average 1
+        assert tw.time_average() == pytest.approx(1.0)
+
+    def test_zero_elapsed_returns_current(self):
+        sim = Simulation()
+        tw = TimeWeightedStats(sim, initial=7.0)
+        assert tw.time_average() == 7.0
+
+    def test_current_tracks_last_value(self):
+        sim = Simulation()
+        tw = TimeWeightedStats(sim)
+        sim.schedule(1.0, lambda: tw.record(5.0))
+        sim.run()
+        assert tw.current == 5.0
+
+    def test_multiple_steps(self):
+        sim = Simulation()
+        tw = TimeWeightedStats(sim, initial=1.0)
+        sim.schedule(2.0, lambda: tw.record(3.0))
+        sim.schedule(6.0, lambda: tw.record(0.0))
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        # 1*2 + 3*4 + 0*4 = 14 over 10 units
+        assert tw.time_average() == pytest.approx(1.4)
+
+    def test_starts_at_construction_time(self):
+        sim = Simulation()
+        holder = {}
+
+        def later():
+            holder["tw"] = TimeWeightedStats(sim, initial=2.0)
+
+        sim.schedule(5.0, later)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert holder["tw"].time_average() == pytest.approx(2.0)

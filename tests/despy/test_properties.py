@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for kernel invariants."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.despy import Simulation
+from repro.despy.events import EventList
+from repro.despy.monitor import OnlineStats
+from repro.despy.stats import confidence_interval
+
+
+def _noop():
+    pass
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            st.integers(min_value=-10, max_value=10),
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_event_list_pops_in_nondecreasing_time_order(entries):
+    events = EventList()
+    for time, priority in entries:
+        events.push(time, priority, _noop)
+    popped = [events.pop() for _ in range(len(entries))]
+    times = [e.time for e in popped]
+    assert times == sorted(times)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.integers(min_value=-3, max_value=3),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_event_list_matches_reference_heap(entries):
+    """The event list is observationally a stable (time, priority) heap."""
+    events = EventList()
+    reference = []
+    for seq, (time, priority) in enumerate(entries):
+        events.push(time, priority, _noop)
+        heapq.heappush(reference, (time, priority, seq))
+    for _ in range(len(entries)):
+        event = events.pop()
+        time, priority, seq = heapq.heappop(reference)
+        assert (event.time, event.priority, event.seq) == (time, priority, seq)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=50)
+def test_simulation_clock_is_monotonic(delays):
+    sim = Simulation()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e7, max_value=1e7, allow_nan=False),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_online_stats_matches_direct_computation(data):
+    stats = OnlineStats()
+    for x in data:
+        stats.record(x)
+    n = len(data)
+    mean = sum(data) / n
+    assert stats.n == n
+    assert stats.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+    if n > 1:
+        variance = sum((x - mean) ** 2 for x in data) / (n - 1)
+        assert stats.variance == pytest.approx(variance, rel=1e-6, abs=1e-3)
+    assert stats.minimum == min(data)
+    assert stats.maximum == max(data)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=60,
+    )
+)
+def test_confidence_interval_brackets_the_mean(data):
+    ci = confidence_interval(data)
+    mean = sum(data) / len(data)
+    assert ci.low <= mean + 1e-9
+    assert ci.high >= mean - 1e-9
+    assert ci.half_width >= 0.0
+
+
+@given(
+    st.lists(st.floats(min_value=-1e5, max_value=1e5, allow_nan=False), min_size=1),
+    st.lists(st.floats(min_value=-1e5, max_value=1e5, allow_nan=False), min_size=1),
+)
+@settings(max_examples=60)
+def test_online_stats_merge_is_consistent(left, right):
+    a, b, combined = OnlineStats(), OnlineStats(), OnlineStats()
+    for x in left:
+        a.record(x)
+        combined.record(x)
+    for x in right:
+        b.record(x)
+        combined.record(x)
+    merged = a.merge(b)
+    assert merged.n == combined.n
+    assert merged.mean == pytest.approx(combined.mean, rel=1e-7, abs=1e-6)
+    assert merged.variance == pytest.approx(combined.variance, rel=1e-5, abs=1e-3)

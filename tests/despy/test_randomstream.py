@@ -1,0 +1,153 @@
+"""Unit tests for reproducible random streams and their distributions."""
+
+import math
+
+import pytest
+
+from repro.despy import RandomStream
+from repro.despy.randomstream import derive_seed
+
+
+class TestSeeding:
+    def test_same_seed_same_sequence(self):
+        a = RandomStream(42, "s")
+        b = RandomStream(42, "s")
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_names_different_sequences(self):
+        a = RandomStream(42, "x")
+        b = RandomStream(42, "y")
+        assert [a.random() for _ in range(20)] != [b.random() for _ in range(20)]
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_spawn_children_independent(self):
+        parent = RandomStream(42, "p")
+        a = parent.spawn("child1")
+        b = parent.spawn("child2")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_spawn_reproducible(self):
+        a = RandomStream(42, "p").spawn("c")
+        b = RandomStream(42, "p").spawn("c")
+        assert a.random() == b.random()
+
+
+class TestDistributions:
+    def test_uniform_bounds(self):
+        stream = RandomStream(1, "u")
+        for _ in range(1000):
+            x = stream.uniform(2.0, 5.0)
+            assert 2.0 <= x <= 5.0
+
+    def test_exponential_mean(self):
+        stream = RandomStream(1, "e")
+        n = 20000
+        mean = sum(stream.exponential(4.0) for _ in range(n)) / n
+        assert mean == pytest.approx(4.0, rel=0.05)
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        stream = RandomStream(1, "e")
+        with pytest.raises(ValueError):
+            stream.exponential(0.0)
+
+    def test_randint_inclusive(self):
+        stream = RandomStream(1, "i")
+        values = {stream.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_bernoulli_probability(self):
+        stream = RandomStream(1, "b")
+        n = 20000
+        hits = sum(stream.bernoulli(0.3) for _ in range(n))
+        assert hits / n == pytest.approx(0.3, abs=0.02)
+
+    def test_normal_moments(self):
+        stream = RandomStream(1, "n")
+        n = 20000
+        xs = [stream.normal(10.0, 2.0) for _ in range(n)]
+        mean = sum(xs) / n
+        var = sum((x - mean) ** 2 for x in xs) / (n - 1)
+        assert mean == pytest.approx(10.0, abs=0.1)
+        assert math.sqrt(var) == pytest.approx(2.0, rel=0.05)
+
+    def test_choice_and_sample(self):
+        stream = RandomStream(1, "c")
+        items = ["a", "b", "c", "d"]
+        assert stream.choice(items) in items
+        picked = stream.sample(items, 2)
+        assert len(picked) == 2
+        assert len(set(picked)) == 2
+
+    def test_shuffle_is_permutation(self):
+        stream = RandomStream(1, "s")
+        items = list(range(10))
+        shuffled = list(items)
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestDiscrete:
+    def test_discrete_respects_probabilities(self):
+        stream = RandomStream(1, "d")
+        n = 40000
+        counts = [0, 0, 0]
+        for _ in range(n):
+            counts[stream.discrete([0.5, 0.3, 0.2])] += 1
+        assert counts[0] / n == pytest.approx(0.5, abs=0.02)
+        assert counts[1] / n == pytest.approx(0.3, abs=0.02)
+        assert counts[2] / n == pytest.approx(0.2, abs=0.02)
+
+    def test_discrete_rejects_bad_total(self):
+        stream = RandomStream(1, "d")
+        with pytest.raises(ValueError):
+            stream.discrete([0.5, 0.2])
+
+    def test_discrete_rejects_negative(self):
+        stream = RandomStream(1, "d")
+        with pytest.raises(ValueError):
+            stream.discrete([1.5, -0.5])
+
+    def test_discrete_degenerate_single_outcome(self):
+        stream = RandomStream(1, "d")
+        assert stream.discrete([1.0]) == 0
+
+
+class TestZipf:
+    def test_zipf_zero_skew_is_uniform(self):
+        stream = RandomStream(1, "z")
+        n = 30000
+        counts = [0] * 5
+        for _ in range(n):
+            counts[stream.zipf_index(5, 0.0)] += 1
+        for count in counts:
+            assert count / n == pytest.approx(0.2, abs=0.02)
+
+    def test_zipf_skew_favors_low_ranks(self):
+        stream = RandomStream(1, "z")
+        n = 30000
+        counts = [0] * 10
+        for _ in range(n):
+            counts[stream.zipf_index(10, 1.0)] += 1
+        assert counts[0] > counts[4] > counts[9]
+
+    def test_zipf_ratio_matches_theory(self):
+        stream = RandomStream(1, "z")
+        n = 60000
+        counts = [0] * 4
+        for _ in range(n):
+            counts[stream.zipf_index(4, 1.0)] += 1
+        # P(0)/P(1) should be ~2 under 1/(r+1) weights
+        assert counts[0] / counts[1] == pytest.approx(2.0, rel=0.1)
+
+    def test_zipf_in_range(self):
+        stream = RandomStream(1, "z")
+        for _ in range(1000):
+            assert 0 <= stream.zipf_index(7, 0.8) < 7
+
+    def test_zipf_rejects_bad_n(self):
+        stream = RandomStream(1, "z")
+        with pytest.raises(ValueError):
+            stream.zipf_index(0, 1.0)

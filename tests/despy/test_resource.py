@@ -1,0 +1,112 @@
+"""Unit tests for Resource statistics and the non-blocking face."""
+
+import pytest
+
+from repro.despy import Hold, Release, Request, Simulation
+from repro.despy.errors import ResourceError
+from repro.despy.resource import Resource
+
+
+class TestPlainFace:
+    def test_try_acquire_succeeds_when_free(self):
+        sim = Simulation()
+        res = Resource(sim, "r", capacity=2)
+        assert res.try_acquire()
+        assert res.try_acquire()
+        assert not res.try_acquire()
+        assert res.in_use == 2
+
+    def test_release_restores_capacity(self):
+        sim = Simulation()
+        res = Resource(sim, "r")
+        res.try_acquire()
+        res.release()
+        assert res.available == 1
+
+    def test_release_idle_resource_raises(self):
+        sim = Simulation()
+        res = Resource(sim, "r")
+        with pytest.raises(ResourceError):
+            res.release()
+
+    def test_zero_capacity_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ResourceError):
+            Resource(sim, "r", capacity=0)
+
+
+class TestStatistics:
+    def test_utilization_half_busy(self):
+        sim = Simulation()
+        res = Resource(sim, "r")
+
+        def job():
+            yield Request(res)
+            yield Hold(5.0)
+            yield Release(res)
+            yield Hold(5.0)
+
+        sim.process(job())
+        sim.run()
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_mean_wait_measures_queueing(self):
+        sim = Simulation()
+        res = Resource(sim, "r")
+
+        def holder():
+            yield Request(res)
+            yield Hold(4.0)
+            yield Release(res)
+
+        def waiter():
+            yield Request(res)
+            yield Release(res)
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run()
+        # holder waits 0, waiter waits 4 -> mean 2
+        assert res.mean_wait() == pytest.approx(2.0)
+
+    def test_counters(self):
+        sim = Simulation()
+        res = Resource(sim, "r")
+
+        def job():
+            yield Request(res)
+            yield Release(res)
+
+        for _ in range(3):
+            sim.process(job())
+        sim.run()
+        assert res.total_requests == 3
+        assert res.total_served == 3
+
+    def test_queue_length_time_average_positive_under_contention(self):
+        sim = Simulation()
+        res = Resource(sim, "r")
+
+        def job():
+            yield Request(res)
+            yield Hold(1.0)
+            yield Release(res)
+
+        for _ in range(5):
+            sim.process(job())
+        sim.run()
+        assert res.mean_queue_length() > 0.0
+
+    def test_utilization_full_when_always_busy(self):
+        sim = Simulation()
+        res = Resource(sim, "r")
+
+        def job():
+            yield Request(res)
+            yield Hold(2.0)
+            yield Release(res)
+
+        sim.process(job())
+        sim.process(job())
+        sim.run()
+        assert res.utilization() == pytest.approx(1.0)

@@ -1,0 +1,131 @@
+"""Unit tests for the [Ban96] replication-statistics workflow."""
+
+import pytest
+
+from repro.despy import (
+    ConfidenceInterval,
+    ReplicationAnalyzer,
+    confidence_interval,
+    required_replications,
+)
+from repro.despy.stats import student_t_quantile
+
+
+class TestConfidenceInterval:
+    def test_known_small_sample(self):
+        # X = [10, 12, 14]: mean 12, s = 2, t(2, .975) = 4.3027
+        ci = confidence_interval([10.0, 12.0, 14.0], confidence=0.95)
+        assert ci.mean == pytest.approx(12.0)
+        assert ci.half_width == pytest.approx(4.3027 * 2.0 / 3.0**0.5, rel=1e-3)
+        assert ci.n == 3
+
+    def test_interval_bounds_and_contains(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, confidence=0.95, n=5)
+        assert ci.low == 8.0
+        assert ci.high == 12.0
+        assert ci.contains(9.0)
+        assert not ci.contains(12.5)
+
+    def test_single_observation_degenerate(self):
+        ci = confidence_interval([7.0])
+        assert ci.mean == 7.0
+        assert ci.half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=1.5)
+
+    def test_relative_half_width(self):
+        ci = ConfidenceInterval(mean=100.0, half_width=5.0, confidence=0.95, n=10)
+        assert ci.relative_half_width == pytest.approx(0.05)
+
+    def test_higher_confidence_widens_interval(self):
+        data = [10.0, 11.0, 12.0, 13.0, 14.0]
+        narrow = confidence_interval(data, confidence=0.90)
+        wide = confidence_interval(data, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_str_formats(self):
+        ci = confidence_interval([10.0, 12.0, 14.0])
+        text = str(ci)
+        assert "12.00" in text
+        assert "n=3" in text
+
+
+class TestStudentT:
+    def test_matches_table_values(self):
+        # Classic table entries
+        assert student_t_quantile(9, 0.975) == pytest.approx(2.2622, rel=1e-3)
+        assert student_t_quantile(99, 0.975) == pytest.approx(1.9842, rel=1e-3)
+
+    def test_rejects_zero_degrees(self):
+        with pytest.raises(ValueError):
+            student_t_quantile(0, 0.975)
+
+
+class TestRequiredReplications:
+    def test_paper_formula(self):
+        # n* = n (h/h*)^2: 10 pilot replications, halve the width -> 40
+        assert required_replications(2.0, 1.0, 10) == 40
+
+    def test_already_precise_needs_none(self):
+        assert required_replications(0.5, 1.0, 10) == 0
+
+    def test_rounds_up(self):
+        # 10 * (1.5)^2 = 22.5 -> 23
+        assert required_replications(1.5, 1.0, 10) == 23
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            required_replications(1.0, 0.0, 10)
+        with pytest.raises(ValueError):
+            required_replications(1.0, 1.0, 0)
+
+
+class TestReplicationAnalyzer:
+    def test_collects_and_reports(self):
+        analyzer = ReplicationAnalyzer()
+        for value in [10.0, 12.0, 14.0]:
+            analyzer.add({"ios": value, "time": value * 2})
+        assert analyzer.replications == 3
+        assert set(analyzer.metrics()) == {"ios", "time"}
+        assert analyzer.mean("ios") == pytest.approx(12.0)
+        assert analyzer.mean("time") == pytest.approx(24.0)
+
+    def test_summary_contains_all_metrics(self):
+        analyzer = ReplicationAnalyzer()
+        analyzer.add({"a": 1.0, "b": 2.0})
+        analyzer.add({"a": 3.0, "b": 4.0})
+        summary = analyzer.summary()
+        assert summary["a"].mean == pytest.approx(2.0)
+        assert summary["b"].n == 2
+
+    def test_unknown_metric_raises(self):
+        analyzer = ReplicationAnalyzer()
+        analyzer.add({"a": 1.0})
+        with pytest.raises(KeyError):
+            analyzer.interval("missing")
+
+    def test_observations_returns_copy(self):
+        analyzer = ReplicationAnalyzer()
+        analyzer.add({"a": 1.0})
+        obs = analyzer.observations("a")
+        obs.append(99.0)
+        assert analyzer.observations("a") == [1.0]
+
+    def test_additional_replications_shrinks_with_precision(self):
+        analyzer = ReplicationAnalyzer()
+        # High-variance pilot -> needs more replications for 5% than 50%
+        for value in [50.0, 150.0, 100.0, 80.0, 120.0]:
+            analyzer.add({"m": value})
+        tight = analyzer.additional_replications_for("m", 0.05)
+        loose = analyzer.additional_replications_for("m", 0.5)
+        assert tight > loose
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationAnalyzer(confidence=0.0)

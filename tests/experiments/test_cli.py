@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_requires_valid_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "12"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.replications is None
+        assert args.hotn == 1000
+        assert args.output is None
+
+    def test_replications_flag(self):
+        args = build_parser().parse_args(["-r", "7", "tables"])
+        assert args.replications == 7
+
+
+class TestExecution:
+    def test_single_figure_prints_report(self, capsys):
+        assert main(["-r", "1", "--hotn", "50", "figure", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "paper bench" in out
+
+    def test_tables_print_all_three(self, capsys):
+        assert main(["-r", "1", "tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 6" in out
+        assert "Table 7" in out
+        assert "Table 8" in out
+
+    def test_output_file_appended(self, tmp_path, capsys):
+        sink = tmp_path / "report.txt"
+        main(["-r", "1", "--hotn", "50", "-o", str(sink), "figure", "9"])
+        capsys.readouterr()
+        content = sink.read_text()
+        assert "Figure 9" in content

@@ -1,0 +1,90 @@
+"""Unit tests for the replication runner (§4.2.2 protocol)."""
+
+import pytest
+
+from repro.core import SystemClass, VOODBConfig
+from repro.experiments import ExperimentRunner
+from repro.experiments.runner import DEFAULT_REPLICATIONS, default_replications
+from repro.ocb import OCBConfig
+
+SMALL = VOODBConfig(
+    sysclass=SystemClass.CENTRALIZED,
+    buffsize=64,
+    ocb=OCBConfig(nc=5, no=200, hotn=40),
+)
+
+
+class TestDefaults:
+    def test_env_var_respected(self, monkeypatch):
+        monkeypatch.setenv("VOODB_REPLICATIONS", "17")
+        assert default_replications() == 17
+
+    def test_fallback_without_env(self, monkeypatch):
+        monkeypatch.delenv("VOODB_REPLICATIONS", raising=False)
+        assert default_replications() == DEFAULT_REPLICATIONS
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("VOODB_REPLICATIONS", "0")
+        with pytest.raises(ValueError):
+            default_replications()
+
+
+class TestRunner:
+    def test_collects_replications(self):
+        runner = ExperimentRunner(SMALL)
+        runner.run(replications=3)
+        assert runner.analyzer.replications == 3
+        ci = runner.interval("total_ios")
+        assert ci.n == 3
+        assert ci.mean > 0
+
+    def test_distinct_seeds_produce_variance(self):
+        runner = ExperimentRunner(SMALL)
+        runner.run(replications=4)
+        observations = runner.analyzer.observations("elapsed_ms")
+        assert len(set(observations)) > 1
+
+    def test_same_base_seed_reproducible(self):
+        a = ExperimentRunner(SMALL)
+        a.run(replications=3, base_seed=11)
+        b = ExperimentRunner(SMALL)
+        b.run(replications=3, base_seed=11)
+        assert a.analyzer.observations("total_ios") == b.analyzer.observations(
+            "total_ios"
+        )
+
+    def test_mean_shortcut(self):
+        runner = ExperimentRunner(SMALL)
+        runner.run(replications=3)
+        assert runner.mean("total_ios") == runner.interval("total_ios").mean
+
+    def test_zero_replications_rejected(self):
+        runner = ExperimentRunner(SMALL)
+        with pytest.raises(ValueError):
+            runner.run(replications=0)
+
+    def test_custom_replication_callable(self):
+        calls = []
+
+        def fake(config, seed):
+            calls.append(seed)
+            return {"metric": float(seed)}
+
+        runner = ExperimentRunner(SMALL, replication=fake)
+        runner.run(replications=3, base_seed=10)
+        assert calls == [10, 11, 12]
+        assert runner.mean("metric") == pytest.approx(11.0)
+
+
+class TestPilotStudy:
+    def test_pilot_study_returns_total_replications(self):
+        runner = ExperimentRunner(SMALL)
+        needed = runner.pilot_study(metric="total_ios", pilot_n=4)
+        assert needed >= 4
+
+    def test_loose_precision_needs_no_extra(self):
+        runner = ExperimentRunner(SMALL)
+        needed = runner.pilot_study(
+            metric="total_ios", pilot_n=4, relative_half_width=10.0
+        )
+        assert needed == 4

@@ -1,0 +1,140 @@
+"""Unit tests for OCB object-graph generation."""
+
+import pytest
+
+from repro.despy import RandomStream
+from repro.ocb import Database, OCBConfig, Schema
+
+
+def build(config: OCBConfig, seed: int = 1) -> Database:
+    rng = RandomStream(seed, "dbgen")
+    return Database.generate(Schema.generate(config, rng), rng)
+
+
+@pytest.fixture
+def config():
+    return OCBConfig(nc=10, no=500)
+
+
+@pytest.fixture
+def db(config):
+    return build(config)
+
+
+class TestGeneration:
+    def test_generates_no_objects(self, db, config):
+        assert len(db) == config.no
+
+    def test_every_class_has_instances_when_no_exceeds_nc(self, db, config):
+        for cid in range(config.nc):
+            assert len(db.instances_of(cid)) > 0
+
+    def test_class_assignment_consistent_with_extents(self, db, config):
+        for cid in range(config.nc):
+            for oid in db.instances_of(cid):
+                assert db.class_of(oid) == cid
+
+    def test_uniform_assignment_balances_extents(self, db, config):
+        sizes = [len(db.instances_of(cid)) for cid in range(config.nc)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_object_refs_match_class_refs(self, db, config):
+        for oid in range(len(db)):
+            class_refs = db.schema[db.class_of(oid)].references
+            assert len(db.refs(oid)) == len(class_refs)
+            for target, class_ref in zip(db.refs(oid), class_refs):
+                assert db.class_of(target) == class_ref.target_cid
+
+    def test_ref_types_copied_from_schema(self, db):
+        for oid in range(len(db)):
+            class_refs = db.schema[db.class_of(oid)].references
+            assert list(db.ref_types(oid)) == [r.ref_type for r in class_refs]
+
+    def test_sizes_come_from_class(self, db):
+        for oid in range(0, len(db), 37):
+            assert db.size(oid) == db.schema[db.class_of(oid)].instance_size
+
+    def test_reproducible(self, config):
+        a, b = build(config, seed=5), build(config, seed=5)
+        assert [list(a.refs(o)) for o in range(len(a))] == [
+            list(b.refs(o)) for o in range(len(b))
+        ]
+
+    def test_seeds_differ(self, config):
+        a, b = build(config, seed=5), build(config, seed=6)
+        assert [list(a.refs(o)) for o in range(len(a))] != [
+            list(b.refs(o)) for o in range(len(b))
+        ]
+
+
+class TestLocality:
+    def test_locality_window_bounds_targets(self):
+        config = OCBConfig(nc=5, no=1000, object_locality=10)
+        db = build(config)
+        for oid in range(len(db)):
+            extent = db.instances_of(db.class_of(oid))
+            own_pos = extent.index(oid) if oid in extent else None
+        # every referenced object lies within 10 positions (cyclically)
+        # of the referencing object's own position in the target extent
+        for oid in range(len(db)):
+            positions = {t: i for c in range(config.nc) for i, t in enumerate(db.instances_of(c))}
+            own = positions[oid]
+            for target in db.refs(oid):
+                target_extent = db.instances_of(db.class_of(target))
+                delta = (positions[target] - own) % len(target_extent)
+                assert delta < 10
+
+    def test_full_window_reaches_far_instances(self):
+        config = OCBConfig(nc=2, no=2000, object_locality=2000)
+        db = build(config)
+        spans = []
+        positions = {}
+        for cid in range(config.nc):
+            for i, oid in enumerate(db.instances_of(cid)):
+                positions[oid] = i
+        for oid in range(0, len(db), 17):
+            own = positions[oid]
+            for target in db.refs(oid):
+                extent = db.instances_of(db.class_of(target))
+                spans.append((positions[target] - own) % len(extent))
+        assert max(spans) > 200
+
+
+class TestViews:
+    def test_instance_view(self, db):
+        view = db.instance(42)
+        assert view.oid == 42
+        assert view.cid == db.class_of(42)
+        assert view.size == db.size(42)
+        assert list(view.refs) == list(db.refs(42))
+
+    def test_iteration_yields_all_objects(self, db, config):
+        oids = [obj.oid for obj in db]
+        assert oids == list(range(config.no))
+
+    def test_total_bytes_matches_sum(self, db):
+        assert db.total_bytes() == sum(db.size(oid) for oid in range(len(db)))
+
+    def test_refs_of_type(self, db):
+        for oid in range(0, len(db), 53):
+            for ref_type in range(db.config.nreft):
+                expected = [
+                    t
+                    for t, rt in zip(db.refs(oid), db.ref_types(oid))
+                    if rt == ref_type
+                ]
+                assert db.refs_of_type(oid, ref_type) == expected
+
+    def test_total_references(self, db):
+        assert db.total_references() == sum(
+            len(db.refs(oid)) for oid in range(len(db))
+        )
+
+
+class TestSkewedAssignment:
+    def test_class_skew_favors_low_cids(self):
+        config = OCBConfig(nc=10, no=2000, class_instance_skew=1.0)
+        db = build(config)
+        low = len(db.instances_of(0))
+        high = len(db.instances_of(9))
+        assert low > high

@@ -1,0 +1,137 @@
+"""Tests for OCB's dynamic operations: insert and delete."""
+
+import pytest
+
+from repro.despy import RandomStream
+from repro.ocb import Database, OCBConfig, Schema, TransactionGenerator
+
+
+def build(config: OCBConfig, seed: int = 1) -> Database:
+    rng = RandomStream(seed, "dyn")
+    return Database.generate(Schema.generate(config, rng), rng)
+
+
+@pytest.fixture
+def db():
+    return build(OCBConfig(nc=5, no=200))
+
+
+class TestInsert:
+    def test_insert_appends_object(self, db):
+        before = len(db)
+        oid = db.insert_object(2, [0, 1], [0, 1])
+        assert oid == before
+        assert len(db) == before + 1
+        assert db.class_of(oid) == 2
+        assert list(db.refs(oid)) == [0, 1]
+        assert oid in db.instances_of(2)
+
+    def test_insert_validates_inputs(self, db):
+        with pytest.raises(ValueError):
+            db.insert_object(99, [], [])
+        with pytest.raises(ValueError):
+            db.insert_object(0, [10**9], [0])
+        with pytest.raises(ValueError):
+            db.insert_object(0, [1], [0, 1])
+
+    def test_inserted_object_has_class_size(self, db):
+        oid = db.insert_object(3, [], [])
+        assert db.size(oid) == db.schema[3].instance_size
+
+
+class TestDelete:
+    def test_delete_tombstones_and_cleans_references(self, db):
+        victim = db.refs(0)[0] if db.refs(0) else 1
+        extent_cid = db.class_of(victim)
+        dirty = db.delete_object(victim)
+        assert db.is_deleted(victim)
+        assert victim not in db.instances_of(extent_cid)
+        for other in range(len(db)):
+            assert victim not in db.refs(other)
+        assert 0 in dirty  # object 0 referenced the victim
+
+    def test_double_delete_rejected(self, db):
+        db.delete_object(5)
+        with pytest.raises(ValueError):
+            db.delete_object(5)
+
+    def test_deleted_object_size_zero(self, db):
+        db.delete_object(7)
+        assert db.size(7) == 0
+
+    def test_live_objects_shrinks(self, db):
+        before = db.live_objects()
+        db.delete_object(3)
+        assert db.live_objects() == before - 1
+
+    def test_insert_after_delete_maintains_reverse_index(self, db):
+        db.delete_object(2)  # builds the reverse index
+        oid = db.insert_object(1, [4], [0])
+        dirty = db.delete_object(4)
+        assert oid in dirty
+        assert 4 not in db.refs(oid)
+
+
+class TestClone:
+    def test_clone_is_independent(self, db):
+        copy = db.clone()
+        copy.delete_object(0)
+        assert copy.is_deleted(0)
+        assert not db.is_deleted(0)
+        copy.insert_object(0, [], [])
+        assert len(copy) == len(db) + 1
+
+    def test_clone_preserves_content(self, db):
+        copy = db.clone()
+        for oid in range(len(db)):
+            assert copy.class_of(oid) == db.class_of(oid)
+            assert list(copy.refs(oid)) == list(db.refs(oid))
+
+
+class TestDynamicWorkload:
+    def make_generator(self, db, pinsert=0.5, pdelete=0.5, seed=3):
+        config = db.config.with_changes(
+            pset=0.0,
+            psimple=0.0,
+            phier=0.0,
+            pstoch=0.0,
+            pinsert=pinsert,
+            pdelete=pdelete,
+        )
+        return TransactionGenerator(db, config, RandomStream(seed, "wl"))
+
+    def test_insert_transactions_grow_the_base(self, db):
+        gen = self.make_generator(db, pinsert=1.0, pdelete=0.0)
+        before = len(db)
+        txns = list(gen.transactions(10))
+        assert len(db) == before + 10
+        assert all(t.kind == "insert" for t in txns)
+        for txn in txns:
+            assert txn.accesses[0] == (txn.root, True)
+
+    def test_delete_transactions_shrink_the_base(self, db):
+        gen = self.make_generator(db, pinsert=0.0, pdelete=1.0)
+        before = db.live_objects()
+        txns = list(gen.transactions(10))
+        assert db.live_objects() == before - 10
+        assert all(t.kind == "delete" for t in txns)
+        # cleanup writes: every access is a write
+        for txn in txns:
+            assert all(w for __, w in txn.accesses)
+
+    def test_roots_skip_tombstones(self, db):
+        gen = self.make_generator(db, pinsert=0.0, pdelete=1.0)
+        list(gen.transactions(50))
+        for __ in range(100):
+            assert not db.is_deleted(gen.next_root())
+
+    def test_mixed_workload_traversals_never_touch_tombstones(self, db):
+        config = db.config.with_changes(
+            pset=0.2, psimple=0.2, phier=0.2, pstoch=0.2, pinsert=0.0, pdelete=0.2
+        )
+        gen = TransactionGenerator(db, config, RandomStream(9, "wl"))
+        for txn in gen.transactions(150):
+            if txn.kind == "delete":
+                continue
+            for oid, __ in txn.accesses:
+                assert not db.is_deleted(oid)

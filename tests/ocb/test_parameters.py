@@ -1,0 +1,112 @@
+"""Unit tests for the OCB parameter set."""
+
+import pytest
+
+from repro.ocb import OCBConfig
+
+
+class TestDefaults:
+    def test_paper_table5_defaults(self):
+        """Table 5: the workload definition used by every experiment."""
+        config = OCBConfig()
+        assert config.coldn == 0
+        assert config.hotn == 1000
+        assert config.pset == 0.25
+        assert config.psimple == 0.25
+        assert config.phier == 0.25
+        assert config.pstoch == 0.25
+        assert config.setdepth == 3
+        assert config.simdepth == 3
+        assert config.hiedepth == 5
+        assert config.stodepth == 50
+
+    def test_paper_database_defaults(self):
+        config = OCBConfig()
+        assert config.nc == 50
+        assert config.no == 20_000
+
+    def test_default_base_size_near_paper(self):
+        """§4.4: the mid-sized base is 'about 20 MB on an average'."""
+        config = OCBConfig()
+        megabytes = config.expected_database_bytes / 2**20
+        assert 14.0 <= megabytes <= 22.0
+
+    def test_twenty_class_base_is_smaller(self):
+        """The 20-class base must be smaller — this is what separates
+        Figure 6 from Figure 7 (and 9 from 10)."""
+        small = OCBConfig(nc=20)
+        large = OCBConfig(nc=50)
+        assert small.expected_database_bytes < large.expected_database_bytes
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("nc", 0),
+            ("no", 0),
+            ("maxnref", 0),
+            ("basesize", 0),
+            ("nreft", 0),
+            ("maxsizemult", 0),
+            ("class_locality", 0),
+            ("object_locality", 0),
+            ("coldn", -1),
+            ("hotn", -1),
+            ("setdepth", -1),
+            ("simdepth", -1),
+            ("hiedepth", -1),
+            ("stodepth", -1),
+            ("thinktime", -1.0),
+            ("pwrite", 1.5),
+            ("inheritance_weight", -0.1),
+        ],
+    )
+    def test_rejects_bad_field(self, field, value):
+        with pytest.raises(ValueError):
+            OCBConfig(**{field: value})
+
+    def test_rejects_probabilities_not_summing_to_one(self):
+        with pytest.raises(ValueError, match="probabilities sum"):
+            OCBConfig(pset=0.5, psimple=0.5, phier=0.5, pstoch=0.5)
+
+    def test_rejects_empty_workload(self):
+        with pytest.raises(ValueError, match="at least one transaction"):
+            OCBConfig(coldn=0, hotn=0)
+
+    def test_accepts_non_default_mix(self):
+        config = OCBConfig(pset=1.0, psimple=0.0, phier=0.0, pstoch=0.0)
+        assert config.transaction_probabilities == (1.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_accepts_dynamic_mix(self):
+        config = OCBConfig(
+            pset=0.2, psimple=0.2, phier=0.2, pstoch=0.2, pinsert=0.1, pdelete=0.1
+        )
+        assert config.transaction_probabilities[4:] == (0.1, 0.1)
+
+    def test_rejects_dynamic_mix_oversum(self):
+        with pytest.raises(ValueError, match="probabilities sum"):
+            OCBConfig(pinsert=0.5, pdelete=0.5)
+
+
+class TestDerived:
+    def test_with_changes_returns_validated_copy(self):
+        config = OCBConfig()
+        changed = config.with_changes(no=500)
+        assert changed.no == 500
+        assert config.no == 20_000
+        with pytest.raises(ValueError):
+            config.with_changes(no=-5)
+
+    def test_total_transactions(self):
+        assert OCBConfig(coldn=10, hotn=90).total_transactions == 100
+
+    def test_mean_instance_size_matches_model(self):
+        config = OCBConfig(nc=4, basesize=100, maxsizemult=40)
+        # multipliers are 1 + (cid % 40) = 1, 2, 3, 4 -> mean 2.5
+        assert config.mean_instance_size == pytest.approx(250.0)
+
+    def test_frozen(self):
+        config = OCBConfig()
+        with pytest.raises(AttributeError):
+            config.nc = 10

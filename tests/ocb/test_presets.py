@@ -1,0 +1,83 @@
+"""Tests for the classic-benchmark workload presets (§2 reuse claim)."""
+
+import pytest
+
+from repro.core import SystemClass, VOODBConfig, run_replication
+from repro.ocb.presets import (
+    PRESETS,
+    hypermodel_workload,
+    oo1_workload,
+    oo7_workload,
+    preset_workload,
+)
+
+
+class TestPresetShapes:
+    def test_oo1_shape(self):
+        config = oo1_workload()
+        assert config.no == 20_000
+        assert config.maxnref == 3  # the 3-connection rule
+        assert config.object_locality == 200  # 1% of 20 000
+        assert config.hiedepth == 7  # OO1 traversal depth
+        assert config.setdepth == 0  # lookups
+
+    def test_oo7_shape(self):
+        config = oo7_workload()
+        assert config.psimple == pytest.approx(0.6)  # T1 raw traversal
+        assert config.nc == 30
+
+    def test_hypermodel_shape(self):
+        config = hypermodel_workload()
+        assert config.nreft == 5  # five relation types
+        assert config.phier == pytest.approx(0.5)  # closure-heavy
+
+    def test_all_presets_validate(self):
+        for name, factory in PRESETS.items():
+            config = factory()
+            total = sum(config.transaction_probabilities)
+            assert total == pytest.approx(1.0), name
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert preset_workload("oo1").no == 20_000
+        assert preset_workload("OO7", no=500).no == 500
+
+    def test_overrides_forwarded(self):
+        config = preset_workload("hypermodel", hotn=42)
+        assert config.hotn == 42
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            preset_workload("tpc-c")
+
+
+class TestPresetsRun:
+    """Each preset drives the full model end to end (scaled down)."""
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_preset_completes(self, name):
+        ocb = preset_workload(name, no=600, hotn=40)
+        config = VOODBConfig(
+            sysclass=SystemClass.CENTRALIZED, buffsize=128, ocb=ocb
+        )
+        results = run_replication(config, seed=2)
+        assert results.phase.transactions == 40
+        assert results.total_ios > 0
+
+    def test_oo1_locality_beats_no_locality(self):
+        """OO1's 1% locality rule is what makes its traversals cheap.
+
+        The buffer is kept far smaller than the (tiny-parts) base so
+        page locality actually shows in the miss counts.
+        """
+        local = preset_workload("oo1", no=2000, hotn=150)
+        scattered = local.with_changes(object_locality=2000)
+        base = dict(sysclass=SystemClass.CENTRALIZED, buffsize=8)
+        ios_local = run_replication(
+            VOODBConfig(ocb=local, **base), seed=3
+        ).total_ios
+        ios_scattered = run_replication(
+            VOODBConfig(ocb=scattered, **base), seed=3
+        ).total_ios
+        assert ios_local < ios_scattered

@@ -1,0 +1,100 @@
+"""Property-based tests for OCB generation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.despy import RandomStream
+from repro.ocb import Database, OCBConfig, Schema
+from repro.ocb.transactions import (
+    HierarchyTraversal,
+    SetOrientedAccess,
+    SimpleTraversal,
+    StochasticTraversal,
+)
+
+configs = st.builds(
+    OCBConfig,
+    nc=st.integers(min_value=1, max_value=25),
+    no=st.integers(min_value=1, max_value=400),
+    maxnref=st.integers(min_value=1, max_value=6),
+    basesize=st.integers(min_value=1, max_value=200),
+    maxsizemult=st.integers(min_value=1, max_value=50),
+    object_locality=st.integers(min_value=1, max_value=400),
+    class_locality=st.integers(min_value=1, max_value=25),
+    inheritance_weight=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+def build(config: OCBConfig, seed: int) -> Database:
+    rng = RandomStream(seed, "gen")
+    return Database.generate(Schema.generate(config, rng), rng)
+
+
+@given(configs, st.integers(min_value=0, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_database_is_well_formed(config, seed):
+    """Every generated graph satisfies the structural invariants."""
+    db = build(config, seed)
+    assert len(db) == config.no
+    total = 0
+    for oid in range(len(db)):
+        assert 0 <= db.class_of(oid) < config.nc
+        assert db.size(oid) >= config.basesize
+        for target in db.refs(oid):
+            assert 0 <= target < config.no
+        total += 1
+    # extents partition the object set
+    extent_total = sum(len(db.instances_of(c)) for c in range(config.nc))
+    assert extent_total == config.no
+
+
+@given(configs, st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_traversals_stay_in_range_and_terminate(config, seed, depth):
+    db = build(config, seed)
+    root = seed % config.no
+    rng = RandomStream(seed, "walk")
+    for trace in (
+        SetOrientedAccess.trace(db, root, depth),
+        SimpleTraversal.trace(db, root, min(depth, 4)),
+        HierarchyTraversal.trace(db, root, depth, 0),
+        StochasticTraversal.trace(db, root, depth, rng),
+    ):
+        assert trace[0] == root
+        assert all(0 <= oid < config.no for oid in trace)
+
+
+@given(configs, st.integers(min_value=0, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_set_access_is_deduplicated_subset_of_simple(config, seed):
+    """The set-oriented trace visits exactly the distinct objects of the
+    simple traversal at equal depth (same reachable set, no repeats)."""
+    db = build(config, seed)
+    root = seed % config.no
+    depth = 3
+    set_trace = SetOrientedAccess.trace(db, root, depth)
+    simple_trace = SimpleTraversal.trace(db, root, depth)
+    assert len(set_trace) == len(set(set_trace))
+    assert set(set_trace) == set(simple_trace)
+
+
+@given(configs, st.integers(min_value=0, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_hierarchy_trace_subset_of_set_trace(config, seed):
+    """Following one reference type can only reach a subset of what
+    following all types reaches (at equal depth)."""
+    db = build(config, seed)
+    root = seed % config.no
+    hier = HierarchyTraversal.trace(db, root, 3, 0)
+    full = SetOrientedAccess.trace(db, root, 3)
+    assert set(hier) <= set(full)
+
+
+@given(configs, st.integers(min_value=0, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_generation_is_deterministic(config, seed):
+    a = build(config, seed)
+    b = build(config, seed)
+    assert [list(a.refs(o)) for o in range(len(a))] == [
+        list(b.refs(o)) for o in range(len(b))
+    ]

@@ -1,0 +1,118 @@
+"""Unit tests for OCB schema generation."""
+
+import pytest
+
+from repro.despy import RandomStream
+from repro.ocb import OCBConfig, Schema
+from repro.ocb.schema import ClassReference, OCBClass, reference_type_name
+
+
+@pytest.fixture
+def config():
+    return OCBConfig(nc=20, no=1000)
+
+
+@pytest.fixture
+def schema(config):
+    return Schema.generate(config, RandomStream(1, "schema"))
+
+
+class TestGeneration:
+    def test_generates_nc_classes(self, schema, config):
+        assert len(schema) == config.nc
+        assert [c.cid for c in schema] == list(range(config.nc))
+
+    def test_sizes_follow_deterministic_model(self, schema, config):
+        for cls in schema:
+            expected = config.basesize * (1 + cls.cid % config.maxsizemult)
+            assert cls.instance_size == expected
+
+    def test_reference_counts_within_maxnref(self, schema, config):
+        for cls in schema:
+            assert 1 <= cls.nrefs <= config.maxnref
+
+    def test_reference_targets_in_range(self, schema, config):
+        for cls in schema:
+            for ref in cls.references:
+                assert 0 <= ref.target_cid < config.nc
+                assert 0 <= ref.ref_type < config.nreft
+
+    def test_reproducible_from_seed(self, config):
+        a = Schema.generate(config, RandomStream(7, "s"))
+        b = Schema.generate(config, RandomStream(7, "s"))
+        assert [c.references for c in a] == [c.references for c in b]
+        assert [c.instance_size for c in a] == [c.instance_size for c in b]
+
+    def test_different_seeds_differ(self, config):
+        a = Schema.generate(config, RandomStream(1, "s"))
+        b = Schema.generate(config, RandomStream(2, "s"))
+        assert [c.references for c in a] != [c.references for c in b]
+
+
+class TestClassLocality:
+    def test_window_restricts_targets(self):
+        config = OCBConfig(nc=30, no=1000, class_locality=3)
+        schema = Schema.generate(config, RandomStream(3, "s"))
+        for cls in schema:
+            for ref in cls.references:
+                delta = (ref.target_cid - cls.cid) % config.nc
+                assert delta < 3
+
+    def test_full_window_reaches_far_classes(self):
+        config = OCBConfig(nc=30, no=1000, class_locality=30)
+        schema = Schema.generate(config, RandomStream(3, "s"))
+        deltas = {
+            (ref.target_cid - cls.cid) % config.nc
+            for cls in schema
+            for ref in cls.references
+        }
+        assert max(deltas) > 10
+
+
+class TestReferenceTypes:
+    def test_inheritance_weight_skews_type_zero(self):
+        config = OCBConfig(nc=50, no=1000, maxnref=4, inheritance_weight=0.9)
+        schema = Schema.generate(config, RandomStream(5, "s"))
+        refs = [r for c in schema for r in c.references]
+        share = sum(1 for r in refs if r.ref_type == 0) / len(refs)
+        assert share > 0.75
+
+    def test_zero_weight_avoids_type_zero(self):
+        config = OCBConfig(nc=50, no=1000, inheritance_weight=0.0)
+        schema = Schema.generate(config, RandomStream(5, "s"))
+        refs = [r for c in schema for r in c.references]
+        assert all(r.ref_type != 0 for r in refs)
+
+    def test_references_of_type_filters(self):
+        cls = OCBClass(
+            cid=0,
+            instance_size=100,
+            references=(
+                ClassReference(1, 0),
+                ClassReference(2, 1),
+                ClassReference(3, 0),
+            ),
+        )
+        assert [r.target_cid for r in cls.references_of_type(0)] == [1, 3]
+
+    def test_type_names(self):
+        assert reference_type_name(0) == "inheritance"
+        assert reference_type_name(3) == "other"
+        assert reference_type_name(9) == "type-9"
+
+
+class TestIntrospection:
+    def test_mean_references(self, schema):
+        total = sum(c.nrefs for c in schema)
+        assert schema.mean_references() == pytest.approx(total / len(schema))
+
+    def test_mean_instance_size(self, schema):
+        total = sum(c.instance_size for c in schema)
+        assert schema.mean_instance_size() == pytest.approx(total / len(schema))
+
+    def test_getitem(self, schema):
+        assert schema[3].cid == 3
+
+    def test_constructor_rejects_wrong_class_count(self, config):
+        with pytest.raises(ValueError):
+            Schema([], config)

@@ -1,0 +1,131 @@
+"""Unit tests for the O2 / Texas instantiations (paper Table 4)."""
+
+import math
+
+import pytest
+
+from repro.core import MemoryModel, SystemClass
+from repro.systems import o2_config, texas_config, texas_dstc_config
+from repro.systems.dstc_experiment import DSTC_EXPERIMENT_PARAMETERS
+from repro.systems.o2 import o2_buffer_pages
+from repro.systems.texas import texas_memory_frames
+
+
+class TestO2Config:
+    def test_table4_values(self):
+        config = o2_config()
+        assert config.sysclass is SystemClass.PAGE_SERVER
+        assert math.isinf(config.netthru)
+        assert config.pgsize == 4096
+        assert config.buffsize == 3840  # 16 MB cache
+        assert config.pgrep == "LRU"
+        assert config.prefetch == "none"
+        assert config.clustp == "none"
+        assert config.initpl == "optimized_sequential"
+        assert config.disksea == 6.3
+        assert config.disklat == 2.99
+        assert config.disktra == 0.7
+        assert config.multilvl == 10
+        assert config.getlock == 0.5
+        assert config.rellock == 0.5
+        assert config.nusers == 1
+
+    def test_database_size_near_28mb(self):
+        """§4.3.1: the default base is 'about 28 MB on an average' in O2."""
+        config = o2_config()
+        stored_bytes = (
+            config.ocb.expected_database_bytes * config.storage_overhead
+        )
+        assert 24.0 <= stored_bytes / 2**20 <= 31.0
+
+    def test_cache_sweep(self):
+        assert o2_buffer_pages(16) == 3840
+        assert o2_buffer_pages(8) == 1920
+        assert o2_config(cache_mb=8).buffsize == 1920
+        with pytest.raises(ValueError):
+            o2_buffer_pages(0)
+
+    def test_nc_no_forwarded(self):
+        config = o2_config(nc=20, no=500)
+        assert config.ocb.nc == 20
+        assert config.ocb.no == 500
+
+    def test_ocb_overrides_forwarded(self):
+        config = o2_config(root_skew=1.5)
+        assert config.ocb.root_skew == 1.5
+
+
+class TestTexasConfig:
+    def test_table4_values(self):
+        config = texas_config()
+        assert config.sysclass is SystemClass.CENTRALIZED
+        assert config.memory_model is MemoryModel.VIRTUAL_MEMORY
+        assert config.pgsize == 4096
+        assert config.pgrep == "LRU"
+        assert config.clustp == "none"
+        assert config.initpl == "optimized_sequential"
+        assert config.disksea == 7.4
+        assert config.disklat == 4.3
+        assert config.disktra == 0.5
+        assert config.multilvl == 1
+        assert config.getlock == 0.0
+        assert config.rellock == 0.0
+        assert config.nusers == 1
+
+    def test_database_size_near_21mb(self):
+        """§4.3.2/§4.4: ~21 MB stored (about 20 MB 'on an average')."""
+        config = texas_config()
+        stored_bytes = (
+            config.ocb.expected_database_bytes * config.storage_overhead
+        )
+        assert 17.0 <= stored_bytes / 2**20 <= 24.0
+
+    def test_memory_frames_subtract_os_footprint(self):
+        assert texas_memory_frames(64) == 60 * 256
+        assert texas_memory_frames(8) == 4 * 256
+        with pytest.raises(ValueError):
+            texas_memory_frames(0)
+
+    def test_default_memory_fits_database(self):
+        """At 64 MB the ~21 MB base fits: the Figure 11 flat region."""
+        config = texas_config(memory_mb=64)
+        stored_pages = (
+            config.ocb.expected_database_bytes
+            * config.storage_overhead
+            / config.pgsize
+        )
+        assert config.buffsize > stored_pages
+
+    def test_small_memory_below_database(self):
+        config = texas_config(memory_mb=8)
+        stored_pages = (
+            config.ocb.expected_database_bytes
+            * config.storage_overhead
+            / config.pgsize
+        )
+        assert config.buffsize < stored_pages
+
+    def test_clustp_forwarded(self):
+        assert texas_config(clustp="dstc").clustp == "dstc"
+
+
+class TestDSTCExperimentConfig:
+    def test_uses_dstc_on_texas(self):
+        config = texas_dstc_config()
+        assert config.clustp == "dstc"
+        assert config.sysclass is SystemClass.CENTRALIZED
+        assert config.memory_model is MemoryModel.VIRTUAL_MEMORY
+
+    def test_favorable_conditions_workload(self):
+        config = texas_dstc_config()
+        assert config.ocb.root_region > 0
+        assert config.ocb.object_locality == config.ocb.no  # no locality
+
+    def test_parameters_external_trigger(self):
+        assert not DSTC_EXPERIMENT_PARAMETERS.auto_trigger
+
+    def test_memory_sweep(self):
+        large = texas_dstc_config(memory_mb=64)
+        small = texas_dstc_config(memory_mb=8)
+        assert large.buffsize > small.buffsize
+        assert large.ocb == small.ocb  # same base, as §4.4 reuses it

@@ -1,0 +1,98 @@
+"""Unit tests for the paper's published reference data."""
+
+import pytest
+
+from repro.systems.reference_data import (
+    ALL_FIGURES,
+    FIGURE_6,
+    FIGURE_7,
+    FIGURE_8,
+    FIGURE_9,
+    FIGURE_10,
+    FIGURE_11,
+    INSTANCE_SWEEP,
+    MEMORY_SWEEP_MB,
+    TABLE_6,
+    TABLE_7,
+    TABLE_8,
+    FigureReference,
+)
+
+
+class TestFigureReferences:
+    def test_all_six_figures_present(self):
+        assert set(ALL_FIGURES) == {"6", "7", "8", "9", "10", "11"}
+
+    def test_series_lengths_consistent(self):
+        for ref in ALL_FIGURES.values():
+            assert len(ref.x_values) == len(ref.benchmark) == len(ref.simulation)
+
+    def test_sweeps_match_paper_axes(self):
+        assert FIGURE_6.x_values == INSTANCE_SWEEP
+        assert FIGURE_8.x_values == MEMORY_SWEEP_MB
+        assert FIGURE_11.x_values == MEMORY_SWEEP_MB
+
+    def test_instance_figures_increase(self):
+        for ref in (FIGURE_6, FIGURE_7, FIGURE_9, FIGURE_10):
+            assert list(ref.simulation) == sorted(ref.simulation)
+            assert list(ref.benchmark) == sorted(ref.benchmark)
+
+    def test_memory_figures_decrease(self):
+        for ref in (FIGURE_8, FIGURE_11):
+            assert list(ref.simulation) == sorted(ref.simulation, reverse=True)
+
+    def test_50_classes_above_20_classes(self):
+        for a, b in ((FIGURE_7, FIGURE_6), (FIGURE_10, FIGURE_9)):
+            for hi, lo in zip(a.simulation, b.simulation):
+                assert hi >= lo
+
+    def test_texas_collapse_steeper_than_o2(self):
+        """Fig 11's degradation dwarfs Fig 8's at equal memory points."""
+        o2_ratio = FIGURE_8.simulation[0] / FIGURE_8.simulation[-1]
+        texas_ratio = FIGURE_11.simulation[0] / FIGURE_11.simulation[-1]
+        assert texas_ratio > o2_ratio
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            FigureReference(
+                figure="x",
+                title="bad",
+                x_label="x",
+                x_values=(1, 2),
+                benchmark=(1.0,),
+                simulation=(1.0, 2.0),
+            )
+
+    def test_digitized_flag_set(self):
+        assert all(ref.digitized for ref in ALL_FIGURES.values())
+
+
+class TestTableReferences:
+    def test_table6_exact_values(self):
+        assert TABLE_6.pre_clustering_sim == 1878.80
+        assert TABLE_6.overhead_sim == 354.50
+        assert TABLE_6.post_clustering_sim == 350.50
+        assert TABLE_6.gain_sim == 5.36
+
+    def test_table8_exact_values(self):
+        assert TABLE_8.pre_clustering_sim == 12_547.80
+        assert TABLE_8.post_clustering_sim == 441.50
+        assert TABLE_8.gain_sim == 28.42
+        assert TABLE_8.overhead_sim is None  # not repeated in the paper
+
+    def test_table7_exact_values(self):
+        assert TABLE_7["mean_clusters_sim"] == 84.01
+        assert TABLE_7["mean_objects_per_cluster_sim"] == 13.73
+
+    def test_gain_consistent_with_rows(self):
+        for table in (TABLE_6, TABLE_8):
+            implied = table.pre_clustering_sim / table.post_clustering_sim
+            assert implied == pytest.approx(table.gain_sim, rel=0.01)
+
+    def test_scarce_memory_amplifies_gain(self):
+        assert TABLE_8.gain_sim > TABLE_6.gain_sim
+
+    def test_simulated_overhead_far_below_benchmarked(self):
+        """§4.4's physical-vs-logical OID point: bench/sim overhead ~36x."""
+        ratio = TABLE_6.overhead_bench / TABLE_6.overhead_sim
+        assert 30 < ratio < 40
