@@ -6,12 +6,21 @@ rows, and writes the same report under ``results/``.  pytest-benchmark
 wraps the run in ``benchmark.pedantic(rounds=1)`` so the experiment
 executes exactly once while its wall-clock time is still recorded.
 
+The benches run on the experiment engine, so the executor knobs apply:
+with ``VOODB_JOBS=4`` each regeneration fans its replication jobs over
+four worker processes, and with ``VOODB_CACHE_DIR`` set a re-run reuses
+every already-computed ``(config, seed)`` point.  Statistics are
+bit-identical across executors for the same seeds.
+
 Scaling knobs (environment):
 
 * ``VOODB_REPLICATIONS`` — replications per experiment point
   (default 3 for benches; the paper used 100);
 * ``VOODB_BENCH_HOTN`` — transactions per replication (default 1000,
-  the Table 5 value).
+  the Table 5 value);
+* ``VOODB_JOBS`` — worker processes per experiment (default 1 = serial);
+* ``VOODB_CACHE_DIR`` — on-disk replication cache directory (unset =
+  recompute everything).
 """
 
 from __future__ import annotations
@@ -20,6 +29,8 @@ import os
 from pathlib import Path
 
 import pytest
+
+from repro.experiments.executor import make_executor
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -32,6 +43,12 @@ def bench_replications() -> int:
 def bench_hotn() -> int:
     """Transactions per replication (Table 5 default: 1000)."""
     return int(os.environ.get("VOODB_BENCH_HOTN", "1000"))
+
+
+def bench_executor():
+    """The executor benches share: ``VOODB_JOBS`` workers (default 1 =
+    serial) with a ``VOODB_CACHE_DIR`` replication cache when set."""
+    return make_executor()
 
 
 def publish(name: str, report: str) -> None:

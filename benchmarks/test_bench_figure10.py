@@ -3,14 +3,14 @@
 Same sweep as Figure 9 with the 50-class schema.
 """
 
-from conftest import bench_hotn, bench_replications
+from conftest import bench_executor, bench_hotn, bench_replications
 from repro.experiments.figures import figure10
 from repro.experiments.report import format_series
 
 
 def test_bench_figure10(regenerate):
     def run():
-        series = figure10(replications=bench_replications(), hotn=bench_hotn())
+        series = figure10(replications=bench_replications(), hotn=bench_hotn(), executor=bench_executor())
         return format_series(series)
 
     regenerate("figure10", run)

@@ -5,14 +5,14 @@ claim is a super-linear (reservation/swap driven) collapse once the
 ~21 MB base exceeds memory — far steeper than O2's Figure 8.
 """
 
-from conftest import bench_hotn, bench_replications
+from conftest import bench_executor, bench_hotn, bench_replications
 from repro.experiments.figures import figure11
 from repro.experiments.report import format_series
 
 
 def test_bench_figure11(regenerate):
     def run():
-        series = figure11(replications=bench_replications(), hotn=bench_hotn())
+        series = figure11(replications=bench_replications(), hotn=bench_hotn(), executor=bench_executor())
         return format_series(series)
 
     regenerate("figure11", run)

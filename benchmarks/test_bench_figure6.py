@@ -3,14 +3,14 @@
 Sweeps NO over {500..20000} on the Table 4 O2 page-server config.
 """
 
-from conftest import bench_hotn, bench_replications
+from conftest import bench_executor, bench_hotn, bench_replications
 from repro.experiments.figures import figure6
 from repro.experiments.report import format_series
 
 
 def test_bench_figure6(regenerate):
     def run():
-        series = figure6(replications=bench_replications(), hotn=bench_hotn())
+        series = figure6(replications=bench_replications(), hotn=bench_hotn(), executor=bench_executor())
         return format_series(series)
 
     regenerate("figure6", run)

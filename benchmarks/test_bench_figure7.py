@@ -4,14 +4,14 @@ Same sweep as Figure 6 with the 50-class schema (bigger objects,
 bigger base, more I/Os at every point).
 """
 
-from conftest import bench_hotn, bench_replications
+from conftest import bench_executor, bench_hotn, bench_replications
 from repro.experiments.figures import figure7
 from repro.experiments.report import format_series
 
 
 def test_bench_figure7(regenerate):
     def run():
-        series = figure7(replications=bench_replications(), hotn=bench_hotn())
+        series = figure7(replications=bench_replications(), hotn=bench_hotn(), executor=bench_executor())
         return format_series(series)
 
     regenerate("figure7", run)

@@ -5,14 +5,14 @@ claim is a roughly linear degradation once the ~28 MB base stops
 fitting, flat once it fits.
 """
 
-from conftest import bench_hotn, bench_replications
+from conftest import bench_executor, bench_hotn, bench_replications
 from repro.experiments.figures import figure8
 from repro.experiments.report import format_series
 
 
 def test_bench_figure8(regenerate):
     def run():
-        series = figure8(replications=bench_replications(), hotn=bench_hotn())
+        series = figure8(replications=bench_replications(), hotn=bench_hotn(), executor=bench_executor())
         return format_series(series)
 
     regenerate("figure8", run)

@@ -3,14 +3,14 @@
 Sweeps NO on the Table 4 Texas centralized/virtual-memory config.
 """
 
-from conftest import bench_hotn, bench_replications
+from conftest import bench_executor, bench_hotn, bench_replications
 from repro.experiments.figures import figure9
 from repro.experiments.report import format_series
 
 
 def test_bench_figure9(regenerate):
     def run():
-        series = figure9(replications=bench_replications(), hotn=bench_hotn())
+        series = figure9(replications=bench_replications(), hotn=bench_hotn(), executor=bench_executor())
         return format_series(series)
 
     regenerate("figure9", run)

@@ -6,13 +6,13 @@ The §4.4 protocol at 64 MB: 1000 depth-3 hierarchy traversals
 (post-clustering usage); the gain row is pre/post.
 """
 
-from conftest import bench_replications
+from conftest import bench_executor, bench_replications
 from repro.experiments.report import format_dstc_table
 from repro.experiments.tables import table6
 
 
 def test_bench_table6(regenerate):
     def run():
-        return format_dstc_table(table6(replications=bench_replications()))
+        return format_dstc_table(table6(replications=bench_replications(), executor=bench_executor()))
 
     regenerate("table6", run)

@@ -5,13 +5,13 @@ Table 6 (the paper validates DSTC's *behaviour*, not only its I/Os, by
 checking the simulated clusters match the real system's).
 """
 
-from conftest import bench_replications
+from conftest import bench_executor, bench_replications
 from repro.experiments.report import format_table7
 from repro.experiments.tables import table7
 
 
 def test_bench_table7(regenerate):
     def run():
-        return format_table7(table7(replications=bench_replications()))
+        return format_table7(table7(replications=bench_replications(), executor=bench_executor()))
 
     regenerate("table7", run)

@@ -7,13 +7,13 @@ reservation/swap thrash and the clustering gain grows from ~5x to ~30x
 the already-clustered base.
 """
 
-from conftest import bench_replications
+from conftest import bench_executor, bench_replications
 from repro.experiments.report import format_dstc_table
 from repro.experiments.tables import table8
 
 
 def test_bench_table8(regenerate):
     def run():
-        return format_dstc_table(table8(replications=bench_replications()))
+        return format_dstc_table(table8(replications=bench_replications(), executor=bench_executor()))
 
     regenerate("table8", run)

@@ -13,13 +13,28 @@ Run:  python examples/architecture_comparison.py
 """
 
 from repro import OCBConfig, SystemClass, VOODBConfig, run_replication
-from repro.core import build_database
+from repro.experiments import SweepSpec, make_executor, run_sweep
 
 WORKLOAD = OCBConfig(nc=20, no=4000, hotn=300)
 
 
 def main() -> None:
-    build_database(WORKLOAD)
+    # The architecture axis is just another sweep for the experiment
+    # engine: one point per system class, executed serially or across
+    # workers depending on VOODB_JOBS.
+    sweep = SweepSpec.grid(
+        "architectures",
+        values=tuple(SystemClass),
+        config_for=lambda sysclass: VOODBConfig(
+            sysclass=sysclass,
+            netthru=1.0,
+            buffsize=1024,
+            ocb=WORKLOAD,
+        ),
+        replications=1,
+    )
+    result = run_sweep(sweep, executor=make_executor())
+
     print("Same workload (NC=20, NO=4000, 300 transactions), 1 MB/s network")
     header = (
         f"{'system class':>15} {'I/Os':>6} {'messages':>9} "
@@ -27,21 +42,13 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
-    for sysclass in SystemClass:
-        config = VOODBConfig(
-            sysclass=sysclass,
-            netthru=1.0,
-            buffsize=1024,
-            ocb=WORKLOAD,
-        )
-        result = run_replication(config, seed=1)
-        phase = result.phase
+    for sysclass, analyzer in zip(sweep.x_values, result.analyzers):
         print(
-            f"{sysclass.value:>15} {result.total_ios:>6} "
-            f"{phase.network_messages:>9} "
-            f"{phase.network_bytes / 2**20:>11.2f} "
-            f"{phase.network_time_ms:>9.0f} "
-            f"{result.mean_response_time_ms:>9.2f}"
+            f"{sysclass.value:>15} {analyzer.mean('total_ios'):>6.0f} "
+            f"{analyzer.mean('network_messages'):>9.0f} "
+            f"{analyzer.mean('network_bytes') / 2**20:>11.2f} "
+            f"{analyzer.mean('network_time_ms'):>9.0f} "
+            f"{analyzer.mean('mean_response_time_ms'):>9.2f}"
         )
     print()
     print("Disk I/Os match across organizations (same server-side path,")

@@ -10,6 +10,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import ExperimentRunner, o2_config
+from repro.experiments import make_executor
 
 
 def main() -> None:
@@ -44,7 +45,10 @@ def main() -> None:
           f"depths {ocb.setdepth}/{ocb.simdepth}/{ocb.hiedepth}/{ocb.stodepth}")
     print()
 
-    runner = ExperimentRunner(config)
+    # make_executor() honors VOODB_JOBS (worker processes) and
+    # VOODB_CACHE_DIR (on-disk replication cache); the statistics are
+    # bit-identical to a serial run either way.
+    runner = ExperimentRunner(config, executor=make_executor())
     runner.run(replications=5)
 
     print("Results over 5 replications (95% confidence intervals)")

@@ -1,12 +1,32 @@
-"""Legacy setup shim.
+"""Setuptools entry point.
 
-The execution environment has no ``wheel`` package and no network access,
-so PEP 517/660 editable installs cannot build. This shim lets
-``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
-``pip install -e .`` with the pip.conf shipped in this repo) fall back to
-``setup.py develop``, which works offline.
+Kept as a ``setup.py`` (rather than pyproject-only) so offline
+environments without ``wheel`` can still do
+``pip install -e . --no-use-pep517 --no-build-isolation``, which falls
+back to ``setup.py develop``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="voodb-repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of VOODB: a generic discrete-event random simulation "
+        "model to evaluate the performances of OODBs (VLDB 1999)"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["scipy"],
+    extras_require={
+        "dev": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "voodb = repro.__main__:main",
+        ],
+    },
+)

@@ -6,13 +6,18 @@ Usage::
     python -m repro figure 8             # one figure
     python -m repro tables               # Tables 6-8
     python -m repro all                  # everything
-    python -m repro all -r 10            # 10 replications per point
-    python -m repro figure 11 -o out.txt # also write the report to a file
+    python -m repro -r 10 all            # 10 replications per point
+    python -m repro -j 4 figure 6        # fan replications over 4 workers
+    python -m repro --cache-dir .voodb-cache all   # memoize replications
+    python -m repro -o out.txt figure 11 # also write the report to a file
 
 Every command prints the paper's published series (benchmark and
 simulation) next to this reproduction's means with 95% confidence
 intervals — the same reports the benchmark harness writes under
-``results/``.
+``results/``.  ``--jobs``/``VOODB_JOBS`` select the executor (serial vs
+process pool); ``--cache-dir``/``VOODB_CACHE_DIR`` enable the on-disk
+replication cache.  Both paths produce bit-identical statistics for the
+same seeds.
 """
 
 from __future__ import annotations
@@ -21,7 +26,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.experiments.cache import ReplicationCache
+from repro.experiments.executor import Executor, make_executor
 from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.specs import resolve_replications
 from repro.experiments.report import (
     format_dstc_table,
     format_series,
@@ -39,18 +47,28 @@ def _emit(report: str, output: Optional[str]) -> None:
 
 
 def run_figures(
-    numbers: List[str], replications: Optional[int], hotn: int, output: Optional[str]
+    numbers: List[str],
+    replications: Optional[int],
+    hotn: int,
+    output: Optional[str],
+    executor: Optional[Executor] = None,
 ) -> None:
     for number in numbers:
-        series = ALL_FIGURES[number](replications=replications, hotn=hotn)
+        series = ALL_FIGURES[number](
+            replications=replications, hotn=hotn, executor=executor
+        )
         _emit(format_series(series), output)
 
 
-def run_tables(replications: Optional[int], output: Optional[str]) -> None:
-    result6 = table6(replications=replications)
+def run_tables(
+    replications: Optional[int],
+    output: Optional[str],
+    executor: Optional[Executor] = None,
+) -> None:
+    result6 = table6(replications=replications, executor=executor)
     _emit(format_dstc_table(result6), output)
     _emit(format_table7(result6), output)
-    _emit(format_dstc_table(table8(replications=replications)), output)
+    _emit(format_dstc_table(table8(replications=replications, executor=executor)), output)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,10 +85,24 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: VOODB_REPLICATIONS or 5; the paper used 100)",
     )
     parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for replications "
+        "(default: VOODB_JOBS or 1 = serial; results are identical)",
+    )
+    parser.add_argument(
         "--hotn",
         type=int,
         default=1000,
         help="transactions per replication (Table 5 default: 1000)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk replication cache "
+        "(default: VOODB_CACHE_DIR, unset = no cache)",
     )
     parser.add_argument(
         "-o",
@@ -87,18 +119,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def make_cli_executor(
+    jobs: Optional[int] = None, cache_dir: Optional[str] = None
+) -> Executor:
+    """Executor from CLI flags, falling back to the environment knobs."""
+    cache = ReplicationCache(cache_dir) if cache_dir else None
+    return make_executor(jobs=jobs, cache=cache)  # None -> VOODB_CACHE_DIR
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        resolve_replications(args.replications)  # fail fast on bad -r / env
+        executor = make_cli_executor(args.jobs, args.cache_dir)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     figure_numbers = sorted(ALL_FIGURES, key=int)
     if args.command == "figure":
-        run_figures([args.number], args.replications, args.hotn, args.output)
+        run_figures([args.number], args.replications, args.hotn, args.output, executor)
     elif args.command == "figures":
-        run_figures(figure_numbers, args.replications, args.hotn, args.output)
+        run_figures(figure_numbers, args.replications, args.hotn, args.output, executor)
     elif args.command == "tables":
-        run_tables(args.replications, args.output)
+        run_tables(args.replications, args.output, executor)
     else:  # all
-        run_figures(figure_numbers, args.replications, args.hotn, args.output)
-        run_tables(args.replications, args.output)
+        run_figures(figure_numbers, args.replications, args.hotn, args.output, executor)
+        run_tables(args.replications, args.output, executor)
     return 0
 
 

@@ -166,6 +166,53 @@ class ReplicationAnalyzer:
         for name, value in metrics.items():
             self._observations.setdefault(name, []).append(float(value))
 
+    def add_all(self, results: Iterable[Mapping[str, float]]) -> None:
+        """Record many replications in the given order."""
+        for metrics in results:
+            self.add(metrics)
+
+    def merge(self, other: "ReplicationAnalyzer") -> "ReplicationAnalyzer":
+        """Fold another analyzer's observations into this one.
+
+        The fan-in path for partial analyzers — per-point analyzers of a
+        sweep (:meth:`SweepResult.combined`), or analyzers built over
+        contiguous seed slices by out-of-order workers, folded back *in
+        slice order*.  Appending raw observation lists (rather than
+        re-aggregating interval objects) keeps the merged result
+        bit-identical to one analyzer fed the same observations in the
+        same order.  (The executors themselves guarantee ordering
+        differently: they reassemble raw metric dicts by job index
+        before any analyzer sees them.)
+        """
+        if other.confidence != self.confidence:
+            raise ValueError(
+                "cannot merge analyzers with different confidences: "
+                f"{self.confidence} vs {other.confidence}"
+            )
+        self.replications += other.replications
+        for name, values in other._observations.items():
+            self._observations.setdefault(name, []).extend(values)
+        return self
+
+    @classmethod
+    def merged(
+        cls,
+        parts: Iterable["ReplicationAnalyzer"],
+        confidence: "float | None" = None,
+    ) -> "ReplicationAnalyzer":
+        """Combine partial analyzers (e.g. one per worker) into one.
+
+        ``confidence`` defaults to the parts' own (shared) confidence;
+        pass it explicitly only to assert a particular level.
+        """
+        part_list = list(parts)
+        if confidence is None:
+            confidence = part_list[0].confidence if part_list else 0.95
+        combined = cls(confidence=confidence)
+        for part in part_list:
+            combined.merge(part)
+        return combined
+
     def metrics(self) -> Iterable[str]:
         return self._observations.keys()
 

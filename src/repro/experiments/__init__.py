@@ -1,10 +1,21 @@
-"""experiments — replication running and figure/table regeneration.
+"""experiments — the declarative, parallel experiment engine.
 
 The paper's experimental protocol (§4.2.2): every result is the mean of
 independent replications with 95% Student-t confidence intervals, sized
 by a pilot study (the authors settle on 100 replications).  This package
-wraps that protocol (`runner`) and regenerates every evaluation artifact:
+turns that protocol into a three-part engine plus the regeneration of
+every evaluation artifact:
 
+* `specs` — declarative :class:`ExperimentSpec`/:class:`SweepSpec` grids
+  of frozen configs, expanded into ``(config, seed)`` replication jobs;
+* `executor` — pluggable :class:`SerialExecutor` and process-pool
+  :class:`ParallelExecutor` (``--jobs`` / ``VOODB_JOBS``), both
+  returning results in job order so statistics are bit-identical
+  across executors;
+* `cache` — an on-disk :class:`ReplicationCache` keyed by
+  ``(config digest, seed)`` (``--cache-dir`` / ``VOODB_CACHE_DIR``), so
+  repeated sweeps never recompute a point;
+* `runner` — the :class:`ExperimentRunner` compatibility facade;
 * `figures` — Figures 6-11 (database-size, cache-size and memory-size
   sweeps on the O2 and Texas instantiations);
 * `tables` — Tables 6-8 (the DSTC pre/overhead/post protocol);
@@ -22,8 +33,28 @@ from repro.experiments.runner import (
     ExperimentRunner,
     default_replications,
 )
+from repro.experiments.cache import ReplicationCache, config_digest, default_cache
+from repro.experiments.executor import (
+    Executor,
+    ParallelExecutor,
+    ReplicationJob,
+    SerialExecutor,
+    default_jobs,
+    executor_for,
+    is_module_level,
+    make_executor,
+    standard_replication,
+)
+from repro.experiments.specs import (
+    ExperimentSpec,
+    SweepResult,
+    SweepSpec,
+    run_experiment,
+    run_sweep,
+)
 from repro.experiments.figures import (
     ExperimentSeries,
+    figure_spec,
     figure6,
     figure7,
     figure8,
@@ -34,6 +65,8 @@ from repro.experiments.figures import (
 )
 from repro.experiments.tables import (
     DSTCExperimentResult,
+    dstc_replication,
+    dstc_spec,
     run_dstc_experiment,
     table6,
     table7,
@@ -42,6 +75,7 @@ from repro.experiments.tables import (
 from repro.experiments.report import (
     format_dstc_table,
     format_series,
+    format_sweep,
     format_table7,
 )
 
@@ -49,7 +83,25 @@ __all__ = [
     "ExperimentRunner",
     "DEFAULT_REPLICATIONS",
     "default_replications",
+    "ReplicationCache",
+    "config_digest",
+    "default_cache",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ReplicationJob",
+    "default_jobs",
+    "executor_for",
+    "is_module_level",
+    "make_executor",
+    "standard_replication",
+    "ExperimentSpec",
+    "SweepSpec",
+    "SweepResult",
+    "run_experiment",
+    "run_sweep",
     "ExperimentSeries",
+    "figure_spec",
     "figure6",
     "figure7",
     "figure8",
@@ -58,11 +110,14 @@ __all__ = [
     "figure11",
     "run_figure",
     "DSTCExperimentResult",
+    "dstc_replication",
+    "dstc_spec",
     "run_dstc_experiment",
     "table6",
     "table7",
     "table8",
     "format_series",
+    "format_sweep",
     "format_dstc_table",
     "format_table7",
 ]

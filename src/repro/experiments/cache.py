@@ -1,0 +1,190 @@
+"""On-disk replication cache keyed by ``(config digest, seed)``.
+
+The §4.2.2 protocol makes every replication a pure function of the
+frozen :class:`~repro.core.parameters.VOODBConfig` and the seed, so its
+metric dictionary can be memoized on disk.  Repeated sweeps — a pilot
+study followed by the full run, or regenerating a figure after touching
+only the report code — then never recompute a point: the pilot's seeds
+``base_seed..base_seed+9`` are cache hits inside the full run's
+``base_seed..base_seed+n*``.
+
+The cache is content-addressed: the key digests a canonical JSON
+rendering of the (nested, frozen) config dataclass plus the replication
+function's qualified name, so two configs that compare equal always
+share entries while any parameter change — however deep — misses.
+
+Enable it by passing a :class:`ReplicationCache` to an executor, with
+``python -m repro --cache-dir DIR``, or via the ``VOODB_CACHE_DIR``
+environment variable (read by :func:`default_cache`).
+
+Invalidation caveat: the key covers the *inputs* of a replication, not
+the simulator's code.  After changing anything under ``src/repro`` that
+affects results, clear the cache directory (or bump
+:data:`CACHE_VERSION`) — otherwise old metrics replay for unchanged
+configs.  The cache is opt-in for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Environment variable enabling the cache outside the CLI flag.
+CACHE_DIR_ENV = "VOODB_CACHE_DIR"
+
+#: Bump when the replication semantics change so stale entries miss.
+CACHE_VERSION = 1
+
+
+def _canonical(value: Any) -> Any:
+    """Render a config value as a JSON-stable structure."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, float):
+        # json.dumps would emit the non-standard literal Infinity; make
+        # the canonical form explicit so digests are portable.
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    return value
+
+
+def config_digest(config: Any, replication_name: str = "") -> str:
+    """Stable hex digest of a config (plus the replication protocol)."""
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "replication": replication_name,
+            "config": _canonical(config),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ReplicationCache:
+    """File-per-entry metric cache under one directory.
+
+    Entries are small JSON files named ``<digest>-<seed>.json`` holding
+    the metric dictionary of one replication.  ``hits``/``misses``
+    counters make cache behavior observable (and testable).
+    """
+
+    def __init__(self, directory: os.PathLike | str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        # Configs are frozen/hashable and sweeps probe the same few
+        # configs hundreds of times; memoize the (JSON dump + sha256).
+        self._digests: Dict[Any, str] = {}
+
+    # ------------------------------------------------------------------
+    def _path(self, config: Any, seed: int, replication_name: str) -> Path:
+        key = (config, replication_name)
+        digest = self._digests.get(key)
+        if digest is None:
+            digest = config_digest(config, replication_name)
+            self._digests[key] = digest
+        return self.directory / f"{digest[:32]}-{seed}.json"
+
+    def get(
+        self, config: Any, seed: int, replication_name: str = ""
+    ) -> Optional[Dict[str, float]]:
+        """Return the cached metrics for ``(config, seed)`` or ``None``."""
+        path = self._path(config, seed, replication_name)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            metrics = json.loads(raw)
+        except ValueError:
+            metrics = None
+        try:
+            entry = {str(name): float(value) for name, value in metrics.items()}
+        except (AttributeError, TypeError, ValueError):
+            entry = None
+        if not entry:
+            # Torn write or foreign file (e.g. interrupted run, or an
+            # empty {}): treat as absent rather than crash the sweep or
+            # feed the analyzer a metric-free replication.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        config: Any,
+        seed: int,
+        metrics: Dict[str, float],
+        replication_name: str = "",
+    ) -> None:
+        """Persist one replication's metrics (atomic rename).
+
+        The cache is a pure optimization, so write failures (disk full,
+        permissions lost mid-run) must not abort a sweep whose results
+        are already computed; they just mean this point recomputes next
+        time.
+        """
+        path = self._path(config, seed, replication_name)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            # TypeError/ValueError: a custom replication fn returned a
+            # non-JSON-native value (numpy scalar, Decimal, ...) — skip
+            # caching that point rather than abort computed work.
+            tmp.write_text(json.dumps(metrics, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def clear(self) -> int:
+        """Delete all entries (and orphaned temp files from interrupted
+        runs); returns how many entries were removed."""
+        removed = 0
+        for entry in self.directory.glob("*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for orphan in self.directory.glob("*.json.tmp*"):
+            try:
+                orphan.unlink()
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def default_cache() -> Optional[ReplicationCache]:
+    """Cache configured by ``VOODB_CACHE_DIR`` (``None`` when unset)."""
+    directory = os.environ.get(CACHE_DIR_ENV, "")
+    if not directory:
+        return None
+    return ReplicationCache(directory)

@@ -1,21 +1,24 @@
 """Regeneration of Figures 6-11 (paper §4.3).
 
-Each ``figureN()`` runs the corresponding parameter sweep — database
-size for Figures 6/7 (O2) and 9/10 (Texas), cache size for Figure 8
-(O2), available memory for Figure 11 (Texas) — with replications and
-confidence intervals, and returns an :class:`ExperimentSeries` holding
-the reproduction next to the paper's published benchmark and simulation
-series.
+Each figure is a declarative :class:`~repro.experiments.specs.SweepSpec`
+over the corresponding parameter axis — database size for Figures 6/7
+(O2) and 9/10 (Texas), cache size for Figure 8 (O2), available memory
+for Figure 11 (Texas).  ``figureN()`` executes the sweep (through any
+:mod:`~repro.experiments.executor` executor, so ``--jobs``/``VOODB_JOBS``
+parallelize every point's replications at once) and returns an
+:class:`ExperimentSeries` holding the reproduction next to the paper's
+published benchmark and simulation series.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.despy.stats import ConfidenceInterval
 from repro.core.parameters import VOODBConfig
-from repro.experiments.runner import ExperimentRunner, default_replications
+from repro.experiments.executor import Executor
+from repro.experiments.specs import SweepSpec, run_sweep
 from repro.systems import reference_data
 from repro.systems.o2 import o2_config
 from repro.systems.reference_data import FigureReference
@@ -48,81 +51,124 @@ class ExperimentSeries:
         return all(a >= b for a, b in zip(means, means[1:]))
 
 
+def figure_spec(
+    reference: FigureReference,
+    config_for_x: Callable[[int], VOODBConfig],
+    replications: Optional[int] = None,
+    base_seed: int = 1,
+) -> SweepSpec:
+    """The declarative sweep behind one figure."""
+    return SweepSpec.grid(
+        name=f"figure{reference.figure}",
+        values=reference.x_values,
+        config_for=config_for_x,
+        replications=replications,
+        base_seed=base_seed,
+    )
+
+
 def run_figure(
     reference: FigureReference,
     config_for_x: Callable[[int], VOODBConfig],
     replications: Optional[int] = None,
     base_seed: int = 1,
+    executor: Optional[Executor] = None,
 ) -> ExperimentSeries:
     """Sweep the figure's x axis, running replications at each point."""
-    count = replications if replications is not None else default_replications()
-    intervals: List[ConfidenceInterval] = []
-    for x in reference.x_values:
-        runner = ExperimentRunner(config_for_x(x))
-        runner.run(replications=count, base_seed=base_seed)
-        intervals.append(runner.interval(METRIC))
+    spec = figure_spec(reference, config_for_x, replications, base_seed)
+    result = run_sweep(spec, executor=executor)
     return ExperimentSeries(
         reference=reference,
         x_values=reference.x_values,
-        intervals=intervals,
-        replications=count,
+        intervals=result.intervals(METRIC),
+        replications=spec.resolved_replications(),
     )
 
 
 # ----------------------------------------------------------------------
 # The six figures
 # ----------------------------------------------------------------------
-def figure6(replications: Optional[int] = None, hotn: int = 1000) -> ExperimentSeries:
+def figure6(
+    replications: Optional[int] = None,
+    hotn: int = 1000,
+    executor: Optional[Executor] = None,
+) -> ExperimentSeries:
     """O2: mean I/Os vs number of instances, 20 classes."""
     return run_figure(
         reference_data.FIGURE_6,
         lambda no: o2_config(nc=20, no=no, hotn=hotn),
         replications,
+        executor=executor,
     )
 
 
-def figure7(replications: Optional[int] = None, hotn: int = 1000) -> ExperimentSeries:
+def figure7(
+    replications: Optional[int] = None,
+    hotn: int = 1000,
+    executor: Optional[Executor] = None,
+) -> ExperimentSeries:
     """O2: mean I/Os vs number of instances, 50 classes."""
     return run_figure(
         reference_data.FIGURE_7,
         lambda no: o2_config(nc=50, no=no, hotn=hotn),
         replications,
+        executor=executor,
     )
 
 
-def figure8(replications: Optional[int] = None, hotn: int = 1000) -> ExperimentSeries:
+def figure8(
+    replications: Optional[int] = None,
+    hotn: int = 1000,
+    executor: Optional[Executor] = None,
+) -> ExperimentSeries:
     """O2: mean I/Os vs server cache size (NC=50, NO=20 000)."""
     return run_figure(
         reference_data.FIGURE_8,
         lambda mb: o2_config(nc=50, no=20_000, cache_mb=mb, hotn=hotn),
         replications,
+        executor=executor,
     )
 
 
-def figure9(replications: Optional[int] = None, hotn: int = 1000) -> ExperimentSeries:
+def figure9(
+    replications: Optional[int] = None,
+    hotn: int = 1000,
+    executor: Optional[Executor] = None,
+) -> ExperimentSeries:
     """Texas: mean I/Os vs number of instances, 20 classes."""
     return run_figure(
         reference_data.FIGURE_9,
         lambda no: texas_config(nc=20, no=no, hotn=hotn),
         replications,
+        executor=executor,
     )
 
 
-def figure10(replications: Optional[int] = None, hotn: int = 1000) -> ExperimentSeries:
+def figure10(
+    replications: Optional[int] = None,
+    hotn: int = 1000,
+    executor: Optional[Executor] = None,
+) -> ExperimentSeries:
     """Texas: mean I/Os vs number of instances, 50 classes."""
     return run_figure(
         reference_data.FIGURE_10,
         lambda no: texas_config(nc=50, no=no, hotn=hotn),
         replications,
+        executor=executor,
     )
 
 
-def figure11(replications: Optional[int] = None, hotn: int = 1000) -> ExperimentSeries:
+def figure11(
+    replications: Optional[int] = None,
+    hotn: int = 1000,
+    executor: Optional[Executor] = None,
+) -> ExperimentSeries:
     """Texas: mean I/Os vs available main memory (NC=50, NO=20 000)."""
     return run_figure(
         reference_data.FIGURE_11,
         lambda mb: texas_config(nc=50, no=20_000, memory_mb=mb, hotn=hotn),
         replications,
+        executor=executor,
     )
 
 

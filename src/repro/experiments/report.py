@@ -9,14 +9,46 @@ from this output.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.experiments.figures import ExperimentSeries
+from repro.experiments.specs import SweepResult
 from repro.experiments.tables import TABLE_7_REFERENCE, DSTCExperimentResult
 
 
 def _format_row(columns: List[str], widths: List[int]) -> str:
     return "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+
+
+def format_sweep(
+    result: SweepResult,
+    metrics: Sequence[str] = ("total_ios",),
+    x_label: str = "x",
+) -> str:
+    """Render any engine sweep as an aligned x-by-metric table.
+
+    Unlike :func:`format_series`, this needs no paper reference — it is
+    the generic renderer for ad-hoc :class:`SweepSpec` grids (examples,
+    exploratory sweeps beyond the published figures).
+    """
+    spec = result.spec
+    replications = result.analyzers[0].replications if result.analyzers else 0
+    lines = [
+        f"Sweep {spec.name}: mean of {replications} replications, "
+        f"{spec.confidence:.0%} CI",
+    ]
+    header = [x_label]
+    for metric in metrics:
+        header.extend([metric, "±CI"])
+    widths = [max(len(x_label), 10)] + [14, 8] * len(metrics)
+    lines.append(_format_row(header, widths))
+    for x, analyzer in zip(result.x_values, result.analyzers):
+        row: List[str] = [str(x)]
+        for metric in metrics:
+            ci = analyzer.interval(metric)
+            row.extend([f"{ci.mean:.1f}", f"{ci.half_width:.1f}"])
+        lines.append(_format_row(row, widths))
+    return "\n".join(lines)
 
 
 def format_series(series: ExperimentSeries) -> str:

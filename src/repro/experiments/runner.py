@@ -1,11 +1,16 @@
 """Replication orchestration: the paper's §4.2.2 protocol.
 
-One :class:`ExperimentRunner` wraps one VOODB configuration.  It runs
-independent replications (seeds ``base_seed + r``), feeds their metric
-dictionaries to a :class:`~repro.despy.stats.ReplicationAnalyzer`, and
-reports Student-t confidence intervals.  The pilot-study sizing of the
-paper ("we first performed a pilot study with n = 10, then computed the
-number of necessary additional replications n*") is available as
+One :class:`ExperimentRunner` wraps one VOODB configuration.  It is a
+thin compatibility facade over the experiment engine
+(:mod:`repro.experiments.specs` + :mod:`repro.experiments.executor`):
+``run`` expands the configuration into ``(config, seed)`` replication
+jobs (seeds ``base_seed + r``), hands them to an executor (serial by
+default; process-parallel when constructed with one or when
+``VOODB_JOBS`` is set), feeds the metric dictionaries to a
+:class:`~repro.despy.stats.ReplicationAnalyzer`, and reports Student-t
+confidence intervals.  The pilot-study sizing of the paper ("we first
+performed a pilot study with n = 10, then computed the number of
+necessary additional replications n*") is available as
 :meth:`ExperimentRunner.pilot_study`.
 """
 
@@ -15,7 +20,7 @@ import os
 from typing import Callable, Dict, Optional
 
 from repro.despy.stats import ConfidenceInterval, ReplicationAnalyzer
-from repro.core.model import VOODBSimulation, build_database, run_replication
+from repro.core.model import VOODBSimulation
 from repro.core.parameters import VOODBConfig
 
 #: Fallback replication count when ``VOODB_REPLICATIONS`` is unset.
@@ -45,26 +50,36 @@ class ExperimentRunner:
         config: VOODBConfig,
         confidence: float = 0.95,
         replication: Optional[Callable[[VOODBConfig, int], Dict[str, float]]] = None,
+        executor=None,
     ) -> None:
-        self.config = config
-        self.analyzer = ReplicationAnalyzer(confidence=confidence)
-        self._replication = replication or self._default_replication
+        from repro.experiments.executor import standard_replication
 
-    @staticmethod
-    def _default_replication(config: VOODBConfig, seed: int) -> Dict[str, float]:
-        return run_replication(config, seed=seed).to_metrics()
+        self.config = config
+        self.confidence = confidence
+        self.analyzer = ReplicationAnalyzer(confidence=confidence)
+        self._replication = replication or standard_replication
+        self._executor = executor
 
     # ------------------------------------------------------------------
     def run(
         self, replications: Optional[int] = None, base_seed: int = 1
     ) -> ReplicationAnalyzer:
         """Run ``replications`` independent replications (cached base)."""
-        count = replications if replications is not None else default_replications()
-        if count < 1:
-            raise ValueError(f"replications must be >= 1, got {count}")
-        build_database(self.config.ocb)  # warm the shared-base cache once
-        for r in range(count):
-            self.analyzer.add(self._replication(self.config, base_seed + r))
+        from repro.experiments.executor import executor_for
+        from repro.experiments.specs import ExperimentSpec
+
+        spec = ExperimentSpec(
+            config=self.config,
+            replications=replications,
+            base_seed=base_seed,
+            confidence=self.confidence,
+            replication=self._replication,
+        )
+        if self._executor is not None:
+            executor = self._executor
+        else:
+            executor = executor_for(self._replication)
+        self.analyzer.add_all(executor.run(spec.jobs()))
         return self.analyzer
 
     def interval(self, metric: str) -> ConfidenceInterval:
@@ -86,6 +101,8 @@ class ExperimentRunner:
         Returns ``pilot_n + n*`` where n* = n·(h/h*)² — the number of
         replications for the half-width to fall below
         ``relative_half_width`` of the mean at the configured confidence.
+        With a replication cache attached to the executor, the pilot's
+        replications are cache hits inside the subsequent full run.
         """
         self.run(replications=pilot_n, base_seed=base_seed)
         additional = self.analyzer.additional_replications_for(

@@ -1,0 +1,181 @@
+"""Declarative experiment specifications.
+
+"Benchmarking OODBs with a Generic Tool" frames an evaluation as a grid
+of points — architectures × policies × parameter values — each measured
+by independent replications.  This module captures that grid as data:
+
+* :class:`ExperimentSpec` — one configuration measured by ``n``
+  replications (seeds ``base_seed..base_seed+n-1``);
+* :class:`SweepSpec` — a named sequence of points (an x axis), each an
+  :class:`ExperimentSpec` sharing the replication protocol;
+* :func:`run_experiment` / :func:`run_sweep` — expand a spec into
+  :class:`~repro.experiments.executor.ReplicationJob` lists, hand them
+  to an executor, and aggregate per-point
+  :class:`~repro.despy.stats.ReplicationAnalyzer` results.
+
+A sweep flattens *all* of its points' jobs into one executor call, so a
+parallel executor overlaps replications across points — the whole
+figure, not one point at a time — and a replication cache is consulted
+per ``(config, seed)`` job either way.
+
+Building a sweep::
+
+    sweep = SweepSpec.grid(
+        "figure8",
+        values=(8, 16, 32, 64),
+        config_for=lambda mb: o2_config(nc=50, no=20_000, cache_mb=mb),
+        replications=10,
+    )
+    result = run_sweep(sweep, executor=make_executor(jobs=4))
+    result.intervals("total_ios")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.despy.stats import ConfidenceInterval, ReplicationAnalyzer
+from repro.core.parameters import VOODBConfig
+from repro.experiments.executor import (
+    Executor,
+    ReplicationFn,
+    ReplicationJob,
+    executor_for,
+    standard_replication,
+)
+from repro.experiments.runner import default_replications
+
+
+def resolve_replications(replications: Optional[int]) -> int:
+    """``None`` -> the ``VOODB_REPLICATIONS`` default; always >= 1."""
+    count = replications if replications is not None else default_replications()
+    if count < 1:
+        raise ValueError(f"replications must be >= 1, got {count}")
+    return count
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment point: a config and its replication protocol."""
+
+    config: VOODBConfig
+    name: str = "experiment"
+    replications: Optional[int] = None  # None -> VOODB_REPLICATIONS
+    base_seed: int = 1
+    confidence: float = 0.95
+    replication: ReplicationFn = field(default=standard_replication)
+
+    def resolved_replications(self) -> int:
+        return resolve_replications(self.replications)
+
+    def jobs(self) -> List[ReplicationJob]:
+        """The independent replication jobs this point expands into."""
+        return [
+            ReplicationJob(self.config, self.base_seed + r, self.replication)
+            for r in range(self.resolved_replications())
+        ]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named grid of experiment points sharing one protocol."""
+
+    name: str
+    points: Tuple[Tuple[Any, VOODBConfig], ...]  # (x value, config) pairs
+    replications: Optional[int] = None
+    base_seed: int = 1
+    confidence: float = 0.95
+    replication: ReplicationFn = field(default=standard_replication)
+
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        values: Sequence[Any],
+        config_for: Callable[[Any], VOODBConfig],
+        replications: Optional[int] = None,
+        base_seed: int = 1,
+        confidence: float = 0.95,
+        replication: ReplicationFn = standard_replication,
+    ) -> "SweepSpec":
+        """Build a sweep by applying ``config_for`` to each axis value."""
+        return cls(
+            name=name,
+            points=tuple((x, config_for(x)) for x in values),
+            replications=replications,
+            base_seed=base_seed,
+            confidence=confidence,
+            replication=replication,
+        )
+
+    @property
+    def x_values(self) -> Tuple[Any, ...]:
+        return tuple(x for x, _ in self.points)
+
+    def resolved_replications(self) -> int:
+        return resolve_replications(self.replications)
+
+    def experiments(self) -> List[ExperimentSpec]:
+        return [
+            ExperimentSpec(
+                config=config,
+                name=f"{self.name}[{x}]",
+                replications=self.replications,
+                base_seed=self.base_seed,
+                confidence=self.confidence,
+                replication=self.replication,
+            )
+            for x, config in self.points
+        ]
+
+
+@dataclass
+class SweepResult:
+    """Per-point analyzers of one executed sweep."""
+
+    spec: SweepSpec
+    analyzers: List[ReplicationAnalyzer]
+
+    @property
+    def x_values(self) -> Tuple[Any, ...]:
+        return self.spec.x_values
+
+    def intervals(self, metric: str) -> List[ConfidenceInterval]:
+        return [analyzer.interval(metric) for analyzer in self.analyzers]
+
+    def means(self, metric: str) -> List[float]:
+        return [analyzer.mean(metric) for analyzer in self.analyzers]
+
+    def combined(self) -> ReplicationAnalyzer:
+        """All points folded into one analyzer (sweep-wide statistics)."""
+        return ReplicationAnalyzer.merged(
+            self.analyzers, confidence=self.spec.confidence
+        )
+
+
+def run_experiment(
+    spec: ExperimentSpec, executor: Optional[Executor] = None
+) -> ReplicationAnalyzer:
+    """Execute one experiment point and aggregate its replications."""
+    executor = executor if executor is not None else executor_for(spec.replication)
+    analyzer = ReplicationAnalyzer(confidence=spec.confidence)
+    analyzer.add_all(executor.run(spec.jobs()))
+    return analyzer
+
+
+def run_sweep(spec: SweepSpec, executor: Optional[Executor] = None) -> SweepResult:
+    """Execute a whole sweep through one flattened executor call."""
+    executor = executor if executor is not None else executor_for(spec.replication)
+    experiments = spec.experiments()
+    chunks = [experiment.jobs() for experiment in experiments]
+    flat: List[ReplicationJob] = [job for chunk in chunks for job in chunk]
+    results = executor.run(flat)
+    analyzers: List[ReplicationAnalyzer] = []
+    offset = 0
+    for chunk in chunks:
+        analyzer = ReplicationAnalyzer(confidence=spec.confidence)
+        analyzer.add_all(results[offset : offset + len(chunk)])
+        analyzers.append(analyzer)
+        offset += len(chunk)
+    return SweepResult(spec=spec, analyzers=analyzers)

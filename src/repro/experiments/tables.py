@@ -6,6 +6,10 @@ reorganization, and a post-clustering usage phase replaying the *same*
 transactions (common random numbers, like the paper's "in the same
 conditions").  Tables 6 and 7 read off the 64 MB run; Table 8 re-runs
 the protocol at 8 MB.
+
+:func:`dstc_replication` is a pure, picklable function of
+``(config, seed)``, so the protocol's replications fan out through the
+same executors (and replication cache) as the figure sweeps.
 """
 
 from __future__ import annotations
@@ -14,8 +18,10 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.despy.stats import ConfidenceInterval, ReplicationAnalyzer
-from repro.core.model import VOODBSimulation, build_database
-from repro.experiments.runner import default_replications
+from repro.core.model import VOODBSimulation
+from repro.core.parameters import VOODBConfig
+from repro.experiments.executor import Executor
+from repro.experiments.specs import ExperimentSpec, run_experiment
 from repro.systems.dstc_experiment import (
     DSTC_EXPERIMENT_PARAMETERS,
     HIERARCHY_DEPTH,
@@ -30,9 +36,8 @@ from repro.systems.reference_data import (
 )
 
 
-def run_dstc_replication(memory_mb: float, seed: int) -> Dict[str, float]:
+def dstc_replication(config: VOODBConfig, seed: int) -> Dict[str, float]:
     """One §4.4 protocol replication; returns the table-row metrics."""
-    config = texas_dstc_config(memory_mb=memory_mb)
     model = VOODBSimulation(
         config,
         seed=seed,
@@ -64,6 +69,26 @@ def run_dstc_replication(memory_mb: float, seed: int) -> Dict[str, float]:
     }
 
 
+def run_dstc_replication(memory_mb: float, seed: int) -> Dict[str, float]:
+    """Compatibility wrapper: build the Texas config, run one replication."""
+    return dstc_replication(texas_dstc_config(memory_mb=memory_mb), seed)
+
+
+def dstc_spec(
+    memory_mb: float,
+    replications: Optional[int] = None,
+    base_seed: int = 1,
+) -> ExperimentSpec:
+    """The declarative §4.4 experiment at one memory size."""
+    return ExperimentSpec(
+        config=texas_dstc_config(memory_mb=memory_mb),
+        name=f"dstc-{memory_mb:g}mb",
+        replications=replications,
+        base_seed=base_seed,
+        replication=dstc_replication,
+    )
+
+
 @dataclass
 class DSTCExperimentResult:
     """Aggregated §4.4 protocol results with paper reference columns."""
@@ -86,22 +111,13 @@ class DSTCExperimentResult:
         return self.pre_clustering.mean / self.post_clustering.mean
 
 
-def run_dstc_experiment(
-    memory_mb: float,
-    replications: Optional[int] = None,
-    base_seed: int = 1,
+def _from_analyzer(
+    memory_mb: float, analyzer: ReplicationAnalyzer
 ) -> DSTCExperimentResult:
-    """Run the full protocol at one memory size, with replications."""
-    count = replications if replications is not None else default_replications()
-    config = texas_dstc_config(memory_mb=memory_mb)
-    build_database(config.ocb)  # share the base across replications
-    analyzer = ReplicationAnalyzer()
-    for r in range(count):
-        analyzer.add(run_dstc_replication(memory_mb, base_seed + r))
     reference = TABLE_6 if memory_mb >= 32 else TABLE_8
     return DSTCExperimentResult(
         memory_mb=memory_mb,
-        replications=count,
+        replications=analyzer.replications,
         pre_clustering=analyzer.interval("pre_clustering_ios"),
         clustering_overhead=analyzer.interval("clustering_overhead_ios"),
         post_clustering=analyzer.interval("post_clustering_ios"),
@@ -112,24 +128,42 @@ def run_dstc_experiment(
     )
 
 
-def table6(replications: Optional[int] = None) -> DSTCExperimentResult:
+def run_dstc_experiment(
+    memory_mb: float,
+    replications: Optional[int] = None,
+    base_seed: int = 1,
+    executor: Optional[Executor] = None,
+) -> DSTCExperimentResult:
+    """Run the full protocol at one memory size, with replications."""
+    spec = dstc_spec(memory_mb, replications=replications, base_seed=base_seed)
+    analyzer = run_experiment(spec, executor=executor)
+    return _from_analyzer(memory_mb, analyzer)
+
+
+def table6(
+    replications: Optional[int] = None, executor: Optional[Executor] = None
+) -> DSTCExperimentResult:
     """Effects of DSTC on Texas, mid-sized base (64 MB memory)."""
-    return run_dstc_experiment(TABLE_6.memory_mb, replications)
+    return run_dstc_experiment(TABLE_6.memory_mb, replications, executor=executor)
 
 
-def table7(replications: Optional[int] = None) -> DSTCExperimentResult:
+def table7(
+    replications: Optional[int] = None, executor: Optional[Executor] = None
+) -> DSTCExperimentResult:
     """DSTC cluster statistics — same run as Table 6.
 
     Returned as the full experiment result; the Table 7 rows are the
     ``clusters`` and ``objects_per_cluster`` intervals (reference values
     in :data:`repro.systems.reference_data.TABLE_7`).
     """
-    return table6(replications)
+    return table6(replications, executor=executor)
 
 
-def table8(replications: Optional[int] = None) -> DSTCExperimentResult:
+def table8(
+    replications: Optional[int] = None, executor: Optional[Executor] = None
+) -> DSTCExperimentResult:
     """Effects of DSTC on Texas, 'large' base (8 MB memory)."""
-    return run_dstc_experiment(TABLE_8.memory_mb, replications)
+    return run_dstc_experiment(TABLE_8.memory_mb, replications, executor=executor)
 
 
 #: Reference dictionary re-exported for the report module.

@@ -1,0 +1,131 @@
+"""Declarative specs, sweep execution, and the analyzer merge path."""
+
+import pytest
+
+from repro.core import SystemClass, VOODBConfig
+from repro.despy.stats import ReplicationAnalyzer
+from repro.experiments.executor import ParallelExecutor, SerialExecutor
+from repro.experiments.specs import (
+    ExperimentSpec,
+    SweepSpec,
+    run_experiment,
+    run_sweep,
+)
+from repro.ocb import OCBConfig
+
+SMALL = VOODBConfig(
+    sysclass=SystemClass.CENTRALIZED,
+    buffsize=64,
+    ocb=OCBConfig(nc=5, no=200, hotn=40),
+)
+
+
+def small_sweep(replications=2):
+    return SweepSpec.grid(
+        "tiny",
+        values=(100, 200),
+        config_for=lambda no: SMALL.with_changes(ocb=SMALL.ocb.with_changes(no=no)),
+        replications=replications,
+    )
+
+
+class TestExperimentSpec:
+    def test_jobs_cover_seed_range(self):
+        spec = ExperimentSpec(config=SMALL, replications=3, base_seed=10)
+        jobs = spec.jobs()
+        assert [job.seed for job in jobs] == [10, 11, 12]
+        assert all(job.config is SMALL for job in jobs)
+
+    def test_env_default_replications(self, monkeypatch):
+        monkeypatch.setenv("VOODB_REPLICATIONS", "7")
+        assert ExperimentSpec(config=SMALL).resolved_replications() == 7
+
+    def test_zero_replications_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(config=SMALL, replications=0).jobs()
+
+    def test_run_experiment_aggregates(self):
+        analyzer = run_experiment(
+            ExperimentSpec(config=SMALL, replications=3), SerialExecutor()
+        )
+        assert analyzer.replications == 3
+        assert analyzer.interval("total_ios").n == 3
+
+
+class TestSweepSpec:
+    def test_grid_builds_one_point_per_value(self):
+        sweep = small_sweep()
+        assert sweep.x_values == (100, 200)
+        assert [config.ocb.no for _, config in sweep.points] == [100, 200]
+
+    def test_experiments_share_protocol(self):
+        experiments = small_sweep(replications=4).experiments()
+        assert [e.resolved_replications() for e in experiments] == [4, 4]
+        assert [e.base_seed for e in experiments] == [1, 1]
+
+    def test_run_sweep_one_analyzer_per_point(self):
+        result = run_sweep(small_sweep(), SerialExecutor())
+        assert len(result.analyzers) == 2
+        assert all(a.replications == 2 for a in result.analyzers)
+        assert len(result.intervals("total_ios")) == 2
+        assert all(m > 0 for m in result.means("total_ios"))
+
+    def test_sweep_identical_across_executors(self):
+        sweep = small_sweep(replications=3)
+        serial = run_sweep(sweep, SerialExecutor())
+        parallel = run_sweep(sweep, ParallelExecutor(jobs=2))
+        for a, b in zip(serial.analyzers, parallel.analyzers):
+            assert a.observations("total_ios") == b.observations("total_ios")
+
+    def test_lambda_replication_ignores_jobs_env(self, monkeypatch):
+        # A closure can't cross a process boundary; the default executor
+        # must downgrade to serial instead of failing at pickle time.
+        monkeypatch.setenv("VOODB_JOBS", "2")
+        monkeypatch.delenv("VOODB_CACHE_DIR", raising=False)
+        seeds = []
+        sweep = SweepSpec(
+            name="closure",
+            points=((1, SMALL),),
+            replications=2,
+            replication=lambda config, seed: seeds.append(seed) or {"m": float(seed)},
+        )
+        result = run_sweep(sweep)
+        assert seeds == [1, 2]
+        assert result.analyzers[0].observations("m") == [1.0, 2.0]
+
+    def test_combined_merges_all_points(self):
+        result = run_sweep(small_sweep(), SerialExecutor())
+        combined = result.combined()
+        assert combined.replications == 4
+        assert combined.observations("total_ios") == (
+            result.analyzers[0].observations("total_ios")
+            + result.analyzers[1].observations("total_ios")
+        )
+
+
+class TestAnalyzerMerge:
+    def test_merge_equals_sequential_add(self):
+        metrics = [{"m": float(i)} for i in range(6)]
+        whole = ReplicationAnalyzer()
+        whole.add_all(metrics)
+
+        first, second = ReplicationAnalyzer(), ReplicationAnalyzer()
+        first.add_all(metrics[:3])
+        second.add_all(metrics[3:])
+        merged = ReplicationAnalyzer.merged([first, second])
+
+        assert merged.replications == whole.replications
+        assert merged.observations("m") == whole.observations("m")
+        assert merged.interval("m") == whole.interval("m")
+
+    def test_merge_requires_matching_confidence(self):
+        with pytest.raises(ValueError):
+            ReplicationAnalyzer(confidence=0.95).merge(
+                ReplicationAnalyzer(confidence=0.9)
+            )
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b = ReplicationAnalyzer(), ReplicationAnalyzer()
+        b.add({"m": 1.0})
+        assert a.merge(b) is a
+        assert a.replications == 1
