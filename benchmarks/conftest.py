@@ -20,12 +20,17 @@ Scaling knobs (environment):
   the Table 5 value);
 * ``VOODB_JOBS`` — worker processes per experiment (default 1 = serial);
 * ``VOODB_CACHE_DIR`` — on-disk replication cache directory (unset =
-  recompute everything).
+  recompute everything);
+* ``VOODB_BENCH_JSON`` — path to write a machine-readable timing
+  summary (per-bench wall seconds + suite total) at session end, the
+  format snapshotted in ``BENCH_2.json``.  Unset = no file.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -33,6 +38,10 @@ import pytest
 from repro.experiments.executor import make_executor
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: per-bench wall-clock seconds collected by the ``regenerate`` fixture,
+#: exported by ``pytest_sessionfinish`` when ``VOODB_BENCH_JSON`` is set.
+_TIMINGS: dict = {}
 
 
 def bench_replications() -> int:
@@ -80,8 +89,31 @@ def regenerate(benchmark):
     """
 
     def _run(name: str, fn):
+        started = time.perf_counter()
         report = benchmark.pedantic(fn, rounds=1, iterations=1)
+        _TIMINGS[name] = time.perf_counter() - started
         publish(name, report)
         return report
 
     return _run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the ``VOODB_BENCH_JSON`` timing summary, if requested.
+
+    The file is the perf-trajectory record: per-bench wall seconds plus
+    the suite total, in the same shape as the committed ``BENCH_2.json``
+    snapshot, so successive PRs can be compared with ``json.load`` and a
+    division.
+    """
+    path = os.environ.get("VOODB_BENCH_JSON")
+    if not path or not _TIMINGS:
+        return
+    summary = {
+        "total_wall_s": round(sum(_TIMINGS.values()), 3),
+        "benches": {name: round(secs, 3) for name, secs in sorted(_TIMINGS.items())},
+        "replications": bench_replications(),
+        "hotn": bench_hotn(),
+        "jobs": os.environ.get("VOODB_JOBS", "1"),
+    }
+    Path(path).write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,55 @@
+"""Kernel event-loop microbench: measure the fast path, don't assert it.
+
+Runs one standard replication on the default (Table 4 centralized)
+config and reports where its events went: how many paid the O(log n)
+binary-heap push versus how many were dispatched straight off the
+immediate run queue (resource grants, gate openings, process wake-ups).
+
+The published counters are deterministic for a given config and seed, so
+``results/kernel.txt`` is a golden output like the paper tables; the
+wall-clock side lives in pytest-benchmark's timing (and the JSON export,
+see conftest).  The test also guards the speedup's mechanism: if a
+kernel change silently reroutes the zero-delay continuations back
+through the heap, the fast-dispatch share collapses and this fails
+before anyone needs a stopwatch.
+"""
+
+from conftest import fmt_rows
+from repro.core.model import VOODBSimulation
+from repro.core.parameters import VOODBConfig
+
+
+def test_bench_kernel_fast_path(regenerate):
+    state = {}
+
+    def run():
+        model = VOODBSimulation(VOODBConfig(), seed=0)
+        model.run()
+        sim = model.sim
+        state["sim"] = sim
+        executed = sim.events_executed
+        fast = sim.events_fast_dispatched
+        heap = sim.events_heap_pushed
+        merged = sim.events_merged_continuations
+        continuations = fast + merged
+        rows = [
+            ["events executed", executed],
+            ["events heap pushed", heap],
+            ["events fast dispatched", fast],
+            ["continuations merged in place", merged],
+            ["heap bypass share", f"{continuations / (continuations + heap):.3f}"],
+            ["transactions", model.tm.transactions_executed],
+        ]
+        return fmt_rows(
+            "Kernel event-loop fast path (default config, seed 0)",
+            ["counter", "value"],
+            rows,
+        )
+
+    regenerate("kernel", run)
+    sim = state["sim"]
+    # The whole point of the fast path: zero-delay continuations dominate
+    # VOODB traffic, so most of them must bypass the heap — either
+    # dispatched off the immediate queue or merged into the running step.
+    bypassed = sim.events_fast_dispatched + sim.events_merged_continuations
+    assert bypassed > sim.events_heap_pushed

@@ -23,6 +23,10 @@ class ClusteringPolicy(ABC):
 
     name: str = "abstract"
 
+    #: False only for policies whose :meth:`on_object_access` is a no-op;
+    #: lets the Transaction Manager skip the per-access hook call.
+    tracks_accesses: bool = True
+
     def attach(self, db: Database) -> None:
         """Called once, before the workload starts."""
         self.db = db
@@ -58,6 +62,7 @@ class NoClustering(ClusteringPolicy):
     """Table 3 default (CLUSTP = None): collect nothing, never trigger."""
 
     name = "none"
+    tracks_accesses = False
 
     def on_object_access(self, oid: int, previous_oid: Optional[int]) -> None:
         pass

@@ -62,6 +62,7 @@ from repro.core.prefetch import (
     make_prefetch_policy,
 )
 from repro.core.replacement import (
+    EmptyPolicyError,
     ReplacementPolicy,
     available_policies,
     make_replacement_policy,
@@ -92,6 +93,7 @@ __all__ = [
     "BufferManager",
     "AccessOutcome",
     "VirtualMemoryManager",
+    "EmptyPolicyError",
     "ReplacementPolicy",
     "make_replacement_policy",
     "available_policies",

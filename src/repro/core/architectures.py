@@ -35,7 +35,7 @@ from repro.core.buffering import BufferManager
 from repro.core.network import Network
 from repro.core.object_manager import ObjectManager
 from repro.core.parameters import SystemClass, VOODBConfig
-from repro.core.prefetch import PrefetchPolicy
+from repro.core.prefetch import NoPrefetch, PrefetchPolicy
 from repro.ocb.database import Database
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -67,6 +67,11 @@ class Architecture(ABC):
         self.io = io
         self.network = network
         self.prefetcher = prefetcher
+        self._admit_prefetched = getattr(memory, "admit_prefetched", None)
+        self._prefetch_enabled = (
+            self._admit_prefetched is not None
+            and not isinstance(prefetcher, NoPrefetch)
+        )
         self._prefetched_unused: set[int] = set()
         # Counters
         self.prefetched_pages = 0
@@ -75,19 +80,45 @@ class Architecture(ABC):
         self.client_misses = 0
 
     # ------------------------------------------------------------------
-    @abstractmethod
     def access_object(self, oid: int, write: bool):
         """Process-generator performing one object access end to end."""
+        step = self.access_object_nowait(oid, write)
+        if step is not None:
+            yield from step
+
+    @abstractmethod
+    def access_object_nowait(self, oid: int, write: bool):
+        """One object access, synchronous when no simulated time passes.
+
+        This is the face subclasses implement (and the one the
+        Transaction Manager calls): return ``None`` when the access
+        completed entirely in place (client/buffer hits, free network) —
+        the dominant outcome once the working set is resident — or a
+        generator to ``yield from`` for the part that needs the event
+        loop.  Pure cache hits then cost zero generator round-trips.
+        :meth:`access_object` is a convenience wrapper over this.
+        """
 
     def begin_transaction(self):
         """Hook before a transaction's accesses (network for DB server)."""
-        return
-        yield  # pragma: no cover - makes this an (empty) generator
+        step = self.begin_transaction_nowait()
+        if step is not None:
+            yield from step
 
     def end_transaction(self):
         """Hook after a transaction's accesses."""
-        return
-        yield  # pragma: no cover - makes this an (empty) generator
+        step = self.end_transaction_nowait()
+        if step is not None:
+            yield from step
+
+    def begin_transaction_nowait(self):
+        """The envelope face subclasses override (the Transaction
+        Manager calls only this pair): ``None`` when there is no work —
+        the default for every non-DB-server class."""
+        return None
+
+    def end_transaction_nowait(self):
+        return None
 
     # ------------------------------------------------------------------
     # Shared server-side page path
@@ -100,18 +131,29 @@ class Architecture(ABC):
                 self._prefetched_unused.discard(page)
                 self.prefetch_hits += 1
             return
+        yield from self._miss_io(outcome, page)
+
+    def _miss_io(self, outcome, page: int):
+        """The disk traffic one buffer miss produced (writebacks, swap,
+        the read itself, prefetching)."""
+        io = self.io
         for victim in outcome.writeback_pages:
-            yield from self.io.write_page(victim)
-        for __ in getattr(outcome, "swap_out_pages", ()):
-            yield from self.io.swap_write()
-        if getattr(outcome, "swap_read", False):
-            yield from self.io.swap_read()
-        if outcome.read_page is not None:
-            yield from self.io.read_page(outcome.read_page)
-            yield from self._prefetch_after_miss(page)
+            yield from io.write_page(victim)
+        for __ in outcome.swap_out_pages:
+            yield from io.swap_write()
+        if outcome.swap_read:
+            yield from io.swap_read()
+        read_page = outcome.read_page
+        if read_page is not None:
+            # io.read_page, inlined: this is once-per-buffer-miss.
+            yield io._request_disk
+            yield io.read_hold(read_page)
+            yield io._release_disk
+            if self._prefetch_enabled:
+                yield from self._prefetch_after_miss(page)
 
     def _prefetch_after_miss(self, page: int):
-        admit = getattr(self.memory, "admit_prefetched", None)
+        admit = self._admit_prefetched
         if admit is None:
             return  # prefetching needs a buffer; the VM model has none
         for extra in self.prefetcher.pages_after_miss(
@@ -133,6 +175,43 @@ class Architecture(ABC):
         for __ in self.memory.note_object_access(oid):
             yield from self.io.swap_write()
 
+    def _server_object_access_nowait(self, oid: int, write: bool):
+        """Synchronous server-side object access, handing off on a miss.
+
+        Walks the object's pages through the memory model in place; on
+        the first miss it returns a generator that finishes that miss's
+        disk work and the remaining pages.  Returns ``None`` when every
+        page hit (and the swizzle hook owed nothing) — no simulated time
+        passed, so there is nothing to yield.
+        """
+        memory = self.memory
+        prefetched = self._prefetched_unused
+        pages = iter(self.object_manager.pages_of(oid))
+        for page in pages:
+            outcome = memory.access(page, write)
+            if outcome.hit:
+                if page in prefetched:
+                    prefetched.discard(page)
+                    self.prefetch_hits += 1
+                continue
+            return self._object_access_tail(oid, outcome, page, pages, write)
+        notes = memory.note_object_access(oid)
+        if notes:
+            return self._swap_notes(notes)
+        return None
+
+    def _object_access_tail(self, oid, outcome, page, pages, write):
+        """Finish an object access from its first missing page on."""
+        yield from self._miss_io(outcome, page)
+        for page in pages:
+            yield from self._server_page_access(page, write)
+        for __ in self.memory.note_object_access(oid):
+            yield from self.io.swap_write()
+
+    def _swap_notes(self, notes):
+        for __ in notes:
+            yield from self.io.swap_write()
+
     def notify_reorganized(self) -> None:
         """Clustering moved objects: client/prefetch state is stale."""
         self._prefetched_unused.clear()
@@ -143,8 +222,8 @@ class Centralized(Architecture):
 
     name = "centralized"
 
-    def access_object(self, oid: int, write: bool):
-        yield from self._server_object_access(oid, write)
+    def access_object_nowait(self, oid: int, write: bool):
+        return self._server_object_access_nowait(oid, write)
 
 
 class PageServer(Architecture):
@@ -162,16 +241,111 @@ class PageServer(Architecture):
                 capacity=self.config.client_buffsize,
             )
 
-    def access_object(self, oid: int, write: bool):
-        for page in self.object_manager.pages_of(oid):
-            if self.client_cache is not None:
-                if self.client_cache.access(page, False).hit:
+    def access_object_nowait(self, oid: int, write: bool):
+        client_cache = self.client_cache
+        network = self.network
+        pages = iter(self.object_manager.pages_of(oid))
+        if network.infinite:
+            # Free network (Table 4's NETTHRU = +inf): transfers only
+            # count, so the whole loop stays synchronous until a page
+            # actually needs the disk.  The request and response
+            # messages are booked together — the totals are all that is
+            # observable.
+            memory = self.memory
+            prefetched = self._prefetched_unused
+            round_trip_bytes = self.config.message_bytes + self.config.pgsize
+            for page in pages:
+                if client_cache is not None:
+                    if client_cache.access(page, False).hit:
+                        self.client_hits += 1
+                        continue
+                    self.client_misses += 1
+                network.messages += 2
+                network.bytes_sent += round_trip_bytes
+                outcome = memory.access(page, write)
+                if outcome.hit:
+                    if page in prefetched:
+                        prefetched.discard(page)
+                        self.prefetch_hits += 1
+                    continue
+                return self._page_server_free_net_tail(
+                    outcome, page, pages, write
+                )
+            return None
+        for page in pages:
+            if client_cache is not None:
+                if client_cache.access(page, False).hit:
                     self.client_hits += 1
                     continue
                 self.client_misses += 1
-            yield from self.network.transfer(self.config.message_bytes)
+            # This page must travel: hand the rest to the event loop.
+            # Its client-cache miss is already booked, so the tail
+            # starts at the ship-request step.
+            return self._page_server_tail(page, pages, write)
+        return None
+
+    def _page_server_free_net_tail(self, outcome, page, pages, write: bool):
+        """Finish a free-network object access from its first disk miss.
+
+        The first page's round trip is already counted by the caller.
+        """
+        client_cache = self.client_cache
+        network = self.network
+        memory = self.memory
+        prefetched = self._prefetched_unused
+        round_trip_bytes = self.config.message_bytes + self.config.pgsize
+        io = self.io
+        prefetching = self._prefetch_enabled
+        yield from self._miss_io(outcome, page)
+        for page in pages:
+            if client_cache is not None:
+                if client_cache.access(page, False).hit:
+                    self.client_hits += 1
+                    continue
+                self.client_misses += 1
+            network.messages += 2
+            network.bytes_sent += round_trip_bytes
+            outcome = memory.access(page, write)
+            if not outcome.hit:
+                if (
+                    not outcome.writeback_pages
+                    and not outcome.swap_out_pages
+                    and not outcome.swap_read
+                    and outcome.read_page is not None
+                    and not prefetching
+                ):
+                    # Plain read miss (the common case), inlined.
+                    yield io._request_disk
+                    yield io.read_hold(outcome.read_page)
+                    yield io._release_disk
+                else:
+                    yield from self._miss_io(outcome, page)
+            elif page in prefetched:
+                prefetched.discard(page)
+                self.prefetch_hits += 1
+
+    def _page_server_tail(self, page, pages, write: bool):
+        client_cache = self.client_cache
+        network = self.network
+        message_bytes = self.config.message_bytes
+        pgsize = self.config.pgsize
+        while True:
+            step = network.transfer_nowait(message_bytes)
+            if step is not None:
+                yield from step
             yield from self._server_page_access(page, write)
-            yield from self.network.transfer(self.config.pgsize)
+            step = network.transfer_nowait(pgsize)
+            if step is not None:
+                yield from step
+            for page in pages:
+                if client_cache is not None:
+                    if client_cache.access(page, False).hit:
+                        self.client_hits += 1
+                        continue
+                    self.client_misses += 1
+                break
+            else:
+                return
 
     def notify_reorganized(self) -> None:
         super().notify_reorganized()
@@ -203,15 +377,35 @@ class ObjectServer(Architecture):
                 self.config, self.sim.stream("client-cache"), capacity=slots
             )
 
-    def access_object(self, oid: int, write: bool):
+    def access_object_nowait(self, oid: int, write: bool):
         if self.client_cache is not None:
             if self.client_cache.access(oid, False).hit:
                 self.client_hits += 1
-                return
+                return None
             self.client_misses += 1
-        yield from self.network.transfer(self.config.message_bytes)
+        network = self.network
+        if network.infinite:
+            network.transfer_nowait(self.config.message_bytes)
+            step = self._server_object_access_nowait(oid, write)
+            if step is None:
+                network.transfer_nowait(self.db.size(oid))
+                return None
+            return self._object_server_finish(step, oid)
+        return self._object_server_tail(oid, write)
+
+    def _object_server_finish(self, step, oid: int):
+        yield from step
+        self.network.transfer_nowait(self.db.size(oid))
+
+    def _object_server_tail(self, oid: int, write: bool):
+        network = self.network
+        step = network.transfer_nowait(self.config.message_bytes)
+        if step is not None:
+            yield from step
         yield from self._server_object_access(oid, write)
-        yield from self.network.transfer(self.db.size(oid))
+        step = network.transfer_nowait(self.db.size(oid))
+        if step is not None:
+            yield from step
 
     def notify_reorganized(self) -> None:
         super().notify_reorganized()
@@ -224,14 +418,14 @@ class DBServer(Architecture):
 
     name = "db_server"
 
-    def begin_transaction(self):
-        yield from self.network.transfer(self.config.message_bytes)
+    def begin_transaction_nowait(self):
+        return self.network.transfer_nowait(self.config.message_bytes)
 
-    def end_transaction(self):
-        yield from self.network.transfer(self.config.message_bytes)
+    def end_transaction_nowait(self):
+        return self.network.transfer_nowait(self.config.message_bytes)
 
-    def access_object(self, oid: int, write: bool):
-        yield from self._server_object_access(oid, write)
+    def access_object_nowait(self, oid: int, write: bool):
+        return self._server_object_access_nowait(oid, write)
 
 
 _ARCHITECTURES: Dict[SystemClass, type] = {

@@ -19,8 +19,8 @@ same page, which is the role page latches play in a real server.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.despy.randomstream import RandomStream
 from repro.core.parameters import VOODBConfig
@@ -34,11 +34,32 @@ class AccessOutcome:
     ``hit`` — page was resident, no disk work.
     ``read_page`` — page to read from disk (None on hit).
     ``writeback_pages`` — dirty victims the caller must write first.
+
+    Outcomes are read-only messages: the hit case and the empty
+    writeback list are shared singletons on the hot path, so callers
+    must never mutate an outcome they received.
     """
 
     hit: bool
     read_page: Optional[int] = None
-    writeback_pages: List[int] = field(default_factory=list)
+    writeback_pages: Sequence[int] = ()
+
+    # Class-level (non-field) defaults for the virtual-memory
+    # extension's extra attributes, so the shared server path reads them
+    # as plain attributes on any outcome without getattr fallbacks.
+    swap_read = False
+    swap_out_pages: Sequence[int] = ()
+
+
+#: Shared "page was resident" outcome — every hit is the same message,
+#: so the hot path hands out one frozen instance instead of allocating
+#: ~2 objects (outcome + list) per buffer hit.
+_HIT = AccessOutcome(hit=True)
+
+#: Shared empty writebacks for misses that evicted nothing dirty — a
+#: tuple, so a stray mutation fails loudly instead of corrupting every
+#: outcome sharing the singleton.
+_NO_WRITEBACKS: Sequence[int] = ()
 
 
 class BufferManager:
@@ -56,6 +77,11 @@ class BufferManager:
         if self.capacity < 1:
             raise ValueError(f"buffer capacity must be >= 1, got {self.capacity}")
         self.policy = policy or make_replacement_policy(config.pgrep, rng)
+        # The policy never changes after construction; its three hot
+        # hooks are bound once so each access skips two attribute hops.
+        self._on_hit = self.policy.on_hit
+        self._on_admit = self.policy.on_admit
+        self._choose_victim = self.policy.choose_victim
         #: frame table: page -> dirty flag
         self._frames: Dict[int, bool] = {}
         # Counters
@@ -74,12 +100,12 @@ class BufferManager:
             self.hits += 1
             if write:
                 frames[page] = True
-            self.policy.on_hit(page)
-            return AccessOutcome(hit=True)
+            self._on_hit(page)
+            return _HIT
         self.misses += 1
         writebacks = self._make_room(1)
         frames[page] = write
-        self.policy.on_admit(page)
+        self._on_admit(page)
         return AccessOutcome(hit=False, read_page=page, writeback_pages=writebacks)
 
     def admit_prefetched(self, page: int) -> Optional[AccessOutcome]:
@@ -95,25 +121,30 @@ class BufferManager:
         self.policy.on_admit(page)
         return AccessOutcome(hit=False, read_page=page, writeback_pages=writebacks)
 
-    def _make_room(self, needed: int) -> List[int]:
-        writebacks: List[int] = []
-        while len(self._frames) + needed > self.capacity:
-            victim = self.policy.choose_victim()
-            dirty = self._frames.pop(victim)
+    def _make_room(self, needed: int) -> Sequence[int]:
+        frames = self._frames
+        if len(frames) + needed <= self.capacity:
+            return _NO_WRITEBACKS
+        writebacks: Optional[List[int]] = None
+        while len(frames) + needed > self.capacity:
+            victim = self._choose_victim()
+            dirty = frames.pop(victim)
             self.evictions += 1
             if dirty:
                 self.dirty_writebacks += 1
+                if writebacks is None:
+                    writebacks = []
                 writebacks.append(victim)
-        return writebacks
+        return _NO_WRITEBACKS if writebacks is None else writebacks
 
-    def note_object_access(self, oid: int) -> List[int]:
+    def note_object_access(self, oid: int) -> Sequence[int]:
         """Hook for memory models reacting to object-level accesses.
 
         A plain database buffer does nothing here; the Texas virtual-
         memory model (:mod:`repro.core.virtual_memory`) overrides this to
         run its reservation cascade.  Returns pages owed as swap writes.
         """
-        return []
+        return ()
 
     # ------------------------------------------------------------------
     # Maintenance

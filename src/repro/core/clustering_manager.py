@@ -62,6 +62,7 @@ class ClusteringManager:
         policy.attach(db)
         self.report = ClusteringReport(policy=policy.name)
         self._installed_clusters: List[List[int]] = []
+        self._rebind_access_hook()
 
     # ------------------------------------------------------------------
     # Figure 4 hooks (called by the Transaction Manager)
@@ -69,10 +70,27 @@ class ClusteringManager:
     def on_object_access(self, oid: int, previous_oid: Optional[int]) -> None:
         self.policy.on_object_access(oid, previous_oid)
 
+    def _rebind_access_hook(self) -> None:
+        # The hook runs once per object access; aliasing the policy's
+        # bound method on the instance removes the pure-delegation frame
+        # from the hot path while keeping ``on_object_access`` the API.
+        self.on_object_access = self.policy.on_object_access
+
     def after_transaction(self):
         """Automatic trigger check; reorganizes inline when requested."""
+        step = self.after_transaction_nowait()
+        if step is not None:
+            yield from step
+
+    def after_transaction_nowait(self):
+        """Trigger check without the generator round-trip.
+
+        Returns the reorganization generator to ``yield from`` when the
+        policy fires, ``None`` (almost always) otherwise.
+        """
         if self.policy.on_transaction_end():
-            yield from self.reorganize()
+            return self.reorganize()
+        return None
 
     def demand_clustering(self):
         """External trigger (Figure 4 "Clustering Demand" from Users)."""

@@ -36,6 +36,20 @@ class IOSubsystem:
         #: the model swaps in a live FailureInjector when configured.
         self.failures = NoFailures()
         self._last_page: int = -2  # nothing is contiguous to the start
+        # The config is frozen, so its derived timing properties are
+        # constants for this subsystem's lifetime; resolving them once
+        # keeps the per-page path free of property recomputation.  The
+        # Request/Release commands are immutable messages naming the
+        # disk, so every operation can yield the same two instances.
+        self._sequential_ok = config.sequential_optimization
+        self._sequential_time = config.sequential_io_time
+        self._random_time = config.random_io_time
+        self._request_disk = Request(self.disk)
+        self._release_disk = Release(self.disk)
+        # Without failures every page op holds for one of exactly two
+        # durations, so two shared Hold commands cover almost all I/O.
+        self._hold_sequential = Hold(self._sequential_time)
+        self._hold_random = Hold(self._random_time)
         # Counters
         self.reads = 0
         self.writes = 0
@@ -47,36 +61,71 @@ class IOSubsystem:
     # ------------------------------------------------------------------
     # Timing
     # ------------------------------------------------------------------
+    def _service(self, page: int) -> "tuple[float, Hold]":
+        """Contiguity-shortcut timing core: (service time, shared Hold).
+
+        The single source of truth for the Figure 5 rule.  Mutates the
+        head position, so call at most once per physical access.
+        """
+        if self._sequential_ok and page == self._last_page + 1:
+            self.sequential_accesses += 1
+            pair = (self._sequential_time, self._hold_sequential)
+        else:
+            pair = (self._random_time, self._hold_random)
+        self._last_page = page
+        return pair
+
     def access_time(self, page: int) -> float:
         """Service time for one page, applying the contiguity shortcut."""
-        if page == self._last_page + 1 and self.config.sequential_optimization:
-            self.sequential_accesses += 1
-            time = self.config.sequential_io_time
-        else:
-            time = self.config.random_io_time
-        self._last_page = page
-        return time
+        return self._service(page)[0]
+
+    def _penalized(self, time: float, hold: Hold) -> "tuple[float, Hold]":
+        """Apply the failure hazard's per-operation penalty, if any.
+
+        Keeps the shared Hold when the penalty is zero (the usual case);
+        otherwise the adjusted duration needs its own command.
+        """
+        penalty = self.failures.io_penalty()
+        if penalty:
+            time += penalty
+            return time, Hold(time)
+        return time, hold
 
     # ------------------------------------------------------------------
     # Process-style operations (yield from these inside processes)
     # ------------------------------------------------------------------
-    def read_page(self, page: int):
-        """Read one page: reserve the disk, pay the service time."""
-        yield Request(self.disk)
-        time = self.access_time(page) + self.failures.io_penalty()
+    def read_hold(self, page: int) -> Hold:
+        """Timing + accounting for one page read.
+
+        Must be called with the disk held (the head state mutates here);
+        callers yield ``io._request_disk``, then this Hold, then
+        ``io._release_disk`` — which is exactly :meth:`read_page`, kept
+        callable piecewise so hot generators can inline the three
+        commands without re-deriving disk mechanics.
+        """
+        time, hold = self._penalized(*self._service(page))
         self.reads += 1
         self.busy_time_ms += time
-        yield Hold(time)
-        yield Release(self.disk)
+        return hold
+
+    def write_hold(self, page: int) -> Hold:
+        """Timing + accounting for one page write (same rules as reads)."""
+        time, hold = self._penalized(*self._service(page))
+        self.writes += 1
+        self.busy_time_ms += time
+        return hold
+
+    def read_page(self, page: int):
+        """Read one page: reserve the disk, pay the service time."""
+        yield self._request_disk
+        yield self.read_hold(page)
+        yield self._release_disk
 
     def write_page(self, page: int):
         """Write one page (same head mechanics as a read)."""
-        yield Request(self.disk)
-        time = self.access_time(page) + self.failures.io_penalty()
-        self.writes += 1
-        self.busy_time_ms += time
-        yield Hold(time)
-        yield Release(self.disk)
+        yield self._request_disk
+        yield self.write_hold(page)
+        yield self._release_disk
 
     def read_pages(self, pages: Iterable[int]):
         """Bulk read; sorts the batch so contiguous runs pay transfer only.
@@ -85,7 +134,7 @@ class IOSubsystem:
         regions of the base (paper §4.4 "clustering overhead").
         """
         batch: List[int] = sorted(set(pages))
-        yield Request(self.disk)
+        yield self._request_disk
         total = self.failures.io_penalty() if batch else 0.0
         for page in batch:
             time = self.access_time(page)
@@ -93,12 +142,12 @@ class IOSubsystem:
             total += time
         self.busy_time_ms += total
         yield Hold(total)
-        yield Release(self.disk)
+        yield self._release_disk
 
     def write_pages(self, pages: Iterable[int]):
         """Bulk write, contiguity-aware like :meth:`read_pages`."""
         batch: List[int] = sorted(set(pages))
-        yield Request(self.disk)
+        yield self._request_disk
         total = self.failures.io_penalty() if batch else 0.0
         for page in batch:
             time = self.access_time(page)
@@ -106,7 +155,7 @@ class IOSubsystem:
             total += time
         self.busy_time_ms += total
         yield Hold(total)
-        yield Release(self.disk)
+        yield self._release_disk
 
     def swap_read(self):
         """Read one page back from the swap partition.
@@ -115,23 +164,23 @@ class IOSubsystem:
         random-access cost and breaks database-region contiguity (the arm
         moved) — §4.3.2's "costly swap".
         """
-        yield Request(self.disk)
+        yield self._request_disk
         self._last_page = -2
-        time = self.config.random_io_time + self.failures.io_penalty()
+        time, hold = self._penalized(self._random_time, self._hold_random)
         self.swap_reads += 1
         self.busy_time_ms += time
-        yield Hold(time)
-        yield Release(self.disk)
+        yield hold
+        yield self._release_disk
 
     def swap_write(self):
         """Write one page out to the swap partition."""
-        yield Request(self.disk)
+        yield self._request_disk
         self._last_page = -2
-        time = self.config.random_io_time + self.failures.io_penalty()
+        time, hold = self._penalized(self._random_time, self._hold_random)
         self.swap_writes += 1
         self.busy_time_ms += time
-        yield Hold(time)
-        yield Release(self.disk)
+        yield hold
+        yield self._release_disk
 
     # ------------------------------------------------------------------
     @property

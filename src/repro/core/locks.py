@@ -43,6 +43,10 @@ class LockManager:
         self.sim = sim
         self.config = config
         self.admission = Resource(sim, "scheduler", capacity=config.multilvl)
+        #: shared immutable commands for the admission resource, so the
+        #: per-transaction enter/leave pair allocates nothing.
+        self.admission_request = Request(self.admission)
+        self.admission_release = Release(self.admission)
         self._table: Dict[int, _LockEntry] = {}
         # Counters
         self.acquisitions = 0
@@ -55,25 +59,69 @@ class LockManager:
     # ------------------------------------------------------------------
     def admit(self):
         """Enter the multiprogramming mix (may queue)."""
-        yield Request(self.admission)
+        yield self.admission_request
 
     def leave(self):
-        yield Release(self.admission)
+        yield self.admission_release
 
     def acquire_all(self, txn_id: int, oids: Iterable[int], writes: set):
         """Acquire locks on every distinct object, sorted (deadlock-free).
 
         Pays GETLOCK per lock; blocks while any lock conflicts.
         """
+        step = self.acquire_all_nowait(txn_id, oids, writes)
+        if step is not None:
+            yield from step
+
+    def acquire_all_nowait(self, txn_id: int, oids: Iterable[int], writes: set):
+        """Like :meth:`acquire_all`, but synchronous when possible.
+
+        Returns ``None`` when every lock was granted without paying time
+        (GETLOCK = 0) or waiting; otherwise a generator to ``yield from``.
+        """
         distinct = sorted(set(oids))
         lock_cost = self.config.getlock * len(distinct)
         if lock_cost > 0:
-            yield Hold(lock_cost)
-        for oid in distinct:
+            return self._acquire_timed(txn_id, distinct, writes, lock_cost)
+        return self._acquire_sync(txn_id, distinct, writes)
+
+    def _acquire_timed(self, txn_id, distinct, writes, lock_cost):
+        yield Hold(lock_cost)
+        step = self._acquire_sync(txn_id, distinct, writes)
+        if step is not None:
+            yield from step
+
+    def _acquire_sync(self, txn_id, distinct, writes):
+        """Grant conflict-free locks in place; on the first conflict,
+        return a generator finishing the rest (waits included)."""
+        table = self._table
+        for index, oid in enumerate(distinct):
+            want_write = oid in writes
+            entry = table.get(oid)
+            if entry is None:
+                # Unlocked object (the common case): grant inline.
+                entry = table[oid] = _LockEntry()
+                entry.holders.add(txn_id)
+                entry.exclusive = want_write
+                self.acquisitions += 1
+                continue
+            if self._grant(txn_id, oid, want_write):
+                self.acquisitions += 1
+                continue
+            # A failed _grant mutates nothing, so the tail may simply
+            # retry this oid before its first wait.
+            return self._acquire_tail(txn_id, distinct, writes, index)
+        return None
+
+    def _acquire_tail(self, txn_id, distinct, writes, start):
+        table = self._table
+        for oid in distinct[start:]:
             want_write = oid in writes
             while not self._grant(txn_id, oid, want_write):
                 gate = Gate(self.sim, f"lock-{oid}")
-                self._table[oid].waiters.append((txn_id, want_write, gate))
+                # Re-fetch: the entry can be dropped and recreated while
+                # this transaction waits.
+                table[oid].waiters.append((txn_id, want_write, gate))
                 self.waits += 1
                 started = self.sim.now
                 yield WaitFor(gate)
@@ -82,11 +130,36 @@ class LockManager:
 
     def release_all(self, txn_id: int, oids: Iterable[int]):
         """Release every lock, paying RELLOCK per lock, waking waiters."""
+        step = self.release_all_nowait(txn_id, oids)
+        if step is not None:
+            yield from step
+
+    def release_all_nowait(self, txn_id: int, oids: Iterable[int]):
+        """Like :meth:`release_all`; ``None`` when RELLOCK costs nothing
+        (releasing never blocks, so only the Hold needs the event loop)."""
         distinct = sorted(set(oids))
         release_cost = self.config.rellock * len(distinct)
         if release_cost > 0:
-            yield Hold(release_cost)
+            return self._release_timed(txn_id, distinct, release_cost)
+        self._release_sync(txn_id, distinct)
+        return None
+
+    def _release_timed(self, txn_id, distinct, release_cost):
+        yield Hold(release_cost)
+        self._release_sync(txn_id, distinct)
+
+    def _release_sync(self, txn_id, distinct):
+        table = self._table
         for oid in distinct:
+            entry = table.get(oid)
+            if entry is None or txn_id not in entry.holders:
+                continue
+            if len(entry.holders) == 1 and not entry.waiters:
+                # Sole holder, nobody queued (the common case): drop the
+                # whole entry inline.
+                self.releases += 1
+                del table[oid]
+                continue
             self._release(txn_id, oid)
 
     # ------------------------------------------------------------------

@@ -34,6 +34,12 @@ class Network:
         self.infinite = math.isinf(config.netthru)
         self.medium = None if self.infinite else Resource(sim, "network", 1)
         self._ms_per_byte = config.network_ms_per_byte
+        if not self.infinite:
+            self._request_medium = Request(self.medium)
+            self._release_medium = Release(self.medium)
+            #: message sizes repeat (MESSAGE_BYTES, PGSIZE, object sizes),
+            #: so the Hold for each distinct size is built once.
+            self._holds: dict = {}
         # Counters
         self.messages = 0
         self.bytes_sent = 0
@@ -43,16 +49,34 @@ class Network:
         return nbytes * self._ms_per_byte
 
     def transfer(self, nbytes: int):
-        """Ship one message of ``nbytes`` (yield from inside a process)."""
+        """Ship one message of ``nbytes`` (yield from inside a process).
+
+        Prefer :meth:`transfer_nowait` on hot paths: with infinite
+        NETTHRU it skips the generator round-trip entirely.
+        """
+        step = self.transfer_nowait(nbytes)
+        if step is not None:
+            yield from step
+
+    def transfer_nowait(self, nbytes: int):
+        """Count one message; return the timed-transfer generator to
+        ``yield from``, or ``None`` when the medium is free (infinite
+        NETTHRU) and no simulated time passes."""
         self.messages += 1
         self.bytes_sent += nbytes
         if self.infinite:
-            return
-        time = self.transfer_time(nbytes)
+            return None
+        return self._timed_transfer(nbytes)
+
+    def _timed_transfer(self, nbytes: int):
+        time = nbytes * self._ms_per_byte
         self.busy_time_ms += time
-        yield Request(self.medium)
-        yield Hold(time)
-        yield Release(self.medium)
+        hold = self._holds.get(nbytes)
+        if hold is None:
+            hold = self._holds[nbytes] = Hold(time)
+        yield self._request_medium
+        yield hold
+        yield self._release_medium
 
     def request_response(self, request_bytes: int, response_bytes: int):
         """A request/response round trip as two transfers."""

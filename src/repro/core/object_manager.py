@@ -24,9 +24,22 @@ class ObjectManager:
 
     def __init__(self, db: Database, page_map: PageMap) -> None:
         self.db = db
-        self._page_map = page_map
+        self._install(page_map)
         self.lookups = 0
         self.rebuilds = 0
+
+    def _install(self, page_map: PageMap) -> None:
+        # pages_of/page_of run once per object access: bind the mapping's
+        # methods here (and again on rebuild) so the hot path skips two
+        # attribute hops per lookup.
+        self._page_map = page_map
+        self._pages_of = page_map.pages_of
+        self._page_of = page_map.page_of
+        # Swizzle-cascade cache: page -> pages referenced by its
+        # objects.  Valid for one (page map, database graph) pair; the
+        # map half resets here, the graph half via ``db.mutations``.
+        self._page_refs_cache: dict = {}
+        self._page_refs_mutations = -1
 
     # ------------------------------------------------------------------
     # Hot path
@@ -34,23 +47,34 @@ class ObjectManager:
     def pages_of(self, oid: int) -> range:
         """Page span holding the object (one page for ordinary objects)."""
         self.lookups += 1
-        return self._page_map.pages_of(oid)
+        return self._pages_of(oid)
 
     def page_of(self, oid: int) -> int:
         self.lookups += 1
-        return self._page_map.page_of(oid)
+        return self._page_of(oid)
 
     def pages_referenced_by(self, oid: int) -> List[int]:
         """Pages of every object ``oid`` references (swizzling cascade)."""
-        page_map = self._page_map
-        return [page_map.page_of(target) for target in self.db.refs(oid)]
+        page_of = self._page_of
+        return [page_of(target) for target in self.db.refs(oid)]
 
     def pages_referenced_by_page(self, page: int) -> List[int]:
         """Distinct pages referenced by the objects living on ``page``.
 
         This is what Texas' page-fault-time pointer swizzling reserves
-        (see :mod:`repro.core.virtual_memory`).
+        (see :mod:`repro.core.virtual_memory`).  The cascade is a pure
+        function of the page map and the object graph, and the VM model
+        asks for the same hot pages on every fault — so the result is
+        cached until either input changes.
         """
+        cache = self._page_refs_cache
+        mutations = self.db.mutations
+        if mutations != self._page_refs_mutations:
+            cache.clear()
+            self._page_refs_mutations = mutations
+        cached = cache.get(page)
+        if cached is not None:
+            return cached
         page_map = self._page_map
         db = self.db
         targets = {
@@ -59,7 +83,9 @@ class ObjectManager:
             for target in db.refs(oid)
         }
         targets.discard(page)
-        return sorted(targets)
+        result = sorted(targets)
+        cache[page] = result
+        return result
 
     # ------------------------------------------------------------------
     # Directory maintenance
@@ -89,7 +115,7 @@ class ObjectManager:
             raise ValueError(
                 f"new page map covers {len(page_map)} of {len(self.db)} objects"
             )
-        self._page_map = page_map
+        self._install(page_map)
         self.rebuilds += 1
 
     def allocate(self, oid: int, usable_page_bytes: int) -> int:
@@ -98,9 +124,14 @@ class ObjectManager:
         Called by the Transaction Manager when it executes an OCB insert
         transaction; returns the object's first page.
         """
-        return self._page_map.append_object(
+        page = self._page_map.append_object(
             oid, self.db.size(oid), usable_page_bytes
         )
+        # The new object changes what lives on its page (and the insert
+        # already bumped db.mutations, but the placement change alone
+        # would not have).
+        self._page_refs_cache.pop(page, None)
+        return page
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -27,6 +27,16 @@ from typing import Callable, Dict, List, Optional
 from repro.despy.randomstream import RandomStream
 
 
+class EmptyPolicyError(LookupError):
+    """Raised when a victim is requested from a policy tracking no pages.
+
+    Without this the strategies would leak their internals — LRU/MRU/FIFO
+    a ``StopIteration`` from ``next(iter(...))`` (which a generator-based
+    process turns into a baffling ``RuntimeError``), LFU/LRU-K a bare
+    ``IndexError`` from ``heappop``, CLOCK an ``IndexError`` mid-sweep.
+    """
+
+
 class ReplacementPolicy(ABC):
     """Interface between the Buffering Manager and a strategy."""
 
@@ -40,10 +50,18 @@ class ReplacementPolicy(ABC):
 
     @abstractmethod
     def choose_victim(self) -> int:
-        """Return the page to evict, removing it from the bookkeeping."""
+        """Return the page to evict, removing it from the bookkeeping.
+
+        Raises :class:`EmptyPolicyError` when no page is tracked.
+        """
 
     @abstractmethod
     def forget(self, page: int) -> None: ...
+
+    def _no_victim(self) -> "int":
+        raise EmptyPolicyError(
+            f"{self.name} replacement policy has no pages to evict"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
@@ -69,6 +87,8 @@ class LRUPolicy(ReplacementPolicy):
         self._order[page] = None
 
     def choose_victim(self) -> int:
+        if not self._order:
+            self._no_victim()
         page = next(iter(self._order))
         del self._order[page]
         return page
@@ -93,6 +113,8 @@ class MRUPolicy(ReplacementPolicy):
         self._order[page] = None
 
     def choose_victim(self) -> int:
+        if not self._order:
+            self._no_victim()
         page = next(reversed(self._order))
         del self._order[page]
         return page
@@ -116,6 +138,8 @@ class FIFOPolicy(ReplacementPolicy):
         pass
 
     def choose_victim(self) -> int:
+        if not self._order:
+            self._no_victim()
         page = next(iter(self._order))
         del self._order[page]
         return page
@@ -142,6 +166,8 @@ class RandomPolicy(ReplacementPolicy):
         pass
 
     def choose_victim(self) -> int:
+        if not self._pages:
+            self._no_victim()
         index = self._rng.randint(0, len(self._pages) - 1)
         page = self._pages[index]
         self._remove_at(index)
@@ -184,6 +210,8 @@ class LFUPolicy(ReplacementPolicy):
         self._push(page)
 
     def choose_victim(self) -> int:
+        if not self._counts:
+            self._no_victim()
         while True:
             count, __, page = heapq.heappop(self._heap)
             if self._counts.get(page) == count:
@@ -240,6 +268,8 @@ class LRUKPolicy(ReplacementPolicy):
         self._touch(page)
 
     def choose_victim(self) -> int:
+        if not self._history:
+            self._no_victim()
         while True:
             key, __, page = heapq.heappop(self._heap)
             if page in self._history and self._kth_key(page) == key:
@@ -268,6 +298,8 @@ class ClockPolicy(ReplacementPolicy):
         self._refbit[page] = True
 
     def choose_victim(self) -> int:
+        if not self._refbit:
+            self._no_victim()
         while True:
             if self._hand >= len(self._pages):
                 self._hand = 0
@@ -309,6 +341,8 @@ class GClockPolicy(ReplacementPolicy):
         self._count[page] += 1
 
     def choose_victim(self) -> int:
+        if not self._count:
+            self._no_victim()
         while True:
             if self._hand >= len(self._pages):
                 self._hand = 0

@@ -106,8 +106,10 @@ class Users:
             transactions = generator.hierarchy_only(count, hierarchy_type, depth)
         else:
             transactions = generator.transactions(count)
+        think_hold = Hold(think) if think > 0 else None
+        execute = self.tm.execute_with_envelope
         for txn in transactions:
             self.transactions_submitted += 1
-            yield from self.tm.execute_with_envelope(txn)
-            if think > 0:
-                yield Hold(think)
+            yield from execute(txn)
+            if think_hold is not None:
+                yield think_hold

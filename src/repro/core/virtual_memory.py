@@ -35,7 +35,7 @@ harder in Figure 11.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Sequence
 
 from repro.despy.randomstream import RandomStream
 from repro.core.buffering import AccessOutcome
@@ -45,6 +45,11 @@ from repro.core.replacement import make_replacement_policy
 #: Frame states.
 _RESIDENT = 0
 _RESERVED = 1
+
+#: Shared "no pages swapped" result — returned whenever an operation
+#: freed or reserved nothing, which under ample memory is every
+#: operation.  A tuple, so accidental mutation fails loudly.
+_NO_SWAPS: Sequence[int] = ()
 
 
 class VMAccessOutcome(AccessOutcome):
@@ -56,15 +61,21 @@ class VMAccessOutcome(AccessOutcome):
         read_page=None,
         writeback_pages=None,
         swap_read: bool = False,
-        swap_out_pages: List[int] | None = None,
+        swap_out_pages: Sequence[int] | None = None,
     ) -> None:
-        super().__init__(
-            hit=hit,
-            read_page=read_page,
-            writeback_pages=writeback_pages or [],
-        )
+        # Direct assignment instead of chaining the dataclass __init__:
+        # outcomes are allocated once per page fault, which under swap
+        # thrash (Figure 11) is the model's hottest allocation site.
+        self.hit = hit
+        self.read_page = read_page
+        self.writeback_pages = writeback_pages if writeback_pages is not None else ()
         self.swap_read = swap_read
-        self.swap_out_pages = swap_out_pages or []
+        self.swap_out_pages = swap_out_pages if swap_out_pages is not None else ()
+
+
+#: Shared "page was resident and swizzled" outcome, mirroring the plain
+#: buffer's hit singleton — hits dominate once memory fits the footprint.
+_VM_HIT = VMAccessOutcome(hit=True)
 
 
 class VirtualMemoryManager:
@@ -93,6 +104,9 @@ class VirtualMemoryManager:
         if self.capacity < 1:
             raise ValueError(f"memory capacity must be >= 1, got {self.capacity}")
         self.policy = make_replacement_policy(config.pgrep, rng)
+        # Bound once, like BufferManager: the hooks run per page fault.
+        self._on_hit = self.policy.on_hit
+        self._on_admit = self.policy.on_admit
         self._pages_referenced_by_page = pages_referenced_by_page
         #: in-memory frames: page -> _RESIDENT | _RESERVED
         self._frames: Dict[int, int] = {}
@@ -115,14 +129,14 @@ class VirtualMemoryManager:
         state = frames.get(page)
         if state == _RESIDENT:
             self.hits += 1
-            self.policy.on_hit(page)
-            return VMAccessOutcome(hit=True)
+            self._on_hit(page)
+            return _VM_HIT
         self.misses += 1
         if state == _RESERVED:
             # Reserved by a swizzle: the frame exists, the data does not.
             # Loading the data swizzles *this* page's pointers in turn.
             frames[page] = _RESIDENT
-            self.policy.on_hit(page)
+            self._on_hit(page)
             swap_outs = self._swizzle(page)
             return VMAccessOutcome(
                 hit=False, read_page=page, swap_out_pages=swap_outs
@@ -133,7 +147,7 @@ class VirtualMemoryManager:
             self.swap_ins += 1
             swap_outs = self._make_room()
             frames[page] = _RESIDENT
-            self.policy.on_admit(page)
+            self._on_admit(page)
             return VMAccessOutcome(
                 hit=False, swap_read=True, swap_out_pages=swap_outs
             )
@@ -144,8 +158,10 @@ class VirtualMemoryManager:
             self.swap_ins += 1
             swap_outs = self._make_room()
             frames[page] = _RESIDENT
-            self.policy.on_admit(page)
-            swap_outs.extend(self._swizzle(page))
+            self._on_admit(page)
+            swizzled = self._swizzle(page)
+            if swizzled:
+                swap_outs = swap_outs + swizzled if swap_outs else swizzled
             return VMAccessOutcome(
                 hit=False,
                 read_page=page,
@@ -156,22 +172,24 @@ class VirtualMemoryManager:
         # swizzle the fresh page's pointers (the §4.3.2 cascade).
         swap_outs = self._make_room()
         frames[page] = _RESIDENT
-        self.policy.on_admit(page)
-        swap_outs.extend(self._swizzle(page))
+        self._on_admit(page)
+        swizzled = self._swizzle(page)
+        if swizzled:
+            swap_outs = swap_outs + swizzled if swap_outs else swizzled
         return VMAccessOutcome(
             hit=False, read_page=page, swap_out_pages=swap_outs
         )
 
-    def note_object_access(self, oid: int) -> List[int]:
+    def note_object_access(self, oid: int) -> Sequence[int]:
         """Object-level hook of the memory interface: nothing to do here —
         Texas swizzles per faulted *page*, inside :meth:`access`."""
-        return []
+        return ()
 
-    def _swizzle(self, page: int) -> List[int]:
+    def _swizzle(self, page: int) -> Sequence[int]:
         """Pointer-swizzle a freshly loaded page: reserve frames for every
         page its objects reference.  Returns pages swapped out to make
         room (the caller owes one swap write each)."""
-        swap_outs: List[int] = []
+        swap_outs: List[int] | None = None
         frames = self._frames
         for target in self._pages_referenced_by_page(page):
             if (
@@ -186,27 +204,37 @@ class VirtualMemoryManager:
                 # swizzled itself; the OS would simply fail the eager
                 # reservation and fault the target later.
                 break
-            swap_outs.extend(room)
+            if room:
+                # room is a fresh list (the shared empty is falsy), so
+                # the first one can be adopted outright.
+                if swap_outs is None:
+                    swap_outs = room
+                else:
+                    swap_outs.extend(room)
             frames[target] = _RESERVED
-            self.policy.on_admit(target)
+            self._on_admit(target)
             self.reservations += 1
-        return swap_outs
+        return swap_outs if swap_outs is not None else _NO_SWAPS
 
-    def _make_room(self, protect: int | None = None) -> List[int] | None:
+    def _make_room(self, protect: int | None = None) -> Sequence[int] | None:
         """Free one frame if full; victims go to swap (dirty anon memory).
 
-        Returns the swapped-out pages, or ``None`` when the only
-        remaining victim is the ``protect`` page (the frame being
-        swizzled must stay resident).
+        Returns the swapped-out pages (the shared empty tuple when
+        memory had room), or ``None`` when the only remaining victim is
+        the ``protect`` page (the frame being swizzled must stay
+        resident).
         """
+        frames = self._frames
+        if len(frames) < self.capacity:
+            return _NO_SWAPS
         swap_outs: List[int] = []
-        while len(self._frames) >= self.capacity:
+        while len(frames) >= self.capacity:
             victim = self.policy.choose_victim()
             if victim == protect:
                 # Give the frame back (at MRU position) and report no room.
                 self.policy.on_admit(victim)
                 return None
-            state = self._frames.pop(victim)
+            state = frames.pop(victim)
             if state == _RESIDENT:
                 self._swapped_resident.add(victim)
             else:

@@ -10,11 +10,24 @@ in two styles, mirroring how DESP-C++ models were written:
   are interpreted as Hold / Request / Release commands.
 
 Both styles share the same deterministic event ordering, so they compose.
+
+Fast path
+---------
+Zero-delay, priority-0 events (the continuations that dominate VOODB:
+resource grants, gate openings, process wake-ups after a release) skip
+the binary heap and land on an immediate-dispatch FIFO — see
+:mod:`repro.despy.events`.  The run loop merges the FIFO with the heap
+by comparing heads on the full ``(time, priority, seq)`` key, so the
+execution order is *bit-identical* to a pure-heap kernel; only the
+per-event cost changes.  The counters :attr:`Simulation.events_heap_pushed`
+and :attr:`Simulation.events_fast_dispatched` report how much traffic
+each tier carried.
 """
 
 from __future__ import annotations
 
 import math
+from heapq import heappop
 from typing import Any, Callable, Generator, Optional
 
 from repro.despy.errors import SchedulingError
@@ -34,7 +47,9 @@ class Simulation:
         by this seed, so a replication can always be replayed.
     trace:
         Optional callable invoked as ``trace(time, message)`` for kernel
-        tracing; mainly useful in tests and debugging.
+        tracing; mainly useful in tests and debugging.  Tracing forces the
+        engine onto a slower generic loop; leave it ``None`` for runs
+        that matter.
     """
 
     def __init__(
@@ -77,6 +92,8 @@ class Simulation:
         """Schedule ``handler(*args)`` to run ``delay`` time units from now."""
         if delay < 0 or math.isnan(delay):
             raise SchedulingError(f"delay must be >= 0, got {delay!r}")
+        if delay == 0.0 and priority == 0:
+            return self._events.push_immediate(self.now, handler, args)
         return self._events.push(self.now + delay, priority, handler, args)
 
     def schedule_at(
@@ -92,6 +109,17 @@ class Simulation:
                 f"cannot schedule at {time} before current time {self.now}"
             )
         return self.schedule(time - self.now, handler, *args, priority=priority)
+
+    def wake(self, handler: Callable[..., Any], *args: Any) -> Event:
+        """Queue ``handler(*args)`` for immediate dispatch at the current time.
+
+        This is the resume path :class:`~repro.despy.resource.Resource`
+        and :class:`~repro.despy.resource.Gate` use to hand the clock to
+        a ready process without a heap round-trip.  Equivalent to
+        ``schedule(0.0, handler, *args)`` in every observable way
+        (ordering included) — just spelled as what it is.
+        """
+        return self._events.push_immediate(self.now, handler, args)
 
     # ------------------------------------------------------------------
     # Process layer
@@ -121,32 +149,123 @@ class Simulation:
 
         Returns the final simulation clock.  The clock is left at
         ``until`` when the horizon is hit with events still pending, and
-        at the last executed event time otherwise.
+        at the last executed event time otherwise.  An infinite horizon
+        never touches the clock (``run(until=float("inf"))`` behaves like
+        ``run()``).
 
         A drained simulation is *reusable*: scheduling new events and
         calling :meth:`run` again continues on the same clock.  VOODB's
         multi-phase experiments (usage run → clustering → usage run,
         paper §4.4) rely on this.
         """
+        if self._trace is not None:
+            return self._run_traced(until)
         self._running = True
         events = self._events
-        while events:
-            next_time = events.peek_time()
-            if next_time is None:
-                break
-            if next_time > until:
-                self.now = until
-                self._running = False
-                return self.now
-            event = events.pop()
-            self.now = event.time
-            self._events_executed += 1
-            if self._trace is not None:
+        heap = events._heap
+        immediate = events._immediate
+        popleft = immediate.popleft
+        executed = self._events_executed
+        fast = 0
+        now = self.now
+        events.now_hint = now
+        try:
+            while True:
+                while heap and heap[0].cancelled:
+                    heappop(heap)
+                if immediate:
+                    if now > until:
+                        # Horizon in the past: leave the queue intact
+                        # for the next run().
+                        return self.now
+                    seq_fence = 9223372036854775807
+                    if heap:
+                        head = heap[0]
+                        # A heap event on the current tick precedes the
+                        # pending immediates when its priority is
+                        # negative, or on a seq tie-break at priority 0.
+                        # (Priority-0 heap events usually come from an
+                        # earlier tick and win the tie-break — but a
+                        # positive delay absorbed by float rounding,
+                        # now + delay == now, lands on this tick with a
+                        # *larger* seq, so the compare is required.)
+                        if head.time == now:
+                            if head.priority < 0 or (
+                                head.priority == 0
+                                and head.seq < immediate[0].seq
+                            ):
+                                heappop(heap)
+                                executed += 1
+                                self._events_executed = executed
+                                head.handler(*head.args)
+                                continue
+                            if head.priority == 0:
+                                # The tick-tied head sorts between two
+                                # queued immediates: drain only up to it.
+                                seq_fence = head.seq
+                    # No preempting heap contender: drain immediates
+                    # until the fence, or until one of their handlers
+                    # pushes a heap event that could preempt this tick
+                    # (preempt_dirty).
+                    events.preempt_dirty = False
+                    while immediate:
+                        event = immediate[0]
+                        if event.seq > seq_fence:
+                            break
+                        popleft()
+                        if event.cancelled:
+                            continue
+                        executed += 1
+                        # Kept live (not only synced in the finally) so
+                        # mid-run introspection matches the traced loop.
+                        self._events_executed = executed
+                        fast += 1
+                        event.handler(*event.args)
+                        if events.preempt_dirty:
+                            break
+                    continue
+                if not heap:
+                    break
+                head = heap[0]
+                if head.time > until:
+                    if until > now:
+                        self.now = until
+                    return self.now
+                heappop(heap)
+                events.now_hint = now = self.now = head.time
+                executed += 1
+                self._events_executed = executed
+                head.handler(*head.args)
+        finally:
+            self._events_executed = executed
+            events.fast_dispatched += fast
+            self._running = False
+        if not math.isinf(until) and until > now:
+            self.now = until
+        return self.now
+
+    def _run_traced(self, until: float) -> float:
+        """Generic loop used only when a trace callback is installed."""
+        self._running = True
+        events = self._events
+        try:
+            while True:
+                next_time = events.peek_time()
+                if next_time is None:
+                    break
+                if next_time > until:
+                    if until > self.now:
+                        self.now = until
+                    return self.now
+                event = events.pop()
+                self.now = event.time
+                self._events_executed += 1
                 name = getattr(event.handler, "__qualname__", "?")
                 self._trace(self.now, f"execute {name}")
-            event.handler(*event.args)
-        self._running = False
-        if until is not math.inf and until > self.now:
+                event.handler(*event.args)
+        finally:
+            self._running = False
+        if not math.isinf(until) and until > self.now:
             self.now = until
         return self.now
 
@@ -166,6 +285,22 @@ class Simulation:
     def events_executed(self) -> int:
         """Total events the loop has dispatched so far."""
         return self._events_executed
+
+    @property
+    def events_heap_pushed(self) -> int:
+        """Events that paid the O(log n) heap push (perf counter)."""
+        return self._events.heap_pushed
+
+    @property
+    def events_fast_dispatched(self) -> int:
+        """Events dispatched straight off the immediate queue (perf counter)."""
+        return self._events.fast_dispatched
+
+    @property
+    def events_merged_continuations(self) -> int:
+        """Zero-delay continuations the process layer ran in place,
+        without any queue round-trip at all (perf counter)."""
+        return self._events.merged_continuations
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

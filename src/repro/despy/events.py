@@ -5,12 +5,30 @@ ordered by ``(time, priority, sequence)``.  The sequence number makes the
 ordering total and deterministic — two events scheduled for the same time
 and priority always execute in scheduling order, which is what makes the
 whole simulation reproducible for a given random seed.
+
+Two storage tiers share one sequence counter:
+
+* a binary **heap** for events in the strict future (or with a non-zero
+  priority), and
+* an **immediate queue** (a plain FIFO deque) for priority-0 events at
+  the current clock value — the zero-delay continuations that dominate
+  VOODB traffic (resource grants, gate openings, process wake-ups).
+
+Because immediate events all carry ``(now, 0, seq)`` keys and the deque
+preserves scheduling order, FIFO order *is* key order within the queue;
+the engine compares the deque head against the heap head before each
+dispatch, so the merged execution order is exactly the total order a
+single heap would produce — only without the O(log n) sift per
+zero-delay event.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional
+
+from repro.despy.errors import SchedulingError
 
 
 class Event:
@@ -55,17 +73,34 @@ class Event:
 
 
 class EventList:
-    """A deterministic future-event list backed by a binary heap."""
+    """A deterministic future-event list: binary heap + immediate queue."""
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
+        self._immediate: deque[Event] = deque()
         self._seq = 0
+        #: events that went through the heap (perf counter)
+        self.heap_pushed = 0
+        #: events that entered the immediate queue (perf counter)
+        self.fast_scheduled = 0
+        #: events dispatched straight off the immediate queue
+        self.fast_dispatched = 0
+        #: the engine's current clock, mirrored here so :meth:`push` can
+        #: tell whether a new heap event could preempt the tick being
+        #: drained (see ``preempt_dirty``).
+        self.now_hint = 0.0
+        #: set when a heap push lands at the current tick with priority
+        #: <= 0; tells the engine's drain loop to re-merge with the heap.
+        self.preempt_dirty = False
+        #: continuations the process layer ran synchronously because the
+        #: process was provably the next dispatch anyway (perf counter).
+        self.merged_continuations = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._immediate)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return bool(self._heap) or bool(self._immediate)
 
     def push(
         self,
@@ -77,27 +112,74 @@ class EventList:
         """Insert a new event and return it (so callers may cancel it)."""
         event = Event(time, priority, self._seq, handler, args)
         self._seq += 1
+        self.heap_pushed += 1
         heapq.heappush(self._heap, event)
+        if priority <= 0 and time <= self.now_hint:
+            self.preempt_dirty = True
         return event
 
+    def push_immediate(
+        self,
+        time: float,
+        handler: Callable[..., Any],
+        args: tuple = (),
+    ) -> Event:
+        """Append a priority-0 event at the current clock value.
+
+        The caller (the engine) guarantees ``time`` equals the current
+        simulation clock; under that invariant FIFO order within the
+        queue equals ``(time, priority, seq)`` order, so the heap is
+        bypassed without changing the execution order.
+        """
+        event = Event(time, 0, self._seq, handler, args)
+        self._seq += 1
+        self.fast_scheduled += 1
+        self._immediate.append(event)
+        return event
+
+    def _head(self) -> Optional[Event]:
+        """The next live event (pruning cancelled heads), or ``None``.
+
+        The event stays queued; pair with :meth:`pop` to consume it.
+        """
+        immediate = self._immediate
+        while immediate and immediate[0].cancelled:
+            immediate.popleft()
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if immediate:
+            first = immediate[0]
+            if heap and heap[0] < first:
+                return heap[0]
+            return first
+        return heap[0] if heap else None
+
     def pop(self) -> Event:
-        """Remove and return the next non-cancelled event.
+        """Remove and return the next live event in key order.
 
         Cancelled events are lazily discarded here, which keeps
-        :meth:`Event.cancel` O(1).
+        :meth:`Event.cancel` O(1).  When no live event remains —
+        the list is empty or every queued event has been cancelled —
+        a :class:`~repro.despy.errors.SchedulingError` is raised; that
+        makes exhaustion explicit instead of leaking the heap's bare
+        ``IndexError``.
         """
-        while True:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+        event = self._head()
+        if event is None:
+            raise SchedulingError("event list exhausted: no live events remain")
+        if self._immediate and event is self._immediate[0]:
+            self._immediate.popleft()
+            self.fast_dispatched += 1
+        else:
+            heapq.heappop(self._heap)
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the list is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        event = self._head()
+        return None if event is None else event.time
 
     def clear(self) -> None:
         self._heap.clear()
+        self._immediate.clear()

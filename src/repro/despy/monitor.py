@@ -89,8 +89,15 @@ class TimeWeightedStats:
 
     def record(self, value: float) -> None:
         now = self.sim.now
-        self._area += self._last_value * (now - self._last_time)
-        self._last_time = now
+        # Same-instant updates collapse to "last value wins": only the
+        # final value at a timestamp contributes area, so the multiply-
+        # accumulate is skipped when the clock has not moved.  Adding
+        # ``v * 0.0`` would be a bitwise no-op anyway — this guard just
+        # avoids paying for it, which matters on the release→grant pairs
+        # the Resource hot path emits at one instant.
+        if now != self._last_time:
+            self._area += self._last_value * (now - self._last_time)
+            self._last_time = now
         self._last_value = value
 
     @property

@@ -74,18 +74,25 @@ class WaitFor:
         self.gate = gate
 
 
+#: Shared argument tuple for process continuations — every ``_step``
+#: resume sends ``None``, so one tuple serves all of them.
+_STEP_ARGS = (None,)
+
+
 class Process:
     """A running generator inside a :class:`Simulation`.
 
     Do not instantiate directly — use :meth:`Simulation.process`.
     """
 
-    __slots__ = ("sim", "name", "_generator", "_done", "_callbacks", "value")
+    __slots__ = ("sim", "name", "_generator", "_send", "_done", "_callbacks", "value")
 
     def __init__(self, sim: "Simulation", generator: Generator, name: str) -> None:
         self.sim = sim
         self.name = name
         self._generator = generator
+        # Bound once: _step is the hottest call site in the kernel.
+        self._send = generator.send
         self._done = False
         self._callbacks: list[Callable[["Process"], None]] = []
         #: value returned by the generator (``return x`` → ``value == x``)
@@ -107,32 +114,112 @@ class Process:
     # Kernel interface
     # ------------------------------------------------------------------
     def _step(self, send_value: Any) -> None:
-        """Advance the generator one command and interpret the result."""
-        try:
-            command = self._generator.send(send_value)
-        except StopIteration as stop:
-            self.value = stop.value
-            self._finish()
-            return
-        self._dispatch(command)
+        """Advance the generator one command and interpret the result.
 
-    def _dispatch(self, command: Any) -> None:
-        if isinstance(command, Hold):
-            self.sim.schedule(
-                command.duration, self._step, None, priority=command.priority
-            )
-        elif isinstance(command, Request):
-            command.resource._enqueue(self, command.priority)
-        elif isinstance(command, Release):
-            command.resource.release(self)
-            self.sim.schedule(0.0, self._step, None)
-        elif isinstance(command, WaitFor):
-            command.gate._wait(self)
-        else:
-            raise SchedulingError(
-                f"process {self.name!r} yielded unsupported command "
-                f"{command!r}; expected Hold/Request/Release/WaitFor"
-            )
+        This is the kernel's innermost call: it runs once per event of
+        every process, so the command dispatch uses exact-type checks
+        (none of the commands are subclassed) and routes continuations
+        straight onto the event list's tiers, skipping the generic
+        ``schedule`` wrapper where validation adds nothing.
+
+        Merged continuations
+        --------------------
+        A zero-delay continuation (an uncontended ``Request`` grant, a
+        ``Release``, a ``Hold(0)``) normally parks this process on the
+        immediate queue and returns to the engine, which dispatches it
+        as the next event.  When the immediate queue is empty and no
+        heap event ties the current tick at priority <= 0, this process
+        *is* provably that next dispatch — so the loop below just keeps
+        sending into the generator instead.  The observable execution
+        order (and therefore every statistic and random draw) is
+        bit-identical; only the queue round-trip disappears.
+        """
+        send = self._send
+        sim = self.sim
+        events = sim._events
+        while True:
+            try:
+                command = send(send_value)
+            except StopIteration as stop:
+                self.value = stop.value
+                self._finish()
+                return
+            cls = command.__class__
+            if cls is Request:
+                resource = command.resource
+                if resource._in_use < resource.capacity and not resource._queue:
+                    heap = events._heap
+                    if not events._immediate and not (
+                        heap
+                        and heap[0].priority <= 0
+                        and heap[0].time == sim.now
+                    ):
+                        resource._grant_now()
+                        events.merged_continuations += 1
+                        send_value = None
+                        continue
+                resource._enqueue(self, command.priority)
+                return
+            if cls is Hold:
+                duration = command.duration
+                priority = command.priority
+                if duration == 0.0 and priority == 0:
+                    heap = events._heap
+                    if not events._immediate and not (
+                        heap
+                        and heap[0].priority <= 0
+                        and heap[0].time == sim.now
+                    ):
+                        events.merged_continuations += 1
+                        send_value = None
+                        continue
+                    events.push_immediate(sim.now, self._step, _STEP_ARGS)
+                else:
+                    # Hold already rejected negative durations; only the
+                    # NaN check from Simulation.schedule still applies.
+                    if duration != duration:
+                        raise SchedulingError(
+                            f"delay must be >= 0, got {duration!r}"
+                        )
+                    events.push(
+                        sim.now + duration, priority, self._step, _STEP_ARGS
+                    )
+                return
+            if cls is Release:
+                command.resource.release(self)
+                heap = events._heap
+                if not events._immediate and not (
+                    heap
+                    and heap[0].priority <= 0
+                    and heap[0].time == sim.now
+                ):
+                    events.merged_continuations += 1
+                    send_value = None
+                    continue
+                events.push_immediate(sim.now, self._step, _STEP_ARGS)
+                return
+            if cls is WaitFor:
+                command.gate._wait(self)
+                return
+            # Generic fallback: subclassed commands keep the documented
+            # (queue-routed) semantics.
+            if isinstance(command, Hold):
+                sim.schedule(
+                    command.duration, self._step, None, priority=command.priority
+                )
+            elif isinstance(command, Request):
+                command.resource._enqueue(self, command.priority)
+            elif isinstance(command, Release):
+                command.resource.release(self)
+                sim.wake(self._step, None)
+            elif isinstance(command, WaitFor):
+                command.gate._wait(self)
+            else:
+                raise SchedulingError(
+                    f"process {self.name!r} yielded unsupported command "
+                    f"{command!r}; expected Hold/Request/Release/WaitFor"
+                )
+            return
 
     def _finish(self) -> None:
         self._done = True

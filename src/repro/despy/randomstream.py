@@ -36,6 +36,20 @@ class RandomStream:
         self.root_seed = root_seed
         self._rng = random.Random(derive_seed(root_seed, name))
         self._zipf_cdfs: dict[tuple[int, float], list[float]] = {}
+        # The pure pass-throughs below are aliased to the underlying
+        # generator's bound methods: workload materialization draws
+        # millions of integers, and the wrapper frame is measurable.
+        # The defs remain as API documentation; a subclass overriding
+        # one of them keeps its override (no alias is installed then).
+        cls = type(self)
+        if cls.randint is RandomStream.randint:
+            self.randint = self._rng.randint
+        if cls.random is RandomStream.random:
+            self.random = self._rng.random
+        if cls.uniform is RandomStream.uniform:
+            self.uniform = self._rng.uniform
+        if cls.choice is RandomStream.choice:
+            self.choice = self._rng.choice
 
     # ------------------------------------------------------------------
     # Continuous distributions

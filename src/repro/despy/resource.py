@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.despy.errors import ResourceError
 from repro.despy.monitor import OnlineStats, TimeWeightedStats
+from repro.despy.process import _STEP_ARGS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.despy.engine import Simulation
@@ -76,12 +77,26 @@ class Resource:
     # ------------------------------------------------------------------
     # Process face (used by the Request/Release commands)
     # ------------------------------------------------------------------
+    def _grant_now(self) -> None:
+        """Book an uncontended grant whose process continues in place.
+
+        Same accounting as the grant branch of :meth:`_enqueue`, minus
+        the wake-up: the caller (``Process._step``) has proven it may
+        keep stepping the process synchronously.
+        """
+        self.total_requests += 1
+        self._take()
+        self.wait_times.record(0.0)
+
     def _enqueue(self, process: "Process", priority: int) -> None:
         self.total_requests += 1
         if self._in_use < self.capacity and not self._queue:
+            # Uncontended grant (the common case): take the unit and hand
+            # the process straight to the immediate-dispatch queue.
             self._take()
             self.wait_times.record(0.0)
-            self.sim.schedule(0.0, process._step, None)
+            sim = self.sim
+            sim._events.push_immediate(sim.now, process._step, _STEP_ARGS)
             return
         heapq.heappush(
             self._queue, (priority, self._queue_seq, process, self.sim.now)
@@ -100,7 +115,8 @@ class Resource:
             self.queue_length.record(len(self._queue))
             self._take()
             self.wait_times.record(self.sim.now - enqueue_time)
-            self.sim.schedule(0.0, waiter._step, None)
+            sim = self.sim
+            sim._events.push_immediate(sim.now, waiter._step, _STEP_ARGS)
 
     def _take(self) -> None:
         self._in_use += 1
@@ -153,7 +169,7 @@ class Gate:
 
     def _wait(self, process: "Process") -> None:
         if self._open:
-            self.sim.schedule(0.0, process._step, None)
+            self.sim.wake(process._step, None)
         else:
             self._waiters.append(process)
 
@@ -162,8 +178,9 @@ class Gate:
         self._open = True
         self.times_opened += 1
         waiters, self._waiters = self._waiters, []
+        wake = self.sim.wake
         for process in waiters:
-            self.sim.schedule(0.0, process._step, None)
+            wake(process._step, None)
 
     def close(self) -> None:
         self._open = False

@@ -64,6 +64,10 @@ class Database:
         #: reverse reference index (target -> referrers), built lazily on
         #: the first delete and maintained by insert/delete afterwards
         self._referrers: dict[int, set[int]] | None = None
+        #: bumped on every graph mutation (insert/delete) so derived
+        #: caches (e.g. the Object Manager's swizzle-cascade cache) can
+        #: detect staleness cheaply
+        self.mutations = 0
 
     # ------------------------------------------------------------------
     # Generation
@@ -155,6 +159,7 @@ class Database:
         self._obj_refs.append(list(refs))
         self._obj_ref_types.append(list(ref_types))
         self._instances_by_class[cid].append(oid)
+        self.mutations += 1
         if self._referrers is not None:
             for target in refs:
                 self._referrers.setdefault(target, set()).add(oid)
@@ -172,6 +177,7 @@ class Database:
             raise ValueError(f"object {oid} is already deleted")
         cid = self._obj_class[oid]
         self._instances_by_class[cid].remove(oid)
+        self.mutations += 1
         referrers = self._reverse_index()
         own_refs = list(self._obj_refs[oid])
         self._obj_class[oid] = -1  # tombstone

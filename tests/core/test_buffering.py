@@ -42,7 +42,7 @@ class TestAccess:
         buf = make_buffer(capacity=1)
         buf.access(1)
         outcome = buf.access(2)
-        assert outcome.writeback_pages == []
+        assert list(outcome.writeback_pages) == []
 
     def test_dirty_eviction_requires_writeback(self):
         buf = make_buffer(capacity=1)
@@ -60,7 +60,7 @@ class TestAccess:
 
     def test_note_object_access_is_noop(self):
         buf = make_buffer()
-        assert buf.note_object_access(42) == []
+        assert list(buf.note_object_access(42)) == []
 
 
 class TestPrefetchAdmission:

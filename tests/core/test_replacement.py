@@ -5,6 +5,7 @@ import pytest
 from repro.despy import RandomStream
 from repro.core.replacement import (
     ClockPolicy,
+    EmptyPolicyError,
     FIFOPolicy,
     GClockPolicy,
     LFUPolicy,
@@ -243,3 +244,50 @@ class TestRegistry:
         names = available_policies()
         for expected in ("RANDOM", "FIFO", "LFU", "CLOCK", "GCLOCK"):
             assert expected in names
+
+
+class TestEmptyPolicyContract:
+    """``choose_victim`` on a policy tracking no pages must raise the
+    explicit :class:`EmptyPolicyError`, not leak ``StopIteration`` (which
+    a generator-based process would surface as a baffling
+    ``RuntimeError``), ``IndexError`` or an infinite hand sweep."""
+
+    @pytest.fixture(
+        params=["LRU", "MRU", "FIFO", "RANDOM", "LFU", "LRU-2", "CLOCK", "GCLOCK"]
+    )
+    def empty_policy(self, request, rng):
+        return make_replacement_policy(request.param, rng)
+
+    def test_fresh_policy_raises_empty_error(self, empty_policy):
+        with pytest.raises(EmptyPolicyError, match="no pages"):
+            empty_policy.choose_victim()
+
+    def test_drained_policy_raises_empty_error(self, empty_policy):
+        empty_policy.on_admit(1)
+        empty_policy.on_hit(1)
+        assert empty_policy.choose_victim() == 1
+        with pytest.raises(EmptyPolicyError):
+            empty_policy.choose_victim()
+
+    def test_forgotten_pages_raise_empty_error(self, empty_policy):
+        for page in (1, 2):
+            empty_policy.on_admit(page)
+        for page in (1, 2):
+            empty_policy.forget(page)
+        with pytest.raises(EmptyPolicyError):
+            empty_policy.choose_victim()
+
+    def test_empty_error_is_a_lookup_error(self, empty_policy):
+        with pytest.raises(LookupError):
+            empty_policy.choose_victim()
+
+    def test_empty_error_does_not_escape_as_stop_iteration(self, empty_policy):
+        """Inside a generator, a leaked StopIteration would become
+        RuntimeError (PEP 479); EmptyPolicyError must pass through."""
+
+        def gen():
+            empty_policy.choose_victim()
+            yield
+
+        with pytest.raises(EmptyPolicyError):
+            next(gen())

@@ -86,7 +86,7 @@ class TestSwap:
         # no room for any reservation without evicting page 0 itself
         assert vm.contains(0)
         assert vm.reservations == 0
-        assert outcome.swap_out_pages == []
+        assert list(outcome.swap_out_pages) == []
 
     def test_no_swap_when_memory_is_ample(self):
         vm = make_vm(capacity=100, refs={0: [1, 2], 1: [3]})

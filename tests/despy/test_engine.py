@@ -127,6 +127,177 @@ class TestRunControl:
         sim.run()
         assert sim.events_executed == 5
 
+    def test_run_until_infinity_leaves_clock_at_last_event(self):
+        """Regression: ``until is not math.inf`` let a *distinct* inf
+        float slip through and park the clock at infinity, breaking the
+        documented multi-phase reuse."""
+        sim = Simulation()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        end = sim.run(until=float("inf"))
+        assert end == 2.0
+        assert sim.now == 2.0
+        # The drained simulation must still be reusable on the same clock.
+        sim.schedule(3.0, lambda: seen.append(sim.now))
+        sim.run(until=float("inf"))
+        assert seen == [2.0, 5.0]
+
+    def test_run_until_infinity_on_empty_list_keeps_clock(self):
+        sim = Simulation()
+        assert sim.run(until=float("inf")) == 0.0
+        assert sim.now == 0.0
+
+    def test_run_until_in_past_does_not_rewind_clock(self):
+        sim = Simulation()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(until=2.0) == 5.0  # horizon already behind the clock
+
+
+class TestFastDispatch:
+    """The immediate-dispatch queue must be invisible except in speed."""
+
+    def test_zero_delay_events_bypass_the_heap(self):
+        sim = Simulation()
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        assert sim.events_fast_dispatched == 1
+        assert sim.events_heap_pushed == 0
+
+    def test_positive_delay_events_use_the_heap(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_fast_dispatched == 0
+        assert sim.events_heap_pushed == 1
+
+    def test_prioritized_zero_delay_events_use_the_heap(self):
+        sim = Simulation()
+        sim.schedule(0.0, lambda: None, priority=1)
+        sim.run()
+        assert sim.events_heap_pushed == 1
+
+    def test_wake_runs_at_current_time_in_seq_order(self):
+        sim = Simulation()
+        order = []
+
+        def later():
+            order.append("later")
+
+        def first():
+            order.append("first")
+            sim.wake(lambda: order.append("woken"))
+            sim.schedule(0.0, lambda: order.append("scheduled"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, later)
+        sim.run()
+        # "later" was scheduled before the zero-delay continuations, so
+        # its smaller sequence number must win the time tie.
+        assert order == ["first", "later", "woken", "scheduled"]
+
+    def test_heap_priority_preempts_pending_immediates(self):
+        sim = Simulation()
+        order = []
+
+        def kick():
+            sim.wake(lambda: order.append("imm"))
+            sim.schedule(0.0, lambda: order.append("urgent"), priority=-5)
+
+        sim.schedule(1.0, kick)
+        sim.run()
+        assert order == ["urgent", "imm"]
+
+    def test_wake_event_can_be_cancelled(self):
+        sim = Simulation()
+        seen = []
+        event = sim.wake(lambda: seen.append("no"))
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_mixed_order_matches_pure_key_order(self):
+        """Interleave heap and immediate events and check the dispatch
+        order equals a sort by (time, priority, seq)."""
+        sim = Simulation()
+        order = []
+
+        def tag(label):
+            return lambda: order.append(label)
+
+        def storm():
+            sim.schedule(0.0, tag("a"))          # imm seq n
+            sim.schedule(0.0, tag("b"), priority=2)   # heap, loses to prio 0
+            sim.schedule(0.0, tag("c"), priority=-2)  # heap, wins over imm
+            sim.wake(tag("d"))                   # imm seq n+3
+            sim.schedule(1.0, tag("e"))
+
+        sim.schedule(1.0, storm)
+        sim.run()
+        assert order == ["c", "a", "d", "b", "e"]
+
+    def test_fast_path_counts_into_events_executed(self):
+        sim = Simulation()
+        sim.schedule(0.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 2
+
+    def test_stop_drops_pending_immediates(self):
+        sim = Simulation()
+        seen = []
+
+        def first():
+            sim.wake(lambda: seen.append("no"))
+            sim.stop()
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == []
+
+    def test_float_absorbed_delay_keeps_seq_order(self):
+        """Regression: at a huge clock value a positive delay can be
+        absorbed (now + delay == now), landing a priority-0 event in the
+        *heap* on the current tick with a seq *above* queued immediates.
+        The merge must still honor (time, priority, seq) order."""
+
+        def build(trace):
+            sim = Simulation(trace=trace)
+            order = []
+
+            def kick():
+                sim.schedule(0.0, lambda: order.append("imm-first"))
+                # 1e-9 is absorbed at t=1e16: same tick, larger seq.
+                sim.schedule(1e-9, lambda: order.append("absorbed"))
+                sim.schedule(0.0, lambda: order.append("imm-second"))
+
+            sim.schedule(1e16, kick)
+            sim.run()
+            return order
+
+        expected = ["imm-first", "absorbed", "imm-second"]
+        assert build(None) == expected
+        assert build(lambda t, msg: None) == expected
+
+    def test_traced_and_fast_loops_agree_on_order(self):
+        def build(trace):
+            sim = Simulation(seed=3, trace=trace)
+            order = []
+
+            def recurring(n):
+                order.append((round(sim.now, 9), n))
+                if n < 30:
+                    delay = sim.stream("d").exponential(1.0) if n % 3 else 0.0
+                    sim.schedule(delay, recurring, n + 1)
+
+            sim.schedule(0.0, recurring, 0)
+            sim.run()
+            return order
+
+        assert build(None) == build(lambda t, msg: None)
+
 
 class TestStreams:
     def test_stream_is_cached_by_name(self):

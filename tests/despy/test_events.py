@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.despy.errors import SchedulingError
 from repro.despy.events import Event, EventList
 
 
@@ -85,6 +86,84 @@ class TestEventListBasics:
         assert event.handler is _noop
         assert event.args == (1, 2)
 
-    def test_pop_empty_raises(self):
-        with pytest.raises(IndexError):
+    def test_pop_empty_raises_scheduling_error(self):
+        with pytest.raises(SchedulingError, match="exhausted"):
             EventList().pop()
+
+    def test_pop_with_only_cancelled_events_raises_scheduling_error(self):
+        """Exhaustion is explicit even when the heap is physically
+        non-empty: lazily-discarded cancelled events don't count."""
+        events = EventList()
+        events.push(1.0, 0, _noop).cancel()
+        events.push(2.0, 0, _noop).cancel()
+        with pytest.raises(SchedulingError, match="no live events"):
+            events.pop()
+
+    def test_pop_with_only_cancelled_immediates_raises_scheduling_error(self):
+        events = EventList()
+        events.push_immediate(0.0, _noop).cancel()
+        with pytest.raises(SchedulingError):
+            events.pop()
+
+
+class TestImmediateQueue:
+    """The zero-delay fast path must preserve (time, priority, seq) order."""
+
+    def test_immediate_pops_before_later_heap_time(self):
+        events = EventList()
+        later = events.push(1.0, 0, _noop)
+        imm = events.push_immediate(0.0, _noop)
+        assert events.pop() is imm
+        assert events.pop() is later
+
+    def test_earlier_heap_seq_beats_immediate_at_same_time(self):
+        events = EventList()
+        heap_first = events.push(0.0, 0, _noop)  # smaller seq, same key tier
+        imm = events.push_immediate(0.0, _noop)
+        assert events.pop() is heap_first
+        assert events.pop() is imm
+
+    def test_negative_priority_heap_event_beats_immediate(self):
+        events = EventList()
+        imm = events.push_immediate(0.0, _noop)
+        urgent = events.push(0.0, -1, _noop)
+        assert events.pop() is urgent
+        assert events.pop() is imm
+
+    def test_immediates_fifo_among_themselves(self):
+        events = EventList()
+        first = events.push_immediate(0.0, _noop)
+        second = events.push_immediate(0.0, _noop)
+        assert events.pop() is first
+        assert events.pop() is second
+
+    def test_cancelled_immediate_is_skipped(self):
+        events = EventList()
+        doomed = events.push_immediate(0.0, _noop)
+        survivor = events.push_immediate(0.0, _noop)
+        doomed.cancel()
+        assert events.pop() is survivor
+
+    def test_len_and_clear_cover_both_tiers(self):
+        events = EventList()
+        events.push(1.0, 0, _noop)
+        events.push_immediate(0.0, _noop)
+        assert len(events) == 2
+        events.clear()
+        assert len(events) == 0
+        assert not events
+
+    def test_peek_time_sees_immediate_head(self):
+        events = EventList()
+        events.push(5.0, 0, _noop)
+        events.push_immediate(2.0, _noop)
+        assert events.peek_time() == 2.0
+
+    def test_counters_track_tiers(self):
+        events = EventList()
+        events.push(1.0, 0, _noop)
+        events.push_immediate(0.0, _noop)
+        assert events.heap_pushed == 1
+        assert events.fast_scheduled == 1
+        events.pop()  # the immediate
+        assert events.fast_dispatched == 1
