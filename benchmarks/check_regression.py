@@ -1,0 +1,192 @@
+"""Bench-drift gate: fail CI when a bench's mean wall time regresses.
+
+Compares a *current* benchmark timing summary against a *baseline* and
+exits non-zero when any bench shared by both regresses more than the
+threshold.  Three baseline shapes are understood:
+
+* the ``VOODB_BENCH_JSON`` summary the bench conftest writes
+  (``{"benches": {name: seconds}, "total_wall_s": ...}``) — this is
+  also what the CI workflow uploads as the ``benchmark-json`` artifact,
+  so the previous main run's ``bench.json`` drops straight in;
+* the committed ``BENCH_*.json`` trajectory snapshots (the
+  ``post_pr_*`` section's ``benches`` dict is used);
+* pytest-benchmark's ``--benchmark-json`` output
+  (``{"benchmarks": [{"name": ..., "stats": {"mean": ...}}]}``).
+
+Tiny benches are pure scheduling noise on shared CI runners, so means
+below ``--min-seconds`` (on both sides) are skipped; benches present in
+only one file are reported but never fail the gate (the suite is
+allowed to grow).
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_2.json --current bench.json --threshold 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional
+
+
+def _from_conftest_summary(payload: dict) -> Optional[Dict[str, float]]:
+    benches = payload.get("benches")
+    if isinstance(benches, dict) and benches:
+        return {str(name): float(secs) for name, secs in benches.items()}
+    return None
+
+
+def _from_trajectory_snapshot(payload: dict) -> Optional[Dict[str, float]]:
+    # BENCH_*.json: prefer the post-PR section (the state the snapshot
+    # records); fall back to any section carrying a benches dict.
+    sections = [
+        value
+        for _key, value in sorted(payload.items())
+        if isinstance(value, dict) and isinstance(value.get("benches"), dict)
+    ]
+    post = [
+        value
+        for key, value in sorted(payload.items())
+        if key.startswith("post") and isinstance(value, dict)
+    ]
+    for section in post + sections:
+        benches = _from_conftest_summary(section)
+        if benches:
+            return benches
+    return None
+
+
+def _from_pytest_benchmark(payload: dict) -> Optional[Dict[str, float]]:
+    records = payload.get("benchmarks")
+    if not isinstance(records, list):
+        return None
+    means: Dict[str, float] = {}
+    for record in records:
+        try:
+            means[str(record["name"])] = float(record["stats"]["mean"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    return means or None
+
+
+def load_bench_means(path: str) -> Dict[str, float]:
+    """Per-bench mean seconds from any of the supported JSON shapes."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    for parse in (
+        _from_conftest_summary,
+        _from_trajectory_snapshot,
+        _from_pytest_benchmark,
+    ):
+        means = parse(payload)
+        if means:
+            return means
+    raise ValueError(f"{path}: no per-bench timings found")
+
+
+def check_regression(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float = 0.25,
+    min_seconds: float = 0.5,
+) -> list:
+    """Benches whose mean regressed by more than ``threshold``.
+
+    Returns ``(name, baseline_s, current_s, ratio)`` tuples, worst
+    first.  A bench is judged only when present in both summaries and at
+    least ``min_seconds`` on one side (sub-noise benches are skipped).
+    """
+    regressions = []
+    for name, base_mean in baseline.items():
+        cur_mean = current.get(name)
+        if cur_mean is None:
+            continue
+        if base_mean < min_seconds and cur_mean < min_seconds:
+            continue
+        if base_mean <= 0:
+            continue
+        ratio = cur_mean / base_mean
+        if ratio > 1.0 + threshold:
+            regressions.append((name, base_mean, cur_mean, ratio))
+    regressions.sort(key=lambda item: item[3], reverse=True)
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when any per-bench mean regresses past the threshold."
+    )
+    parser.add_argument("--baseline", required=True, help="baseline timings JSON")
+    parser.add_argument("--current", required=True, help="current timings JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed relative regression (0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.5,
+        help="ignore benches faster than this on both sides (noise floor)",
+    )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="exit 0 (with a notice) when the baseline file does not exist",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be > 0")
+
+    try:
+        baseline = load_bench_means(args.baseline)
+    except FileNotFoundError:
+        if args.allow_missing:
+            print(f"no baseline at {args.baseline}; skipping the bench gate")
+            return 0
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        current = load_bench_means(args.current)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(baseline) & set(current))
+    new = sorted(set(current) - set(baseline))
+    gone = sorted(set(baseline) - set(current))
+    print(
+        f"bench gate: {len(shared)} shared benches, threshold "
+        f"+{args.threshold:.0%}, noise floor {args.min_seconds}s"
+    )
+    if new:
+        print(f"  new benches (not gated): {', '.join(new)}")
+    if gone:
+        print(f"  benches missing from current run: {', '.join(gone)}")
+
+    regressions = check_regression(
+        baseline, current, threshold=args.threshold, min_seconds=args.min_seconds
+    )
+    if not regressions:
+        print("  no regressions past the threshold")
+        return 0
+    print(f"  {len(regressions)} bench(es) regressed:")
+    for name, base_mean, cur_mean, ratio in regressions:
+        print(
+            f"    {name}: {base_mean:.3f}s -> {cur_mean:.3f}s "
+            f"({(ratio - 1.0):+.0%})"
+        )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,8 +92,16 @@ def run_ablation() -> str:
         )
     return fmt_rows(
         "Ablation: insert/delete churn after clustering (Texas 64 MB)",
-        ["churn txns", "pre I/Os", "cold post I/Os", "post accesses",
-         "gain", "clusters", "live objects", "allocated OIDs"],
+        [
+            "churn txns",
+            "pre I/Os",
+            "cold post I/Os",
+            "post accesses",
+            "gain",
+            "clusters",
+            "live objects",
+            "allocated OIDs",
+        ],
         rows,
     )
 

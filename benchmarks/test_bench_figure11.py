@@ -12,7 +12,11 @@ from repro.experiments.report import format_series
 
 def test_bench_figure11(regenerate):
     def run():
-        series = figure11(replications=bench_replications(), hotn=bench_hotn(), executor=bench_executor())
+        series = figure11(
+            replications=bench_replications(),
+            hotn=bench_hotn(),
+            executor=bench_executor(),
+        )
         return format_series(series)
 
     regenerate("figure11", run)

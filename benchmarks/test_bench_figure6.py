@@ -10,7 +10,11 @@ from repro.experiments.report import format_series
 
 def test_bench_figure6(regenerate):
     def run():
-        series = figure6(replications=bench_replications(), hotn=bench_hotn(), executor=bench_executor())
+        series = figure6(
+            replications=bench_replications(),
+            hotn=bench_hotn(),
+            executor=bench_executor(),
+        )
         return format_series(series)
 
     regenerate("figure6", run)

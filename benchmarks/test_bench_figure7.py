@@ -11,7 +11,11 @@ from repro.experiments.report import format_series
 
 def test_bench_figure7(regenerate):
     def run():
-        series = figure7(replications=bench_replications(), hotn=bench_hotn(), executor=bench_executor())
+        series = figure7(
+            replications=bench_replications(),
+            hotn=bench_hotn(),
+            executor=bench_executor(),
+        )
         return format_series(series)
 
     regenerate("figure7", run)

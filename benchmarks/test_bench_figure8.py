@@ -12,7 +12,11 @@ from repro.experiments.report import format_series
 
 def test_bench_figure8(regenerate):
     def run():
-        series = figure8(replications=bench_replications(), hotn=bench_hotn(), executor=bench_executor())
+        series = figure8(
+            replications=bench_replications(),
+            hotn=bench_hotn(),
+            executor=bench_executor(),
+        )
         return format_series(series)
 
     regenerate("figure8", run)

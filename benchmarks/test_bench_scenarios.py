@@ -1,0 +1,28 @@
+"""Bench: regenerate the scenario catalog's golden reports.
+
+One bench per built-in scenario: each runs its pinned replication
+protocol through the shared executor and publishes the same report
+``python -m repro scenario run <name>`` prints, under
+``results/scenario_<name>.txt``.  The CI drift gate then enforces that
+every catalog entry stays deterministic byte-for-byte — across
+executors, Python versions and kernel changes.
+
+Unlike the figure/table benches, scenarios pin their own replication
+count (``VOODB_REPLICATIONS`` is deliberately ignored) so the goldens
+don't depend on the environment that regenerated them.
+"""
+
+import pytest
+
+from conftest import bench_executor
+from repro.experiments.report import format_scenario
+from repro.scenarios import all_scenarios, run_scenario
+
+
+@pytest.mark.parametrize("scenario", all_scenarios(), ids=lambda s: s.name)
+def test_bench_scenario(regenerate, scenario):
+    def regen() -> str:
+        result = run_scenario(scenario, executor=bench_executor())
+        return format_scenario(scenario, result)
+
+    regenerate(scenario.golden_name, regen)

@@ -13,6 +13,9 @@ from repro.experiments.tables import table6
 
 def test_bench_table6(regenerate):
     def run():
-        return format_dstc_table(table6(replications=bench_replications(), executor=bench_executor()))
+        result = table6(
+            replications=bench_replications(), executor=bench_executor()
+        )
+        return format_dstc_table(result)
 
     regenerate("table6", run)

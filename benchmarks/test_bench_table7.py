@@ -12,6 +12,9 @@ from repro.experiments.tables import table7
 
 def test_bench_table7(regenerate):
     def run():
-        return format_table7(table7(replications=bench_replications(), executor=bench_executor()))
+        result = table7(
+            replications=bench_replications(), executor=bench_executor()
+        )
+        return format_table7(result)
 
     regenerate("table7", run)

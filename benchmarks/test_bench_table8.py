@@ -14,6 +14,9 @@ from repro.experiments.tables import table8
 
 def test_bench_table8(regenerate):
     def run():
-        return format_dstc_table(table8(replications=bench_replications(), executor=bench_executor()))
+        result = table8(
+            replications=bench_replications(), executor=bench_executor()
+        )
+        return format_dstc_table(result)
 
     regenerate("table8", run)

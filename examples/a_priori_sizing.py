@@ -69,8 +69,10 @@ def main() -> None:
             if result.total_ios > 0.9 * previous:
                 knee = buffsize  # diminishing returns reached
         previous = result.total_ios
-    print(f"-> diminishing returns around {knee} pages "
-          f"(~{max(1, knee * 4096 // 2**20)} MB): quote that much RAM.\n")
+    print(
+        f"-> diminishing returns around {knee} pages "
+        f"(~{max(1, knee * 4096 // 2**20)} MB): quote that much RAM.\n"
+    )
 
     print("Question 2: which replacement policy should be the default?")
     print(f"{'policy':>10} {'mean I/Os':>10} {'hit rate':>9}")

@@ -28,7 +28,7 @@ WORKLOADS = [
 
 def main() -> None:
     print("Same page server (Table 4 O2 config), four classic workloads")
-    print(f"(NO=6000, 300 transactions, 3 replications each)\n")
+    print("(NO=6000, 300 transactions, 3 replications each)\n")
     header = (
         f"{'workload':>16} {'mean I/Os':>10} {'hit rate':>9} "
         f"{'accesses/txn':>13} {'resp ms':>9}"

@@ -32,8 +32,10 @@ def run_protocol(memory_mb: float, transactions: int = 1000) -> None:
         clustering_kwargs={"dstc_parameters": DSTC_EXPERIMENT_PARAMETERS},
     )
 
-    print(f"--- Texas with {memory_mb:.0f} MB of memory "
-          f"({config.buffsize} page frames) ---")
+    print(
+        f"--- Texas with {memory_mb:.0f} MB of memory "
+        f"({config.buffsize} page frames) ---"
+    )
     pre = model.run_phase(
         transactions,
         workload="hierarchy",
@@ -41,13 +43,17 @@ def run_protocol(memory_mb: float, transactions: int = 1000) -> None:
         hierarchy_type=HIERARCHY_REF_TYPE,
         hierarchy_depth=HIERARCHY_DEPTH,
     )
-    print(f"pre-clustering usage:   {pre.total_ios:6d} I/Os "
-          f"({pre.swap_reads + pre.swap_writes} of them swap)")
+    print(
+        f"pre-clustering usage:   {pre.total_ios:6d} I/Os "
+        f"({pre.swap_reads + pre.swap_writes} of them swap)"
+    )
 
     report = model.demand_clustering()
-    print(f"clustering overhead:    {report.overhead_ios:6d} I/Os "
-          f"({report.clusters} clusters, "
-          f"{report.mean_objects_per_cluster:.1f} objects/cluster)")
+    print(
+        f"clustering overhead:    {report.overhead_ios:6d} I/Os "
+        f"({report.clusters} clusters, "
+        f"{report.mean_objects_per_cluster:.1f} objects/cluster)"
+    )
 
     post = model.run_phase(
         transactions,
@@ -70,10 +76,14 @@ def main() -> None:
     # Table 8: same base, scarce memory -> the gain explodes, because a
     # good clustering keeps the working set inside the few frames left.
     run_protocol(memory_mb=8)
-    print("Paper reference: gain 5.36x at 64 MB (Table 6), "
-          "28.42x at 8 MB (Table 8);")
-    print("simulated overhead is ~36x below the Texas measurement because "
-          "logical OIDs")
+    print(
+        "Paper reference: gain 5.36x at 64 MB (Table 6), "
+        "28.42x at 8 MB (Table 8);"
+    )
+    print(
+        "simulated overhead is ~36x below the Texas measurement because "
+        "logical OIDs"
+    )
     print("need no reference-update scan after objects move (§4.4).")
 
 

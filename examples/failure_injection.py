@@ -10,7 +10,6 @@ crashy environment (bigger buffers lose more on every crash).
 Run:  python examples/failure_injection.py
 """
 
-from repro import OCBConfig
 from repro.core import FailureConfig, build_database, run_replication
 from repro.systems.o2 import o2_config
 

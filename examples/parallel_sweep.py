@@ -44,8 +44,10 @@ def main() -> None:
         replications=REPLICATIONS,
     )
     jobs = len(sweep.points) * REPLICATIONS
-    print(f"{len(sweep.points)} points x {REPLICATIONS} replications "
-          f"= {jobs} independent jobs\n")
+    print(
+        f"{len(sweep.points)} points x {REPLICATIONS} replications "
+        f"= {jobs} independent jobs\n"
+    )
 
     serial = timed("serial executor", SerialExecutor(), sweep)
     parallel = timed("parallel executor (2 procs)", ParallelExecutor(jobs=2), sweep)
@@ -60,10 +62,15 @@ def main() -> None:
         == c.observations("total_ios")
         for a, b, c in zip(serial.analyzers, parallel.analyzers, cached.analyzers)
     )
-    print(f"serial == parallel == cached, observation for observation: "
-          f"{identical}\n")
-    print(format_sweep(serial, metrics=("total_ios", "hit_rate"),
-                       x_label="cache (MB)"))
+    print(
+        "serial == parallel == cached, observation for observation: "
+        f"{identical}\n"
+    )
+    print(
+        format_sweep(
+            serial, metrics=("total_ios", "hit_rate"), x_label="cache (MB)"
+        )
+    )
 
 
 if __name__ == "__main__":

@@ -37,12 +37,16 @@ def main() -> None:
     print()
     print("OCB workload (paper Table 5)")
     ocb = config.ocb
-    print(f"  {ocb.nc} classes, {ocb.no} instances "
-          f"(~{ocb.expected_database_bytes / 2**20:.1f} MB of objects)")
-    print(f"  HOTN={ocb.hotn} transactions: "
-          f"set/simple/hierarchy/stochastic = "
-          f"{ocb.pset}/{ocb.psimple}/{ocb.phier}/{ocb.pstoch}, "
-          f"depths {ocb.setdepth}/{ocb.simdepth}/{ocb.hiedepth}/{ocb.stodepth}")
+    print(
+        f"  {ocb.nc} classes, {ocb.no} instances "
+        f"(~{ocb.expected_database_bytes / 2**20:.1f} MB of objects)"
+    )
+    print(
+        f"  HOTN={ocb.hotn} transactions: "
+        f"set/simple/hierarchy/stochastic = "
+        f"{ocb.pset}/{ocb.psimple}/{ocb.phier}/{ocb.pstoch}, "
+        f"depths {ocb.setdepth}/{ocb.simdepth}/{ocb.hiedepth}/{ocb.stodepth}"
+    )
     print()
 
     # make_executor() honors VOODB_JOBS (worker processes) and

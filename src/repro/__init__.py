@@ -13,7 +13,10 @@ Packages (bottom-up):
 * :mod:`repro.clustering` — placement + clustering policies (DSTC...);
 * :mod:`repro.systems` — the O2 and Texas instantiations of Table 4;
 * :mod:`repro.experiments` — replication running, Figures 6-11 and
-  Tables 6-8 regeneration.
+  Tables 6-8 regeneration;
+* :mod:`repro.scenarios` — the declarative scenario catalog (named
+  workload mixes, open-system arrivals, fault plans) compiled onto the
+  experiment engine.
 
 Quickstart::
 
@@ -57,6 +60,13 @@ from repro.experiments import (
     table8,
 )
 from repro.ocb import Database, OCBConfig, Schema, TransactionGenerator
+from repro.scenarios import (
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 from repro.systems import o2_config, texas_config, texas_dstc_config
 
 __version__ = "1.0.0"
@@ -102,4 +112,10 @@ __all__ = [
     "format_series",
     "format_dstc_table",
     "format_table7",
+    # scenarios
+    "Scenario",
+    "all_scenarios",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
 ]

@@ -11,18 +11,25 @@ Usage::
     python -m repro --cache-dir .voodb-cache all   # memoize replications
     python -m repro -o out.txt figure 11 # also write the report to a file
 
+    python -m repro scenario list        # the scenario catalog
+    python -m repro scenario describe open-bursty
+    python -m repro scenario run open-bursty         # golden text report
+    python -m repro scenario run -r 10 --json failure-storm
+
 Every command prints the paper's published series (benchmark and
 simulation) next to this reproduction's means with 95% confidence
 intervals — the same reports the benchmark harness writes under
 ``results/``.  ``--jobs``/``VOODB_JOBS`` select the executor (serial vs
 process pool); ``--cache-dir``/``VOODB_CACHE_DIR`` enable the on-disk
 replication cache.  Both paths produce bit-identical statistics for the
-same seeds.
+same seeds; ``scenario run`` with the default replication protocol
+reproduces the committed ``results/scenario_*.txt`` goldens exactly.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -32,10 +39,20 @@ from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.specs import resolve_replications
 from repro.experiments.report import (
     format_dstc_table,
+    format_scenario,
+    format_scenario_description,
+    format_scenario_list,
     format_series,
     format_table7,
+    scenario_to_json,
 )
 from repro.experiments.tables import table6, table8
+from repro.scenarios import (
+    all_scenarios,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 
 
 def _emit(report: str, output: Optional[str]) -> None:
@@ -68,7 +85,8 @@ def run_tables(
     result6 = table6(replications=replications, executor=executor)
     _emit(format_dstc_table(result6), output)
     _emit(format_table7(result6), output)
-    _emit(format_dstc_table(table8(replications=replications, executor=executor)), output)
+    result8 = table8(replications=replications, executor=executor)
+    _emit(format_dstc_table(result8), output)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,8 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--hotn",
         type=int,
-        default=1000,
-        help="transactions per replication (Table 5 default: 1000)",
+        default=None,
+        help="transactions per replication (default 1000, the Table 5 "
+        "value; for scenarios: scale every point down to this many)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -116,6 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("all", help="regenerate everything")
     one = sub.add_parser("figure", help="regenerate a single figure")
     one.add_argument("number", choices=sorted(ALL_FIGURES, key=int))
+    scenario = sub.add_parser("scenario", help="the scenario catalog")
+    action = scenario.add_subparsers(dest="scenario_command", required=True)
+    action.add_parser("list", help="list the registered scenarios")
+    describe = action.add_parser("describe", help="describe one scenario")
+    describe.add_argument("name", choices=list(scenario_names()))
+    run = action.add_parser("run", help="run one scenario and print its report")
+    run.add_argument("name", choices=list(scenario_names()))
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON summary instead of the text table",
+    )
     return parser
 
 
@@ -127,23 +158,51 @@ def make_cli_executor(
     return make_executor(jobs=jobs, cache=cache)  # None -> VOODB_CACHE_DIR
 
 
+def run_scenario_command(args, executor: Executor) -> int:
+    if args.scenario_command == "list":
+        _emit(format_scenario_list(all_scenarios()), args.output)
+        return 0
+    scenario = get_scenario(args.name)
+    if args.scenario_command == "describe":
+        _emit(format_scenario_description(scenario), args.output)
+        return 0
+    if args.hotn is not None:
+        scenario = scenario.scaled(args.hotn)
+    result = run_scenario(scenario, executor=executor, replications=args.replications)
+    if args.json:
+        report = json.dumps(scenario_to_json(scenario, result), indent=2)
+    else:
+        report = format_scenario(scenario, result)
+    _emit(report, args.output)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        resolve_replications(args.replications)  # fail fast on bad -r / env
+        if args.command != "scenario" or args.replications is not None:
+            # Fail fast on a bad -r / VOODB_REPLICATIONS.  Scenarios pin
+            # their own replication count, so a missing -r there must
+            # not drag the environment default in.
+            resolve_replications(args.replications)
+        if args.hotn is not None and args.hotn < 1:
+            raise ValueError(f"--hotn must be >= 1, got {args.hotn}")
         executor = make_cli_executor(args.jobs, args.cache_dir)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    hotn = args.hotn if args.hotn is not None else 1000
     figure_numbers = sorted(ALL_FIGURES, key=int)
+    if args.command == "scenario":
+        return run_scenario_command(args, executor)
     if args.command == "figure":
-        run_figures([args.number], args.replications, args.hotn, args.output, executor)
+        run_figures([args.number], args.replications, hotn, args.output, executor)
     elif args.command == "figures":
-        run_figures(figure_numbers, args.replications, args.hotn, args.output, executor)
+        run_figures(figure_numbers, args.replications, hotn, args.output, executor)
     elif args.command == "tables":
         run_tables(args.replications, args.output, executor)
     else:  # all
-        run_figures(figure_numbers, args.replications, args.hotn, args.output, executor)
+        run_figures(figure_numbers, args.replications, hotn, args.output, executor)
         run_tables(args.replications, args.output, executor)
     return 0
 

@@ -50,6 +50,8 @@ from repro.core.network import Network
 from repro.core.object_manager import ObjectManager
 from repro.core.parameters import (
     ALLOWED_PAGE_SIZES,
+    ArrivalConfig,
+    ArrivalMode,
     MemoryModel,
     SystemClass,
     VOODBConfig,
@@ -76,6 +78,8 @@ __all__ = [
     "VOODBConfig",
     "SystemClass",
     "MemoryModel",
+    "ArrivalConfig",
+    "ArrivalMode",
     "ALLOWED_PAGE_SIZES",
     "VOODBSimulation",
     "run_replication",

@@ -29,7 +29,7 @@ point of the paper's genericity claim.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.buffering import BufferManager
 from repro.core.network import Network

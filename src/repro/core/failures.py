@@ -86,8 +86,9 @@ class FailureInjector:
         faults (benign hazards live at the I/O level)."""
         if self.config.transient_mtbf_ms <= 0:
             return 0.0
-        if self._draws_fault(self.sim.now, "_last_transient_check",
-                             self.config.transient_mtbf_ms):
+        if self._draws_fault(
+            self.sim.now, "_last_transient_check", self.config.transient_mtbf_ms
+        ):
             self.transient_faults += 1
             return self.config.transient_penalty_ms
         return 0.0
@@ -103,8 +104,9 @@ class FailureInjector:
         """
         if self.config.crash_mtbf_ms <= 0:
             return 0.0
-        if self._draws_fault(self.sim.now, "_last_crash_check",
-                             self.config.crash_mtbf_ms):
+        if self._draws_fault(
+            self.sim.now, "_last_crash_check", self.config.crash_mtbf_ms
+        ):
             self.crashes += 1
             self.frames_lost += self.memory.invalidate_all()
             self.downtime_ms += self.config.recovery_time_ms

@@ -40,7 +40,7 @@ from repro.core.io_subsystem import IOSubsystem
 from repro.core.locks import LockManager
 from repro.core.network import Network
 from repro.core.object_manager import ObjectManager
-from repro.core.parameters import MemoryModel, VOODBConfig
+from repro.core.parameters import ArrivalConfig, MemoryModel, VOODBConfig
 from repro.core.prefetch import make_prefetch_policy
 from repro.core.results import ClusteringReport, PhaseResults, SimulationResults
 from repro.core.transaction_manager import TransactionManager
@@ -161,6 +161,9 @@ class VOODBSimulation:
         hierarchy_type: int = 0,
         hierarchy_depth: Optional[int] = None,
         ocb_override: Optional[OCBConfig] = None,
+        arrivals: Optional[ArrivalConfig] = None,
+        thinktime: Optional[float] = None,
+        nusers: Optional[int] = None,
     ) -> PhaseResults:
         """Run one batch of transactions and return its metrics.
 
@@ -169,6 +172,12 @@ class VOODBSimulation:
         are reported in the clustering report, not in the phase's I/Os.
         ``ocb_override`` swaps the workload definition for this phase
         only (churn phases, workload-drift studies).
+
+        ``arrivals`` selects the arrival process for this phase: by
+        default the config's (closed NUSERS loop unless the scenario
+        configured an open source).  ``thinktime`` and ``nusers``
+        override the closed loop's think time / user population for this
+        phase only (ignored in open modes).
         """
         if transactions is None:
             transactions = self.config.ocb.hotn
@@ -177,14 +186,29 @@ class VOODBSimulation:
         self._phase_counter += 1
         snapshot = self._snapshot()
         self.tm.begin_phase()
-        self.users.launch(
-            transactions,
-            workload=workload,
-            stream_label=stream_label,
-            hierarchy_type=hierarchy_type,
-            hierarchy_depth=hierarchy_depth,
-            ocb_override=ocb_override,
-        )
+        if arrivals is None:
+            arrivals = self.config.arrivals
+        if arrivals.open:
+            self.users.launch_open(
+                transactions,
+                arrivals,
+                workload=workload,
+                stream_label=stream_label,
+                hierarchy_type=hierarchy_type,
+                hierarchy_depth=hierarchy_depth,
+                ocb_override=ocb_override,
+            )
+        else:
+            self.users.launch(
+                transactions,
+                workload=workload,
+                stream_label=stream_label,
+                hierarchy_type=hierarchy_type,
+                hierarchy_depth=hierarchy_depth,
+                ocb_override=ocb_override,
+                thinktime=thinktime,
+                nusers=nusers,
+            )
         self.sim.run()
         return self._collect(snapshot)
 
@@ -310,7 +334,20 @@ def run_replication(
     database: Optional[Database] = None,
     clustering_kwargs: Optional[dict] = None,
 ) -> SimulationResults:
-    """Run one standard replication (§4.3 protocol) and return results."""
+    """Run one standard replication (§4.3 protocol) and return results.
+
+    The population knobs are validated eagerly (not just at config
+    construction) so a config mutated past ``__post_init__`` — e.g. via
+    ``object.__setattr__`` in exploratory code — fails here with a clear
+    message instead of a ``ZeroDivisionError`` deep inside Users.
+    """
+    if config.nusers < 1:
+        raise ValueError(f"nusers must be >= 1, got {config.nusers}")
+    if config.multilvl < 1:
+        raise ValueError(
+            f"multilvl must be >= 1, got {config.multilvl}: the scheduler "
+            "needs at least one multiprogramming slot"
+        )
     model = VOODBSimulation(
         config, seed=seed, database=database, clustering_kwargs=clustering_kwargs
     )

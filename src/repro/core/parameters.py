@@ -59,6 +59,84 @@ class MemoryModel(str, Enum):
     VIRTUAL_MEMORY = "virtual_memory"
 
 
+class ArrivalMode(str, Enum):
+    """How transactions enter the system.
+
+    ``CLOSED`` — the Table 3 population model: NUSERS user processes in
+    a submit/think cycle (the validation experiments).  ``POISSON`` —
+    open system, arrivals at a constant rate with exponential gaps.
+    ``MMPP`` — open system, bursty arrivals from a two-state
+    Markov-modulated Poisson source (calm rate / burst rate).
+    """
+
+    CLOSED = "closed"
+    POISSON = "poisson"
+    MMPP = "mmpp"
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Transaction arrival process (closed by default, like the paper).
+
+    Rates are in transactions **per simulated second**; dwell times in
+    simulated milliseconds.  The MMPP source starts calm, bursts for an
+    exponential ``mean_burst_ms`` at ``burst_rate_tps``, then calms
+    again — see :mod:`repro.despy.arrivals`.
+    """
+
+    #: Arrival mode (closed | poisson | mmpp).
+    mode: ArrivalMode = ArrivalMode.CLOSED
+    #: Mean arrival rate (Poisson), or the calm-state rate (MMPP).
+    rate_tps: float = 0.0
+    #: Burst-state arrival rate (MMPP only).
+    burst_rate_tps: float = 0.0
+    #: Mean dwell in the calm state before a burst (MMPP only).
+    mean_calm_ms: float = 10_000.0
+    #: Mean burst duration (MMPP only).
+    mean_burst_ms: float = 1_000.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.mode, ArrivalMode):
+            object.__setattr__(self, "mode", ArrivalMode(self.mode))
+        if self.mode is ArrivalMode.POISSON and self.rate_tps <= 0:
+            raise ValueError(
+                f"poisson arrivals need rate_tps > 0, got {self.rate_tps}"
+            )
+        if self.mode is ArrivalMode.MMPP:
+            if self.rate_tps <= 0 or self.burst_rate_tps <= 0:
+                raise ValueError(
+                    "mmpp arrivals need rate_tps > 0 and burst_rate_tps > 0, "
+                    f"got {self.rate_tps} and {self.burst_rate_tps}"
+                )
+            if self.mean_calm_ms <= 0 or self.mean_burst_ms <= 0:
+                raise ValueError("mmpp dwell times must be > 0")
+        if self.rate_tps < 0 or self.burst_rate_tps < 0:
+            raise ValueError("arrival rates must be >= 0")
+
+    @property
+    def open(self) -> bool:
+        """Whether this is an open-system (source-driven) arrival mode."""
+        return self.mode is not ArrivalMode.CLOSED
+
+    def interarrivals(self, stream):
+        """Infinite interarrival-gap generator over ``stream`` (ms).
+
+        Only meaningful for open modes; the closed mode has no arrival
+        point process (the population is fixed).
+        """
+        from repro.despy.arrivals import mmpp_interarrivals, poisson_interarrivals
+
+        if self.mode is ArrivalMode.POISSON:
+            return poisson_interarrivals(stream, self.rate_tps)
+        if self.mode is ArrivalMode.MMPP:
+            return mmpp_interarrivals(
+                stream,
+                (self.rate_tps, self.burst_rate_tps),
+                (self.mean_calm_ms, self.mean_burst_ms),
+            )
+        raise ValueError("closed arrivals have no interarrival process")
+
+
 @dataclass(frozen=True)
 class VOODBConfig:
     """One instance of the generic evaluation model (paper Table 3).
@@ -119,6 +197,10 @@ class VOODBConfig:
     # -- Users -------------------------------------------------------------
     #: NUSERS — number of users submitting transactions concurrently.
     nusers: int = 1
+    #: [extension] how transactions arrive: the closed NUSERS loop
+    #: (default, Table 3) or an open-system source (Poisson / MMPP) —
+    #: see :class:`ArrivalConfig` and :mod:`repro.despy.arrivals`.
+    arrivals: "ArrivalConfig" = field(default_factory=lambda: ArrivalConfig())
 
     # -- Reconstructed system knobs ----------------------------------------
     #: [reconstructed] storage overhead factor: usable bytes per page =

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.despy.randomstream import RandomStream
 

@@ -16,7 +16,7 @@ for a complete replication.  Both flatten to ``dict`` for the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 
 @dataclass

@@ -1,9 +1,17 @@
 """The Users (knowledge model, Figure 4): transaction sources.
 
-NUSERS user processes each draw transactions from their own OCB
-generator (common random numbers: user *u* of phase *p* always sees the
-same stream for a given replication seed) and submit them to the
-Transaction Manager, thinking ``thinktime`` between transactions.
+Closed system (the paper's Table 3 population model): NUSERS user
+processes each draw transactions from their own OCB generator (common
+random numbers: user *u* of phase *p* always sees the same stream for a
+given replication seed) and submit them to the Transaction Manager,
+thinking ``thinktime`` between transactions.
+
+Open system (:meth:`Users.launch_open`): one arrival source draws
+interarrival gaps from a named random stream
+(:mod:`repro.despy.arrivals`) and spawns an independent submission
+process per arrival — transactions enter at the configured rate whether
+or not earlier ones have finished, with MULTILVL still bounding how
+many execute concurrently.
 
 Users are also where Figure 4's *external clustering demand* comes from;
 the model surfaces that as
@@ -12,14 +20,14 @@ the model surfaces that as
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.despy.process import Hold, Process
 from repro.despy.randomstream import RandomStream
-from repro.core.parameters import VOODBConfig
+from repro.core.parameters import ArrivalConfig, VOODBConfig
 from repro.core.transaction_manager import TransactionManager
 from repro.ocb.database import Database
-from repro.ocb.transactions import TransactionGenerator
+from repro.ocb.transactions import Transaction, TransactionGenerator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.despy.engine import Simulation
@@ -49,8 +57,10 @@ class Users:
         hierarchy_type: int = 0,
         hierarchy_depth: Optional[int] = None,
         ocb_override=None,
+        thinktime: Optional[float] = None,
+        nusers: Optional[int] = None,
     ) -> List[Process]:
-        """Start the user processes for one phase.
+        """Start the user processes for one phase (closed system).
 
         ``workload`` is ``"mix"`` (the Table 5 transaction mix) or
         ``"hierarchy"`` (§4.4's pure depth-``hierarchy_depth`` hierarchy
@@ -63,14 +73,23 @@ class Users:
 
         ``ocb_override`` substitutes a different OCB workload definition
         for this phase only (e.g. a churn phase of pure inserts/deletes
-        between two measured phases).
+        between two measured phases); ``thinktime`` overrides the OCB
+        think time for this phase only, and ``nusers`` the configured
+        user population (multiprogramming-ramp phases).
         """
         if total_transactions < 0:
             raise ValueError("total_transactions must be >= 0")
         if workload not in ("mix", "hierarchy"):
             raise ValueError(f"unknown workload {workload!r}")
         ocb = ocb_override if ocb_override is not None else self.config.ocb
-        nusers = self.config.nusers
+        nusers = self.config.nusers if nusers is None else nusers
+        if nusers < 1:
+            raise ValueError(
+                f"nusers must be >= 1, got {nusers}: a closed system needs at "
+                "least one user process to submit transactions"
+            )
+        if thinktime is not None and thinktime < 0:
+            raise ValueError(f"thinktime must be >= 0, got {thinktime}")
         share = total_transactions // nusers
         remainder = total_transactions % nusers
         processes: List[Process] = []
@@ -83,12 +102,34 @@ class Users:
             processes.append(
                 self.sim.process(
                     self._user_process(
-                        generator, count, workload, hierarchy_type, hierarchy_depth
+                        generator,
+                        count,
+                        workload,
+                        hierarchy_type,
+                        hierarchy_depth,
+                        thinktime,
                     ),
                     name=f"user-{user}/{stream_label}",
                 )
             )
         return processes
+
+    def _materialize(
+        self,
+        generator: TransactionGenerator,
+        count: int,
+        workload: str,
+        hierarchy_type: int,
+        hierarchy_depth: Optional[int],
+    ):
+        """The phase's transaction stream (shared by closed and open
+        launches, so the workload dispatch can never diverge)."""
+        if workload == "hierarchy":
+            depth = hierarchy_depth
+            if depth is None:
+                depth = self.config.ocb.hiedepth
+            return generator.hierarchy_only(count, hierarchy_type, depth)
+        return generator.transactions(count)
 
     def _user_process(
         self,
@@ -97,15 +138,12 @@ class Users:
         workload: str,
         hierarchy_type: int,
         hierarchy_depth: Optional[int],
+        thinktime: Optional[float] = None,
     ):
-        think = generator.config.thinktime
-        if workload == "hierarchy":
-            depth = hierarchy_depth
-            if depth is None:
-                depth = self.config.ocb.hiedepth
-            transactions = generator.hierarchy_only(count, hierarchy_type, depth)
-        else:
-            transactions = generator.transactions(count)
+        think = generator.config.thinktime if thinktime is None else thinktime
+        transactions = self._materialize(
+            generator, count, workload, hierarchy_type, hierarchy_depth
+        )
         think_hold = Hold(think) if think > 0 else None
         execute = self.tm.execute_with_envelope
         for txn in transactions:
@@ -113,3 +151,71 @@ class Users:
             yield from execute(txn)
             if think_hold is not None:
                 yield think_hold
+
+    # ------------------------------------------------------------------
+    # Open-system arrivals
+    # ------------------------------------------------------------------
+    def launch_open(
+        self,
+        total_transactions: int,
+        arrivals: ArrivalConfig,
+        workload: str = "mix",
+        stream_label: str = "open",
+        hierarchy_type: int = 0,
+        hierarchy_depth: Optional[int] = None,
+        ocb_override=None,
+    ) -> List[Process]:
+        """Start one arrival source feeding ``total_transactions`` in.
+
+        The source draws interarrival gaps from the
+        ``{stream_label}/arrivals`` stream and the transactions
+        themselves from ``{stream_label}/source`` — both pure functions
+        of the replication seed, and independent of each other, so two
+        configs compared under common random numbers see the same
+        arrival instants *and* the same transaction sequence.
+
+        Each arrival is submitted by its own process; the think time
+        does not apply (there is no closed submit/think loop), and
+        MULTILVL admission still bounds how many transactions execute
+        concurrently once submitted.
+        """
+        if total_transactions < 0:
+            raise ValueError("total_transactions must be >= 0")
+        if workload not in ("mix", "hierarchy"):
+            raise ValueError(f"unknown workload {workload!r}")
+        if not arrivals.open:
+            raise ValueError(
+                "launch_open needs an open arrival mode (poisson or mmpp); "
+                "use launch() for the closed NUSERS loop"
+            )
+        ocb = ocb_override if ocb_override is not None else self.config.ocb
+        rng = RandomStream(self.sim.seed, f"{stream_label}/source")
+        generator = TransactionGenerator(self.db, ocb, rng)
+        transactions = self._materialize(
+            generator, total_transactions, workload, hierarchy_type, hierarchy_depth
+        )
+        gaps = arrivals.interarrivals(
+            RandomStream(self.sim.seed, f"{stream_label}/arrivals")
+        )
+        return [
+            self.sim.process(
+                self._arrival_source(transactions, gaps, stream_label),
+                name=f"arrivals/{stream_label}",
+            )
+        ]
+
+    def _arrival_source(
+        self,
+        transactions,
+        gaps: Iterator[float],
+        stream_label: str,
+    ):
+        for index, txn in enumerate(transactions):
+            yield Hold(next(gaps))
+            self.transactions_submitted += 1
+            self.sim.process(
+                self._submission(txn), name=f"txn-{index}/{stream_label}"
+            )
+
+    def _submission(self, txn: Transaction):
+        yield from self.tm.execute_with_envelope(txn)

@@ -22,6 +22,11 @@ simulated queueing systems against closed-form M/M/1 and M/M/c results
 (`validation`, exercised in the test suite).
 """
 
+from repro.despy.arrivals import (
+    fixed_interarrivals,
+    mmpp_interarrivals,
+    poisson_interarrivals,
+)
 from repro.despy.engine import Simulation
 from repro.despy.errors import (
     DespyError,
@@ -63,6 +68,9 @@ __all__ = [
     "Resource",
     "Gate",
     "RandomStream",
+    "fixed_interarrivals",
+    "poisson_interarrivals",
+    "mmpp_interarrivals",
     "OnlineStats",
     "TimeWeightedStats",
     "ConfidenceInterval",

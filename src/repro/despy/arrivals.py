@@ -1,0 +1,102 @@
+"""Arrival processes: interarrival-time streams for open systems.
+
+The seed model is a *closed* system — NUSERS user processes cycling
+through submit/think loops, the population fixed by Table 3.  Open
+systems (paper §5: "modelling the arrival of new clients") instead draw
+transaction arrivals from a stochastic point process, independent of how
+many transactions are still in flight.  This module provides the point
+processes as plain interarrival-time generators over a
+:class:`~repro.despy.randomstream.RandomStream`:
+
+* :func:`fixed_interarrivals` — a deterministic (D/·) source;
+* :func:`poisson_interarrivals` — the M/·/· source: exponential gaps at
+  a constant rate;
+* :func:`mmpp_interarrivals` — a Markov-modulated Poisson process that
+  cycles through states of different rates with exponentially
+  distributed dwell times; two states (calm/burst) give the classic
+  bursty-traffic source.
+
+All generators are infinite and consume *only* the stream they are
+given, so an arrival sequence is a pure function of ``(seed, stream
+name)`` — replayable exactly, and independent of every other stream of
+the replication (service times, workload draws...).
+
+Times are in the simulation's time unit (milliseconds throughout
+VOODB); rates are given in arrivals **per second** to match how
+workload intensities are usually quoted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.despy.randomstream import RandomStream
+
+#: Milliseconds per second — rates are quoted per second, gaps yielded in ms.
+_MS_PER_SECOND = 1000.0
+
+
+def fixed_interarrivals(interval_ms: float) -> Iterator[float]:
+    """Deterministic source: one arrival every ``interval_ms``."""
+    if interval_ms <= 0:
+        raise ValueError(f"interval_ms must be > 0, got {interval_ms}")
+    while True:
+        yield interval_ms
+
+
+def poisson_interarrivals(
+    stream: RandomStream, rate_per_s: float
+) -> Iterator[float]:
+    """Poisson source: exponential gaps with mean ``1000 / rate_per_s`` ms."""
+    if rate_per_s <= 0:
+        raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+    mean_ms = _MS_PER_SECOND / rate_per_s
+    while True:
+        yield stream.exponential(mean_ms)
+
+
+def mmpp_interarrivals(
+    stream: RandomStream,
+    rates_per_s: Sequence[float],
+    dwell_ms: Sequence[float],
+) -> Iterator[float]:
+    """Markov-modulated Poisson source cycling through rate states.
+
+    The process starts in state 0 and cycles ``0 -> 1 -> ... -> 0``;
+    state ``i`` emits arrivals at ``rates_per_s[i]`` and lasts an
+    exponential dwell of mean ``dwell_ms[i]``.  With two states this is
+    the standard bursty-arrival model: a calm state at a background rate
+    and a burst state at a much higher one.
+
+    On a state switch the pending exponential gap is *redrawn* at the
+    new state's rate — valid by memorylessness, and it keeps every gap a
+    single-stream draw so the sequence stays replayable.
+    """
+    if len(rates_per_s) != len(dwell_ms):
+        raise ValueError(
+            f"rates and dwell times must pair up, got {len(rates_per_s)} "
+            f"rates and {len(dwell_ms)} dwell times"
+        )
+    if len(rates_per_s) < 2:
+        raise ValueError("an MMPP needs at least two states")
+    for rate in rates_per_s:
+        if rate <= 0:
+            raise ValueError(f"rates must be > 0, got {rate}")
+    for dwell in dwell_ms:
+        if dwell <= 0:
+            raise ValueError(f"dwell times must be > 0, got {dwell}")
+    state = 0
+    remaining = stream.exponential(dwell_ms[state])
+    carried = 0.0
+    while True:
+        gap = stream.exponential(_MS_PER_SECOND / rates_per_s[state])
+        while gap >= remaining:
+            # The dwell ends first: bank the dwelt time, move to the
+            # next state and redraw the gap at its rate.
+            carried += remaining
+            state = (state + 1) % len(rates_per_s)
+            remaining = stream.exponential(dwell_ms[state])
+            gap = stream.exponential(_MS_PER_SECOND / rates_per_s[state])
+        remaining -= gap
+        yield carried + gap
+        carried = 0.0

@@ -21,7 +21,7 @@ completion callbacks (see :meth:`Process.on_complete`).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator
 
 from repro.despy.errors import SchedulingError
 

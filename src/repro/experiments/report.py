@@ -1,15 +1,21 @@
-"""Text rendering of regenerated figures and tables.
+"""Text and JSON rendering of regenerated figures, tables and scenarios.
 
 The benchmark harness prints "the same rows/series the paper reports":
 for each figure, the x sweep with the paper's benchmark series, the
 paper's simulation series and this reproduction side by side; for the
 DSTC tables, the pre/overhead/post/gain rows.  EXPERIMENTS.md is built
 from this output.
+
+The scenario renderers (:func:`format_scenario`,
+:func:`scenario_to_json`, :func:`format_scenario_list`) take any object
+with the :class:`~repro.scenarios.catalog.Scenario` shape — they are
+duck-typed on purpose so this module stays import-cycle-free below the
+scenarios package.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from repro.experiments.figures import ExperimentSeries
 from repro.experiments.specs import SweepResult
@@ -48,6 +54,109 @@ def format_sweep(
             ci = analyzer.interval(metric)
             row.extend([f"{ci.mean:.1f}", f"{ci.half_width:.1f}"])
         lines.append(_format_row(row, widths))
+    return "\n".join(lines)
+
+
+def _metric_value(value: float) -> str:
+    """Compact, deterministic number rendering for mixed-scale metrics.
+
+    Scenario tables mix counts (hundreds of I/Os), rates (fractions) and
+    times (milliseconds); four significant digits keep them all readable
+    in one table without per-metric format strings.
+    """
+    return f"{value:.4g}"
+
+
+def format_scenario(scenario, result: SweepResult) -> str:
+    """Render one executed scenario as its golden text report."""
+    spec = result.spec
+    replications = result.analyzers[0].replications if result.analyzers else 0
+    lines = [
+        f"Scenario {scenario.name}: {scenario.title}",
+        f"(arrivals: {scenario.arrival_mode}; mean of {replications} "
+        f"replications, {spec.confidence:.0%} CI)",
+    ]
+    header = [scenario.x_label]
+    widths = [max(len(scenario.x_label), 10)]
+    for metric in scenario.metrics:
+        header.extend([metric, "±CI"])
+        widths.extend([max(len(metric), 12), 8])
+    lines.append(_format_row(header, widths))
+    for x, analyzer in zip(result.x_values, result.analyzers):
+        row: List[str] = [str(x)]
+        for metric in scenario.metrics:
+            ci = analyzer.interval(metric)
+            row.extend([_metric_value(ci.mean), _metric_value(ci.half_width)])
+        lines.append(_format_row(row, widths))
+    return "\n".join(lines)
+
+
+def scenario_to_json(scenario, result: SweepResult) -> Dict[str, Any]:
+    """JSON-ready summary of one executed scenario (CLI ``--json``)."""
+    replications = result.analyzers[0].replications if result.analyzers else 0
+    metrics: Dict[str, Any] = {}
+    for metric in scenario.metrics:
+        intervals = result.intervals(metric)
+        metrics[metric] = {
+            "means": [ci.mean for ci in intervals],
+            "half_widths": [ci.half_width for ci in intervals],
+        }
+    return {
+        "scenario": scenario.name,
+        "title": scenario.title,
+        "arrival_mode": scenario.arrival_mode,
+        "x_label": scenario.x_label,
+        "x_values": [str(x) for x in result.x_values],
+        "replications": replications,
+        "base_seed": scenario.base_seed,
+        "metrics": metrics,
+    }
+
+
+def format_scenario_list(scenarios: Sequence[Any]) -> str:
+    """The ``voodb scenario list`` table: name, arrivals, points, title."""
+    header = ["name", "arrivals", "points", "title"]
+    rows = [
+        [s.name, s.arrival_mode, str(len(s.points)), s.title] for s in scenarios
+    ]
+    table = [header] + rows
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in table
+    ]
+    return "\n".join(lines)
+
+
+def format_scenario_description(scenario) -> str:
+    """The ``voodb scenario describe`` block for one scenario."""
+    lines = [
+        f"Scenario {scenario.name}: {scenario.title}",
+        "",
+        scenario.description,
+        "",
+        f"arrival mode:  {scenario.arrival_mode}",
+        f"points:        {len(scenario.points)} "
+        f"({scenario.x_label}: {', '.join(str(x) for x, _ in scenario.points)})",
+        f"replications:  {scenario.replications} (base seed {scenario.base_seed})",
+        f"metrics:       {', '.join(scenario.metrics)}",
+        f"golden output: results/{scenario.golden_name}.txt",
+    ]
+    first = scenario.points[0][1]
+    ocb = first.ocb
+    lines += [
+        "",
+        "first point:",
+        f"  system:    {first.sysclass.value}, buffer {first.buffsize} pages "
+        f"x {first.pgsize} B, {first.pgrep} replacement",
+        f"  database:  NC={ocb.nc}, NO={ocb.no}",
+        f"  workload:  HOTN={ocb.hotn}, COLDN={ocb.coldn}, mix "
+        f"set/simple/hier/stoch/ins/del = {ocb.pset:.2f}/{ocb.psimple:.2f}/"
+        f"{ocb.phier:.2f}/{ocb.pstoch:.2f}/{ocb.pinsert:.2f}/{ocb.pdelete:.2f}, "
+        f"pwrite={ocb.pwrite:.2f}",
+        f"  users:     NUSERS={first.nusers}, MULTILVL={first.multilvl}",
+        f"  failures:  {'on' if first.failures.enabled else 'off'}",
+    ]
     return "\n".join(lines)
 
 

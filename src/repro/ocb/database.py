@@ -25,7 +25,6 @@ from dataclasses import dataclass
 from typing import Iterator, List, Sequence
 
 from repro.despy.randomstream import RandomStream
-from repro.ocb.parameters import OCBConfig
 from repro.ocb.schema import Schema
 
 

@@ -164,8 +164,15 @@ class OCBConfig:
             raise ValueError(
                 f"inheritance_weight must be in [0, 1], got {self.inheritance_weight}"
             )
-        for name in ("pset", "psimple", "phier", "pstoch", "pinsert",
-                     "pdelete", "pwrite"):
+        for name in (
+            "pset",
+            "psimple",
+            "phier",
+            "pstoch",
+            "pinsert",
+            "pdelete",
+            "pwrite",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")

@@ -269,7 +269,9 @@ class TransactionGenerator:
         for __ in range(count):
             yield self.next_transaction()
 
-    def hierarchy_only(self, count: int, ref_type: int, depth: int) -> Iterator[Transaction]:
+    def hierarchy_only(
+        self, count: int, ref_type: int, depth: int
+    ) -> Iterator[Transaction]:
         """The §4.4 DSTC workload: pure depth-``depth`` hierarchy traversals."""
         for __ in range(count):
             root = self.next_root()

@@ -1,0 +1,34 @@
+"""scenarios — the declarative scenario catalog.
+
+A :class:`Scenario` names a complete usage study — workload mix,
+arrival process, topology, fault plan, replication protocol — and
+compiles to the experiment engine's sweep specs, so every catalog entry
+runs through the same executors, cache and statistics as the paper's
+figures.  Importing this package loads the built-in catalog
+(:mod:`repro.scenarios.builtin`); ``python -m repro scenario
+list|describe|run`` is the command-line face, and each built-in's
+report is pinned byte-for-byte under ``results/scenario_*.txt``.
+"""
+
+from repro.scenarios.catalog import (
+    DEFAULT_METRICS,
+    Scenario,
+    UnknownScenarioError,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.scenarios import builtin as _builtin  # noqa: F401  (registers the catalog)
+
+__all__ = [
+    "DEFAULT_METRICS",
+    "Scenario",
+    "UnknownScenarioError",
+    "all_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,215 @@
+"""The built-in scenario catalog.
+
+Ten ready-made studies over the O2 instantiation, spanning the axes the
+ROADMAP's "as many scenarios as you can imagine" asks for: the
+paper-faithful closed system, open-system arrivals (steady Poisson and
+bursty MMPP), OLTP read/write mixes, hot-key skew, a multiprogramming
+ramp, a failure storm, and the cold-vs-warm cache pair.
+
+Every scenario is deliberately small (NC=20, NO=2000, a few hundred
+transactions, 3 pinned replications) so the whole catalog regenerates
+in seconds: each one's report is committed under
+``results/scenario_*.txt`` and re-derived byte-for-byte by the CI drift
+gate on every run.
+"""
+
+from __future__ import annotations
+
+from repro.core.failures import FailureConfig
+from repro.core.parameters import ArrivalConfig, VOODBConfig
+from repro.scenarios.catalog import Scenario, register_scenario
+from repro.systems.o2 import o2_config
+
+#: Shared database shape: small enough for seconds-scale goldens, big
+#: enough that buffer pressure and locality still matter.
+BASE_NC = 20
+BASE_NO = 2000
+BASE_HOTN = 200
+
+#: Server cache (MB) for the cache-sensitive scenarios: ~120 pages,
+#: well under the ~410-page base, so misses and evictions stay visible.
+SMALL_CACHE_MB = 0.5
+
+
+def _base(
+    cache_mb: float = 2.0, hotn: int = BASE_HOTN, **ocb_overrides
+) -> VOODBConfig:
+    """The catalog's baseline O2 point (Table 4 settings, small base)."""
+    return o2_config(
+        nc=BASE_NC, no=BASE_NO, cache_mb=cache_mb, hotn=hotn, **ocb_overrides
+    )
+
+
+def _single(name: str, title: str, description: str, config, **kwargs) -> Scenario:
+    return register_scenario(
+        Scenario(
+            name=name,
+            title=title,
+            description=description,
+            points=(("baseline", config),),
+            x_label="point",
+            **kwargs,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# 1. The paper-faithful closed system
+# ----------------------------------------------------------------------
+PAPER_BASELINE = _single(
+    "paper-baseline",
+    "Paper-faithful closed system",
+    "The §4.3 protocol in miniature: one user, the Table 5 transaction "
+    "mix, O2's Table 4 settings, closed-system submission.",
+    _base(),
+)
+
+# ----------------------------------------------------------------------
+# 2-3. Open-system arrivals
+# ----------------------------------------------------------------------
+OPEN_POISSON = _single(
+    "open-poisson",
+    "Open system, steady Poisson arrivals",
+    "Transactions arrive at 40/s with exponential gaps instead of the "
+    "closed NUSERS loop; MULTILVL admission bounds concurrency while "
+    "queueing delay shows up in the response time.",
+    _base().with_changes(arrivals=ArrivalConfig(mode="poisson", rate_tps=40.0)),
+)
+
+OPEN_BURSTY = _single(
+    "open-bursty",
+    "Open system, bursty MMPP arrivals",
+    "A two-state Markov-modulated Poisson source: calm 10/s background "
+    "traffic with 250/s bursts (mean burst 400 ms, mean calm 4 s) — the "
+    "worst case for admission queues and buffer churn.",
+    _base().with_changes(
+        arrivals=ArrivalConfig(
+            mode="mmpp",
+            rate_tps=10.0,
+            burst_rate_tps=250.0,
+            mean_calm_ms=4_000.0,
+            mean_burst_ms=400.0,
+        )
+    ),
+)
+
+# ----------------------------------------------------------------------
+# 4-5. OLTP mixes
+# ----------------------------------------------------------------------
+READ_HEAVY = _single(
+    "read-heavy",
+    "Read-heavy OLTP mix",
+    "Set-oriented and simple traversals dominate (70%), writes are rare "
+    "(2% of accesses) — an analytics-leaning read workload.",
+    _base(
+        pset=0.40, psimple=0.30, phier=0.20, pstoch=0.10, pwrite=0.02
+    ),
+)
+
+WRITE_HEAVY = _single(
+    "write-heavy",
+    "Write-heavy OLTP mix with churn",
+    "Half of all object accesses write, and 20% of transactions insert "
+    "or delete objects — dirty evictions, exclusive locking and object "
+    "churn all engaged.",
+    _base(
+        pset=0.15,
+        psimple=0.25,
+        phier=0.20,
+        pstoch=0.20,
+        pinsert=0.10,
+        pdelete=0.10,
+        pwrite=0.50,
+    ),
+)
+
+# ----------------------------------------------------------------------
+# 6. Hot-key skew
+# ----------------------------------------------------------------------
+HOT_KEY_SKEW = _single(
+    "hot-key-skew",
+    "Zipf hot-key skew on a small cache",
+    "Transaction roots drawn from a Zipf(1.5) distribution over the "
+    "object base with a small (0.5 MB) server cache: the hot set stays "
+    "resident while the cold tail misses.",
+    _base(cache_mb=SMALL_CACHE_MB, root_skew=1.5),
+    metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
+)
+
+# ----------------------------------------------------------------------
+# 7. Multiprogramming ramp
+# ----------------------------------------------------------------------
+MULTIPROGRAMMING_RAMP = register_scenario(
+    Scenario(
+        name="multiprogramming-ramp",
+        title="Multiprogramming ramp (1-8 users)",
+        description=(
+            "The closed user population ramps 1 -> 8 at a multiprogramming "
+            "level of 4, with 20% writes over a hot root region: throughput "
+            "climbs until the scheduler saturates and lock waits take over."
+        ),
+        points=tuple(
+            (
+                nusers,
+                _base(pwrite=0.20, root_region=100).with_changes(
+                    nusers=nusers, multilvl=4
+                ),
+            )
+            for nusers in (1, 2, 4, 8)
+        ),
+        x_label="users",
+        metrics=(
+            "total_ios",
+            "throughput_tps",
+            "lock_waits",
+            "mean_response_time_ms",
+        ),
+    )
+)
+
+# ----------------------------------------------------------------------
+# 8. Failure storm
+# ----------------------------------------------------------------------
+FAILURE_STORM = _single(
+    "failure-storm",
+    "Failure storm (transient faults + crashes)",
+    "The §5 hazards module at storm intensity: a transient I/O fault "
+    "every ~300 ms of simulated time and a crash every ~40 s, each "
+    "crash costing 1.5 s of recovery and a cold cache.",
+    _base(cache_mb=SMALL_CACHE_MB).with_changes(
+        failures=FailureConfig(
+            transient_mtbf_ms=300.0,
+            transient_penalty_ms=25.0,
+            crash_mtbf_ms=40_000.0,
+            recovery_time_ms=1_500.0,
+        )
+    ),
+    metrics=(
+        "total_ios",
+        "transient_faults",
+        "crashes",
+        "downtime_ms",
+        "mean_response_time_ms",
+    ),
+)
+
+# ----------------------------------------------------------------------
+# 9-10. Cold vs. warm cache
+# ----------------------------------------------------------------------
+COLD_CACHE = _single(
+    "cold-cache",
+    "Cold cache (no warm-up run)",
+    "The measured run starts against an empty 0.5 MB buffer: every "
+    "first touch misses, the paper's COLDN warm-up skipped.",
+    _base(cache_mb=SMALL_CACHE_MB, coldn=0),
+    metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
+)
+
+WARM_CACHE = _single(
+    "warm-cache",
+    "Warm cache (COLDN warm-up first)",
+    "The same workload and 0.5 MB buffer as cold-cache, but 200 unmeasured "
+    "warm-up transactions populate the buffer first (§4.3's protocol).",
+    _base(cache_mb=SMALL_CACHE_MB, coldn=200),
+    metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
+)

@@ -1,7 +1,5 @@
 """Integration tests for the Clustering Manager inside the model."""
 
-import pytest
-
 from repro.clustering import DSTCParameters
 from repro.core import SystemClass, VOODBConfig, VOODBSimulation
 from repro.ocb import OCBConfig
@@ -74,11 +72,21 @@ class TestExternalDemand:
 
     def test_clustering_improves_hot_hierarchy_workload(self):
         model = make_model()
-        pre = model.run_phase(60, workload="hierarchy", stream_label="usage",
-                              hierarchy_type=0, hierarchy_depth=3)
+        pre = model.run_phase(
+            60,
+            workload="hierarchy",
+            stream_label="usage",
+            hierarchy_type=0,
+            hierarchy_depth=3,
+        )
         model.demand_clustering()
-        post = model.run_phase(60, workload="hierarchy", stream_label="usage",
-                               hierarchy_type=0, hierarchy_depth=3)
+        post = model.run_phase(
+            60,
+            workload="hierarchy",
+            stream_label="usage",
+            hierarchy_type=0,
+            hierarchy_depth=3,
+        )
         assert post.total_ios <= pre.total_ios
 
     def test_moved_objects_still_readable(self):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.despy import RandomStream
 from repro.clustering.placement import make_placement, sequential_placement
-from repro.core import ObjectManager, VOODBConfig
+from repro.core import ObjectManager
 from repro.ocb import Database, OCBConfig, Schema
 
 

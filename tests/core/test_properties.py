@@ -1,6 +1,5 @@
 """Property-based tests for buffer/VM invariants."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

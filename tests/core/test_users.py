@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core import SystemClass, VOODBConfig, VOODBSimulation
+from repro.core import (
+    ArrivalConfig,
+    SystemClass,
+    VOODBConfig,
+    VOODBSimulation,
+    run_replication,
+)
 from repro.ocb import OCBConfig
 
 SMALL = OCBConfig(nc=5, no=300, hotn=60)
@@ -117,3 +123,132 @@ class TestOcbOverride:
             ocb_override=SMALL.with_changes(thinktime=50.0),
         )
         assert model.sim.now - before >= 4 * 50.0
+
+
+class TestPhaseOverrides:
+    def test_thinktime_override_beats_ocb_value(self):
+        model = make_model(ocb=SMALL.with_changes(thinktime=100.0))
+        before = model.sim.now
+        model.run_phase(10, stream_label="fast", thinktime=0.0)
+        fast_elapsed = model.sim.now - before
+        assert fast_elapsed < 10 * 100.0
+
+    def test_nusers_override_ramps_population(self):
+        model = make_model(nusers=1)
+        processes = model.users.launch(12, stream_label="ramp", nusers=4)
+        assert len(processes) == 4
+        model.sim.run()
+        assert model.tm.transactions_executed == 12
+
+    def test_nusers_zero_raises_clear_error(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="nusers must be >= 1"):
+            model.users.launch(10, nusers=0)
+
+    def test_negative_nusers_raises(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="nusers must be >= 1"):
+            model.users.launch(10, nusers=-3)
+
+    def test_negative_thinktime_raises(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="thinktime"):
+            model.users.launch(10, thinktime=-1.0)
+
+
+class TestPopulationValidation:
+    """``nusers``/``multilvl`` are validated even for configs mutated
+    past ``__post_init__`` (the ramp-scenario regression)."""
+
+    def test_config_rejects_zero_users(self):
+        with pytest.raises(ValueError, match="nusers"):
+            VOODBConfig(nusers=0)
+
+    def test_config_rejects_negative_multiprogramming(self):
+        with pytest.raises(ValueError, match="multilvl"):
+            VOODBConfig(multilvl=-1)
+
+    def test_run_replication_guards_hacked_nusers(self):
+        config = VOODBConfig(sysclass=SystemClass.CENTRALIZED, ocb=SMALL)
+        object.__setattr__(config, "nusers", 0)
+        with pytest.raises(ValueError, match="nusers must be >= 1"):
+            run_replication(config, seed=1)
+
+    def test_run_replication_guards_hacked_multilvl(self):
+        config = VOODBConfig(sysclass=SystemClass.CENTRALIZED, ocb=SMALL)
+        object.__setattr__(config, "multilvl", -2)
+        with pytest.raises(ValueError, match="multilvl must be >= 1"):
+            run_replication(config, seed=1)
+
+    def test_launch_guards_hacked_config(self):
+        model = make_model()
+        object.__setattr__(model.config, "nusers", 0)
+        with pytest.raises(ValueError, match="nusers must be >= 1"):
+            model.users.launch(10)
+
+
+class TestOpenSystem:
+    def test_launch_open_submits_everything(self):
+        model = make_model()
+        arrivals = ArrivalConfig(mode="poisson", rate_tps=100.0)
+        processes = model.users.launch_open(25, arrivals, stream_label="open")
+        assert len(processes) == 1  # one arrival source
+        model.sim.run()
+        assert model.users.transactions_submitted == 25
+        assert model.tm.transactions_executed == 25
+
+    def test_launch_open_rejects_closed_mode(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="open arrival mode"):
+            model.users.launch_open(5, ArrivalConfig())
+
+    def test_open_phase_is_deterministic(self):
+        def run_once():
+            model = make_model()
+            arrivals = ArrivalConfig(mode="poisson", rate_tps=50.0)
+            model.users.launch_open(30, arrivals, stream_label="open")
+            model.sim.run()
+            return model.sim.now, model.tm.objects_accessed
+
+        assert run_once() == run_once()
+
+    def test_open_config_drives_standard_run(self):
+        config = VOODBConfig(
+            sysclass=SystemClass.CENTRALIZED,
+            buffsize=64,
+            ocb=SMALL,
+            arrivals=ArrivalConfig(mode="poisson", rate_tps=50.0),
+        )
+        result = run_replication(config, seed=3)
+        assert result.phase.transactions == SMALL.hotn
+        again = run_replication(config, seed=3)
+        assert result.to_metrics() == again.to_metrics()
+
+    def test_arrival_stream_independent_of_workload_stream(self):
+        """Arrival instants draw from ``{label}/arrivals``, transactions
+        from ``{label}/source`` — common random numbers hold: two mixes
+        compared under the same seed see identical arrival gaps."""
+        from repro.despy.randomstream import RandomStream
+
+        arrivals = ArrivalConfig(mode="poisson", rate_tps=10.0)
+        gaps_a = arrivals.interarrivals(RandomStream(5, "crn/arrivals"))
+        gaps_b = arrivals.interarrivals(RandomStream(5, "crn/arrivals"))
+        assert [next(gaps_a) for _ in range(10)] == [
+            next(gaps_b) for _ in range(10)
+        ]
+
+    def test_mmpp_open_mode_runs(self):
+        config = VOODBConfig(
+            sysclass=SystemClass.CENTRALIZED,
+            buffsize=64,
+            ocb=SMALL,
+            arrivals=ArrivalConfig(
+                mode="mmpp",
+                rate_tps=5.0,
+                burst_rate_tps=200.0,
+                mean_calm_ms=1_000.0,
+                mean_burst_ms=200.0,
+            ),
+        )
+        result = run_replication(config, seed=2)
+        assert result.phase.transactions == SMALL.hotn

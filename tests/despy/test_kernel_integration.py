@@ -5,8 +5,6 @@ sub-generators (``yield from``), resource pipelines, gate-coordinated
 phases — complementing the per-feature unit tests.
 """
 
-import pytest
-
 from repro.despy import Hold, Release, Request, Simulation, WaitFor
 from repro.despy.resource import Gate, Resource
 

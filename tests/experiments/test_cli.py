@@ -17,7 +17,7 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["figures"])
         assert args.replications is None
-        assert args.hotn == 1000
+        assert args.hotn is None  # -> 1000 for figures, unscaled scenarios
         assert args.output is None
 
     def test_replications_flag(self):

@@ -7,7 +7,7 @@ the benchmark suite's job.
 
 import pytest
 
-from repro.experiments.figures import ExperimentSeries, run_figure
+from repro.experiments.figures import run_figure
 from repro.experiments.report import (
     format_dstc_table,
     format_series,
@@ -16,7 +16,6 @@ from repro.experiments.report import (
 from repro.experiments.tables import run_dstc_replication
 from repro.systems.o2 import o2_config
 from repro.systems.reference_data import FigureReference
-from repro.systems.texas import texas_config
 
 TINY_SWEEP = FigureReference(
     figure="6",

@@ -77,7 +77,11 @@ class TestLocality:
         # every referenced object lies within 10 positions (cyclically)
         # of the referencing object's own position in the target extent
         for oid in range(len(db)):
-            positions = {t: i for c in range(config.nc) for i, t in enumerate(db.instances_of(c))}
+            positions = {
+                t: i
+                for c in range(config.nc)
+                for i, t in enumerate(db.instances_of(c))
+            }
             own = positions[oid]
             for target in db.refs(oid):
                 target_extent = db.instances_of(db.class_of(target))

@@ -48,7 +48,11 @@ def test_database_is_well_formed(config, seed):
     assert extent_total == config.no
 
 
-@given(configs, st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=6))
+@given(
+    configs,
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=6),
+)
 @settings(max_examples=40, deadline=None)
 def test_traversals_stay_in_range_and_terminate(config, seed, depth):
     db = build(config, seed)
