@@ -1,0 +1,109 @@
+"""Slow-test budget gate: fail CI when a single test exceeds its budget.
+
+``pytest --durations=N`` reports the slowest tests but never fails on
+them, so suite latency creeps until somebody notices.  This gate parses
+the JUnit XML pytest already writes (``--junitxml``) and exits non-zero
+when any test case runs longer than ``--budget`` seconds, or when the
+whole suite exceeds ``--total-budget``.
+
+Usage (what the CI matrix job runs)::
+
+    python -m pytest --junitxml=junit.xml --durations=20 ...
+    python benchmarks/check_durations.py --junit junit.xml --budget 60
+
+The JUnit time attribute covers setup+call+teardown per test case —
+exactly the wall-clock a contributor waits on — and class-scoped
+fixture time is billed to the first test of the class, which is the
+right place to flag it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ElementTree
+from typing import List, Tuple
+
+
+def load_case_times(path: str) -> List[Tuple[str, float]]:
+    """``(test id, seconds)`` for every test case in a JUnit XML file."""
+    try:
+        root = ElementTree.parse(path).getroot()
+    except ElementTree.ParseError as exc:
+        raise ValueError(f"{path}: not valid JUnit XML ({exc})") from None
+    cases: List[Tuple[str, float]] = []
+    for case in root.iter("testcase"):
+        name = case.get("name", "?")
+        classname = case.get("classname", "")
+        label = f"{classname}::{name}" if classname else name
+        try:
+            seconds = float(case.get("time", "0"))
+        except ValueError:
+            continue
+        cases.append((label, seconds))
+    if not cases:
+        raise ValueError(f"{path}: no test cases found")
+    return cases
+
+
+def check_durations(
+    cases: List[Tuple[str, float]],
+    budget: float,
+    total_budget: float = 0.0,
+    top: int = 10,
+) -> List[str]:
+    """Problems found (empty = within budget); prints a short report."""
+    problems: List[str] = []
+    slowest = sorted(cases, key=lambda item: item[1], reverse=True)[:top]
+    print(f"slowest {len(slowest)} of {len(cases)} tests:")
+    for label, seconds in slowest:
+        marker = "  OVER" if budget > 0 and seconds > budget else ""
+        print(f"  {seconds:8.2f}s  {label}{marker}")
+    if budget > 0:
+        for label, seconds in cases:
+            if seconds > budget:
+                problems.append(
+                    f"{label}: {seconds:.2f}s exceeds the {budget:.0f}s "
+                    f"per-test budget"
+                )
+    total = sum(seconds for _label, seconds in cases)
+    print(f"suite total: {total:.2f}s")
+    if total_budget > 0 and total > total_budget:
+        problems.append(
+            f"suite total {total:.2f}s exceeds the {total_budget:.0f}s budget"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--junit", required=True, help="JUnit XML from pytest")
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=60.0,
+        help="per-test wall-clock budget in seconds (0 = report only)",
+    )
+    parser.add_argument(
+        "--total-budget",
+        type=float,
+        default=0.0,
+        help="whole-suite budget in seconds (0 = no limit)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="how many slowest tests to print"
+    )
+    args = parser.parse_args(argv)
+    try:
+        cases = load_case_times(args.junit)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = check_durations(cases, args.budget, args.total_budget, args.top)
+    for problem in problems:
+        print(f"BUDGET EXCEEDED: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

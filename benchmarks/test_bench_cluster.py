@@ -1,0 +1,72 @@
+"""Cluster throughput bench: a sharded 4-node cluster under open load.
+
+Measures the wall-clock of one full cluster replication (the hot path
+the scenario catalog's cluster quartet exercises: per-node buffers and
+disks, the shard router, replica write propagation, the sharded lock
+service) and publishes its deterministic counters as the
+``results/cluster.txt`` golden.  The wall-clock lands in the
+``VOODB_BENCH_JSON`` export under the name ``cluster``, so
+``check_regression.py`` guards cluster throughput like every other
+bench once CI has a baseline.
+"""
+
+from conftest import bench_hotn, fmt_rows
+from repro.core.model import VOODBSimulation
+from repro.core.parameters import ArrivalConfig, ClusterConfig
+from repro.systems.o2 import o2_config
+
+
+def cluster_bench_config():
+    return o2_config(
+        nc=20,
+        no=2000,
+        cache_mb=0.5,
+        hotn=min(bench_hotn(), 1000),
+        pwrite=0.2,
+    ).with_changes(
+        cluster=ClusterConfig(
+            servers=4,
+            placement="hash",
+            replication=2,
+            interconnect_mbps=50.0,
+        ),
+        arrivals=ArrivalConfig(mode="poisson", rate_tps=60.0),
+        multilvl=8,
+    )
+
+
+def test_bench_cluster_throughput(regenerate):
+    state = {}
+
+    def run():
+        model = VOODBSimulation(cluster_bench_config(), seed=0)
+        results = model.run()
+        state["phase"] = phase = results.phase
+        rows = [
+            ["transactions", phase.transactions],
+            ["total I/Os", phase.total_ios],
+            ["per-server I/Os", " ".join(str(n) for n in phase.server_ios)],
+            [
+                "per-server accesses",
+                " ".join(str(n) for n in phase.server_accesses),
+            ],
+            ["imbalance (max/mean I/Os)", f"{phase.cluster_imbalance:.3f}"],
+            ["replica reads", phase.replica_reads],
+            ["replica writes", phase.replica_writes],
+            ["interconnect messages", phase.interconnect_messages],
+            ["throughput (tps)", f"{phase.throughput_tps:.2f}"],
+        ]
+        return fmt_rows(
+            "Cluster throughput (4 hash shards, replication 2, seed 0)",
+            ["counter", "value"],
+            rows,
+        )
+
+    regenerate("cluster", run)
+    phase = state["phase"]
+    # The bench's whole premise: every node shares the work, replicas
+    # both absorb reads and charge write propagation.
+    assert all(count > 0 for count in phase.server_accesses)
+    assert phase.replica_reads > 0
+    assert phase.replica_writes > 0
+    assert sum(phase.server_ios) == phase.total_ios

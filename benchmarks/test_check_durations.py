@@ -1,0 +1,101 @@
+"""Unit tests for the slow-test budget gate (check_durations.py)."""
+
+import pytest
+
+from check_durations import check_durations, load_case_times, main
+
+
+def junit(tmp_path, cases):
+    body = "".join(
+        f'<testcase classname="tests.demo" name="{name}" time="{seconds}"/>'
+        for name, seconds in cases
+    )
+    path = tmp_path / "junit.xml"
+    path.write_text(
+        f'<?xml version="1.0"?><testsuites><testsuite>{body}'
+        "</testsuite></testsuites>",
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+class TestLoadCaseTimes:
+    def test_reads_names_and_times(self, tmp_path):
+        path = junit(tmp_path, [("test_fast", 0.01), ("test_slow", 3.5)])
+        cases = load_case_times(path)
+        assert ("tests.demo::test_slow", 3.5) in cases
+        assert len(cases) == 2
+
+    def test_rejects_non_xml(self, tmp_path):
+        path = tmp_path / "junit.xml"
+        path.write_text("{not xml}", encoding="utf-8")
+        with pytest.raises(ValueError, match="JUnit"):
+            load_case_times(str(path))
+
+    def test_rejects_empty_suite(self, tmp_path):
+        path = tmp_path / "junit.xml"
+        path.write_text(
+            "<testsuites><testsuite/></testsuites>", encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="no test cases"):
+            load_case_times(str(path))
+
+    def test_bad_time_attribute_skipped(self, tmp_path):
+        path = tmp_path / "junit.xml"
+        path.write_text(
+            '<testsuite><testcase name="a" time="oops"/>'
+            '<testcase name="b" time="1.0"/></testsuite>',
+            encoding="utf-8",
+        )
+        assert load_case_times(str(path)) == [("b", 1.0)]
+
+
+class TestCheckDurations:
+    def test_within_budget_reports_nothing(self, capsys):
+        problems = check_durations([("a", 1.0), ("b", 2.0)], budget=10.0)
+        assert problems == []
+        out = capsys.readouterr().out
+        assert "slowest" in out and "suite total" in out
+
+    def test_over_budget_test_flagged(self, capsys):
+        problems = check_durations([("a", 1.0), ("slow", 9.0)], budget=5.0)
+        assert len(problems) == 1
+        assert "slow" in problems[0]
+        assert "OVER" in capsys.readouterr().out
+
+    def test_zero_budget_is_report_only(self, capsys):
+        assert check_durations([("slow", 99.0)], budget=0.0) == []
+
+    def test_total_budget_flagged(self, capsys):
+        problems = check_durations(
+            [("a", 4.0), ("b", 4.0)], budget=10.0, total_budget=5.0
+        )
+        assert len(problems) == 1
+        assert "suite total" in problems[0]
+
+    def test_top_limits_the_report(self, capsys):
+        check_durations([(f"t{i}", float(i)) for i in range(20)], 0.0, top=3)
+        out = capsys.readouterr().out
+        assert "slowest 3 of 20" in out
+
+
+class TestMain:
+    def test_green_run_exits_zero(self, tmp_path, capsys):
+        path = junit(tmp_path, [("test_fast", 0.5)])
+        assert main(["--junit", path, "--budget", "10"]) == 0
+
+    def test_over_budget_exits_one(self, tmp_path, capsys):
+        path = junit(tmp_path, [("test_slow", 20.0)])
+        assert main(["--junit", path, "--budget", "10"]) == 1
+        assert "BUDGET EXCEEDED" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["--junit", str(tmp_path / "nope.xml")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_total_budget_flag(self, tmp_path, capsys):
+        path = junit(tmp_path, [("a", 4.0), ("b", 4.0)])
+        assert (
+            main(["--junit", path, "--budget", "10", "--total-budget", "5"])
+            == 1
+        )

@@ -35,7 +35,9 @@ from repro.core.architectures import (
     PageServer,
     make_architecture,
 )
+from repro.core.architectures import ClusterObjectServer, ClusterPageServer
 from repro.core.buffering import AccessOutcome, BufferManager
+from repro.core.cluster import Cluster, ClusterLockManager, ClusterNode, ShardRouter
 from repro.core.clustering_manager import ClusteringManager
 from repro.core.failures import FailureConfig, FailureInjector, NoFailures
 from repro.core.io_subsystem import IOSubsystem
@@ -50,8 +52,10 @@ from repro.core.network import Network
 from repro.core.object_manager import ObjectManager
 from repro.core.parameters import (
     ALLOWED_PAGE_SIZES,
+    ALLOWED_PLACEMENTS,
     ArrivalConfig,
     ArrivalMode,
+    ClusterConfig,
     MemoryModel,
     SystemClass,
     VOODBConfig,
@@ -81,6 +85,14 @@ __all__ = [
     "ArrivalConfig",
     "ArrivalMode",
     "ALLOWED_PAGE_SIZES",
+    "ALLOWED_PLACEMENTS",
+    "ClusterConfig",
+    "Cluster",
+    "ClusterNode",
+    "ClusterLockManager",
+    "ShardRouter",
+    "ClusterPageServer",
+    "ClusterObjectServer",
     "VOODBSimulation",
     "run_replication",
     "build_database",

@@ -216,6 +216,38 @@ class Architecture(ABC):
         """Clustering moved objects: client/prefetch state is stale."""
         self._prefetched_unused.clear()
 
+    # ------------------------------------------------------------------
+    # Client-cache construction (shared by the single-server and
+    # cluster variants, so their sizing can never diverge)
+    # ------------------------------------------------------------------
+    def _page_client_cache(self) -> "Optional[BufferManager]":
+        """A page-granular client cache of ``client_buffsize`` frames."""
+        if self.config.client_buffsize <= 0:
+            return None
+        return BufferManager(
+            self.config,
+            self.sim.stream("client-cache"),
+            capacity=self.config.client_buffsize,
+        )
+
+    def _object_client_cache(self) -> "Optional[BufferManager]":
+        """An object-granular client cache: the page budget translated
+        into object slots at mean object size."""
+        if self.config.client_buffsize <= 0:
+            return None
+        mean_size = max(1.0, self.db.config.mean_instance_size)
+        slots = max(
+            1,
+            int(
+                self.config.client_buffsize
+                * self.config.usable_page_bytes
+                / mean_size
+            ),
+        )
+        return BufferManager(
+            self.config, self.sim.stream("client-cache"), capacity=slots
+        )
+
 
 class Centralized(Architecture):
     """SYSCLASS = Centralized (Texas): everything is local."""
@@ -233,13 +265,7 @@ class PageServer(Architecture):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self.client_cache: Optional[BufferManager] = None
-        if self.config.client_buffsize > 0:
-            self.client_cache = BufferManager(
-                self.config,
-                self.sim.stream("client-cache"),
-                capacity=self.config.client_buffsize,
-            )
+        self.client_cache: Optional[BufferManager] = self._page_client_cache()
 
     def access_object_nowait(self, oid: int, write: bool):
         client_cache = self.client_cache
@@ -360,22 +386,7 @@ class ObjectServer(Architecture):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self.client_cache: Optional[BufferManager] = None
-        if self.config.client_buffsize > 0:
-            # The client cache is object-granular: translate its page
-            # budget into object slots at mean object size.
-            mean_size = max(1.0, self.db.config.mean_instance_size)
-            slots = max(
-                1,
-                int(
-                    self.config.client_buffsize
-                    * self.config.usable_page_bytes
-                    / mean_size
-                ),
-            )
-            self.client_cache = BufferManager(
-                self.config, self.sim.stream("client-cache"), capacity=slots
-            )
+        self.client_cache: Optional[BufferManager] = self._object_client_cache()
 
     def access_object_nowait(self, oid: int, write: bool):
         if self.client_cache is not None:
@@ -428,11 +439,225 @@ class DBServer(Architecture):
         return self._server_object_access_nowait(oid, write)
 
 
+class ClusterArchitecture(Architecture):
+    """Shared plumbing of the sharded (multi-server) organizations.
+
+    The server side is a :class:`~repro.core.cluster.Cluster`: every
+    page access routes to its owning node through the shard router, and
+    all disk work happens on that node's private disk.  Like the
+    single-server classes, the nowait faces return ``None`` when the
+    whole access resolved in place (client-cache hits, buffer hits over
+    free networks) — the PR-2 fast-path contract, extended per node.
+    """
+
+    def __init__(self, *args, cluster=None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if cluster is None:
+            raise ValueError(f"{type(self).__name__} needs a Cluster instance")
+        self.cluster = cluster
+
+    @property
+    def _free_fabric(self) -> bool:
+        """Both networks free: the fully synchronous hit path applies."""
+        return self.network.infinite and self.cluster.interconnect.infinite
+
+
+class ClusterPageServer(ClusterArchitecture):
+    """Sharded page server: a smart driver routes each page directly.
+
+    The client knows the placement (as cluster drivers do) and sends
+    every page request straight to a serving replica — reads balance
+    round-robin over the replica set, writes hit the primary and
+    propagate to the other replicas across the interconnect.  The
+    client network books the same per-page request/response round trip
+    as the single-server :class:`PageServer`.
+    """
+
+    name = "cluster_page_server"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.client_cache: Optional[BufferManager] = self._page_client_cache()
+
+    def access_object_nowait(self, oid: int, write: bool):
+        client_cache = self.client_cache
+        network = self.network
+        cluster = self.cluster
+        pages = iter(self.object_manager.pages_of(oid))
+        if network.infinite and (
+            not write
+            or cluster.router.replication == 1
+            or cluster.interconnect.infinite
+        ):
+            # Free client network, and the access cannot owe interconnect
+            # time (reads never do; replication-1 writes never propagate):
+            # the whole loop stays synchronous until a node's disk misses.
+            round_trip_bytes = self.config.message_bytes + self.config.pgsize
+            for page in pages:
+                if client_cache is not None:
+                    if client_cache.access(page, False).hit:
+                        self.client_hits += 1
+                        continue
+                    self.client_misses += 1
+                network.messages += 2
+                network.bytes_sent += round_trip_bytes
+                step = cluster.serve_page_nowait(page, write)
+                if step is not None:
+                    return self._free_fabric_tail(step, pages, write)
+            return None
+        if client_cache is not None:
+            # Throttled fabric: client-cache hits still resolve in
+            # place; hand off at the first page that must travel.
+            for page in pages:
+                if client_cache.access(page, False).hit:
+                    self.client_hits += 1
+                    continue
+                self.client_misses += 1
+                return self._timed_tail(page, pages, write)
+            return None
+        return self._timed_access(pages, write)
+
+    def _free_fabric_tail(self, step, pages, write: bool):
+        """Finish a free-fabric object access from its first disk miss."""
+        client_cache = self.client_cache
+        network = self.network
+        cluster = self.cluster
+        round_trip_bytes = self.config.message_bytes + self.config.pgsize
+        yield from step
+        for page in pages:
+            if client_cache is not None:
+                if client_cache.access(page, False).hit:
+                    self.client_hits += 1
+                    continue
+                self.client_misses += 1
+            network.messages += 2
+            network.bytes_sent += round_trip_bytes
+            step = cluster.serve_page_nowait(page, write)
+            if step is not None:
+                yield from step
+
+    def _timed_page(self, page: int, write: bool):
+        """One page's round trip over the throttled fabric."""
+        network = self.network
+        cluster = self.cluster
+        step = network.transfer_nowait(self.config.message_bytes)
+        if step is not None:
+            yield from step
+        if cluster.interconnect.infinite:
+            step = cluster.serve_page_nowait(page, write)
+            if step is not None:
+                yield from step
+        else:
+            yield from cluster.serve_page(page, write)
+        step = network.transfer_nowait(self.config.pgsize)
+        if step is not None:
+            yield from step
+
+    def _timed_tail(self, page: int, pages, write: bool):
+        """Finish a throttled access whose first page already missed the
+        client cache (the caller booked that miss)."""
+        yield from self._timed_page(page, write)
+        yield from self._timed_access(pages, write)
+
+    def _timed_access(self, pages, write: bool):
+        """Per-page round trips with at least one throttled network."""
+        client_cache = self.client_cache
+        for page in pages:
+            if client_cache is not None:
+                if client_cache.access(page, False).hit:
+                    self.client_hits += 1
+                    continue
+                self.client_misses += 1
+            yield from self._timed_page(page, write)
+
+    def notify_reorganized(self) -> None:
+        super().notify_reorganized()
+        if self.client_cache is not None:
+            self.client_cache.invalidate_all()
+
+
+class ClusterObjectServer(ClusterArchitecture):
+    """Sharded object server: a balancer picks a coordinator per object.
+
+    The client is placement-blind: a front-end balancer hands each
+    object request to a coordinator node round-robin.  The coordinator
+    assembles the object — pages it owns are served locally, remotely
+    owned pages cross the interconnect (request out, page back) — then
+    the object's bytes ship to the client, ORION-style.  Forwarding
+    cost therefore scales with ``(servers - 1) / servers``, the classic
+    thin-client cluster trade the scenario catalog measures.
+    """
+
+    name = "cluster_object_server"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.client_cache: Optional[BufferManager] = self._object_client_cache()
+
+    def access_object_nowait(self, oid: int, write: bool):
+        if self.client_cache is not None:
+            if self.client_cache.access(oid, False).hit:
+                self.client_hits += 1
+                return None
+            self.client_misses += 1
+        cluster = self.cluster
+        span = self.object_manager.pages_of(oid)
+        home = cluster.next_coordinator()
+        if self._free_fabric:
+            network = self.network
+            network.transfer_nowait(self.config.message_bytes)
+            pages = iter(span)
+            for page in pages:
+                step = cluster.serve_page_nowait(page, write, home)
+                if step is not None:
+                    return self._free_fabric_tail(step, pages, write, home, oid)
+            network.transfer_nowait(self.db.size(oid))
+            return None
+        return self._timed_access(oid, span, write, home)
+
+    def _free_fabric_tail(self, step, pages, write: bool, home: int, oid: int):
+        cluster = self.cluster
+        yield from step
+        for page in pages:
+            step = cluster.serve_page_nowait(page, write, home)
+            if step is not None:
+                yield from step
+        self.network.transfer_nowait(self.db.size(oid))
+
+    def _timed_access(self, oid: int, span, write: bool, home: int):
+        network = self.network
+        cluster = self.cluster
+        fast_interconnect = cluster.interconnect.infinite
+        step = network.transfer_nowait(self.config.message_bytes)
+        if step is not None:
+            yield from step
+        for page in span:
+            if fast_interconnect:
+                step = cluster.serve_page_nowait(page, write, home)
+                if step is not None:
+                    yield from step
+            else:
+                yield from cluster.serve_page(page, write, home)
+        step = network.transfer_nowait(self.db.size(oid))
+        if step is not None:
+            yield from step
+
+    def notify_reorganized(self) -> None:
+        super().notify_reorganized()
+        if self.client_cache is not None:
+            self.client_cache.invalidate_all()
+
+
 _ARCHITECTURES: Dict[SystemClass, type] = {
     SystemClass.CENTRALIZED: Centralized,
     SystemClass.PAGE_SERVER: PageServer,
     SystemClass.OBJECT_SERVER: ObjectServer,
     SystemClass.DB_SERVER: DBServer,
+}
+
+_CLUSTER_ARCHITECTURES: Dict[SystemClass, type] = {
+    SystemClass.PAGE_SERVER: ClusterPageServer,
+    SystemClass.OBJECT_SERVER: ClusterObjectServer,
 }
 
 
@@ -445,7 +670,30 @@ def make_architecture(
     io: "IOSubsystem",
     network: Network,
     prefetcher: PrefetchPolicy,
+    cluster=None,
 ) -> Architecture:
-    """Instantiate the strategy selected by ``config.sysclass``."""
+    """Instantiate the strategy selected by ``config.sysclass``.
+
+    With a :class:`~repro.core.cluster.Cluster` the sharded variant of
+    the system class is built instead (page/object server only — the
+    config layer rejects other classes in cluster mode).
+    """
+    if cluster is not None:
+        cls = _CLUSTER_ARCHITECTURES.get(config.sysclass)
+        if cls is None:
+            raise ValueError(
+                f"no cluster variant for system class {config.sysclass.value!r}"
+            )
+        return cls(
+            sim,
+            config,
+            db,
+            object_manager,
+            memory,
+            io,
+            network,
+            prefetcher,
+            cluster=cluster,
+        )
     cls = _ARCHITECTURES[config.sysclass]
     return cls(sim, config, db, object_manager, memory, io, network, prefetcher)

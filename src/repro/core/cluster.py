@@ -1,0 +1,525 @@
+"""Multi-server cluster topology: sharded placement over N server nodes.
+
+VOODB §3.3 notes the generic model "can also be used to model [...]
+multiserver hybrid systems (like GemStone)"; this module is that
+extension.  A :class:`Cluster` instantiates the server side of Figure 4
+once per node — each :class:`ClusterNode` owns its own Buffering
+Manager, I/O Subsystem (a private capacity-1 disk) and object lock
+table — and a deterministic :class:`ShardRouter` places every disk page
+on its owning node(s).
+
+Placement strategies (Table-3 style codes on
+:class:`~repro.core.parameters.ClusterConfig`):
+
+* ``hash`` — Fibonacci hashing over the page id scatters pages
+  uniformly; contiguous pages land on different nodes, so per-node
+  sequential I/O mostly disappears (the classic hash-sharding trade);
+* ``range`` — contiguous page runs stay on one node, preserving the
+  Figure 5 contiguity shortcut per node at the cost of skew exposure.
+
+``replication`` stores every page on that many consecutive nodes:
+reads balance round-robin across the replica set, writes apply at the
+primary and propagate the page image to the other replicas across the
+**inter-server network** — a dedicated :class:`~repro.core.network.Network`
+medium whose throughput (``interconnect_mbps``) contends exactly like
+the client network.  The object-server organization additionally
+assembles multi-node objects at the object's *home* node, paying an
+interconnect round trip per remotely owned page.
+
+Locking shards with the data: :class:`ClusterLockManager` keeps one
+MULTILVL admission scheduler for the whole cluster (transactions are
+global) but routes each object lock to the lock table of the object's
+home node, acquiring node partitions in node order — a total order over
+``(home node, oid)``, so the conservative-2PL deadlock-freedom argument
+of :mod:`repro.core.locks` carries over unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from repro.despy.process import Release, Request
+from repro.despy.resource import Resource
+from repro.core.buffering import BufferManager
+from repro.core.io_subsystem import IOSubsystem
+from repro.core.locks import LockManager
+from repro.core.network import Network
+from repro.core.parameters import ALLOWED_PLACEMENTS, VOODBConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.despy.engine import Simulation
+    from repro.core.object_manager import ObjectManager
+
+#: 64-bit golden-ratio multiplier (Fibonacci hashing): consecutive page
+#: ids spread maximally far apart, with no dependence on Python's
+#: randomized ``hash()`` — placement must be identical across processes
+#: and Python versions for the goldens to reproduce byte-for-byte.
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+class ShardRouter:
+    """Deterministic page -> server placement (hash or range)."""
+
+    def __init__(
+        self,
+        servers: int,
+        placement: str = "hash",
+        total_pages: int = 1,
+        replication: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if servers < 1:
+            raise ValueError(f"servers must be >= 1, got {servers}")
+        if placement not in ALLOWED_PLACEMENTS:
+            raise ValueError(f"unknown placement {placement!r}")
+        if not 1 <= replication <= servers:
+            raise ValueError(
+                f"replication must be in [1, {servers}], got {replication}"
+            )
+        if total_pages < 1:
+            raise ValueError(f"total_pages must be >= 1, got {total_pages}")
+        self.servers = servers
+        self.placement = placement
+        self.total_pages = total_pages
+        self.replication = replication
+        self.seed = seed
+        #: salt folded into the hash so distinct seeds permute placement
+        #: while staying a pure function of the (frozen) config.
+        self._salt = (seed * _GOLDEN + 1) & _MASK64
+        #: replica sets repeat per page id; memoized (pages are dense).
+        self._replica_cache: Dict[int, Tuple[int, ...]] = {}
+
+    def primary(self, page: int) -> int:
+        """The node owning the authoritative copy of ``page``."""
+        if page < 0:
+            raise ValueError(f"page ids are non-negative, got {page}")
+        if self.placement == "hash":
+            return (((page + 1) * _GOLDEN ^ self._salt) & _MASK64) % self.servers
+        if page >= self.total_pages:
+            # Pages appended past the initial extent (OCB inserts) land
+            # on the last range shard — heap-append semantics.
+            return self.servers - 1
+        return min(page * self.servers // self.total_pages, self.servers - 1)
+
+    def replicas(self, page: int) -> Tuple[int, ...]:
+        """The replica set of ``page``: primary first, then successors."""
+        cached = self._replica_cache.get(page)
+        if cached is not None:
+            return cached
+        first = self.primary(page)
+        replicas = tuple(
+            (first + offset) % self.servers for offset in range(self.replication)
+        )
+        self._replica_cache[page] = replicas
+        return replicas
+
+    def for_servers(
+        self, servers: int, total_pages: Optional[int] = None
+    ) -> "ShardRouter":
+        """A re-sharded router for a new cluster size (same strategy)."""
+        return ShardRouter(
+            servers,
+            self.placement,
+            self.total_pages if total_pages is None else total_pages,
+            min(self.replication, servers),
+            self.seed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardRouter {self.placement} servers={self.servers} "
+            f"replication={self.replication}>"
+        )
+
+
+class ClusterNode:
+    """One server of the cluster: its own buffer, disk and lock table."""
+
+    def __init__(self, sim: "Simulation", config: VOODBConfig, index: int) -> None:
+        self.index = index
+        self.memory = BufferManager(config, sim.stream(f"memory-{index}"))
+        self.io = IOSubsystem(sim, config)
+        #: this node's object-lock table; admission is cluster-global
+        #: (the ClusterLockManager's scheduler), hence no per-node one.
+        self.locks = LockManager(sim, config, with_admission=False)
+        #: page/object service operations this node performed.
+        self.accesses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClusterNode {self.index} accesses={self.accesses}>"
+
+
+class _ClusterIOView:
+    """Cluster-wide I/O counters, quacking like one ``IOSubsystem``."""
+
+    def __init__(self, nodes: List[ClusterNode]) -> None:
+        self._nodes = nodes
+
+    @property
+    def reads(self) -> int:
+        return sum(node.io.reads for node in self._nodes)
+
+    @property
+    def writes(self) -> int:
+        return sum(node.io.writes for node in self._nodes)
+
+    @property
+    def swap_reads(self) -> int:
+        return sum(node.io.swap_reads for node in self._nodes)
+
+    @property
+    def swap_writes(self) -> int:
+        return sum(node.io.swap_writes for node in self._nodes)
+
+    @property
+    def sequential_accesses(self) -> int:
+        return sum(node.io.sequential_accesses for node in self._nodes)
+
+    @property
+    def busy_time_ms(self) -> float:
+        return sum(node.io.busy_time_ms for node in self._nodes)
+
+    @property
+    def total_ios(self) -> int:
+        return (
+            self.reads + self.writes + self.swap_reads + self.swap_writes
+        )
+
+
+class _ClusterMemoryView:
+    """Cluster-wide buffer counters, quacking like one ``BufferManager``."""
+
+    def __init__(self, nodes: List[ClusterNode]) -> None:
+        self._nodes = nodes
+
+    @property
+    def hits(self) -> int:
+        return sum(node.memory.hits for node in self._nodes)
+
+    @property
+    def misses(self) -> int:
+        return sum(node.memory.misses for node in self._nodes)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ClusterLockManager:
+    """Global MULTILVL admission + per-node sharded object lock tables.
+
+    Implements the Transaction Manager's locking interface
+    (``admission_request``/``admission_release`` commands and the
+    ``acquire_all_nowait``/``release_all_nowait`` pair) by partitioning
+    the lock set by each object's home node and delegating to the
+    node-local :class:`~repro.core.locks.LockManager` tables **strictly
+    in node order** — the next partition is not touched until the
+    previous one is fully granted, preserving the global acquisition
+    order that makes conservative 2PL deadlock-free.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        config: VOODBConfig,
+        nodes: List[ClusterNode],
+        home_of,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.admission = Resource(sim, "scheduler", capacity=config.multilvl)
+        self.admission_request = Request(self.admission)
+        self.admission_release = Release(self.admission)
+        self._nodes = nodes
+        self._home_of = home_of
+
+    # ------------------------------------------------------------------
+    # Transaction-side protocol
+    # ------------------------------------------------------------------
+    def admit(self):
+        yield self.admission_request
+
+    def leave(self):
+        yield self.admission_release
+
+    def _partition(self, oids: Iterable[int]) -> List[Tuple[int, List[int]]]:
+        home_of = self._home_of
+        parts: Dict[int, List[int]] = {}
+        for oid in set(oids):
+            parts.setdefault(home_of(oid), []).append(oid)
+        return sorted(parts.items())
+
+    def acquire_all(self, txn_id: int, oids: Iterable[int], writes: set):
+        step = self.acquire_all_nowait(txn_id, oids, writes)
+        if step is not None:
+            yield from step
+
+    def acquire_all_nowait(self, txn_id: int, oids: Iterable[int], writes: set):
+        parts = self._partition(oids)
+        for position, (node, part) in enumerate(parts):
+            step = self._nodes[node].locks.acquire_all_nowait(
+                txn_id, part, writes
+            )
+            if step is not None:
+                return self._acquire_tail(
+                    step, txn_id, parts[position + 1 :], writes
+                )
+        return None
+
+    def _acquire_tail(self, step, txn_id, rest, writes):
+        yield from step
+        for node, part in rest:
+            step = self._nodes[node].locks.acquire_all_nowait(
+                txn_id, part, writes
+            )
+            if step is not None:
+                yield from step
+
+    def release_all(self, txn_id: int, oids: Iterable[int]):
+        step = self.release_all_nowait(txn_id, oids)
+        if step is not None:
+            yield from step
+
+    def release_all_nowait(self, txn_id: int, oids: Iterable[int]):
+        steps = []
+        for node, part in self._partition(oids):
+            step = self._nodes[node].locks.release_all_nowait(txn_id, part)
+            if step is not None:
+                steps.append(step)
+        if not steps:
+            return None
+        if len(steps) == 1:
+            return steps[0]
+        return _chain(steps)
+
+    # ------------------------------------------------------------------
+    # Aggregate counters (the model's snapshot reads these)
+    # ------------------------------------------------------------------
+    @property
+    def acquisitions(self) -> int:
+        return sum(node.locks.acquisitions for node in self._nodes)
+
+    @property
+    def releases(self) -> int:
+        return sum(node.locks.releases for node in self._nodes)
+
+    @property
+    def waits(self) -> int:
+        return sum(node.locks.waits for node in self._nodes)
+
+    @property
+    def wait_time_ms(self) -> float:
+        return sum(node.locks.wait_time_ms for node in self._nodes)
+
+    @property
+    def locked_objects(self) -> int:
+        return sum(node.locks.locked_objects for node in self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ClusterLockManager nodes={len(self._nodes)} "
+            f"locked={self.locked_objects} mpl={self.config.multilvl}>"
+        )
+
+
+def _chain(steps):
+    for step in steps:
+        yield from step
+
+
+class Cluster:
+    """The sharded server side: nodes, router, interconnect, counters."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        config: VOODBConfig,
+        object_manager: "ObjectManager",
+    ) -> None:
+        topology = config.cluster
+        if not topology.enabled:
+            raise ValueError("ClusterConfig.servers must be >= 1 for a Cluster")
+        self.sim = sim
+        self.config = config
+        self.object_manager = object_manager
+        self.router = ShardRouter(
+            topology.servers,
+            topology.placement,
+            max(1, object_manager.total_pages),
+            topology.replication,
+            topology.placement_seed,
+        )
+        self.nodes = [
+            ClusterNode(sim, config, index) for index in range(topology.servers)
+        ]
+        #: the inter-server medium: same half-duplex contention model as
+        #: the client network, throttled by ``interconnect_mbps``.
+        self.interconnect = Network(
+            sim, config.with_changes(netthru=topology.interconnect_mbps)
+        )
+        self.io = _ClusterIOView(self.nodes)
+        self.memory = _ClusterMemoryView(self.nodes)
+        self.locks = ClusterLockManager(sim, config, self.nodes, self.home_of)
+        self._page_bytes = config.pgsize
+        self._message_bytes = config.message_bytes
+        self._rr = 0
+        self._coordinator_rr = 0
+        # Counters
+        self.remote_fetches = 0
+        self.replica_reads = 0
+        self.replica_writes = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def home_of(self, oid: int) -> int:
+        """The node owning an object's first page (its home shard)."""
+        return self.router.primary(self.object_manager.page_of(oid))
+
+    def next_coordinator(self) -> int:
+        """Round-robin coordinator choice (front-end load balancer).
+
+        The object-server organization hands each object request to a
+        coordinator node this way; the counter makes the rotation a
+        pure function of the access sequence, so replications replay
+        exactly.
+        """
+        index = self._coordinator_rr % len(self.nodes)
+        self._coordinator_rr += 1
+        return index
+
+    def _serving_node(self, page: int, write: bool, home: Optional[int]) -> int:
+        """Pick the node serving one page access, deterministically.
+
+        Writes always apply at the primary.  Reads prefer the home node
+        when it holds a replica (object-server locality), otherwise
+        balance round-robin across the replica set.
+        """
+        owners = self.router.replicas(page)
+        if write or len(owners) == 1:
+            return owners[0]
+        if home is not None and home in owners:
+            return home
+        index = self._rr % len(owners)
+        self._rr += 1
+        return owners[index]
+
+    # ------------------------------------------------------------------
+    # Page service
+    # ------------------------------------------------------------------
+    def serve_page_nowait(self, page: int, write: bool, home: Optional[int] = None):
+        """Serve one page access; ``None`` when no simulated time passes.
+
+        Only valid when the interconnect is free (infinite throughput):
+        all messages are booked synchronously and a generator is
+        returned only for the disk work of buffer misses.  ``home`` is
+        the assembling node (object-server forwarding); ``None`` means
+        the client routed the request straight to the serving node
+        (page-server smart driver).
+        """
+        owners = self.router.replicas(page)
+        target = self._serving_node(page, write, home)
+        node = self.nodes[target]
+        node.accesses += 1
+        if home is not None and target != home:
+            # The home node fetches the page from its owner: one
+            # request/response round trip on the interconnect.
+            self.remote_fetches += 1
+            self.interconnect.transfer_nowait(self._message_bytes)
+            self.interconnect.transfer_nowait(self._page_bytes)
+        if not write and target != owners[0]:
+            self.replica_reads += 1
+        outcome = node.memory.access(page, write)
+        step = None if outcome.hit else self._node_miss_io(node, outcome)
+        if write and len(owners) > 1:
+            extra = self._propagate_nowait(page, owners)
+            if extra is not None:
+                step = extra if step is None else _chain((step, extra))
+        return step
+
+    def serve_page(self, page: int, write: bool, home: Optional[int] = None):
+        """Timed variant of :meth:`serve_page_nowait` (generator).
+
+        Used when the interconnect has finite throughput, so replica
+        and forwarding transfers must pass through the event loop.
+        """
+        owners = self.router.replicas(page)
+        target = self._serving_node(page, write, home)
+        node = self.nodes[target]
+        node.accesses += 1
+        interconnect = self.interconnect
+        if home is not None and target != home:
+            self.remote_fetches += 1
+            step = interconnect.transfer_nowait(self._message_bytes)
+            if step is not None:
+                yield from step
+        if not write and target != owners[0]:
+            self.replica_reads += 1
+        outcome = node.memory.access(page, write)
+        if not outcome.hit:
+            yield from self._node_miss_io(node, outcome)
+        if home is not None and target != home:
+            step = interconnect.transfer_nowait(self._page_bytes)
+            if step is not None:
+                yield from step
+        if write and len(owners) > 1:
+            for replica in owners[1:]:
+                self.replica_writes += 1
+                step = interconnect.transfer_nowait(self._page_bytes)
+                if step is not None:
+                    yield from step
+                yield from self._install_replica(self.nodes[replica], page)
+
+    def _propagate_nowait(self, page: int, owners: Tuple[int, ...]):
+        """Ship a written page to the non-primary replicas (free net).
+
+        The replicas install the received image straight into their
+        buffers — no disk read — so the only event-loop work is writing
+        back the dirty victims the installations evicted.
+        """
+        steps = None
+        for replica in owners[1:]:
+            self.replica_writes += 1
+            self.interconnect.transfer_nowait(self._page_bytes)
+            node = self.nodes[replica]
+            outcome = node.memory.access(page, True)
+            if not outcome.hit and outcome.writeback_pages:
+                if steps is None:
+                    steps = []
+                steps.append(self._node_writebacks(node, outcome.writeback_pages))
+        if steps is None:
+            return None
+        if len(steps) == 1:
+            return steps[0]
+        return _chain(steps)
+
+    def _install_replica(self, node: ClusterNode, page: int):
+        """Install a replicated page image at ``node`` (timed path)."""
+        outcome = node.memory.access(page, True)
+        if not outcome.hit and outcome.writeback_pages:
+            yield from self._node_writebacks(node, outcome.writeback_pages)
+
+    @staticmethod
+    def _node_miss_io(node: ClusterNode, outcome):
+        """The disk traffic one buffer miss produced, on the owning node."""
+        io = node.io
+        for victim in outcome.writeback_pages:
+            yield from io.write_page(victim)
+        if outcome.read_page is not None:
+            yield io._request_disk
+            yield io.read_hold(outcome.read_page)
+            yield io._release_disk
+
+    @staticmethod
+    def _node_writebacks(node: ClusterNode, victims):
+        for victim in victims:
+            yield from node.io.write_page(victim)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Cluster servers={len(self.nodes)} "
+            f"placement={self.router.placement!r} "
+            f"replication={self.router.replication}>"
+        )

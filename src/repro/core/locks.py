@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
 
+from repro.despy.errors import ResourceError
 from repro.despy.process import Hold, Release, Request, WaitFor
 from repro.despy.resource import Gate, Resource
 from repro.core.parameters import VOODBConfig
@@ -39,14 +40,27 @@ class _LockEntry:
 class LockManager:
     """MULTILVL admission plus shared/exclusive object locking."""
 
-    def __init__(self, sim: "Simulation", config: VOODBConfig) -> None:
+    def __init__(
+        self,
+        sim: "Simulation",
+        config: VOODBConfig,
+        with_admission: bool = True,
+    ) -> None:
         self.sim = sim
         self.config = config
-        self.admission = Resource(sim, "scheduler", capacity=config.multilvl)
-        #: shared immutable commands for the admission resource, so the
-        #: per-transaction enter/leave pair allocates nothing.
-        self.admission_request = Request(self.admission)
-        self.admission_release = Release(self.admission)
+        if with_admission:
+            self.admission = Resource(sim, "scheduler", capacity=config.multilvl)
+            #: shared immutable commands for the admission resource, so the
+            #: per-transaction enter/leave pair allocates nothing.
+            self.admission_request = Request(self.admission)
+            self.admission_release = Release(self.admission)
+        else:
+            # Cluster nodes shard only the object-lock table; admission
+            # stays a cluster-global scheduler (ClusterLockManager's),
+            # so per-node instances skip the resource entirely.
+            self.admission = None
+            self.admission_request = None
+            self.admission_release = None
         self._table: Dict[int, _LockEntry] = {}
         # Counters
         self.acquisitions = 0
@@ -59,9 +73,19 @@ class LockManager:
     # ------------------------------------------------------------------
     def admit(self):
         """Enter the multiprogramming mix (may queue)."""
+        if self.admission is None:
+            raise ResourceError(
+                "this lock table has no admission scheduler (cluster nodes "
+                "use the cluster-global one)"
+            )
         yield self.admission_request
 
     def leave(self):
+        if self.admission is None:
+            raise ResourceError(
+                "this lock table has no admission scheduler (cluster nodes "
+                "use the cluster-global one)"
+            )
         yield self.admission_release
 
     def acquire_all(self, txn_id: int, oids: Iterable[int], writes: set):

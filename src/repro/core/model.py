@@ -34,6 +34,7 @@ from repro.clustering.base import make_clustering_policy
 from repro.clustering.placement import make_placement
 from repro.core.architectures import make_architecture
 from repro.core.buffering import BufferManager
+from repro.core.cluster import Cluster
 from repro.core.clustering_manager import ClusteringManager
 from repro.core.failures import FailureInjector, NoFailures
 from repro.core.io_subsystem import IOSubsystem
@@ -108,25 +109,51 @@ class VOODBSimulation:
         # Figure 4 active resources, bottom-up.
         placement = make_placement(self.db, config.initpl, config.usable_page_bytes)
         self.object_manager = ObjectManager(self.db, placement)
-        self.io = IOSubsystem(self.sim, config)
         self.network = Network(self.sim, config)
-        self.locks = LockManager(self.sim, config)
-        if config.memory_model is MemoryModel.VIRTUAL_MEMORY:
-            self.memory = VirtualMemoryManager(
-                config,
-                self.sim.stream("memory"),
-                pages_referenced_by_page=self.object_manager.pages_referenced_by_page,
-            )
-        else:
-            self.memory = BufferManager(config, self.sim.stream("memory"))
-        if config.failures.enabled:
-            self.failures = FailureInjector(self.sim, config.failures, self.memory)
-            self.io.failures = self.failures
-        else:
+        if config.cluster.enabled:
+            # Sharded multi-server topology: every node carries its own
+            # buffer/disk/lock table; the model-facing ``io``/``memory``/
+            # ``locks`` attributes become cluster-wide aggregate views.
+            # Unsupported combinations (VM, clustering policies,
+            # prefetch, failures) were rejected at config construction.
+            self.cluster = Cluster(self.sim, config, self.object_manager)
+            self.io = self.cluster.io
+            self.memory = self.cluster.memory
+            self.locks = self.cluster.locks
             self.failures = NoFailures()
+            clustering_memory = self.cluster.nodes[0].memory
+            clustering_io = self.cluster.nodes[0].io
+        else:
+            self.cluster = None
+            self.io = IOSubsystem(self.sim, config)
+            self.locks = LockManager(self.sim, config)
+            if config.memory_model is MemoryModel.VIRTUAL_MEMORY:
+                self.memory = VirtualMemoryManager(
+                    config,
+                    self.sim.stream("memory"),
+                    pages_referenced_by_page=(
+                        self.object_manager.pages_referenced_by_page
+                    ),
+                )
+            else:
+                self.memory = BufferManager(config, self.sim.stream("memory"))
+            if config.failures.enabled:
+                self.failures = FailureInjector(
+                    self.sim, config.failures, self.memory
+                )
+                self.io.failures = self.failures
+            else:
+                self.failures = NoFailures()
+            clustering_memory = self.memory
+            clustering_io = self.io
         policy = make_clustering_policy(config.clustp, **(clustering_kwargs or {}))
         self.clustering = ClusteringManager(
-            config, self.db, self.object_manager, self.memory, self.io, policy
+            config,
+            self.db,
+            self.object_manager,
+            clustering_memory,
+            clustering_io,
+            policy,
         )
         prefetcher = make_prefetch_policy(config.prefetch)
         self.architecture = make_architecture(
@@ -138,6 +165,7 @@ class VOODBSimulation:
             self.io,
             self.network,
             prefetcher,
+            cluster=self.cluster,
         )
         self.tm = TransactionManager(
             self.sim,
@@ -219,6 +247,11 @@ class VOODBSimulation:
         I/Os, clusters installed), leaving cumulative accounting in
         ``self.clustering.report``.
         """
+        if self.cluster is not None:
+            raise ValueError(
+                "clustering reorganization is not supported on cluster "
+                "topologies yet (see ROADMAP open items)"
+            )
         before_reads = self.clustering.report.overhead_reads
         before_writes = self.clustering.report.overhead_writes
         before_reorgs = self.clustering.report.reorganizations
@@ -263,7 +296,7 @@ class VOODBSimulation:
         )
         arch = self.architecture
         report = self.clustering.report
-        return {
+        snapshot = {
             "time": self.sim.now,
             "reads": io.reads,
             "writes": io.writes,
@@ -288,6 +321,19 @@ class VOODBSimulation:
             "crashes": self.failures.crashes,
             "downtime": self.failures.downtime_ms,
         }
+        cluster = self.cluster
+        if cluster is not None:
+            snapshot["interconnect_messages"] = cluster.interconnect.messages
+            snapshot["interconnect_bytes"] = cluster.interconnect.bytes_sent
+            snapshot["remote_fetches"] = cluster.remote_fetches
+            snapshot["replica_reads"] = cluster.replica_reads
+            snapshot["replica_writes"] = cluster.replica_writes
+            for node in cluster.nodes:
+                index = node.index
+                snapshot[f"server{index}_ios"] = node.io.total_ios
+                snapshot[f"server{index}_accesses"] = node.accesses
+                snapshot[f"server{index}_busy"] = node.io.busy_time_ms
+        return snapshot
 
     def _collect(self, snapshot: Dict[str, float]) -> PhaseResults:
         current = self._snapshot()
@@ -300,6 +346,25 @@ class VOODBSimulation:
         overhead_reads = delta("overhead_reads")
         overhead_writes = delta("overhead_writes")
         response = self.tm.phase_response
+        cluster_fields: Dict[str, object] = {}
+        if self.cluster is not None:
+            indices = [node.index for node in self.cluster.nodes]
+            cluster_fields = {
+                "server_ios": tuple(
+                    int(delta(f"server{i}_ios")) for i in indices
+                ),
+                "server_accesses": tuple(
+                    int(delta(f"server{i}_accesses")) for i in indices
+                ),
+                "server_busy_ms": tuple(
+                    delta(f"server{i}_busy") for i in indices
+                ),
+                "interconnect_messages": int(delta("interconnect_messages")),
+                "interconnect_bytes": int(delta("interconnect_bytes")),
+                "remote_fetches": int(delta("remote_fetches")),
+                "replica_reads": int(delta("replica_reads")),
+                "replica_writes": int(delta("replica_writes")),
+            }
         return PhaseResults(
             transactions=int(delta("transactions")),
             object_accesses=int(delta("accesses")),
@@ -325,6 +390,7 @@ class VOODBSimulation:
             transient_faults=int(delta("transient_faults")),
             crashes=int(delta("crashes")),
             downtime_ms=delta("downtime"),
+            **cluster_fields,
         )
 
 

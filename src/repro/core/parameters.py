@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 from enum import Enum
+from typing import Optional, Tuple
 
 from repro.core.failures import FailureConfig
 from repro.ocb.parameters import OCBConfig
@@ -81,7 +82,14 @@ class ArrivalConfig:
     Rates are in transactions **per simulated second**; dwell times in
     simulated milliseconds.  The MMPP source starts calm, bursts for an
     exponential ``mean_burst_ms`` at ``burst_rate_tps``, then calms
-    again — see :mod:`repro.despy.arrivals`.
+    again — see :mod:`repro.despy.arrivals`.  A general *k*-phase MMPP
+    is configured through ``phase_rates_tps``/``phase_dwell_ms``
+    instead; the two-state calm/burst fields are then ignored.
+
+    Every knob is validated **eagerly** at construction: a non-positive
+    or non-finite phase rate, a zero-length phase vector, or mismatched
+    vector lengths raise :class:`ValueError` here, not deep inside the
+    arrival generator mid-replication.
     """
 
     #: Arrival mode (closed | poisson | mmpp).
@@ -94,24 +102,71 @@ class ArrivalConfig:
     mean_calm_ms: float = 10_000.0
     #: Mean burst duration (MMPP only).
     mean_burst_ms: float = 1_000.0
+    #: General MMPP phase rates (per second), cycled 0 -> 1 -> ... -> 0.
+    #: ``None`` (default) = use the two-state calm/burst fields.
+    phase_rates_tps: Optional[Tuple[float, ...]] = None
+    #: Mean dwell (ms) in each phase; must pair with ``phase_rates_tps``.
+    phase_dwell_ms: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.mode, ArrivalMode):
             object.__setattr__(self, "mode", ArrivalMode(self.mode))
-        if self.mode is ArrivalMode.POISSON and self.rate_tps <= 0:
-            raise ValueError(
-                f"poisson arrivals need rate_tps > 0, got {self.rate_tps}"
-            )
+        for name in ("phase_rates_tps", "phase_dwell_ms"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if self.mode is ArrivalMode.POISSON:
+            self._check_rate("rate_tps", self.rate_tps)
         if self.mode is ArrivalMode.MMPP:
-            if self.rate_tps <= 0 or self.burst_rate_tps <= 0:
-                raise ValueError(
-                    "mmpp arrivals need rate_tps > 0 and burst_rate_tps > 0, "
-                    f"got {self.rate_tps} and {self.burst_rate_tps}"
-                )
-            if self.mean_calm_ms <= 0 or self.mean_burst_ms <= 0:
-                raise ValueError("mmpp dwell times must be > 0")
+            self._check_mmpp()
+        elif self.phase_rates_tps is not None or self.phase_dwell_ms is not None:
+            raise ValueError(
+                "phase_rates_tps/phase_dwell_ms only apply to mmpp arrivals, "
+                f"not mode {self.mode.value!r}"
+            )
         if self.rate_tps < 0 or self.burst_rate_tps < 0:
             raise ValueError("arrival rates must be >= 0")
+
+    @staticmethod
+    def _check_rate(name: str, value: float) -> None:
+        if not (value > 0) or not math.isfinite(value):
+            raise ValueError(f"{name} must be finite and > 0, got {value}")
+
+    @staticmethod
+    def _check_dwell(name: str, value: float) -> None:
+        if not (value > 0) or not math.isfinite(value):
+            raise ValueError(
+                f"dwell time {name} must be finite and > 0, got {value}"
+            )
+
+    def _check_mmpp(self) -> None:
+        rates, dwells = self.phase_rates_tps, self.phase_dwell_ms
+        if (rates is None) != (dwells is None):
+            raise ValueError(
+                "mmpp phase vectors come in pairs: give both phase_rates_tps "
+                "and phase_dwell_ms, or neither"
+            )
+        if rates is not None and dwells is not None:
+            if not rates or not dwells:
+                raise ValueError("mmpp phase vectors must not be zero-length")
+            if len(rates) != len(dwells):
+                raise ValueError(
+                    f"mmpp phase vectors must pair up, got {len(rates)} rates "
+                    f"and {len(dwells)} dwell times"
+                )
+            if len(rates) < 2:
+                raise ValueError(
+                    f"an mmpp needs at least two phases, got {len(rates)}"
+                )
+            for index, rate in enumerate(rates):
+                self._check_rate(f"phase_rates_tps[{index}]", rate)
+            for index, dwell in enumerate(dwells):
+                self._check_dwell(f"phase_dwell_ms[{index}]", dwell)
+            return
+        self._check_rate("rate_tps", self.rate_tps)
+        self._check_rate("burst_rate_tps", self.burst_rate_tps)
+        self._check_dwell("mean_calm_ms", self.mean_calm_ms)
+        self._check_dwell("mean_burst_ms", self.mean_burst_ms)
 
     @property
     def open(self) -> bool:
@@ -129,12 +184,80 @@ class ArrivalConfig:
         if self.mode is ArrivalMode.POISSON:
             return poisson_interarrivals(stream, self.rate_tps)
         if self.mode is ArrivalMode.MMPP:
+            if self.phase_rates_tps is not None:
+                return mmpp_interarrivals(
+                    stream, self.phase_rates_tps, self.phase_dwell_ms
+                )
             return mmpp_interarrivals(
                 stream,
                 (self.rate_tps, self.burst_rate_tps),
                 (self.mean_calm_ms, self.mean_burst_ms),
             )
         raise ValueError("closed arrivals have no interarrival process")
+
+
+#: Shard-placement strategies a :class:`ClusterConfig` may select.
+ALLOWED_PLACEMENTS = ("hash", "range")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Multi-server cluster topology (§3.3's "multiserver hybrid systems").
+
+    ``servers = 0`` (the default) disables the cluster layer entirely —
+    the paper's single-server assembly.  ``servers >= 1`` shards the
+    object base over that many server nodes, each with its own buffer,
+    disk and lock table (see :mod:`repro.core.cluster`); a one-node
+    cluster is the scale-out ramp's baseline point.
+
+    ``placement`` picks the shard router: ``"hash"`` scatters pages
+    uniformly (Fibonacci hashing over the page id), ``"range"`` keeps
+    contiguous page runs on one node.  ``replication`` stores every
+    page on that many consecutive nodes — reads balance round-robin
+    over the replicas, writes propagate to all of them across the
+    inter-server network.  ``interconnect_mbps`` throttles that
+    network (``math.inf`` = free, like Table 4's NETTHRU).
+    """
+
+    #: Number of server nodes (0 = no cluster layer).
+    servers: int = 0
+    #: Shard placement strategy ("hash" | "range").
+    placement: str = "hash"
+    #: Copies of every page (1 = no replication).
+    replication: int = 1
+    #: Inter-server network throughput in MB/s (inf = free).
+    interconnect_mbps: float = math.inf
+    #: Salt for the hash router (placement is still seed-independent
+    #: across replications: it is part of the frozen config).
+    placement_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.servers < 0:
+            raise ValueError(f"servers must be >= 0, got {self.servers}")
+        if self.placement not in ALLOWED_PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {ALLOWED_PLACEMENTS}, "
+                f"got {self.placement!r}"
+            )
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        if self.enabled and self.replication > self.servers:
+            raise ValueError(
+                f"replication {self.replication} exceeds the "
+                f"{self.servers}-server cluster"
+            )
+        if not (self.interconnect_mbps > 0):
+            raise ValueError(
+                f"interconnect_mbps must be > 0 (or inf), "
+                f"got {self.interconnect_mbps}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cluster layer is active."""
+        return self.servers > 0
 
 
 @dataclass(frozen=True)
@@ -202,6 +325,11 @@ class VOODBConfig:
     #: see :class:`ArrivalConfig` and :mod:`repro.despy.arrivals`.
     arrivals: "ArrivalConfig" = field(default_factory=lambda: ArrivalConfig())
 
+    # -- Cluster topology (extension) ---------------------------------------
+    #: [extension] multi-server cluster layout (disabled by default) —
+    #: see :class:`ClusterConfig` and :mod:`repro.core.cluster`.
+    cluster: "ClusterConfig" = field(default_factory=lambda: ClusterConfig())
+
     # -- Reconstructed system knobs ----------------------------------------
     #: [reconstructed] storage overhead factor: usable bytes per page =
     #: PGSIZE / storage_overhead.  Chosen per system so the stored base
@@ -258,6 +386,43 @@ class VOODBConfig:
             raise ValueError("client_buffsize must be >= 0")
         if self.message_bytes < 0:
             raise ValueError("message_bytes must be >= 0")
+        if self.cluster.enabled:
+            self._check_cluster_combination()
+
+    def _check_cluster_combination(self) -> None:
+        """Reject model combinations the cluster layer does not support.
+
+        Failing here (eagerly, at config construction) keeps the error
+        close to the knob that caused it; the gated features are the
+        post-cluster follow-ups tracked in the ROADMAP.
+        """
+        if self.sysclass not in (
+            SystemClass.PAGE_SERVER,
+            SystemClass.OBJECT_SERVER,
+        ):
+            raise ValueError(
+                "cluster topologies support page_server and object_server "
+                f"system classes only, got {self.sysclass.value!r}"
+            )
+        if self.memory_model is not MemoryModel.BUFFER:
+            raise ValueError(
+                "cluster topologies require the buffer memory model "
+                "(per-server virtual memory is not modeled)"
+            )
+        if self.clustp != "none":
+            raise ValueError(
+                "cluster topologies do not support clustering policies yet, "
+                f"got clustp={self.clustp!r}"
+            )
+        if self.prefetch != "none":
+            raise ValueError(
+                "cluster topologies do not support prefetching yet, "
+                f"got prefetch={self.prefetch!r}"
+            )
+        if self.failures.enabled:
+            raise ValueError(
+                "cluster topologies do not support failure injection yet"
+            )
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -16,7 +16,7 @@ for a complete replication.  Both flatten to ``dict`` for the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 
 @dataclass
@@ -52,6 +52,22 @@ class PhaseResults:
     transient_faults: int = 0
     crashes: int = 0
     downtime_ms: float = 0.0
+    # -- Cluster topology (empty tuples = single-server run) -------------
+    #: Usage I/Os performed by each server node.
+    server_ios: Tuple[int, ...] = ()
+    #: Page/object service operations each server node performed.
+    server_accesses: Tuple[int, ...] = ()
+    #: Disk busy time of each server node (ms).
+    server_busy_ms: Tuple[float, ...] = ()
+    #: Inter-server network traffic (replica propagation + forwarding).
+    interconnect_messages: int = 0
+    interconnect_bytes: int = 0
+    #: Pages a home node fetched from a remote owner (object server).
+    remote_fetches: int = 0
+    #: Reads served by a non-primary replica (round-robin balancing).
+    replica_reads: int = 0
+    #: Page images propagated to non-primary replicas on writes.
+    replica_writes: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -81,9 +97,35 @@ class PhaseResults:
             return 0.0
         return self.transactions / (self.elapsed_ms / 1000.0)
 
+    # ------------------------------------------------------------------
+    # Cluster roll-ups
+    # ------------------------------------------------------------------
+    @property
+    def cluster_imbalance(self) -> float:
+        """Max-over-mean per-server I/Os (1.0 = perfectly balanced)."""
+        if not self.server_ios:
+            return 1.0
+        mean = sum(self.server_ios) / len(self.server_ios)
+        if mean <= 0:
+            return 1.0
+        return max(self.server_ios) / mean
+
+    @property
+    def cluster_max_utilization(self) -> float:
+        """Busiest server's disk utilization over the phase."""
+        if not self.server_busy_ms or self.elapsed_ms <= 0:
+            return 0.0
+        return max(self.server_busy_ms) / self.elapsed_ms
+
+    def server_utilization(self, index: int) -> float:
+        """One server's disk utilization over the phase."""
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return self.server_busy_ms[index] / self.elapsed_ms
+
     def to_metrics(self, prefix: str = "") -> Dict[str, float]:
         """Flatten to a metric dict for the ReplicationAnalyzer."""
-        return {
+        metrics = {
             f"{prefix}transactions": float(self.transactions),
             f"{prefix}object_accesses": float(self.object_accesses),
             f"{prefix}total_ios": float(self.total_ios),
@@ -103,6 +145,30 @@ class PhaseResults:
             f"{prefix}crashes": float(self.crashes),
             f"{prefix}downtime_ms": self.downtime_ms,
         }
+        if self.server_ios:
+            metrics[f"{prefix}cluster_servers"] = float(len(self.server_ios))
+            metrics[f"{prefix}cluster_imbalance"] = self.cluster_imbalance
+            metrics[f"{prefix}cluster_max_utilization"] = (
+                self.cluster_max_utilization
+            )
+            metrics[f"{prefix}interconnect_messages"] = float(
+                self.interconnect_messages
+            )
+            metrics[f"{prefix}interconnect_bytes"] = float(
+                self.interconnect_bytes
+            )
+            metrics[f"{prefix}remote_fetches"] = float(self.remote_fetches)
+            metrics[f"{prefix}replica_reads"] = float(self.replica_reads)
+            metrics[f"{prefix}replica_writes"] = float(self.replica_writes)
+            for index, ios in enumerate(self.server_ios):
+                metrics[f"{prefix}server{index}_total_ios"] = float(ios)
+                metrics[f"{prefix}server{index}_accesses"] = float(
+                    self.server_accesses[index]
+                )
+                metrics[f"{prefix}server{index}_utilization"] = (
+                    self.server_utilization(index)
+                )
+        return metrics
 
 
 @dataclass

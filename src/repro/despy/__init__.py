@@ -46,6 +46,9 @@ from repro.despy.stats import (
     required_replications,
 )
 from repro.despy.validation import (
+    jackson_arrival_rates,
+    jackson_mean_jobs,
+    jackson_mean_response_time,
     md1_mean_queue_length,
     md1_mean_response_time,
     mm1_mean_queue_length,
@@ -54,6 +57,8 @@ from repro.despy.validation import (
     mmc_erlang_c,
     mmc_mean_queue_length,
     mmc_mean_response_time,
+    parallel_mmc_mean_response_time,
+    parallel_mmc_utilizations,
 )
 
 __all__ = [
@@ -89,4 +94,9 @@ __all__ = [
     "mmc_mean_response_time",
     "md1_mean_queue_length",
     "md1_mean_response_time",
+    "jackson_arrival_rates",
+    "jackson_mean_jobs",
+    "jackson_mean_response_time",
+    "parallel_mmc_mean_response_time",
+    "parallel_mmc_utilizations",
 ]

@@ -7,13 +7,29 @@ and M/M/c queues.  The test suite builds those queues out of despy
 primitives and asserts the simulated utilization, queue length and
 response time land on these formulas.
 
+The cluster topology layer is validated the same way, against the
+multi-node generalizations:
+
+* **parallel M/M/c nodes** — a Poisson stream probabilistically split
+  over independent nodes stays Poisson per branch (Poisson splitting),
+  so each node is an exact M/M/c and the cluster sojourn time is the
+  split-weighted mean (:func:`parallel_mmc_mean_response_time`);
+* **open Jackson networks** — nodes connected by a substochastic
+  routing matrix; the product-form theorem makes each node an
+  independent M/M/c at its effective arrival rate, which
+  :func:`jackson_arrival_rates` obtains from the traffic equations
+  λ = γ + Rᵀλ (solved exactly, pure-Python Gaussian elimination).
+
 Notation: ``arrival_rate`` λ, ``service_rate`` μ, ``servers`` c,
-ρ = λ/(cμ) must be < 1 for stationarity.
+ρ = λ/(cμ) must be < 1 for stationarity; γ is the vector of external
+(exogenous) arrival rates and ``routing[i][j]`` the probability a job
+leaving node *i* proceeds to node *j* (row sums ≤ 1, the rest exits).
 """
 
 from __future__ import annotations
 
 import math
+from typing import List, Optional, Sequence, Tuple
 
 
 def _check_stable(arrival_rate: float, service_rate: float, servers: int = 1) -> float:
@@ -87,3 +103,201 @@ def md1_mean_response_time(arrival_rate: float, service_rate: float) -> float:
     _check_stable(arrival_rate, service_rate)
     lq = md1_mean_queue_length(arrival_rate, service_rate)
     return lq / arrival_rate + 1.0 / service_rate
+
+
+# ----------------------------------------------------------------------
+# Cluster oracles: parallel M/M/c nodes and open Jackson networks
+# ----------------------------------------------------------------------
+def _check_split(split: Sequence[float]) -> Tuple[float, ...]:
+    probabilities = tuple(float(p) for p in split)
+    if not probabilities:
+        raise ValueError("split must name at least one node")
+    for p in probabilities:
+        if p < 0 or not math.isfinite(p):
+            raise ValueError(f"split probabilities must be >= 0, got {p}")
+    total = sum(probabilities)
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"split probabilities must sum to 1, got {total}")
+    return probabilities
+
+
+def _broadcast_servers(servers, count: int) -> Tuple[int, ...]:
+    if servers is None:
+        return (1,) * count
+    if isinstance(servers, int):
+        return (servers,) * count
+    resolved = tuple(int(c) for c in servers)
+    if len(resolved) != count:
+        raise ValueError(
+            f"servers names {len(resolved)} nodes, expected {count}"
+        )
+    return resolved
+
+
+def _broadcast_rates(service_rates, count: int) -> Tuple[float, ...]:
+    if isinstance(service_rates, (int, float)):
+        return (float(service_rates),) * count
+    resolved = tuple(float(mu) for mu in service_rates)
+    if len(resolved) != count:
+        raise ValueError(
+            f"service_rates names {len(resolved)} nodes, expected {count}"
+        )
+    return resolved
+
+
+def parallel_mmc_utilizations(
+    arrival_rate: float,
+    split: Sequence[float],
+    service_rates,
+    servers=None,
+) -> Tuple[float, ...]:
+    """Per-node utilization of a probabilistically split M/M/c cluster.
+
+    A Poisson(λ) stream thinned with probabilities ``split`` yields an
+    independent Poisson(λ·pᵢ) stream per node, so node *i* is an exact
+    M/M/cᵢ at rate λ·pᵢ — the oracle for the sharded-cluster shape the
+    scale-out scenarios simulate.
+    """
+    probabilities = _check_split(split)
+    counts = _broadcast_servers(servers, len(probabilities))
+    rates = _broadcast_rates(service_rates, len(probabilities))
+    utilizations = []
+    for p, mu, c in zip(probabilities, rates, counts):
+        if p == 0.0:
+            utilizations.append(0.0)
+            continue
+        utilizations.append(_check_stable(arrival_rate * p, mu, c))
+    return tuple(utilizations)
+
+
+def parallel_mmc_mean_response_time(
+    arrival_rate: float,
+    split: Sequence[float],
+    service_rates,
+    servers=None,
+) -> float:
+    """Cluster sojourn time of a split M/M/c cluster: W = Σ pᵢ·Wᵢ(λpᵢ)."""
+    probabilities = _check_split(split)
+    counts = _broadcast_servers(servers, len(probabilities))
+    rates = _broadcast_rates(service_rates, len(probabilities))
+    total = 0.0
+    for p, mu, c in zip(probabilities, rates, counts):
+        if p == 0.0:
+            continue
+        total += p * mmc_mean_response_time(arrival_rate * p, mu, c)
+    return total
+
+
+def _solve_linear(matrix: List[List[float]], vector: List[float]) -> List[float]:
+    """Solve ``matrix @ x = vector`` by Gaussian elimination (pivoted).
+
+    The systems here are tiny (one row per cluster node), so a dense
+    pure-Python solve keeps despy dependency-free.
+    """
+    n = len(vector)
+    augmented = [list(row) + [vector[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(augmented[r][col]))
+        if abs(augmented[pivot][col]) < 1e-12:
+            raise ValueError("singular traffic equations (bad routing matrix)")
+        augmented[col], augmented[pivot] = augmented[pivot], augmented[col]
+        head = augmented[col][col]
+        for r in range(col + 1, n):
+            factor = augmented[r][col] / head
+            if factor == 0.0:
+                continue
+            for c in range(col, n + 1):
+                augmented[r][c] -= factor * augmented[col][c]
+    solution = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = augmented[row][n]
+        for c in range(row + 1, n):
+            acc -= augmented[row][c] * solution[c]
+        solution[row] = acc / augmented[row][row]
+    return solution
+
+
+def jackson_arrival_rates(
+    external_rates: Sequence[float],
+    routing: Optional[Sequence[Sequence[float]]] = None,
+) -> Tuple[float, ...]:
+    """Effective per-node arrival rates of an open Jackson network.
+
+    Solves the traffic equations λⱼ = γⱼ + Σᵢ λᵢ·routing[i][j] exactly.
+    ``routing`` rows must be substochastic (sum ≤ 1; the remainder is
+    the exit probability); ``None`` means every job leaves after one
+    service (a parallel cluster), so λ = γ.
+    """
+    gammas = tuple(float(g) for g in external_rates)
+    if not gammas:
+        raise ValueError("external_rates must name at least one node")
+    for g in gammas:
+        if g < 0 or not math.isfinite(g):
+            raise ValueError(f"external rates must be >= 0, got {g}")
+    if sum(gammas) <= 0:
+        raise ValueError("an open network needs some external arrivals")
+    if routing is None:
+        return gammas
+    n = len(gammas)
+    rows = [list(map(float, row)) for row in routing]
+    if len(rows) != n or any(len(row) != n for row in rows):
+        raise ValueError(f"routing must be a {n}x{n} matrix")
+    for row in rows:
+        for p in row:
+            if p < 0 or not math.isfinite(p):
+                raise ValueError(f"routing probabilities must be >= 0, got {p}")
+        if sum(row) > 1.0 + 1e-9:
+            raise ValueError(
+                f"routing rows must sum to <= 1 (substochastic), got {sum(row)}"
+            )
+    # (I - Rᵀ) λ = γ
+    matrix = [
+        [(1.0 if i == j else 0.0) - rows[j][i] for j in range(n)]
+        for i in range(n)
+    ]
+    rates = _solve_linear(matrix, list(gammas))
+    for lam in rates:
+        if lam < -1e-9:
+            raise ValueError(
+                "traffic equations produced a negative rate: the routing "
+                "matrix does not drain jobs out of the network"
+            )
+    return tuple(max(0.0, lam) for lam in rates)
+
+
+def jackson_mean_jobs(
+    external_rates: Sequence[float],
+    service_rates,
+    servers=None,
+    routing: Optional[Sequence[Sequence[float]]] = None,
+) -> Tuple[float, ...]:
+    """Mean number of jobs at each node of an open Jackson network.
+
+    Product form: node *i* behaves as an independent M/M/cᵢ at its
+    effective rate λᵢ, so Lᵢ = Lqᵢ + λᵢ/μᵢ.
+    """
+    rates = jackson_arrival_rates(external_rates, routing)
+    counts = _broadcast_servers(servers, len(rates))
+    mus = _broadcast_rates(service_rates, len(rates))
+    jobs = []
+    for lam, mu, c in zip(rates, mus, counts):
+        if lam == 0.0:
+            jobs.append(0.0)
+            continue
+        jobs.append(mmc_mean_queue_length(lam, mu, c) + lam / mu)
+    return tuple(jobs)
+
+
+def jackson_mean_response_time(
+    external_rates: Sequence[float],
+    service_rates,
+    servers=None,
+    routing: Optional[Sequence[Sequence[float]]] = None,
+) -> float:
+    """Network sojourn time of an open Jackson network.
+
+    Little's law over the whole network: W = Σᵢ Lᵢ / Σⱼ γⱼ — the time
+    from external arrival to final departure, revisits included.
+    """
+    jobs = jackson_mean_jobs(external_rates, service_rates, servers, routing)
+    return sum(jobs) / sum(float(g) for g in external_rates)

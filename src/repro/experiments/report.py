@@ -67,6 +67,40 @@ def _metric_value(value: float) -> str:
     return f"{value:.4g}"
 
 
+def _cluster_servers_per_point(scenario) -> List[int]:
+    """Server count of every point (0 = no cluster layer at that point)."""
+    return [config.cluster.servers for _x, config in scenario.points]
+
+
+def format_cluster_detail(scenario, result: SweepResult) -> List[str]:
+    """Per-server utilization/throughput rows for cluster scenarios.
+
+    One line per point: each server's mean disk utilization with its
+    share of the point's service operations — how a hot shard or a
+    clean scale-out actually reads in the golden report.
+    """
+    servers_per_point = _cluster_servers_per_point(scenario)
+    if not any(servers_per_point):
+        return []
+    lines = ["", "per-server disk utilization (share of accesses):"]
+    for (x, _config), servers, analyzer in zip(
+        scenario.points, servers_per_point, result.analyzers
+    ):
+        if not servers:
+            continue
+        accesses = [
+            analyzer.mean(f"server{i}_accesses") for i in range(servers)
+        ]
+        total_accesses = sum(accesses) or 1.0
+        cells = [
+            f"s{i} {_metric_value(analyzer.mean(f'server{i}_utilization'))}"
+            f" ({accesses[i] / total_accesses:.1%})"
+            for i in range(servers)
+        ]
+        lines.append(f"  {x}: " + "  ".join(cells))
+    return lines
+
+
 def format_scenario(scenario, result: SweepResult) -> str:
     """Render one executed scenario as its golden text report."""
     spec = result.spec
@@ -88,6 +122,7 @@ def format_scenario(scenario, result: SweepResult) -> str:
             ci = analyzer.interval(metric)
             row.extend([_metric_value(ci.mean), _metric_value(ci.half_width)])
         lines.append(_format_row(row, widths))
+    lines.extend(format_cluster_detail(scenario, result))
     return "\n".join(lines)
 
 
@@ -101,7 +136,7 @@ def scenario_to_json(scenario, result: SweepResult) -> Dict[str, Any]:
             "means": [ci.mean for ci in intervals],
             "half_widths": [ci.half_width for ci in intervals],
         }
-    return {
+    payload = {
         "scenario": scenario.name,
         "title": scenario.title,
         "arrival_mode": scenario.arrival_mode,
@@ -111,6 +146,19 @@ def scenario_to_json(scenario, result: SweepResult) -> Dict[str, Any]:
         "base_seed": scenario.base_seed,
         "metrics": metrics,
     }
+    servers_per_point = _cluster_servers_per_point(scenario)
+    if any(servers_per_point):
+        payload["cluster"] = {
+            "servers": servers_per_point,
+            "per_server_utilization": [
+                [
+                    analyzer.mean(f"server{i}_utilization")
+                    for i in range(servers)
+                ]
+                for servers, analyzer in zip(servers_per_point, result.analyzers)
+            ],
+        }
+    return payload
 
 
 def format_scenario_list(scenarios: Sequence[Any]) -> str:
@@ -157,6 +205,18 @@ def format_scenario_description(scenario) -> str:
         f"  users:     NUSERS={first.nusers}, MULTILVL={first.multilvl}",
         f"  failures:  {'on' if first.failures.enabled else 'off'}",
     ]
+    if first.cluster.enabled:
+        topology = first.cluster
+        interconnect = (
+            "free"
+            if topology.interconnect_mbps == float("inf")
+            else f"{topology.interconnect_mbps:g} MB/s"
+        )
+        lines.append(
+            f"  cluster:   {topology.servers} servers, {topology.placement} "
+            f"placement, replication {topology.replication}, "
+            f"interconnect {interconnect}"
+        )
     return "\n".join(lines)
 
 

@@ -1,10 +1,13 @@
 """The built-in scenario catalog.
 
-Ten ready-made studies over the O2 instantiation, spanning the axes the
-ROADMAP's "as many scenarios as you can imagine" asks for: the
+Fourteen ready-made studies over the O2 instantiation, spanning the
+axes the ROADMAP's "as many scenarios as you can imagine" asks for: the
 paper-faithful closed system, open-system arrivals (steady Poisson and
 bursty MMPP), OLTP read/write mixes, hot-key skew, a multiprogramming
-ramp, a failure storm, and the cold-vs-warm cache pair.
+ramp, a failure storm, the cold-vs-warm cache pair, and the cluster
+quartet (scale-out ramp, skewed hot shard, replicated read fan-out,
+object-server forwarding) driving open-system load against sharded
+multi-server topologies.
 
 Every scenario is deliberately small (NC=20, NO=2000, a few hundred
 transactions, 3 pinned replications) so the whole catalog regenerates
@@ -16,7 +19,12 @@ gate on every run.
 from __future__ import annotations
 
 from repro.core.failures import FailureConfig
-from repro.core.parameters import ArrivalConfig, VOODBConfig
+from repro.core.parameters import (
+    ArrivalConfig,
+    ClusterConfig,
+    SystemClass,
+    VOODBConfig,
+)
 from repro.scenarios.catalog import Scenario, register_scenario
 from repro.systems.o2 import o2_config
 
@@ -212,4 +220,127 @@ WARM_CACHE = _single(
     "warm-up transactions populate the buffer first (§4.3's protocol).",
     _base(cache_mb=SMALL_CACHE_MB, coldn=200),
     metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
+)
+
+
+# ----------------------------------------------------------------------
+# 11-14. Cluster topologies (sharded multi-server, open-system load)
+# ----------------------------------------------------------------------
+def _cluster_point(
+    servers: int,
+    placement: str = "hash",
+    replication: int = 1,
+    interconnect_mbps: float = float("inf"),
+    rate_tps: float = 60.0,
+    sysclass: SystemClass = SystemClass.PAGE_SERVER,
+    cache_mb: float = SMALL_CACHE_MB,
+    **ocb_overrides,
+) -> VOODBConfig:
+    """One cluster configuration point: open Poisson load, MPL 8."""
+    return _base(cache_mb=cache_mb, **ocb_overrides).with_changes(
+        sysclass=sysclass,
+        cluster=ClusterConfig(
+            servers=servers,
+            placement=placement,
+            replication=replication,
+            interconnect_mbps=interconnect_mbps,
+        ),
+        arrivals=ArrivalConfig(mode="poisson", rate_tps=rate_tps),
+        multilvl=8,
+    )
+
+
+CLUSTER_SCALE_OUT = register_scenario(
+    Scenario(
+        name="cluster-scale-out",
+        title="Cluster scale-out ramp (1-8 servers)",
+        description=(
+            "The same open Poisson load (60 tps) against hash-sharded page-"
+            "server clusters of 1, 2, 4 and 8 nodes, each bringing its own "
+            "0.5 MB buffer and disk: I/Os and disk pressure fall as shards "
+            "absorb the working set and spread the arrivals."
+        ),
+        points=tuple(
+            (servers, _cluster_point(servers)) for servers in (1, 2, 4, 8)
+        ),
+        x_label="servers",
+        metrics=(
+            "total_ios",
+            "throughput_tps",
+            "mean_response_time_ms",
+            "cluster_max_utilization",
+        ),
+    )
+)
+
+CLUSTER_HOT_SHARD = _single(
+    "cluster-hot-shard",
+    "Skewed hot shard (range placement, Zipf roots)",
+    "Zipf(1.5) transaction roots with 25% writes over a range-sharded "
+    "4-node cluster with tiny (0.25 MB) per-node buffers: the head shard "
+    "absorbs twice its share of accesses but keeps the hot set resident, "
+    "so the disk bottleneck lands on the cold-tail shard — skew moves the "
+    "choke point, it does not remove it.",
+    _cluster_point(
+        4,
+        placement="range",
+        rate_tps=30.0,
+        cache_mb=0.25,
+        root_skew=1.5,
+        pwrite=0.25,
+    ),
+    metrics=(
+        "total_ios",
+        "cluster_imbalance",
+        "cluster_max_utilization",
+        "mean_response_time_ms",
+    ),
+)
+
+CLUSTER_REPLICATED_READ = _single(
+    "cluster-replicated-read",
+    "Replicated read fan-out (3 copies on 4 nodes)",
+    "A read-heavy mix (2% writes) on a hash-sharded 4-node cluster storing "
+    "every page on 3 replicas over a 50 MB/s interconnect: reads balance "
+    "round-robin across the copies while the rare writes pay the "
+    "propagation fan-out.",
+    _cluster_point(
+        4,
+        replication=3,
+        interconnect_mbps=50.0,
+        rate_tps=40.0,
+        pset=0.40,
+        psimple=0.30,
+        phier=0.20,
+        pstoch=0.10,
+        pwrite=0.02,
+    ),
+    metrics=(
+        "total_ios",
+        "replica_reads",
+        "replica_writes",
+        "mean_response_time_ms",
+    ),
+)
+
+CLUSTER_OBJECT_SERVER = _single(
+    "cluster-object-server",
+    "Object-server forwarding (2 nodes, thin clients)",
+    "A range-sharded 2-node object-server cluster behind a round-robin "
+    "balancer: placement-blind clients hand each object request to a "
+    "coordinator, which fetches remotely owned pages across a 25 MB/s "
+    "interconnect before shipping the object back.",
+    _cluster_point(
+        2,
+        placement="range",
+        interconnect_mbps=25.0,
+        rate_tps=30.0,
+        sysclass=SystemClass.OBJECT_SERVER,
+    ),
+    metrics=(
+        "total_ios",
+        "remote_fetches",
+        "interconnect_messages",
+        "mean_response_time_ms",
+    ),
 )

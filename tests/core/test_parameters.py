@@ -4,7 +4,13 @@ import math
 
 import pytest
 
-from repro.core import ALLOWED_PAGE_SIZES, MemoryModel, SystemClass, VOODBConfig
+from repro.core import (
+    ALLOWED_PAGE_SIZES,
+    ArrivalConfig,
+    MemoryModel,
+    SystemClass,
+    VOODBConfig,
+)
 
 
 class TestTable3Defaults:
@@ -113,3 +119,156 @@ class TestDerived:
         assert config.buffsize == 500
         with pytest.raises(ValueError):
             config.with_changes(buffsize=0)
+
+
+class TestArrivalConfigValidation:
+    """Regression wall for the MMPP phase-vector validation bugfix.
+
+    ArrivalConfig used to accept non-positive MMPP phase rates and
+    degenerate phase vectors at construction, deferring the failure to
+    the interarrival generator deep inside a replication; the contract
+    now matches the PR-3 nusers/multilvl validation: eager, clear
+    ValueError at the config boundary.
+    """
+
+    def test_phase_vectors_accepted(self):
+        config = ArrivalConfig(
+            mode="mmpp",
+            phase_rates_tps=(5.0, 50.0, 10.0),
+            phase_dwell_ms=(2_000.0, 300.0, 1_000.0),
+        )
+        assert config.phase_rates_tps == (5.0, 50.0, 10.0)
+        assert config.open is True
+
+    def test_phase_lists_coerced_to_tuples(self):
+        config = ArrivalConfig(
+            mode="mmpp",
+            phase_rates_tps=[5.0, 50.0],
+            phase_dwell_ms=[2_000.0, 300.0],
+        )
+        assert isinstance(config.phase_rates_tps, tuple)
+        assert isinstance(config.phase_dwell_ms, tuple)
+
+    def test_zero_length_phase_vectors_rejected(self):
+        with pytest.raises(ValueError, match="zero-length"):
+            ArrivalConfig(mode="mmpp", phase_rates_tps=(), phase_dwell_ms=())
+
+    def test_single_phase_rejected(self):
+        with pytest.raises(ValueError, match="two phases"):
+            ArrivalConfig(
+                mode="mmpp", phase_rates_tps=(5.0,), phase_dwell_ms=(100.0,)
+            )
+
+    def test_mismatched_phase_vectors_rejected(self):
+        with pytest.raises(ValueError, match="pair up"):
+            ArrivalConfig(
+                mode="mmpp",
+                phase_rates_tps=(5.0, 50.0),
+                phase_dwell_ms=(100.0,),
+            )
+
+    def test_half_a_pair_rejected(self):
+        with pytest.raises(ValueError, match="pairs"):
+            ArrivalConfig(mode="mmpp", phase_rates_tps=(5.0, 50.0))
+        with pytest.raises(ValueError, match="pairs"):
+            ArrivalConfig(
+                mode="mmpp",
+                rate_tps=5.0,
+                burst_rate_tps=50.0,
+                phase_dwell_ms=(100.0, 100.0),
+            )
+
+    def test_non_positive_phase_rate_rejected(self):
+        with pytest.raises(ValueError, match=r"phase_rates_tps\[1\]"):
+            ArrivalConfig(
+                mode="mmpp",
+                phase_rates_tps=(5.0, 0.0),
+                phase_dwell_ms=(100.0, 100.0),
+            )
+        with pytest.raises(ValueError, match=r"phase_rates_tps\[0\]"):
+            ArrivalConfig(
+                mode="mmpp",
+                phase_rates_tps=(-1.0, 5.0),
+                phase_dwell_ms=(100.0, 100.0),
+            )
+
+    def test_non_positive_phase_dwell_rejected(self):
+        with pytest.raises(ValueError, match=r"phase_dwell_ms\[0\]"):
+            ArrivalConfig(
+                mode="mmpp",
+                phase_rates_tps=(5.0, 50.0),
+                phase_dwell_ms=(0.0, 100.0),
+            )
+
+    def test_nan_phase_rate_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ArrivalConfig(
+                mode="mmpp",
+                phase_rates_tps=(float("nan"), 5.0),
+                phase_dwell_ms=(100.0, 100.0),
+            )
+
+    def test_infinite_scalar_rates_rejected(self):
+        # inf slipped through the old <= 0 checks and produced a source
+        # emitting unbounded zero-gap arrivals.
+        with pytest.raises(ValueError, match="finite"):
+            ArrivalConfig(mode="poisson", rate_tps=float("inf"))
+        with pytest.raises(ValueError, match="finite"):
+            ArrivalConfig(
+                mode="mmpp", rate_tps=5.0, burst_rate_tps=float("inf")
+            )
+
+    def test_nan_scalar_rate_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ArrivalConfig(mode="poisson", rate_tps=float("nan"))
+
+    def test_nan_dwell_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ArrivalConfig(
+                mode="mmpp",
+                rate_tps=5.0,
+                burst_rate_tps=50.0,
+                mean_calm_ms=float("nan"),
+            )
+
+    def test_phases_meaningless_outside_mmpp(self):
+        with pytest.raises(ValueError, match="only apply to mmpp"):
+            ArrivalConfig(
+                mode="poisson",
+                rate_tps=5.0,
+                phase_rates_tps=(5.0, 10.0),
+                phase_dwell_ms=(100.0, 100.0),
+            )
+        with pytest.raises(ValueError, match="only apply to mmpp"):
+            ArrivalConfig(
+                phase_rates_tps=(5.0, 10.0), phase_dwell_ms=(100.0, 100.0)
+            )
+
+    def test_two_state_shorthand_still_validates(self):
+        with pytest.raises(ValueError, match="rate_tps"):
+            ArrivalConfig(mode="mmpp", rate_tps=0.0, burst_rate_tps=50.0)
+        with pytest.raises(ValueError, match="dwell"):
+            ArrivalConfig(
+                mode="mmpp",
+                rate_tps=5.0,
+                burst_rate_tps=50.0,
+                mean_burst_ms=0.0,
+            )
+
+    def test_phase_vectors_drive_the_generator(self):
+        from repro.despy import RandomStream
+
+        config = ArrivalConfig(
+            mode="mmpp",
+            phase_rates_tps=(5.0, 50.0, 10.0),
+            phase_dwell_ms=(2_000.0, 300.0, 1_000.0),
+        )
+        gaps = config.interarrivals(RandomStream(1, "arrivals"))
+        drawn = [next(gaps) for _ in range(50)]
+        assert all(gap > 0 for gap in drawn)
+
+    def test_closed_default_untouched(self):
+        config = ArrivalConfig()
+        assert config.open is False
+        with pytest.raises(ValueError, match="closed"):
+            config.interarrivals(None)

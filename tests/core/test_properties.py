@@ -1,10 +1,15 @@
-"""Property-based tests for buffer/VM invariants."""
+"""Property-based tests for buffer/VM and shard-router invariants."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.despy import RandomStream
-from repro.core import BufferManager, VOODBConfig, VirtualMemoryManager
+from repro.core import (
+    BufferManager,
+    ShardRouter,
+    VOODBConfig,
+    VirtualMemoryManager,
+)
 
 POLICIES = ["LRU", "FIFO", "LFU", "CLOCK", "GCLOCK", "RANDOM", "MRU", "LRU-2"]
 
@@ -108,3 +113,104 @@ def test_buffer_determinism(capacity, pages):
         return trace
 
     assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# Shard-router properties (cluster topology layer)
+# ----------------------------------------------------------------------
+router_args = dict(
+    servers=st.integers(min_value=1, max_value=16),
+    placement=st.sampled_from(["hash", "range"]),
+    total_pages=st.integers(min_value=1, max_value=2000),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+
+
+@given(
+    pages=st.lists(st.integers(min_value=0, max_value=5000), max_size=200),
+    **router_args,
+)
+@settings(max_examples=120, deadline=None)
+def test_router_maps_every_page_to_exactly_one_live_shard(
+    pages, servers, placement, total_pages, seed
+):
+    router = ShardRouter(servers, placement, total_pages, seed=seed)
+    for page in pages:
+        primary = router.primary(page)
+        assert 0 <= primary < servers
+        replicas = router.replicas(page)
+        # replication 1: the replica set is exactly the primary
+        assert replicas == (primary,)
+
+
+@given(
+    replication=st.integers(min_value=1, max_value=16),
+    pages=st.lists(st.integers(min_value=0, max_value=5000), max_size=100),
+    **router_args,
+)
+@settings(max_examples=100, deadline=None)
+def test_router_replica_sets_are_distinct_live_shards(
+    replication, pages, servers, placement, total_pages, seed
+):
+    replication = min(replication, servers)
+    router = ShardRouter(
+        servers, placement, total_pages, replication=replication, seed=seed
+    )
+    for page in pages:
+        replicas = router.replicas(page)
+        assert len(replicas) == replication
+        assert len(set(replicas)) == replication  # no duplicate copies
+        assert all(0 <= node < servers for node in replicas)
+        assert replicas[0] == router.primary(page)
+
+
+@given(
+    pages=st.lists(st.integers(min_value=0, max_value=5000), max_size=100),
+    **router_args,
+)
+@settings(max_examples=100, deadline=None)
+def test_router_placement_is_deterministic_under_a_fixed_seed(
+    pages, servers, placement, total_pages, seed
+):
+    first = ShardRouter(servers, placement, total_pages, seed=seed)
+    second = ShardRouter(servers, placement, total_pages, seed=seed)
+    for page in pages:
+        assert first.primary(page) == second.primary(page)
+        assert first.replicas(page) == second.replicas(page)
+
+
+@given(
+    new_servers=st.integers(min_value=1, max_value=16),
+    pages=st.lists(st.integers(min_value=0, max_value=5000), max_size=100),
+    **router_args,
+)
+@settings(max_examples=100, deadline=None)
+def test_resharding_covers_every_page_with_no_orphans(
+    new_servers, pages, servers, placement, total_pages, seed
+):
+    """After a server-count change every page still has exactly one
+    primary inside the new cluster — no orphaned or doubly owned ids."""
+    before = ShardRouter(servers, placement, total_pages, seed=seed)
+    after = before.for_servers(new_servers)
+    assert after.servers == new_servers
+    for page in pages:
+        primary = after.primary(page)
+        assert 0 <= primary < new_servers
+        assert after.replicas(page).count(primary) == 1
+
+
+@given(
+    servers=st.integers(min_value=1, max_value=12),
+    total_pages=st.integers(min_value=1, max_value=3000),
+)
+@settings(max_examples=100, deadline=None)
+def test_range_router_partitions_the_extent_contiguously(servers, total_pages):
+    """Range placement assigns monotonically increasing shards over the
+    page extent and covers every shard when pages are plentiful."""
+    router = ShardRouter(servers, "range", total_pages)
+    owners = [router.primary(page) for page in range(total_pages)]
+    assert owners == sorted(owners)  # contiguous runs, never interleaved
+    if total_pages >= servers:
+        assert set(owners) == set(range(servers))
+    # pages appended past the extent (inserts) land on the last shard
+    assert router.primary(total_pages + 10) == servers - 1

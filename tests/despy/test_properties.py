@@ -10,6 +10,12 @@ from repro.despy import Simulation
 from repro.despy.events import EventList
 from repro.despy.monitor import OnlineStats
 from repro.despy.stats import confidence_interval
+from repro.despy.validation import (
+    jackson_arrival_rates,
+    mmc_mean_response_time,
+    parallel_mmc_mean_response_time,
+    parallel_mmc_utilizations,
+)
 
 
 def _noop():
@@ -130,3 +136,69 @@ def test_online_stats_merge_is_consistent(left, right):
     assert merged.n == combined.n
     assert merged.mean == pytest.approx(combined.mean, rel=1e-7, abs=1e-6)
     assert merged.variance == pytest.approx(combined.variance, rel=1e-5, abs=1e-3)
+
+
+# ----------------------------------------------------------------------
+# Cluster-oracle properties (Jackson traffic equations, Poisson split)
+# ----------------------------------------------------------------------
+@given(
+    gammas=st.lists(
+        st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+    exit_share=st.floats(min_value=0.2, max_value=1.0),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_jackson_rates_satisfy_the_traffic_equations(gammas, exit_share, data):
+    """The solved rates plug back into λj = γj + Σi λi·R[i][j]."""
+    n = len(gammas)
+    routing = []
+    for _ in range(n):
+        weights = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        total = sum(weights)
+        # scale the row so it dissipates at least ``exit_share`` of jobs
+        budget = 1.0 - exit_share
+        row = [w * budget / total if total > 0 else 0.0 for w in weights]
+        routing.append(row)
+    rates = jackson_arrival_rates(gammas, routing)
+    for j in range(n):
+        expected = gammas[j] + sum(rates[i] * routing[i][j] for i in range(n))
+        assert rates[j] == pytest.approx(expected, rel=1e-9, abs=1e-9)
+    # Every effective rate at least covers its external stream.
+    for lam, gamma in zip(rates, gammas):
+        assert lam >= gamma - 1e-12
+
+
+@given(
+    arrival_rate=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    weights=st.lists(
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_parallel_split_response_bounded_by_extremal_nodes(
+    arrival_rate, weights
+):
+    """The split-weighted sojourn lies between the best and worst node,
+    and per-node utilizations recover the offered load exactly."""
+    total = sum(weights)
+    split = [w / total for w in weights]
+    # keep every node comfortably stable
+    mu = 2.0 * arrival_rate * max(split) + 1.0
+    per_node = [
+        mmc_mean_response_time(arrival_rate * p, mu, 1) for p in split
+    ]
+    w = parallel_mmc_mean_response_time(arrival_rate, split, mu)
+    assert min(per_node) - 1e-9 <= w <= max(per_node) + 1e-9
+    utilizations = parallel_mmc_utilizations(arrival_rate, split, mu)
+    assert sum(utilizations) == pytest.approx(arrival_rate / mu, rel=1e-9)

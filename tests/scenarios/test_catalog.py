@@ -36,8 +36,8 @@ def small(scenario: Scenario) -> Scenario:
 
 
 class TestRegistry:
-    def test_catalog_has_ten_scenarios(self):
-        assert len(ALL) == 10
+    def test_catalog_has_fourteen_scenarios(self):
+        assert len(ALL) == 14
 
     def test_names_are_unique_and_kebab_case(self):
         names = scenario_names()
@@ -70,6 +70,10 @@ class TestRegistry:
             "failure-storm",
             "cold-cache",
             "warm-cache",
+            "cluster-scale-out",
+            "cluster-hot-shard",
+            "cluster-replicated-read",
+            "cluster-object-server",
         }
 
 
