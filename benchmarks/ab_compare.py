@@ -1,0 +1,273 @@
+"""Interleaved A/B benchmark comparison (the PR-2 methodology, as a tool).
+
+Runs the benchmark suite N times on each of two *sides*, strictly
+alternating A, B, A, B, ... so slow load drift on a shared machine
+cancels out of the ratio, then reports the per-bench mean wall seconds
+of both sides, their ratio, and the suite totals.
+
+A side is either a **git ref** (checked out into a temporary worktree;
+the literal ``WORKTREE`` means the current working tree, uncommitted
+changes included) or a set of **environment flags** applied to the
+current tree — so the same tool answers both "is this PR faster than
+main?" and "is kernel flag X faster than flag Y?"::
+
+    # HEAD~1 vs the current working tree, 3 interleaved pairs
+    python benchmarks/ab_compare.py --refs HEAD~1 WORKTREE -n 3
+
+    # serial vs 4-way parallel executor on the current tree
+    python benchmarks/ab_compare.py --envs VOODB_JOBS=1 VOODB_JOBS=4
+
+Per-bench timings come from the ``VOODB_BENCH_JSON`` summary the bench
+conftest writes (the same shape ``check_regression.py`` reads and CI
+uploads).  Benches faster than ``--min-seconds`` on both sides are
+reported but excluded from the headline ratio — they are scheduler noise
+on shared runners.
+
+The JSON report (``--out``) records the raw per-run timings of every
+bench so a reviewer can recompute any statistic; CI uploads it as an
+artifact next to the plain bench timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Sentinel ref meaning "the current working tree, as it is on disk".
+WORKTREE = "WORKTREE"
+
+
+class Side:
+    """One side of the comparison: a source tree plus env overrides."""
+
+    def __init__(self, label: str, root: Path, env: Optional[dict] = None):
+        self.label = label
+        self.root = root
+        self.env = dict(env or {})
+        #: bench name -> list of wall seconds, one per run
+        self.runs: Dict[str, List[float]] = {}
+        self.totals: List[float] = []
+
+    def record(self, timings: Dict[str, float]) -> None:
+        for name, secs in timings.items():
+            self.runs.setdefault(name, []).append(secs)
+        self.totals.append(sum(timings.values()))
+
+    def means(self) -> Dict[str, float]:
+        return {
+            name: sum(vals) / len(vals)
+            for name, vals in self.runs.items()
+            if vals
+        }
+
+
+def _run_suite(side: Side, bench_args: List[str], quiet: bool) -> Dict[str, float]:
+    """One full bench-suite run on a side; returns per-bench seconds."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        bench_json = handle.name
+    env = os.environ.copy()
+    env.update(side.env)
+    env["VOODB_BENCH_JSON"] = bench_json
+    src = str(side.root / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    cmd = [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider"]
+    cmd += bench_args or ["benchmarks/"]
+    try:
+        proc = subprocess.run(
+            cmd,
+            cwd=side.root,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout.decode(errors="replace"))
+            raise SystemExit(
+                f"bench run failed on side {side.label!r} "
+                f"(exit {proc.returncode})"
+            )
+        if not quiet:
+            tail = proc.stdout.decode(errors="replace").strip().splitlines()
+            print(f"    {tail[-1] if tail else '(no output)'}")
+        with open(bench_json, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        return {str(k): float(v) for k, v in payload["benches"].items()}
+    finally:
+        try:
+            os.unlink(bench_json)
+        except OSError:
+            pass
+
+
+def _make_ref_side(ref: str, tmpdir: Path) -> Side:
+    if ref == WORKTREE:
+        return Side("worktree", REPO_ROOT)
+    dest = tmpdir / f"ref-{ref.replace('/', '_')}"
+    subprocess.run(
+        ["git", "worktree", "add", "--detach", str(dest), ref],
+        cwd=REPO_ROOT,
+        check=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    return Side(ref, dest)
+
+
+def _cleanup_ref_side(side: Side) -> None:
+    if side.root != REPO_ROOT:
+        subprocess.run(
+            ["git", "worktree", "remove", "--force", str(side.root)],
+            cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        shutil.rmtree(side.root, ignore_errors=True)
+
+
+def _parse_env_side(spec: str) -> Side:
+    env = {}
+    for assignment in spec.split(","):
+        key, sep, value = assignment.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad env spec {spec!r}; expected KEY=VALUE[,...]")
+        env[key.strip()] = value.strip()
+    return Side(spec, REPO_ROOT, env)
+
+
+def format_report(a: Side, b: Side, min_seconds: float) -> str:
+    """Aligned per-bench table: mean A, mean B, ratio, noise marker."""
+    means_a, means_b = a.means(), b.means()
+    shared = sorted(set(means_a) & set(means_b))
+    rows = [["bench", f"{a.label}(s)", f"{b.label}(s)", "ratio", ""]]
+    gated_a = gated_b = 0.0
+    for name in shared:
+        ma, mb = means_a[name], means_b[name]
+        noisy = ma < min_seconds and mb < min_seconds
+        if not noisy:
+            gated_a += ma
+            gated_b += mb
+        ratio = ma / mb if mb else float("inf")
+        rows.append(
+            [name, f"{ma:.3f}", f"{mb:.3f}", f"{ratio:.2f}x",
+             "(noise floor)" if noisy else ""]
+        )
+    total_a = sum(means_a[n] for n in shared)
+    total_b = sum(means_b[n] for n in shared)
+    rows.append(["TOTAL", f"{total_a:.3f}", f"{total_b:.3f}",
+                 f"{total_a / total_b:.2f}x" if total_b else "-", ""])
+    if gated_b and (gated_a, gated_b) != (total_a, total_b):
+        rows.append(
+            ["TOTAL>floor", f"{gated_a:.3f}", f"{gated_b:.3f}",
+             f"{gated_a / gated_b:.2f}x", ""]
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(5)]
+    lines = [
+        "  ".join(cell.ljust(w) if i == 0 else cell.rjust(w)
+                  for i, (cell, w) in enumerate(zip(row, widths))).rstrip()
+        for row in rows
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Interleaved A/B comparison of the benchmark suite."
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--refs",
+        nargs=2,
+        metavar=("A", "B"),
+        help=f"two git refs to compare ({WORKTREE!r} = current tree)",
+    )
+    group.add_argument(
+        "--envs",
+        nargs=2,
+        metavar=("A", "B"),
+        help="two KEY=VALUE[,KEY=VALUE...] env flag sets on the current tree",
+    )
+    parser.add_argument(
+        "-n", "--pairs", type=int, default=3,
+        help="interleaved A/B pairs to run (default 3)",
+    )
+    parser.add_argument(
+        "--benches",
+        help="comma-separated bench names (e.g. kernel,figure6); "
+             "default: the whole benchmarks/ suite",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="noise floor: benches under this on both sides are excluded "
+             "from the headline ratio (default 0.05)",
+    )
+    parser.add_argument("--out", help="write the JSON report here")
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-run chatter"
+    )
+    args = parser.parse_args(argv)
+    if args.pairs < 1:
+        parser.error("--pairs must be >= 1")
+
+    bench_args = []
+    if args.benches:
+        for name in args.benches.split(","):
+            bench_args.append(f"benchmarks/test_bench_{name.strip()}.py")
+
+    tmpdir = Path(tempfile.mkdtemp(prefix="voodb-ab-"))
+    ref_sides: List[Side] = []
+    try:
+        if args.refs:
+            side_a = _make_ref_side(args.refs[0], tmpdir)
+            side_b = _make_ref_side(args.refs[1], tmpdir)
+            ref_sides = [s for s in (side_a, side_b) if s.root != REPO_ROOT]
+        else:
+            side_a = _parse_env_side(args.envs[0])
+            side_b = _parse_env_side(args.envs[1])
+        for pair in range(args.pairs):
+            for side in (side_a, side_b):
+                if not args.quiet:
+                    print(f"pair {pair + 1}/{args.pairs}: running {side.label}")
+                side.record(_run_suite(side, bench_args, args.quiet))
+        report = format_report(side_a, side_b, args.min_seconds)
+        print()
+        print(report)
+        if args.out:
+            payload = {
+                "pairs": args.pairs,
+                "min_seconds": args.min_seconds,
+                "sides": [
+                    {
+                        "label": side.label,
+                        "env": side.env,
+                        "runs": side.runs,
+                        "means": side.means(),
+                        "totals": side.totals,
+                    }
+                    for side in (side_a, side_b)
+                ],
+                "table": report,
+            }
+            Path(args.out).write_text(
+                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"\nreport written to {args.out}")
+        return 0
+    finally:
+        for side in ref_sides:
+            _cleanup_ref_side(side)
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,17 +1,18 @@
-"""Kernel event-loop microbench: measure the fast path, don't assert it.
+"""Kernel event-loop microbench: measure the fast paths, don't assert them.
 
 Runs one standard replication on the default (Table 4 centralized)
-config and reports where its events went: how many paid the O(log n)
-binary-heap push versus how many were dispatched straight off the
-immediate run queue (resource grants, gate openings, process wake-ups).
+config and reports where its events went: the calendar wheel vs the
+far-future overflow heap for timed events, the immediate queue and the
+merged continuations for the zero-delay traffic, and how many Event
+objects the free-list pool recycled instead of allocating.
 
 The published counters are deterministic for a given config and seed, so
 ``results/kernel.txt`` is a golden output like the paper tables; the
 wall-clock side lives in pytest-benchmark's timing (and the JSON export,
-see conftest).  The test also guards the speedup's mechanism: if a
+see conftest).  The test also guards each speedup's mechanism: if a
 kernel change silently reroutes the zero-delay continuations back
-through the heap, the fast-dispatch share collapses and this fails
-before anyone needs a stopwatch.
+through the timed tiers, or stops recycling events, the counters
+collapse and this fails before anyone needs a stopwatch.
 """
 
 from conftest import fmt_rows
@@ -29,27 +30,37 @@ def test_bench_kernel_fast_path(regenerate):
         state["sim"] = sim
         executed = sim.events_executed
         fast = sim.events_fast_dispatched
+        wheel = sim.events_wheel_pushed
         heap = sim.events_heap_pushed
         merged = sim.events_merged_continuations
+        pooled = sim.events_pooled_reused
         continuations = fast + merged
         rows = [
             ["events executed", executed],
+            ["events wheel pushed", wheel],
             ["events heap pushed", heap],
             ["events fast dispatched", fast],
             ["continuations merged in place", merged],
-            ["heap bypass share", f"{continuations / (continuations + heap):.3f}"],
+            ["events pooled reused", pooled],
+            [
+                "heap bypass share",
+                f"{(continuations + wheel) / (continuations + wheel + heap):.3f}",
+            ],
             ["transactions", model.tm.transactions_executed],
         ]
         return fmt_rows(
-            "Kernel event-loop fast path (default config, seed 0)",
+            "Kernel event-loop fast paths (default config, seed 0)",
             ["counter", "value"],
             rows,
         )
 
     regenerate("kernel", run)
     sim = state["sim"]
-    # The whole point of the fast path: zero-delay continuations dominate
-    # VOODB traffic, so most of them must bypass the heap — either
-    # dispatched off the immediate queue or merged into the running step.
+    # The point of the fast paths: zero-delay continuations dominate
+    # VOODB traffic and must bypass the timed tiers entirely, timed
+    # events must ride the wheel (not the overflow heap), and dispatched
+    # continuation events must be recycled through the pool.
     bypassed = sim.events_fast_dispatched + sim.events_merged_continuations
     assert bypassed > sim.events_heap_pushed
+    assert sim.events_wheel_pushed > sim.events_heap_pushed
+    assert sim.events_pooled_reused > 0

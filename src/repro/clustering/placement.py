@@ -34,6 +34,14 @@ class PageMap:
         self._first_page = first_page
         self._span = span
         self._page_objects = page_objects
+        #: per-oid page ranges, materialized once — ``pages_of`` is the
+        #: single hottest lookup in the model (one call per object
+        #: access), and rebuilding the range object each time costs more
+        #: than this map's whole construction
+        self._ranges: List[range] = [
+            range(first, first + width)
+            for first, width in zip(first_page, span)
+        ]
         #: (page, used bytes) of the current insert-append page, if any
         self._append_cursor: tuple[int, int] | None = None
 
@@ -111,6 +119,7 @@ class PageMap:
                 self._page_objects.append([])
             self._first_page.append(first)
             self._span.append(pages_needed)
+            self._ranges.append(range(first, first + pages_needed))
             self._append_cursor = None
             return first
         if (
@@ -124,6 +133,7 @@ class PageMap:
         self._append_cursor = (page, used + size)
         self._first_page.append(page)
         self._span.append(1)
+        self._ranges.append(range(page, page + 1))
         return page
 
     # ------------------------------------------------------------------
@@ -135,8 +145,7 @@ class PageMap:
 
     def pages_of(self, oid: int) -> range:
         """Every page the object occupies."""
-        first = self._first_page[oid]
-        return range(first, first + self._span[oid])
+        return self._ranges[oid]
 
     def objects_on(self, page: int) -> Sequence[int]:
         return self._page_objects[page]

@@ -31,6 +31,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.despy.process import PARK, Hold
 from repro.core.buffering import BufferManager
 from repro.core.network import Network
 from repro.core.object_manager import ObjectManager
@@ -67,6 +68,9 @@ class Architecture(ABC):
         self.io = io
         self.network = network
         self.prefetcher = prefetcher
+        #: bound page-directory lookup — one frame per object access
+        #: instead of two on the hottest lookup in the model
+        self._om_pages_of = object_manager.pages_of
         self._admit_prefetched = getattr(memory, "admit_prefetched", None)
         self._prefetch_enabled = (
             self._admit_prefetched is not None
@@ -137,18 +141,35 @@ class Architecture(ABC):
         """The disk traffic one buffer miss produced (writebacks, swap,
         the read itself, prefetching)."""
         io = self.io
+        disk = io.disk
+        disk_inline = disk.try_acquire_inline
+        disk_release = disk.release_inline
         for victim in outcome.writeback_pages:
-            yield from io.write_page(victim)
+            if not disk_inline():
+                yield io._request_disk
+            yield io.write_hold(victim)
+            if not disk_release():
+                yield PARK
         for __ in outcome.swap_out_pages:
-            yield from io.swap_write()
+            if not disk_inline():
+                yield io._request_disk
+            yield io.swap_write_hold()
+            if not disk_release():
+                yield PARK
         if outcome.swap_read:
-            yield from io.swap_read()
+            if not disk_inline():
+                yield io._request_disk
+            yield io.swap_read_hold()
+            if not disk_release():
+                yield PARK
         read_page = outcome.read_page
         if read_page is not None:
             # io.read_page, inlined: this is once-per-buffer-miss.
-            yield io._request_disk
+            if not disk_inline():
+                yield io._request_disk
             yield io.read_hold(read_page)
-            yield io._release_disk
+            if not disk_release():
+                yield PARK
             if self._prefetch_enabled:
                 yield from self._prefetch_after_miss(page)
 
@@ -156,6 +177,10 @@ class Architecture(ABC):
         admit = self._admit_prefetched
         if admit is None:
             return  # prefetching needs a buffer; the VM model has none
+        io = self.io
+        disk = io.disk
+        disk_inline = disk.try_acquire_inline
+        disk_release = disk.release_inline
         for extra in self.prefetcher.pages_after_miss(
             page, self.object_manager.total_pages
         ):
@@ -163,8 +188,16 @@ class Architecture(ABC):
             if outcome is None:
                 continue
             for victim in outcome.writeback_pages:
-                yield from self.io.write_page(victim)
-            yield from self.io.read_page(extra)
+                if not disk_inline():
+                    yield io._request_disk
+                yield io.write_hold(victim)
+                if not disk_release():
+                    yield PARK
+            if not disk_inline():
+                yield io._request_disk
+            yield io.read_hold(extra)
+            if not disk_release():
+                yield PARK
             self._prefetched_unused.add(extra)
             self.prefetched_pages += 1
 
@@ -172,8 +205,15 @@ class Architecture(ABC):
         """Fetch every page of the object, then run the swizzle hook."""
         for page in self.object_manager.pages_of(oid):
             yield from self._server_page_access(page, write)
+        io = self.io
+        disk_inline = io.disk.try_acquire_inline
+        disk_release = io.disk.release_inline
         for __ in self.memory.note_object_access(oid):
-            yield from self.io.swap_write()
+            if not disk_inline():
+                yield io._request_disk
+            yield io.swap_write_hold()
+            if not disk_release():
+                yield PARK
 
     def _server_object_access_nowait(self, oid: int, write: bool):
         """Synchronous server-side object access, handing off on a miss.
@@ -186,7 +226,7 @@ class Architecture(ABC):
         """
         memory = self.memory
         prefetched = self._prefetched_unused
-        pages = iter(self.object_manager.pages_of(oid))
+        pages = iter(self._om_pages_of(oid))
         for page in pages:
             outcome = memory.access(page, write)
             if outcome.hit:
@@ -201,16 +241,77 @@ class Architecture(ABC):
         return None
 
     def _object_access_tail(self, oid, outcome, page, pages, write):
-        """Finish an object access from its first missing page on."""
-        yield from self._miss_io(outcome, page)
-        for page in pages:
-            yield from self._server_page_access(page, write)
+        """Finish an object access from its first missing page on.
+
+        The miss traffic (write-backs, swap, the read) and the walk over
+        the object's remaining pages run in this single frame — the VM
+        model's fault storms otherwise pay a ``_miss_io`` +
+        ``_server_page_access`` generator pair per faulted page.  The
+        command sequence is exactly the delegated formulation's.
+        """
+        io = self.io
+        request_disk = io._request_disk
+        disk = io.disk
+        disk_inline = disk.try_acquire_inline
+        disk_release = disk.release_inline
+        memory_access = self.memory.access
+        prefetched = self._prefetched_unused
+        prefetching = self._prefetch_enabled
+        while True:
+            for victim in outcome.writeback_pages:
+                if not disk_inline():
+                    yield request_disk
+                yield io.write_hold(victim)
+                if not disk_release():
+                    yield PARK
+            for __ in outcome.swap_out_pages:
+                if not disk_inline():
+                    yield request_disk
+                yield io.swap_write_hold()
+                if not disk_release():
+                    yield PARK
+            if outcome.swap_read:
+                if not disk_inline():
+                    yield request_disk
+                yield io.swap_read_hold()
+                if not disk_release():
+                    yield PARK
+            read_page = outcome.read_page
+            if read_page is not None:
+                if not disk_inline():
+                    yield request_disk
+                yield io.read_hold(read_page)
+                if not disk_release():
+                    yield PARK
+                if prefetching:
+                    yield from self._prefetch_after_miss(page)
+            for page in pages:
+                outcome = memory_access(page, write)
+                if outcome.hit:
+                    if page in prefetched:
+                        prefetched.discard(page)
+                        self.prefetch_hits += 1
+                    continue
+                break
+            else:
+                break
         for __ in self.memory.note_object_access(oid):
-            yield from self.io.swap_write()
+            if not disk_inline():
+                yield request_disk
+            yield io.swap_write_hold()
+            if not disk_release():
+                yield PARK
 
     def _swap_notes(self, notes):
+        io = self.io
+        disk_inline = io.disk.try_acquire_inline
+        disk_release = io.disk.release_inline
         for __ in notes:
-            yield from self.io.swap_write()
+            if not disk_inline():
+                yield io._request_disk
+            yield io.swap_write_hold()
+            if not disk_release():
+                yield PARK
 
     def notify_reorganized(self) -> None:
         """Clustering moved objects: client/prefetch state is stale."""
@@ -266,11 +367,13 @@ class PageServer(Architecture):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.client_cache: Optional[BufferManager] = self._page_client_cache()
+        #: request + page response, precomputed for the free-net loop
+        self._round_trip_bytes = self.config.message_bytes + self.config.pgsize
 
     def access_object_nowait(self, oid: int, write: bool):
         client_cache = self.client_cache
         network = self.network
-        pages = iter(self.object_manager.pages_of(oid))
+        pages = iter(self._om_pages_of(oid))
         if network.infinite:
             # Free network (Table 4's NETTHRU = +inf): transfers only
             # count, so the whole loop stays synchronous until a page
@@ -279,7 +382,7 @@ class PageServer(Architecture):
             # observable.
             memory = self.memory
             prefetched = self._prefetched_unused
-            round_trip_bytes = self.config.message_bytes + self.config.pgsize
+            round_trip_bytes = self._round_trip_bytes
             for page in pages:
                 if client_cache is not None:
                     if client_cache.access(page, False).hit:
@@ -322,7 +425,22 @@ class PageServer(Architecture):
         round_trip_bytes = self.config.message_bytes + self.config.pgsize
         io = self.io
         prefetching = self._prefetch_enabled
-        yield from self._miss_io(outcome, page)
+        disk = io.disk
+        if (
+            not outcome.writeback_pages
+            and not outcome.swap_out_pages
+            and not outcome.swap_read
+            and outcome.read_page is not None
+            and not prefetching
+        ):
+            # Plain first miss (the common case), inlined.
+            if not disk.try_acquire_inline():
+                yield io._request_disk
+            yield io.read_hold(outcome.read_page)
+            if not disk.release_inline():
+                yield PARK
+        else:
+            yield from self._miss_io(outcome, page)
         for page in pages:
             if client_cache is not None:
                 if client_cache.access(page, False).hit:
@@ -341,9 +459,11 @@ class PageServer(Architecture):
                     and not prefetching
                 ):
                     # Plain read miss (the common case), inlined.
-                    yield io._request_disk
+                    if not io.disk.try_acquire_inline():
+                        yield io._request_disk
                     yield io.read_hold(outcome.read_page)
-                    yield io._release_disk
+                    if not io.disk.release_inline():
+                        yield PARK
                 else:
                     yield from self._miss_io(outcome, page)
             elif page in prefetched:
@@ -351,18 +471,83 @@ class PageServer(Architecture):
                 self.prefetch_hits += 1
 
     def _page_server_tail(self, page, pages, write: bool):
+        """Ship the remaining pages over the (finite) network.
+
+        The whole simulation funnels through this loop on the page-server
+        class, so the per-page collaborators are inlined: the network
+        transfer's three commands are yielded here instead of through a
+        ``_timed_transfer`` generator per message, and the server-side
+        page access runs in this frame with the plain read miss (no
+        writebacks, no swap, no prefetcher) spelled out.  Counter
+        updates and float accumulations are the exact sequence the
+        delegated formulation performs.
+        """
         client_cache = self.client_cache
         network = self.network
         message_bytes = self.config.message_bytes
         pgsize = self.config.pgsize
+        memory_access = self.memory.access
+        prefetched = self._prefetched_unused
+        prefetching = self._prefetch_enabled
+        io = self.io
+        request_disk = io._request_disk
+        release_disk = io._release_disk
+        read_hold = io.read_hold
+        request_medium = network._request_medium
+        release_medium = network._release_medium
+        holds = network._holds
+        ms_per_byte = network._ms_per_byte
+        msg_time = message_bytes * ms_per_byte
+        msg_hold = holds.get(message_bytes)
+        if msg_hold is None:
+            msg_hold = holds[message_bytes] = Hold(msg_time)
+        page_time = pgsize * ms_per_byte
+        page_hold = holds.get(pgsize)
+        if page_hold is None:
+            page_hold = holds[pgsize] = Hold(page_time)
+        medium = network.medium
+        medium_inline = medium.try_acquire_inline
+        medium_release = medium.release_inline
+        disk = io.disk
+        disk_inline = disk.try_acquire_inline
+        disk_release = disk.release_inline
         while True:
-            step = network.transfer_nowait(message_bytes)
-            if step is not None:
-                yield from step
-            yield from self._server_page_access(page, write)
-            step = network.transfer_nowait(pgsize)
-            if step is not None:
-                yield from step
+            network.messages += 1
+            network.bytes_sent += message_bytes
+            network.busy_time_ms += msg_time
+            if not medium_inline():
+                yield request_medium
+            yield msg_hold
+            if not medium_release():
+                yield PARK
+            outcome = memory_access(page, write)
+            if outcome.hit:
+                if page in prefetched:
+                    prefetched.discard(page)
+                    self.prefetch_hits += 1
+            elif (
+                not outcome.writeback_pages
+                and not outcome.swap_out_pages
+                and not outcome.swap_read
+                and outcome.read_page is not None
+                and not prefetching
+            ):
+                # Plain read miss (the common case), inlined.
+                if not disk_inline():
+                    yield request_disk
+                yield read_hold(outcome.read_page)
+                if not disk_release():
+                    yield PARK
+            else:
+                yield from self._miss_io(outcome, page)
+            network.messages += 1
+            network.bytes_sent += pgsize
+            network.busy_time_ms += page_time
+            if not medium_inline():
+                yield request_medium
+            yield page_hold
+            if not medium_release():
+                yield PARK
             for page in pages:
                 if client_cache is not None:
                     if client_cache.access(page, False).hit:

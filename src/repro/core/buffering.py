@@ -65,6 +65,20 @@ _NO_WRITEBACKS: Sequence[int] = ()
 class BufferManager:
     """A BUFFSIZE-frame database buffer with pluggable replacement."""
 
+    __slots__ = (
+        "config",
+        "capacity",
+        "policy",
+        "_on_hit",
+        "_on_admit",
+        "_choose_victim",
+        "_frames",
+        "hits",
+        "misses",
+        "evictions",
+        "dirty_writebacks",
+    )
+
     def __init__(
         self,
         config: VOODBConfig,
@@ -118,7 +132,10 @@ class BufferManager:
             return None
         writebacks = self._make_room(1)
         self._frames[page] = False
-        self.policy.on_admit(page)
+        # The bound hot hook, exactly as access() uses: a caller that
+        # swaps _on_admit (instrumentation, a policy wrapper) must see
+        # the prefetch path too, not only demand admissions.
+        self._on_admit(page)
         return AccessOutcome(hit=False, read_page=page, writeback_pages=writebacks)
 
     def _make_room(self, needed: int) -> Sequence[int]:

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
-from repro.despy.process import Release, Request
+from repro.despy.process import PARK, Release, Request
 from repro.despy.resource import Resource
 from repro.core.buffering import BufferManager
 from repro.core.io_subsystem import IOSubsystem
@@ -256,7 +256,16 @@ class ClusterLockManager:
         if step is not None:
             yield from step
 
-    def acquire_all_nowait(self, txn_id: int, oids: Iterable[int], writes: set):
+    def acquire_all_nowait(
+        self,
+        txn_id: int,
+        oids: Iterable[int],
+        writes: set,
+        presorted: bool = False,
+    ):
+        # ``presorted`` is accepted for interface parity with the
+        # single-node manager; partitioning re-canonicalizes per node
+        # either way.
         parts = self._partition(oids)
         for position, (node, part) in enumerate(parts):
             step = self._nodes[node].locks.acquire_all_nowait(
@@ -282,7 +291,9 @@ class ClusterLockManager:
         if step is not None:
             yield from step
 
-    def release_all_nowait(self, txn_id: int, oids: Iterable[int]):
+    def release_all_nowait(
+        self, txn_id: int, oids: Iterable[int], presorted: bool = False
+    ):
         steps = []
         for node, part in self._partition(oids):
             step = self._nodes[node].locks.release_all_nowait(txn_id, part)
@@ -503,19 +514,36 @@ class Cluster:
 
     @staticmethod
     def _node_miss_io(node: ClusterNode, outcome):
-        """The disk traffic one buffer miss produced, on the owning node."""
+        """The disk traffic one buffer miss produced, on the owning node.
+
+        Same inline request/release fast paths as the single-server
+        architectures: an uncontended node disk costs one Hold event.
+        """
         io = node.io
+        disk = io.disk
         for victim in outcome.writeback_pages:
-            yield from io.write_page(victim)
+            if not disk.try_acquire_inline():
+                yield io._request_disk
+            yield io.write_hold(victim)
+            if not disk.release_inline():
+                yield PARK
         if outcome.read_page is not None:
-            yield io._request_disk
+            if not disk.try_acquire_inline():
+                yield io._request_disk
             yield io.read_hold(outcome.read_page)
-            yield io._release_disk
+            if not disk.release_inline():
+                yield PARK
 
     @staticmethod
     def _node_writebacks(node: ClusterNode, victims):
+        io = node.io
+        disk = io.disk
         for victim in victims:
-            yield from node.io.write_page(victim)
+            if not disk.try_acquire_inline():
+                yield io._request_disk
+            yield io.write_hold(victim)
+            if not disk.release_inline():
+                yield PARK
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

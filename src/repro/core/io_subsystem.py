@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, List
 
-from repro.despy.process import Hold, Release, Request
+from repro.despy.process import PARK, Hold, Release, Request
 from repro.despy.resource import Resource
 from repro.core.failures import NoFailures
 from repro.core.parameters import VOODBConfig
@@ -27,6 +27,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class IOSubsystem:
     """Disk model with per-page timing and the Figure 5 shortcut."""
+
+    __slots__ = (
+        "sim",
+        "config",
+        "disk",
+        "failures",
+        "_last_page",
+        "_sequential_ok",
+        "_sequential_time",
+        "_random_time",
+        "_request_disk",
+        "_release_disk",
+        "_hold_sequential",
+        "_hold_random",
+        "reads",
+        "writes",
+        "swap_reads",
+        "swap_writes",
+        "sequential_accesses",
+        "busy_time_ms",
+    )
 
     def __init__(self, sim: "Simulation", config: VOODBConfig) -> None:
         self.sim = sim
@@ -102,30 +123,65 @@ class IOSubsystem:
         ``io._release_disk`` — which is exactly :meth:`read_page`, kept
         callable piecewise so hot generators can inline the three
         commands without re-deriving disk mechanics.
+
+        The Figure 5 rule and the hazard penalty are spelled out inline
+        (one frame instead of three): this runs once per physical page
+        access across the whole simulation.
         """
-        time, hold = self._penalized(*self._service(page))
+        if self._sequential_ok and page == self._last_page + 1:
+            self.sequential_accesses += 1
+            time = self._sequential_time
+            hold = self._hold_sequential
+        else:
+            time = self._random_time
+            hold = self._hold_random
+        self._last_page = page
+        penalty = self.failures.io_penalty()
+        if penalty:
+            time += penalty
+            hold = Hold(time)
         self.reads += 1
         self.busy_time_ms += time
         return hold
 
     def write_hold(self, page: int) -> Hold:
         """Timing + accounting for one page write (same rules as reads)."""
-        time, hold = self._penalized(*self._service(page))
+        if self._sequential_ok and page == self._last_page + 1:
+            self.sequential_accesses += 1
+            time = self._sequential_time
+            hold = self._hold_sequential
+        else:
+            time = self._random_time
+            hold = self._hold_random
+        self._last_page = page
+        penalty = self.failures.io_penalty()
+        if penalty:
+            time += penalty
+            hold = Hold(time)
         self.writes += 1
         self.busy_time_ms += time
         return hold
 
     def read_page(self, page: int):
-        """Read one page: reserve the disk, pay the service time."""
-        yield self._request_disk
+        """Read one page: reserve the disk, pay the service time.
+
+        The request/release pair uses the inline merge fast paths: an
+        uncontended read that is provably the next dispatch costs a
+        single Hold event (see Resource.try_acquire_inline).
+        """
+        if not self.disk.try_acquire_inline():
+            yield self._request_disk
         yield self.read_hold(page)
-        yield self._release_disk
+        if not self.disk.release_inline():
+            yield PARK
 
     def write_page(self, page: int):
         """Write one page (same head mechanics as a read)."""
-        yield self._request_disk
+        if not self.disk.try_acquire_inline():
+            yield self._request_disk
         yield self.write_hold(page)
-        yield self._release_disk
+        if not self.disk.release_inline():
+            yield PARK
 
     def read_pages(self, pages: Iterable[int]):
         """Bulk read; sorts the batch so contiguous runs pay transfer only.
@@ -134,7 +190,8 @@ class IOSubsystem:
         regions of the base (paper §4.4 "clustering overhead").
         """
         batch: List[int] = sorted(set(pages))
-        yield self._request_disk
+        if not self.disk.try_acquire_inline():
+            yield self._request_disk
         total = self.failures.io_penalty() if batch else 0.0
         for page in batch:
             time = self.access_time(page)
@@ -142,12 +199,14 @@ class IOSubsystem:
             total += time
         self.busy_time_ms += total
         yield Hold(total)
-        yield self._release_disk
+        if not self.disk.release_inline():
+            yield PARK
 
     def write_pages(self, pages: Iterable[int]):
         """Bulk write, contiguity-aware like :meth:`read_pages`."""
         batch: List[int] = sorted(set(pages))
-        yield self._request_disk
+        if not self.disk.try_acquire_inline():
+            yield self._request_disk
         total = self.failures.io_penalty() if batch else 0.0
         for page in batch:
             time = self.access_time(page)
@@ -155,32 +214,57 @@ class IOSubsystem:
             total += time
         self.busy_time_ms += total
         yield Hold(total)
-        yield self._release_disk
+        if not self.disk.release_inline():
+            yield PARK
 
-    def swap_read(self):
-        """Read one page back from the swap partition.
+    def swap_read_hold(self) -> Hold:
+        """Timing + accounting for one swap-partition read.
 
         Swap lives in its own disk region, so the transfer pays the full
         random-access cost and breaks database-region contiguity (the arm
-        moved) — §4.3.2's "costly swap".
+        moved) — §4.3.2's "costly swap".  Call with the disk held, like
+        :meth:`read_hold`; VM-heavy runs pay this once per fault, so the
+        three-command form avoids a generator per swap I/O.
         """
-        yield self._request_disk
         self._last_page = -2
-        time, hold = self._penalized(self._random_time, self._hold_random)
+        time = self._random_time
+        hold = self._hold_random
+        penalty = self.failures.io_penalty()
+        if penalty:
+            time += penalty
+            hold = Hold(time)
         self.swap_reads += 1
         self.busy_time_ms += time
-        yield hold
-        yield self._release_disk
+        return hold
 
-    def swap_write(self):
-        """Write one page out to the swap partition."""
-        yield self._request_disk
+    def swap_write_hold(self) -> Hold:
+        """Timing + accounting for one swap-partition write."""
         self._last_page = -2
-        time, hold = self._penalized(self._random_time, self._hold_random)
+        time = self._random_time
+        hold = self._hold_random
+        penalty = self.failures.io_penalty()
+        if penalty:
+            time += penalty
+            hold = Hold(time)
         self.swap_writes += 1
         self.busy_time_ms += time
-        yield hold
-        yield self._release_disk
+        return hold
+
+    def swap_read(self):
+        """Read one page back from the swap partition (generator form)."""
+        if not self.disk.try_acquire_inline():
+            yield self._request_disk
+        yield self.swap_read_hold()
+        if not self.disk.release_inline():
+            yield PARK
+
+    def swap_write(self):
+        """Write one page out to the swap partition (generator form)."""
+        if not self.disk.try_acquire_inline():
+            yield self._request_disk
+        yield self.swap_write_hold()
+        if not self.disk.release_inline():
+            yield PARK
 
     # ------------------------------------------------------------------
     @property

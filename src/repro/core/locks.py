@@ -27,7 +27,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class _LockEntry:
-    """State of one object's lock: holders + waiters."""
+    """State of one object's lock: holders + waiters.
+
+    The table stores a full entry only for the *interesting* states —
+    multiple shared holders, or queued waiters.  The dominant state (a
+    single holder, nobody queued) is encoded as a bare int in the table:
+    ``txn_id`` for a shared hold, ``~txn_id`` for an exclusive one.  The
+    conservative-2PL sweep then costs one dict store per lock instead of
+    an object, a set and a list.
+    """
 
     __slots__ = ("exclusive", "holders", "waiters")
 
@@ -62,6 +70,11 @@ class LockManager:
             self.admission_request = None
             self.admission_release = None
         self._table: Dict[int, _LockEntry] = {}
+        #: free list of lock entries — a transaction's conservative-2PL
+        #: sweep creates and drops one entry (plus its holders set and
+        #: waiters list) per distinct object, so recycling them saves
+        #: three allocations per lock on the sole-holder fast path.
+        self._entry_pool: List[_LockEntry] = []
         # Counters
         self.acquisitions = 0
         self.releases = 0
@@ -97,13 +110,23 @@ class LockManager:
         if step is not None:
             yield from step
 
-    def acquire_all_nowait(self, txn_id: int, oids: Iterable[int], writes: set):
+    def acquire_all_nowait(
+        self,
+        txn_id: int,
+        oids: Iterable[int],
+        writes: set,
+        presorted: bool = False,
+    ):
         """Like :meth:`acquire_all`, but synchronous when possible.
 
         Returns ``None`` when every lock was granted without paying time
         (GETLOCK = 0) or waiting; otherwise a generator to ``yield from``.
+
+        ``presorted`` promises ``oids`` is already a sorted sequence of
+        distinct ids (the Transaction Manager sorts once per transaction
+        and shares the list with the release sweep).
         """
-        distinct = sorted(set(oids))
+        distinct = oids if presorted else sorted(set(oids))
         lock_cost = self.config.getlock * len(distinct)
         if lock_cost > 0:
             return self._acquire_timed(txn_id, distinct, writes, lock_cost)
@@ -119,14 +142,15 @@ class LockManager:
         """Grant conflict-free locks in place; on the first conflict,
         return a generator finishing the rest (waits included)."""
         table = self._table
+        shared = txn_id
+        exclusive = ~txn_id
         for index, oid in enumerate(distinct):
             want_write = oid in writes
             entry = table.get(oid)
             if entry is None:
-                # Unlocked object (the common case): grant inline.
-                entry = table[oid] = _LockEntry()
-                entry.holders.add(txn_id)
-                entry.exclusive = want_write
+                # Unlocked object (the common case): grant inline with
+                # the int-encoded single-holder state.
+                table[oid] = exclusive if want_write else shared
                 self.acquisitions += 1
                 continue
             if self._grant(txn_id, oid, want_write):
@@ -144,8 +168,12 @@ class LockManager:
             while not self._grant(txn_id, oid, want_write):
                 gate = Gate(self.sim, f"lock-{oid}")
                 # Re-fetch: the entry can be dropped and recreated while
-                # this transaction waits.
-                table[oid].waiters.append((txn_id, want_write, gate))
+                # this transaction waits.  A contender arriving promotes
+                # an int-encoded single-holder state to a full entry.
+                entry = table[oid]
+                if entry.__class__ is int:
+                    entry = self._promote(oid, entry)
+                entry.waiters.append((txn_id, want_write, gate))
                 self.waits += 1
                 started = self.sim.now
                 yield WaitFor(gate)
@@ -158,10 +186,12 @@ class LockManager:
         if step is not None:
             yield from step
 
-    def release_all_nowait(self, txn_id: int, oids: Iterable[int]):
+    def release_all_nowait(
+        self, txn_id: int, oids: Iterable[int], presorted: bool = False
+    ):
         """Like :meth:`release_all`; ``None`` when RELLOCK costs nothing
         (releasing never blocks, so only the Hold needs the event loop)."""
-        distinct = sorted(set(oids))
+        distinct = oids if presorted else sorted(set(oids))
         release_cost = self.config.rellock * len(distinct)
         if release_cost > 0:
             return self._release_timed(txn_id, distinct, release_cost)
@@ -174,25 +204,64 @@ class LockManager:
 
     def _release_sync(self, txn_id, distinct):
         table = self._table
+        shared = txn_id
+        exclusive = ~txn_id
         for oid in distinct:
             entry = table.get(oid)
-            if entry is None or txn_id not in entry.holders:
+            if entry is None:
+                continue
+            if entry.__class__ is int:
+                # Int-encoded single holder (the common case).
+                if entry == shared or entry == exclusive:
+                    self.releases += 1
+                    del table[oid]
+                continue
+            if txn_id not in entry.holders:
                 continue
             if len(entry.holders) == 1 and not entry.waiters:
-                # Sole holder, nobody queued (the common case): drop the
-                # whole entry inline.
+                # Sole holder, nobody queued: drop the whole entry
+                # inline and recycle it.
                 self.releases += 1
                 del table[oid]
+                entry.holders.clear()
+                entry.exclusive = False
+                self._entry_pool.append(entry)
                 continue
             self._release(txn_id, oid)
 
     # ------------------------------------------------------------------
     # Lock table mechanics
     # ------------------------------------------------------------------
+    def _promote(self, oid: int, value: int) -> _LockEntry:
+        """Expand an int-encoded single-holder state to a full entry."""
+        pool = self._entry_pool
+        entry = pool.pop() if pool else _LockEntry()
+        if value >= 0:
+            entry.holders.add(value)
+        else:
+            entry.holders.add(~value)
+            entry.exclusive = True
+        self._table[oid] = entry
+        return entry
+
     def _grant(self, txn_id: int, oid: int, write: bool) -> bool:
         entry = self._table.get(oid)
         if entry is None:
-            entry = self._table[oid] = _LockEntry()
+            self._table[oid] = ~txn_id if write else txn_id
+            return True
+        if entry.__class__ is int:
+            holder = entry if entry >= 0 else ~entry
+            if holder == txn_id:
+                if write and entry >= 0:
+                    # Upgrade: sole holder by construction.
+                    self._table[oid] = ~txn_id
+                return True
+            if entry < 0 or write:
+                return False
+            # A second shared holder: promote to a full entry.
+            promoted = self._promote(oid, entry)
+            promoted.holders.add(txn_id)
+            return True
         if txn_id in entry.holders:
             # Lock upgrade: allowed only if sole holder.
             if write and not entry.exclusive:
@@ -212,7 +281,14 @@ class LockManager:
 
     def _release(self, txn_id: int, oid: int) -> None:
         entry = self._table.get(oid)
-        if entry is None or txn_id not in entry.holders:
+        if entry is None:
+            return
+        if entry.__class__ is int:
+            if entry == txn_id or entry == ~txn_id:
+                self.releases += 1
+                del self._table[oid]
+            return
+        if txn_id not in entry.holders:
             return
         entry.holders.discard(txn_id)
         self.releases += 1
@@ -224,6 +300,7 @@ class LockManager:
         waiters, entry.waiters = entry.waiters, []
         if not waiters:
             del self._table[oid]
+            self._entry_pool.append(entry)
             return
         for __, __, gate in waiters:
             gate.open()

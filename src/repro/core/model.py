@@ -75,6 +75,34 @@ def build_database(ocb: OCBConfig) -> Database:
 def clear_database_cache() -> None:
     """Drop cached bases (tests and memory-conscious sweeps)."""
     _DATABASE_CACHE.clear()
+    _PLACEMENT_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Placement cache
+# ----------------------------------------------------------------------
+#: (ocb config, initpl, usable_page_bytes) -> (PageMap, swizzle-cascade
+#: cache).  An initial placement is a pure function of the (unmutated)
+#: cached base and those two knobs, and replications never write to it
+#: on static workloads (dynamic workloads clone the base and take the
+#: uncached path; clustering installs a *new* map, leaving the shared
+#: one untouched) — so sweeps skip rebuilding the page map, and the VM
+#: model's pointer-swizzle cascades, per replication.
+_PLACEMENT_CACHE: Dict[tuple, tuple] = {}
+
+
+def _build_placement(config: VOODBConfig, db: Database, shared_db: bool):
+    """The page map plus adoptable swizzle cache for one replication."""
+    if not shared_db or db.mutations != 0:
+        return make_placement(db, config.initpl, config.usable_page_bytes), None
+    key = (config.ocb, config.initpl, config.usable_page_bytes)
+    cached = _PLACEMENT_CACHE.get(key)
+    if cached is None:
+        cached = _PLACEMENT_CACHE[key] = (
+            make_placement(db, config.initpl, config.usable_page_bytes),
+            {},
+        )
+    return cached
 
 
 class VOODBSimulation:
@@ -107,8 +135,12 @@ class VOODBSimulation:
         self.sim = Simulation(seed=seed)
 
         # Figure 4 active resources, bottom-up.
-        placement = make_placement(self.db, config.initpl, config.usable_page_bytes)
-        self.object_manager = ObjectManager(self.db, placement)
+        placement, shared_refs = _build_placement(
+            config, self.db, not clone_database and database is None
+        )
+        self.object_manager = ObjectManager(
+            self.db, placement, shared_page_refs_cache=shared_refs
+        )
         self.network = Network(self.sim, config)
         if config.cluster.enabled:
             # Sharded multi-server topology: every node carries its own

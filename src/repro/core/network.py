@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
-from repro.despy.process import Hold, Release, Request
+from repro.despy.process import PARK, Hold, Release, Request
 from repro.despy.resource import Resource
 from repro.core.parameters import VOODBConfig
 
@@ -27,6 +27,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class Network:
     """Throughput-limited message transport with counters."""
+
+    __slots__ = (
+        "sim",
+        "config",
+        "infinite",
+        "medium",
+        "_ms_per_byte",
+        "_request_medium",
+        "_release_medium",
+        "_holds",
+        "messages",
+        "bytes_sent",
+        "busy_time_ms",
+    )
 
     def __init__(self, sim: "Simulation", config: VOODBConfig) -> None:
         self.sim = sim
@@ -74,9 +88,12 @@ class Network:
         hold = self._holds.get(nbytes)
         if hold is None:
             hold = self._holds[nbytes] = Hold(time)
-        yield self._request_medium
+        medium = self.medium
+        if not medium.try_acquire_inline():
+            yield self._request_medium
         yield hold
-        yield self._release_medium
+        if not medium.release_inline():
+            yield PARK
 
     def request_response(self, request_bytes: int, response_bytes: int):
         """A request/response round trip as two transfers."""

@@ -22,9 +22,22 @@ from repro.ocb.database import Database
 class ObjectManager:
     """Logical-OID object-to-page directory."""
 
-    def __init__(self, db: Database, page_map: PageMap) -> None:
+    def __init__(
+        self,
+        db: Database,
+        page_map: PageMap,
+        shared_page_refs_cache: dict | None = None,
+    ) -> None:
         self.db = db
         self._install(page_map)
+        if shared_page_refs_cache is not None:
+            # A sweep-wide swizzle-cascade cache adopted from the
+            # placement cache: valid because the shared (map, graph)
+            # pair is immutable for the configs that supply one.  The
+            # mutation stamp must match the live graph, or the first
+            # lookup would wipe the warm cache.
+            self._page_refs_cache = shared_page_refs_cache
+            self._page_refs_mutations = db.mutations
         self.lookups = 0
         self.rebuilds = 0
 

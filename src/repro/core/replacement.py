@@ -13,9 +13,10 @@ interface used by the Buffering Manager:
   (invalidation after clustering reorganization).
 
 Policies keep their own bookkeeping; the Buffering Manager owns the
-actual frame table.  Victim selection is O(log n) worst case everywhere
-(lazy heaps for LFU/LRU-K, hand sweeps for CLOCK/GCLOCK are amortized
-O(1) per admission).
+actual frame table.  The recency family (LRU/MRU/FIFO) runs on an
+intrusive circular linked ring, LFU on O(1) frequency buckets — every
+operation constant-time; LRU-K keeps its lazy heap (O(log n) victim),
+and the CLOCK/GCLOCK hand sweeps are amortized O(1) per admission.
 """
 
 from __future__ import annotations
@@ -67,85 +68,131 @@ class ReplacementPolicy(ABC):
         return f"<{type(self).__name__}>"
 
 
-class LRUPolicy(ReplacementPolicy):
-    """Least Recently Used (Table 3's LRU-1 default).
+# Intrusive linked-list nodes are plain 3-slot lists [prev, next, page];
+# index constants keep the hot unlink/relink sequences readable.
+_PREV, _NEXT, _PAGE = 0, 1, 2
 
-    Exploits dict insertion order: re-inserting on every reference keeps
-    the coldest page first.
+
+class _LinkedOrderPolicy(ReplacementPolicy):
+    """Recency order as an intrusive circular doubly-linked list.
+
+    A sentinel node closes the ring: ``sentinel[_NEXT]`` is the coldest
+    (least recently ordered) page, ``sentinel[_PREV]`` the hottest.
+    Admissions append at the hot end; every operation is O(1) with no
+    rehashing-the-order churn — the dict only maps page -> node.
     """
 
-    name = "LRU"
-
     def __init__(self) -> None:
-        self._order: Dict[int, None] = {}
+        sentinel: List = []
+        sentinel += [sentinel, sentinel, None]
+        self._sentinel = sentinel
+        self._node: Dict[int, List] = {}
 
     def on_admit(self, page: int) -> None:
-        self._order[page] = None
+        sentinel = self._sentinel
+        hot = sentinel[_PREV]
+        node = [hot, sentinel, page]
+        hot[_NEXT] = node
+        sentinel[_PREV] = node
+        self._node[page] = node
 
-    def on_hit(self, page: int) -> None:
-        del self._order[page]
-        self._order[page] = None
+    def _touch(self, page: int) -> None:
+        """Move a resident page to the hot end of the ring."""
+        node = self._node[page]
+        prev = node[_PREV]
+        nxt = node[_NEXT]
+        prev[_NEXT] = nxt
+        nxt[_PREV] = prev
+        sentinel = self._sentinel
+        hot = sentinel[_PREV]
+        node[_PREV] = hot
+        node[_NEXT] = sentinel
+        hot[_NEXT] = node
+        sentinel[_PREV] = node
 
-    def choose_victim(self) -> int:
-        if not self._order:
-            self._no_victim()
-        page = next(iter(self._order))
-        del self._order[page]
+    def _evict(self, node: List) -> int:
+        prev = node[_PREV]
+        nxt = node[_NEXT]
+        prev[_NEXT] = nxt
+        nxt[_PREV] = prev
+        page = node[_PAGE]
+        del self._node[page]
         return page
 
     def forget(self, page: int) -> None:
-        self._order.pop(page, None)
+        node = self._node.pop(page, None)
+        if node is not None:
+            prev = node[_PREV]
+            nxt = node[_NEXT]
+            prev[_NEXT] = nxt
+            nxt[_PREV] = prev
 
 
-class MRUPolicy(ReplacementPolicy):
+class LRUPolicy(_LinkedOrderPolicy):
+    """Least Recently Used (Table 3's LRU-1 default)."""
+
+    name = "LRU"
+
+    def on_hit(self, page: int) -> None:
+        # _touch, inlined: this runs once per buffer hit.
+        node = self._node[page]
+        prev = node[_PREV]
+        nxt = node[_NEXT]
+        prev[_NEXT] = nxt
+        nxt[_PREV] = prev
+        sentinel = self._sentinel
+        hot = sentinel[_PREV]
+        node[_PREV] = hot
+        node[_NEXT] = sentinel
+        hot[_NEXT] = node
+        sentinel[_PREV] = node
+
+    def choose_victim(self) -> int:
+        node = self._sentinel[_NEXT]
+        if node is self._sentinel:
+            self._no_victim()
+        return self._evict(node)
+
+
+class MRUPolicy(_LinkedOrderPolicy):
     """Most Recently Used — evicts the hottest page (anti-LRU foil)."""
 
     name = "MRU"
 
-    def __init__(self) -> None:
-        self._order: Dict[int, None] = {}
-
-    def on_admit(self, page: int) -> None:
-        self._order[page] = None
-
     def on_hit(self, page: int) -> None:
-        del self._order[page]
-        self._order[page] = None
+        # _touch, inlined (see LRUPolicy.on_hit).
+        node = self._node[page]
+        prev = node[_PREV]
+        nxt = node[_NEXT]
+        prev[_NEXT] = nxt
+        nxt[_PREV] = prev
+        sentinel = self._sentinel
+        hot = sentinel[_PREV]
+        node[_PREV] = hot
+        node[_NEXT] = sentinel
+        hot[_NEXT] = node
+        sentinel[_PREV] = node
 
     def choose_victim(self) -> int:
-        if not self._order:
+        node = self._sentinel[_PREV]
+        if node is self._sentinel:
             self._no_victim()
-        page = next(reversed(self._order))
-        del self._order[page]
-        return page
-
-    def forget(self, page: int) -> None:
-        self._order.pop(page, None)
+        return self._evict(node)
 
 
-class FIFOPolicy(ReplacementPolicy):
+class FIFOPolicy(_LinkedOrderPolicy):
     """First In First Out — references do not refresh residency."""
 
     name = "FIFO"
-
-    def __init__(self) -> None:
-        self._order: Dict[int, None] = {}
-
-    def on_admit(self, page: int) -> None:
-        self._order[page] = None
 
     def on_hit(self, page: int) -> None:
         pass
 
     def choose_victim(self) -> int:
-        if not self._order:
+        node = self._sentinel[_NEXT]
+        if node is self._sentinel:
             self._no_victim()
-        page = next(iter(self._order))
-        del self._order[page]
-        return page
-
-    def forget(self, page: int) -> None:
-        self._order.pop(page, None)
+        return self._evict(node)
 
 
 class RandomPolicy(ReplacementPolicy):
@@ -188,39 +235,71 @@ class RandomPolicy(ReplacementPolicy):
 
 
 class LFUPolicy(ReplacementPolicy):
-    """Least Frequently Used, FIFO among ties, via a lazy heap."""
+    """Least Frequently Used, least-recently-bumped among ties.
+
+    O(1) frequency buckets instead of a lazy heap: ``_buckets[c]`` holds
+    the pages currently at count ``c`` in the order they *reached* that
+    count, so the first page of the lowest non-empty bucket is exactly
+    the heap formulation's ``(count, seq)`` minimum — the coldest page,
+    ties broken by the earliest last-touch.  No per-hit heap push, no
+    stale entries to skim at eviction time.
+    """
 
     name = "LFU"
 
     def __init__(self) -> None:
         self._counts: Dict[int, int] = {}
-        self._heap: List[tuple[int, int, int]] = []
-        self._seq = 0
-
-    def _push(self, page: int) -> None:
-        heapq.heappush(self._heap, (self._counts[page], self._seq, page))
-        self._seq += 1
+        self._buckets: Dict[int, Dict[int, None]] = {}
+        self._min_count = 1
 
     def on_admit(self, page: int) -> None:
         self._counts[page] = 1
-        self._push(page)
+        bucket = self._buckets.get(1)
+        if bucket is None:
+            bucket = self._buckets[1] = {}
+        bucket[page] = None
+        self._min_count = 1
 
     def on_hit(self, page: int) -> None:
-        self._counts[page] += 1
-        self._push(page)
+        counts = self._counts
+        count = counts[page]
+        counts[page] = count + 1
+        buckets = self._buckets
+        bucket = buckets[count]
+        del bucket[page]
+        if not bucket:
+            del buckets[count]
+        bucket = buckets.get(count + 1)
+        if bucket is None:
+            bucket = buckets[count + 1] = {}
+        bucket[page] = None
 
     def choose_victim(self) -> int:
         if not self._counts:
             self._no_victim()
-        while True:
-            count, __, page = heapq.heappop(self._heap)
-            if self._counts.get(page) == count:
-                del self._counts[page]
-                return page
-            # stale entry (page was re-referenced or evicted): skip
+        buckets = self._buckets
+        count = self._min_count
+        bucket = buckets.get(count)
+        while bucket is None:
+            # The minimum only drifts up between admissions; scan
+            # resumes where it left off (amortized O(1) per eviction).
+            count += 1
+            bucket = buckets.get(count)
+        self._min_count = count
+        page = next(iter(bucket))
+        del bucket[page]
+        if not bucket:
+            del buckets[count]
+        del self._counts[page]
+        return page
 
     def forget(self, page: int) -> None:
-        self._counts.pop(page, None)
+        count = self._counts.pop(page, None)
+        if count is not None:
+            bucket = self._buckets[count]
+            del bucket[page]
+            if not bucket:
+                del self._buckets[count]
 
 
 class LRUKPolicy(ReplacementPolicy):

@@ -92,6 +92,25 @@ class VirtualMemoryManager:
         placement-agnostic.
     """
 
+    __slots__ = (
+        "config",
+        "capacity",
+        "policy",
+        "_on_hit",
+        "_on_admit",
+        "_choose_victim",
+        "_pages_referenced_by_page",
+        "_frames",
+        "_swapped_resident",
+        "_swapped_reserved",
+        "hits",
+        "misses",
+        "swap_ins",
+        "swap_outs",
+        "reservations",
+        "discarded_reservations",
+    )
+
     def __init__(
         self,
         config: VOODBConfig,
@@ -107,6 +126,7 @@ class VirtualMemoryManager:
         # Bound once, like BufferManager: the hooks run per page fault.
         self._on_hit = self.policy.on_hit
         self._on_admit = self.policy.on_admit
+        self._choose_victim = self.policy.choose_victim
         self._pages_referenced_by_page = pages_referenced_by_page
         #: in-memory frames: page -> _RESIDENT | _RESERVED
         self._frames: Dict[int, int] = {}
@@ -228,8 +248,9 @@ class VirtualMemoryManager:
         if len(frames) < self.capacity:
             return _NO_SWAPS
         swap_outs: List[int] = []
+        choose_victim = self._choose_victim
         while len(frames) >= self.capacity:
-            victim = self.policy.choose_victim()
+            victim = choose_victim()
             if victim == protect:
                 # Give the frame back (at MRU position) and report no room.
                 self.policy.on_admit(victim)

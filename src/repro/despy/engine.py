@@ -11,29 +11,34 @@ in two styles, mirroring how DESP-C++ models were written:
 
 Both styles share the same deterministic event ordering, so they compose.
 
-Fast path
----------
+Fast paths
+----------
 Zero-delay, priority-0 events (the continuations that dominate VOODB:
 resource grants, gate openings, process wake-ups after a release) skip
-the binary heap and land on an immediate-dispatch FIFO — see
-:mod:`repro.despy.events`.  The run loop merges the FIFO with the heap
-by comparing heads on the full ``(time, priority, seq)`` key, so the
+the timed tiers and land on an immediate-dispatch FIFO; timed events go
+through a calendar-queue event wheel with a far-future overflow heap —
+see :mod:`repro.despy.events`.  The run loop merges the FIFO head with
+the wheel's due head on the full ``(time, priority, seq)`` key, so the
 execution order is *bit-identical* to a pure-heap kernel; only the
-per-event cost changes.  The counters :attr:`Simulation.events_heap_pushed`
-and :attr:`Simulation.events_fast_dispatched` report how much traffic
-each tier carried.
+per-event cost changes.  The counters :attr:`Simulation.events_wheel_pushed`,
+:attr:`Simulation.events_heap_pushed`, :attr:`Simulation.events_fast_dispatched`
+and :attr:`Simulation.events_pooled_reused` report how much traffic each
+tier carried and how many Event allocations the free-list pool saved.
 """
 
 from __future__ import annotations
 
 import math
-from heapq import heappop
 from typing import Any, Callable, Generator, Optional
 
 from repro.despy.errors import SchedulingError
 from repro.despy.events import Event, EventList
 from repro.despy.process import Process
 from repro.despy.randomstream import RandomStream
+
+#: Fence value above any real sequence number (the engine drains the
+#: immediate queue up to, but not past, a tick-tied timed event's seq).
+_NO_FENCE = 9223372036854775807
 
 
 class Simulation:
@@ -113,11 +118,9 @@ class Simulation:
     def wake(self, handler: Callable[..., Any], *args: Any) -> Event:
         """Queue ``handler(*args)`` for immediate dispatch at the current time.
 
-        This is the resume path :class:`~repro.despy.resource.Resource`
-        and :class:`~repro.despy.resource.Gate` use to hand the clock to
-        a ready process without a heap round-trip.  Equivalent to
-        ``schedule(0.0, handler, *args)`` in every observable way
-        (ordering included) — just spelled as what it is.
+        Equivalent to ``schedule(0.0, handler, *args)`` in every
+        observable way (ordering and cancellability included) — just
+        spelled as what it is.
         """
         return self._events.push_immediate(self.now, handler, args)
 
@@ -162,50 +165,66 @@ class Simulation:
             return self._run_traced(until)
         self._running = True
         events = self._events
-        heap = events._heap
         immediate = events._immediate
         popleft = immediate.popleft
+        advance = events._advance
+        pool_append = events._pool.append
         executed = self._events_executed
         fast = 0
         now = self.now
         events.now_hint = now
         try:
             while True:
-                while heap and heap[0].cancelled:
-                    heappop(heap)
+                # Timed head: the due list's live slice, refilled from
+                # the wheel/heap only when it runs dry.
+                if events._timed:
+                    due = events._due
+                    idx = events._due_idx
+                    if idx < len(due):
+                        head = due[idx]
+                        if head.cancelled:
+                            events._due_idx = idx + 1
+                            events._timed -= 1
+                            continue
+                    else:
+                        head = advance()
+                else:
+                    head = None
                 if immediate:
                     if now > until:
                         # Horizon in the past: leave the queue intact
                         # for the next run().
                         return self.now
-                    seq_fence = 9223372036854775807
-                    if heap:
-                        head = heap[0]
-                        # A heap event on the current tick precedes the
+                    seq_fence = _NO_FENCE
+                    if head is not None and head.time == now:
+                        # A timed event on the current tick precedes the
                         # pending immediates when its priority is
                         # negative, or on a seq tie-break at priority 0.
-                        # (Priority-0 heap events usually come from an
+                        # (Priority-0 timed events usually come from an
                         # earlier tick and win the tie-break — but a
                         # positive delay absorbed by float rounding,
                         # now + delay == now, lands on this tick with a
                         # *larger* seq, so the compare is required.)
-                        if head.time == now:
-                            if head.priority < 0 or (
-                                head.priority == 0
-                                and head.seq < immediate[0].seq
-                            ):
-                                heappop(heap)
-                                executed += 1
-                                self._events_executed = executed
-                                head.handler(*head.args)
-                                continue
-                            if head.priority == 0:
-                                # The tick-tied head sorts between two
-                                # queued immediates: drain only up to it.
-                                seq_fence = head.seq
-                    # No preempting heap contender: drain immediates
+                        prio = head.priority
+                        if prio < 0 or (
+                            prio == 0 and head.seq < immediate[0].seq
+                        ):
+                            events._due_idx += 1
+                            events._timed -= 1
+                            executed += 1
+                            self._events_executed = executed
+                            head.handler(*head.args)
+                            if head.pooled:
+                                head.handler = None
+                                pool_append(head)
+                            continue
+                        if prio == 0:
+                            # The tick-tied head sorts between two
+                            # queued immediates: drain only up to it.
+                            seq_fence = head.seq
+                    # No preempting timed contender: drain immediates
                     # until the fence, or until one of their handlers
-                    # pushes a heap event that could preempt this tick
+                    # pushes a timed event that could preempt this tick
                     # (preempt_dirty).
                     events.preempt_dirty = False
                     while immediate:
@@ -221,21 +240,28 @@ class Simulation:
                         self._events_executed = executed
                         fast += 1
                         event.handler(*event.args)
+                        if event.pooled:
+                            event.handler = None
+                            pool_append(event)
                         if events.preempt_dirty:
                             break
                     continue
-                if not heap:
+                if head is None:
                     break
-                head = heap[0]
-                if head.time > until:
+                time = head.time
+                if time > until:
                     if until > now:
                         self.now = until
                     return self.now
-                heappop(heap)
-                events.now_hint = now = self.now = head.time
+                events._due_idx += 1
+                events._timed -= 1
+                events.now_hint = now = self.now = time
                 executed += 1
                 self._events_executed = executed
                 head.handler(*head.args)
+                if head.pooled:
+                    head.handler = None
+                    pool_append(head)
         finally:
             self._events_executed = executed
             events.fast_dispatched += fast
@@ -248,6 +274,7 @@ class Simulation:
         """Generic loop used only when a trace callback is installed."""
         self._running = True
         events = self._events
+        pool_append = events._pool.append
         try:
             while True:
                 next_time = events.peek_time()
@@ -258,11 +285,14 @@ class Simulation:
                         self.now = until
                     return self.now
                 event = events.pop()
-                self.now = event.time
+                events.now_hint = self.now = event.time
                 self._events_executed += 1
                 name = getattr(event.handler, "__qualname__", "?")
                 self._trace(self.now, f"execute {name}")
                 event.handler(*event.args)
+                if event.pooled:
+                    event.handler = None
+                    pool_append(event)
         finally:
             self._running = False
         if not math.isinf(until) and until > self.now:
@@ -288,13 +318,24 @@ class Simulation:
 
     @property
     def events_heap_pushed(self) -> int:
-        """Events that paid the O(log n) heap push (perf counter)."""
+        """Events that paid a far-future overflow heap push (perf counter)."""
         return self._events.heap_pushed
+
+    @property
+    def events_wheel_pushed(self) -> int:
+        """Timed events routed through the calendar wheel (perf counter)."""
+        return self._events.wheel_pushed
 
     @property
     def events_fast_dispatched(self) -> int:
         """Events dispatched straight off the immediate queue (perf counter)."""
         return self._events.fast_dispatched
+
+    @property
+    def events_pooled_reused(self) -> int:
+        """Event objects recycled through the free list instead of
+        allocated fresh (perf counter)."""
+        return self._events.pooled_reused
 
     @property
     def events_merged_continuations(self) -> int:

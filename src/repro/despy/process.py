@@ -78,6 +78,12 @@ class WaitFor:
 #: resume sends ``None``, so one tuple serves all of them.
 _STEP_ARGS = (None,)
 
+#: Shared zero-delay Hold used as a *park* command: a generator that
+#: called :meth:`repro.despy.resource.Resource.release_inline` and was
+#: told it may not keep running yields this to defer itself through the
+#: immediate queue — the exact non-merged branch of ``yield Release``.
+PARK = Hold(0.0)
+
 
 class Process:
     """A running generator inside a :class:`Simulation`.
@@ -128,11 +134,20 @@ class Process:
         ``Release``, a ``Hold(0)``) normally parks this process on the
         immediate queue and returns to the engine, which dispatches it
         as the next event.  When the immediate queue is empty and no
-        heap event ties the current tick at priority <= 0, this process
+        timed event ties the current tick at priority <= 0, this process
         *is* provably that next dispatch — so the loop below just keeps
         sending into the generator instead.  The observable execution
         order (and therefore every statistic and random draw) is
         bit-identical; only the queue round-trip disappears.
+
+        The tick-tie test reads the wheel's due head (always the
+        earliest pending timed event while the due list is non-empty).
+        With the due list drained it falls back to bucket-index checks
+        against the wheel and overflow heap — exact whenever the clock
+        has not out-run the due bucket, and *conservative* (skip the
+        merge, park on the immediate queue) in the rare horizon-jump
+        states where a tick tie cannot be ruled out cheaply; the
+        engine's merge loop then re-establishes the exact order.
         """
         send = self._send
         sim = self.sim
@@ -145,35 +160,38 @@ class Process:
                 self._finish()
                 return
             cls = command.__class__
-            if cls is Request:
-                resource = command.resource
-                if resource._in_use < resource.capacity and not resource._queue:
-                    heap = events._heap
-                    if not events._immediate and not (
-                        heap
-                        and heap[0].priority <= 0
-                        and heap[0].time == sim.now
-                    ):
-                        resource._grant_now()
-                        events.merged_continuations += 1
-                        send_value = None
-                        continue
-                resource._enqueue(self, command.priority)
-                return
             if cls is Hold:
                 duration = command.duration
                 priority = command.priority
                 if duration == 0.0 and priority == 0:
-                    heap = events._heap
-                    if not events._immediate and not (
-                        heap
-                        and heap[0].priority <= 0
-                        and heap[0].time == sim.now
-                    ):
-                        events.merged_continuations += 1
-                        send_value = None
-                        continue
-                    events.push_immediate(sim.now, self._step, _STEP_ARGS)
+                    if not events._immediate:
+                        if events._timed:
+                            due = events._due
+                            idx = events._due_idx
+                            if idx < len(due):
+                                head = due[idx]
+                                clear = (
+                                    head.priority > 0 or head.time != sim.now
+                                )
+                            else:
+                                bucket_heap = events._bucket_heap
+                                heap = events._heap
+                                clear = not (
+                                    bucket_heap
+                                    and sim.now * events._inv_width
+                                    >= bucket_heap[0]
+                                ) and not (
+                                    heap
+                                    and heap[0][0] == sim.now
+                                    and heap[0][1] <= 0
+                                )
+                        else:
+                            clear = True
+                        if clear:
+                            events.merged_continuations += 1
+                            send_value = None
+                            continue
+                    events.push_immediate(sim.now, self._step, _STEP_ARGS, True)
                 else:
                     # Hold already rejected negative durations; only the
                     # NaN check from Simulation.schedule still applies.
@@ -182,21 +200,71 @@ class Process:
                             f"delay must be >= 0, got {duration!r}"
                         )
                     events.push(
-                        sim.now + duration, priority, self._step, _STEP_ARGS
+                        sim.now + duration, priority, self._step, _STEP_ARGS, True
                     )
+                return
+            if cls is Request:
+                resource = command.resource
+                if (
+                    resource._in_use < resource.capacity
+                    and not resource._queue
+                    and not events._immediate
+                ):
+                    if events._timed:
+                        due = events._due
+                        idx = events._due_idx
+                        if idx < len(due):
+                            head = due[idx]
+                            clear = head.priority > 0 or head.time != sim.now
+                        else:
+                            bucket_heap = events._bucket_heap
+                            heap = events._heap
+                            clear = not (
+                                bucket_heap
+                                and sim.now * events._inv_width
+                                >= bucket_heap[0]
+                            ) and not (
+                                heap
+                                and heap[0][0] == sim.now
+                                and heap[0][1] <= 0
+                            )
+                    else:
+                        clear = True
+                    if clear:
+                        resource._grant_now()
+                        events.merged_continuations += 1
+                        send_value = None
+                        continue
+                resource._enqueue(self, command.priority)
                 return
             if cls is Release:
                 command.resource.release(self)
-                heap = events._heap
-                if not events._immediate and not (
-                    heap
-                    and heap[0].priority <= 0
-                    and heap[0].time == sim.now
-                ):
-                    events.merged_continuations += 1
-                    send_value = None
-                    continue
-                events.push_immediate(sim.now, self._step, _STEP_ARGS)
+                if not events._immediate:
+                    if events._timed:
+                        due = events._due
+                        idx = events._due_idx
+                        if idx < len(due):
+                            head = due[idx]
+                            clear = head.priority > 0 or head.time != sim.now
+                        else:
+                            bucket_heap = events._bucket_heap
+                            heap = events._heap
+                            clear = not (
+                                bucket_heap
+                                and sim.now * events._inv_width
+                                >= bucket_heap[0]
+                            ) and not (
+                                heap
+                                and heap[0][0] == sim.now
+                                and heap[0][1] <= 0
+                            )
+                    else:
+                        clear = True
+                    if clear:
+                        events.merged_continuations += 1
+                        send_value = None
+                        continue
+                events.push_immediate(sim.now, self._step, _STEP_ARGS, True)
                 return
             if cls is WaitFor:
                 command.gate._wait(self)

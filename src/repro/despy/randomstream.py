@@ -17,7 +17,8 @@ from __future__ import annotations
 import bisect
 import hashlib
 import random
-from typing import Sequence, TypeVar
+from math import log as _log
+from typing import List, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -29,21 +30,50 @@ def derive_seed(root_seed: int, name: str) -> int:
 
 
 class RandomStream:
-    """One named random stream with the distributions VOODB needs."""
+    """One named random stream with the distributions VOODB needs.
+
+    Scalar draws are the replayable unit: every batched ``*_block``
+    method consumes *exactly* the same underlying ``random.Random``
+    draws as the equivalent run of scalar calls, so pre-drawing a block
+    from a stream is invisible to replay as long as the block replaces
+    consecutive scalar calls on that stream (draws on *other* streams
+    interleave freely — each stream owns its own generator).
+    """
 
     def __init__(self, root_seed: int, name: str) -> None:
         self.name = name
         self.root_seed = root_seed
         self._rng = random.Random(derive_seed(root_seed, name))
         self._zipf_cdfs: dict[tuple[int, float], list[float]] = {}
+        #: probability vector -> (partial sums, total, last index)
+        self._discrete_cdfs: dict = {}
+        # ``randint`` is the hottest draw in the system (workload
+        # materialization and object-graph generation draw millions);
+        # ``random.Random.randint`` costs three Python frames
+        # (randint → randrange → _randbelow) of pure argument checking
+        # per draw.  This closure performs the *identical* rejection
+        # sampling against ``getrandbits`` — the same bit stream, so
+        # draws replay bit-identically — in a single frame.
+        getrandbits = self._rng.getrandbits
+
+        def _fast_randint(low: int, high: int) -> int:
+            n = high - low + 1
+            if n <= 0:
+                raise ValueError(f"empty range for randint({low}, {high})")
+            k = n.bit_length()
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            return low + r
+
+        self._fast_randint = _fast_randint
         # The pure pass-throughs below are aliased to the underlying
-        # generator's bound methods: workload materialization draws
-        # millions of integers, and the wrapper frame is measurable.
+        # generator's bound methods: the wrapper frame is measurable.
         # The defs remain as API documentation; a subclass overriding
         # one of them keeps its override (no alias is installed then).
         cls = type(self)
         if cls.randint is RandomStream.randint:
-            self.randint = self._rng.randint
+            self.randint = _fast_randint
         if cls.random is RandomStream.random:
             self.random = self._rng.random
         if cls.uniform is RandomStream.uniform:
@@ -97,20 +127,32 @@ class RandomStream:
     def discrete(self, probabilities: Sequence[float]) -> int:
         """Index drawn according to ``probabilities`` (must sum to ~1).
 
-        Used for the OCB transaction mix (PSET/PSIMPLE/PHIER/PSTOCH).
+        Used for the OCB transaction mix (PSET/PSIMPLE/PHIER/PSTOCH) —
+        once per transaction, always with the same tuple, so the
+        validation and the cumulative sums are cached per distinct
+        probability vector.  The draw itself is the identical
+        ``random() * total`` compared against the same partial sums
+        (``bisect_right`` finds the first strict exceedance exactly as
+        the linear scan did), so sequences replay bit-for-bit.
         """
-        if any(p < 0 for p in probabilities):
-            raise ValueError("probabilities must be >= 0")
-        total = sum(probabilities)
-        if not 0.999 <= total <= 1.001:
-            raise ValueError(f"probabilities sum to {total}, expected 1.0")
+        key = tuple(probabilities)
+        cached = self._discrete_cdfs.get(key)
+        if cached is None:
+            if any(p < 0 for p in probabilities):
+                raise ValueError("probabilities must be >= 0")
+            total = sum(probabilities)
+            if not 0.999 <= total <= 1.001:
+                raise ValueError(f"probabilities sum to {total}, expected 1.0")
+            cumulative = 0.0
+            sums = []
+            for p in probabilities:
+                cumulative += p
+                sums.append(cumulative)
+            cached = self._discrete_cdfs[key] = (sums, total, len(sums) - 1)
+        sums, total, last = cached
         u = self._rng.random() * total
-        cumulative = 0.0
-        for index, p in enumerate(probabilities):
-            cumulative += p
-            if u < cumulative:
-                return index
-        return len(probabilities) - 1
+        index = bisect.bisect_right(sums, u)
+        return index if index <= last else last
 
     def zipf_index(self, n: int, skew: float) -> int:
         """Zipf-like index in [0, n): rank r drawn with weight 1/(r+1)^skew.
@@ -123,12 +165,72 @@ class RandomStream:
         if n <= 0:
             raise ValueError("n must be positive")
         if skew == 0.0:
-            return self._rng.randrange(n)
+            # Same rejection sampling as randrange(n): identical bits.
+            return self._fast_randint(0, n - 1)
         cdf = self._zipf_cdfs.get((n, skew))
         if cdf is None:
             cdf = _zipf_cdf(n, skew)
             self._zipf_cdfs[(n, skew)] = cdf
         return bisect.bisect_right(cdf, self._rng.random() * cdf[-1])
+
+    # ------------------------------------------------------------------
+    # Batched draws
+    # ------------------------------------------------------------------
+    # Each block consumes exactly the same underlying generator draws as
+    # ``count`` scalar calls, in the same order — pre-drawing a block is
+    # bit-identical to scalar consumption whenever the block stands in
+    # for consecutive scalar calls on this stream.  Hot loops consume
+    # the returned list index-wise instead of paying a method call (and
+    # the wrapper frames underneath it) per variate.
+
+    def exponential_block(self, mean: float, count: int) -> List[float]:
+        """``count`` draws equivalent to ``exponential(mean)`` each.
+
+        Replicates ``random.Random.expovariate`` exactly: one uniform
+        draw per variate, transformed with the same float operations.
+        """
+        if mean <= 0:
+            raise ValueError(f"exponential mean must be > 0, got {mean}")
+        lambd = 1.0 / mean
+        rnd = self._rng.random
+        return [-_log(1.0 - rnd()) / lambd for __ in range(count)]
+
+    def uniform_block(self, low: float, high: float, count: int) -> List[float]:
+        """``count`` draws equivalent to ``uniform(low, high)`` each."""
+        span = high - low
+        rnd = self._rng.random
+        return [low + span * rnd() for __ in range(count)]
+
+    def randint_block(self, low: int, high: int, count: int) -> List[int]:
+        """``count`` draws equivalent to ``randint(low, high)`` each."""
+        n = high - low + 1
+        if n <= 0:
+            raise ValueError(f"empty range for randint({low}, {high})")
+        k = n.bit_length()
+        getrandbits = self._rng.getrandbits
+        block = []
+        append = block.append
+        for __ in range(count):
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            append(low + r)
+        return block
+
+    def zipf_block(self, n: int, skew: float, count: int) -> List[int]:
+        """``count`` draws equivalent to ``zipf_index(n, skew)`` each."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if skew == 0.0:
+            return self.randint_block(0, n - 1, count)
+        cdf = self._zipf_cdfs.get((n, skew))
+        if cdf is None:
+            cdf = _zipf_cdf(n, skew)
+            self._zipf_cdfs[(n, skew)] = cdf
+        rnd = self._rng.random
+        top = cdf[-1]
+        right = bisect.bisect_right
+        return [right(cdf, rnd() * top) for __ in range(count)]
 
     def spawn(self, name: str) -> "RandomStream":
         """Create a child stream seeded from this stream's identity."""

@@ -74,9 +74,159 @@ class Resource:
             return True
         return False
 
+    def release_inline(self) -> bool:
+        """Release a unit; True iff the caller may keep running inline.
+
+        The exact sequence of ``yield Release(self)``: the release (with
+        its statistics and waiter wake-up) happens immediately; the
+        return value is the merged-continuation test.  On False the
+        caller must ``yield PARK`` (a shared ``Hold(0)``) — the process
+        layer then parks it on the immediate queue exactly as the
+        Release command's non-merged branch would have.
+
+        The release bookkeeping and the merge test are spelled out
+        inline (every simulated I/O and network transfer ends here); the
+        uncontended no-waiter exit never leaves this frame.  The merge
+        test replicates Process._step's — keep the copies in sync (see
+        the note in repro.despy.events).
+        """
+        in_use = self._in_use
+        if in_use <= 0:
+            raise ResourceError(f"release of idle resource {self.name!r}")
+        in_use -= 1
+        self._in_use = in_use
+        sim = self.sim
+        now = sim.now
+        busy = self.busy_units
+        if now != busy._last_time:
+            busy._area += busy._last_value * (now - busy._last_time)
+            busy._last_time = now
+        busy._last_value = in_use
+        if self._queue:
+            __, __, waiter, enqueue_time = heapq.heappop(self._queue)
+            self.queue_length.record(len(self._queue))
+            self._take()
+            self.wait_times.record(now - enqueue_time)
+            events = sim._events
+            events.push_immediate(now, waiter._step, _STEP_ARGS, True)
+            # The wake-up above makes the immediate queue non-empty, so
+            # the merge test below is False by construction.
+            return False
+        events = sim._events
+        if events._immediate:
+            return False
+        if events._timed:
+            due = events._due
+            idx = events._due_idx
+            if idx < len(due):
+                head = due[idx]
+                if head.priority <= 0 and head.time == now:
+                    return False
+            else:
+                bucket_heap = events._bucket_heap
+                heap = events._heap
+                if (
+                    bucket_heap
+                    and now * events._inv_width >= bucket_heap[0]
+                ) or (heap and heap[0][0] == now and heap[0][1] <= 0):
+                    return False
+        events.merged_continuations += 1
+        return True
+
+    def try_acquire_inline(self) -> bool:
+        """Grant a unit inline iff ``yield Request(self)`` would merge.
+
+        The exact merged-continuation test and accounting the process
+        layer performs for an uncontended ``Request`` — offered to hot
+        model generators so they can skip the Request yield's round trip
+        through the command pump entirely.  Returns False (booking
+        nothing) whenever the grant is contended or this caller is not
+        provably the next dispatch; the caller then falls back to
+        ``yield Request(self)``, which re-evaluates the same state.
+
+        The merge test and the grant accounting (:meth:`_book_grant`)
+        are spelled out inline for the same reason as
+        :meth:`release_inline`.
+        """
+        if self._in_use < self.capacity and not self._queue:
+            sim = self.sim
+            now = sim.now
+            events = sim._events
+            if events._immediate:
+                return False
+            if events._timed:
+                due = events._due
+                idx = events._due_idx
+                if idx < len(due):
+                    head = due[idx]
+                    if head.priority <= 0 and head.time == now:
+                        return False
+                else:
+                    bucket_heap = events._bucket_heap
+                    heap = events._heap
+                    if (
+                        bucket_heap
+                        and now * events._inv_width >= bucket_heap[0]
+                    ) or (heap and heap[0][0] == now and heap[0][1] <= 0):
+                        return False
+            self.total_requests += 1
+            in_use = self._in_use + 1
+            self._in_use = in_use
+            self.total_served += 1
+            busy = self.busy_units
+            if now != busy._last_time:
+                busy._area += busy._last_value * (now - busy._last_time)
+                busy._last_time = now
+            busy._last_value = in_use
+            waits = self.wait_times
+            n = waits.n + 1
+            waits.n = n
+            waits.total += 0.0
+            delta = 0.0 - waits.mean
+            waits.mean += delta / n
+            waits._m2 += delta * (0.0 - waits.mean)
+            if waits.minimum > 0.0:
+                waits.minimum = 0.0
+            if waits.maximum < 0.0:
+                waits.maximum = 0.0
+            events.merged_continuations += 1
+            return True
+        return False
+
     # ------------------------------------------------------------------
     # Process face (used by the Request/Release commands)
     # ------------------------------------------------------------------
+    # The grant/release accounting below inlines the two collectors'
+    # ``record`` bodies (the time-weighted busy integral and Welford's
+    # zero-wait update).  Every simulated I/O passes through these
+    # methods, and the method-call overhead of three ``record`` calls
+    # per grant cycle is measurable; the statement sequence — including
+    # each float operation — is exactly what the ``record`` calls
+    # perform, so the statistics stay bit-identical.
+
+    def _book_grant(self) -> None:
+        """Uncontended-grant accounting: take a unit, record zero wait."""
+        in_use = self._in_use + 1
+        self._in_use = in_use
+        self.total_served += 1
+        busy = self.busy_units
+        now = self.sim.now
+        if now != busy._last_time:
+            busy._area += busy._last_value * (now - busy._last_time)
+            busy._last_time = now
+        busy._last_value = in_use
+        waits = self.wait_times
+        n = waits.n + 1
+        waits.n = n
+        waits.total += 0.0
+        delta = 0.0 - waits.mean
+        waits.mean += delta / n
+        waits._m2 += delta * (0.0 - waits.mean)
+        if waits.minimum > 0.0:
+            waits.minimum = 0.0
+        if waits.maximum < 0.0:
+            waits.maximum = 0.0
+
     def _grant_now(self) -> None:
         """Book an uncontended grant whose process continues in place.
 
@@ -85,18 +235,16 @@ class Resource:
         keep stepping the process synchronously.
         """
         self.total_requests += 1
-        self._take()
-        self.wait_times.record(0.0)
+        self._book_grant()
 
     def _enqueue(self, process: "Process", priority: int) -> None:
         self.total_requests += 1
         if self._in_use < self.capacity and not self._queue:
             # Uncontended grant (the common case): take the unit and hand
             # the process straight to the immediate-dispatch queue.
-            self._take()
-            self.wait_times.record(0.0)
+            self._book_grant()
             sim = self.sim
-            sim._events.push_immediate(sim.now, process._step, _STEP_ARGS)
+            sim._events.push_immediate(sim.now, process._step, _STEP_ARGS, True)
             return
         heapq.heappush(
             self._queue, (priority, self._queue_seq, process, self.sim.now)
@@ -106,17 +254,24 @@ class Resource:
 
     def release(self, process: Optional["Process"] = None) -> None:
         """Return one capacity unit, waking the next queued process."""
-        if self._in_use <= 0:
+        in_use = self._in_use
+        if in_use <= 0:
             raise ResourceError(f"release of idle resource {self.name!r}")
-        self._in_use -= 1
-        self.busy_units.record(self._in_use)
+        in_use -= 1
+        self._in_use = in_use
+        busy = self.busy_units
+        now = self.sim.now
+        if now != busy._last_time:
+            busy._area += busy._last_value * (now - busy._last_time)
+            busy._last_time = now
+        busy._last_value = in_use
         if self._queue:
             __, __, waiter, enqueue_time = heapq.heappop(self._queue)
             self.queue_length.record(len(self._queue))
             self._take()
             self.wait_times.record(self.sim.now - enqueue_time)
             sim = self.sim
-            sim._events.push_immediate(sim.now, waiter._step, _STEP_ARGS)
+            sim._events.push_immediate(sim.now, waiter._step, _STEP_ARGS, True)
 
     def _take(self) -> None:
         self._in_use += 1
@@ -169,18 +324,25 @@ class Gate:
 
     def _wait(self, process: "Process") -> None:
         if self._open:
-            self.sim.wake(process._step, None)
+            sim = self.sim
+            sim._events.push_immediate(sim.now, process._step, _STEP_ARGS, True)
         else:
             self._waiters.append(process)
 
     def open(self) -> None:
-        """Open the gate, releasing every waiting process."""
+        """Open the gate, releasing every waiting process.
+
+        Wake-up events are pooled: waiters never see them, so the engine
+        may recycle each one after its dispatch.
+        """
         self._open = True
         self.times_opened += 1
         waiters, self._waiters = self._waiters, []
-        wake = self.sim.wake
+        sim = self.sim
+        events = sim._events
+        now = sim.now
         for process in waiters:
-            wake(process._step, None)
+            events.push_immediate(now, process._step, _STEP_ARGS, True)
 
     def close(self) -> None:
         self._open = False

@@ -87,41 +87,54 @@ class Database:
 
         # 1. Assign classes round-robin over a shuffled template so every
         #    class has at least one instance when NO >= NC (uniform), or
-        #    Zipf-draw when skewed.
-        obj_class: List[int] = [0] * no
+        #    Zipf-draw when skewed.  (Same draw sequence as the obvious
+        #    per-object loop — zipf_block consumes identical draws.)
         if config.class_instance_skew > 0:
-            for oid in range(no):
-                obj_class[oid] = rng.zipf_index(nc, config.class_instance_skew)
+            obj_class = rng.zipf_block(nc, config.class_instance_skew, no)
         else:
-            for oid in range(no):
-                obj_class[oid] = oid % nc
+            obj_class = [oid % nc for oid in range(no)]
             rng.shuffle(obj_class)
 
         instances_by_class: List[List[int]] = [[] for __ in range(nc)]
         position_in_class: List[int] = [0] * no
         for oid in range(no):
             cid = obj_class[oid]
-            position_in_class[oid] = len(instances_by_class[cid])
-            instances_by_class[cid].append(oid)
+            extent = instances_by_class[cid]
+            position_in_class[oid] = len(extent)
+            extent.append(oid)
 
-        # 2. Wire references.
+        # 2. Wire references.  The per-class reference plan — target
+        #    extent, its length, the locality span — is invariant across
+        #    objects, so it is resolved once per class instead of once
+        #    per (object, reference); empty extents are skipped at plan
+        #    time exactly as the inner loop skipped them.
         window = min(config.object_locality, no)
         obj_refs: List[List[int]] = [[] for __ in range(no)]
         obj_ref_types: List[List[int]] = [[] for __ in range(no)]
-        for oid in range(no):
-            own_position = position_in_class[oid]
-            for class_ref in schema[obj_class[oid]].references:
+        plans: List[list] = []
+        for cid in range(nc):
+            plan = []
+            for class_ref in schema[cid].references:
                 extent = instances_by_class[class_ref.target_cid]
                 if not extent:
                     continue
                 span = min(window, len(extent))
-                if config.reference_skew > 0:
-                    delta = rng.zipf_index(span, config.reference_skew)
+                plan.append((extent, len(extent), span, class_ref.ref_type))
+            plans.append(plan)
+        skew = config.reference_skew
+        zipf_index = rng.zipf_index
+        randint = rng.randint
+        for oid in range(no):
+            own_position = position_in_class[oid]
+            refs = obj_refs[oid]
+            ref_types = obj_ref_types[oid]
+            for extent, extent_len, span, ref_type in plans[obj_class[oid]]:
+                if skew > 0:
+                    delta = zipf_index(span, skew)
                 else:
-                    delta = rng.randint(0, span - 1)
-                target = extent[(own_position + delta) % len(extent)]
-                obj_refs[oid].append(target)
-                obj_ref_types[oid].append(class_ref.ref_type)
+                    delta = randint(0, span - 1)
+                refs.append(extent[(own_position + delta) % extent_len])
+                ref_types.append(ref_type)
         return cls(schema, obj_class, obj_refs, obj_ref_types, instances_by_class)
 
     # ------------------------------------------------------------------
@@ -136,10 +149,10 @@ class Database:
         """
         return Database(
             self.schema,
-            list(self._obj_class),
-            [list(refs) for refs in self._obj_refs],
-            [list(types) for types in self._obj_ref_types],
-            [list(extent) for extent in self._instances_by_class],
+            self._obj_class.copy(),
+            [refs.copy() for refs in self._obj_refs],
+            [types.copy() for types in self._obj_ref_types],
+            [extent.copy() for extent in self._instances_by_class],
         )
 
     def insert_object(

@@ -64,8 +64,9 @@ def _with_writes(
     oids: List[int], pwrite: float, rng: RandomStream
 ) -> tuple[Access, ...]:
     if pwrite <= 0.0:
-        return tuple((oid, False) for oid in oids)
-    return tuple((oid, rng.bernoulli(pwrite)) for oid in oids)
+        return tuple([(oid, False) for oid in oids])
+    bernoulli = rng.bernoulli
+    return tuple([(oid, bernoulli(pwrite)) for oid in oids])
 
 
 class SetOrientedAccess:
@@ -78,14 +79,21 @@ class SetOrientedAccess:
         visited = {root}
         order = [root]
         frontier = [root]
+        # The flat reference lists, accessed directly: traversals visit
+        # millions of objects per sweep and the ``refs()`` accessor
+        # frame is the single biggest cost of workload materialization.
+        obj_refs = db._obj_refs
+        add = visited.add
+        push = order.append
         for __ in range(depth):
             next_frontier: List[int] = []
+            grow = next_frontier.append
             for oid in frontier:
-                for target in db.refs(oid):
+                for target in obj_refs[oid]:
                     if target not in visited:
-                        visited.add(target)
-                        order.append(target)
-                        next_frontier.append(target)
+                        add(target)
+                        push(target)
+                        grow(target)
             if not next_frontier:
                 break
             frontier = next_frontier
@@ -103,12 +111,17 @@ class SimpleTraversal:
         # Explicit stack of (oid, remaining_depth); children pushed in
         # reverse so the visit order matches the recursive formulation.
         stack = [(root, depth)]
+        pop = stack.pop
+        push = stack.append
+        grow = order.append
+        obj_refs = db._obj_refs
         while stack:
-            oid, remaining = stack.pop()
-            order.append(oid)
+            oid, remaining = pop()
+            grow(oid)
             if remaining > 0:
-                for target in reversed(db.refs(oid)):
-                    stack.append((target, remaining - 1))
+                remaining -= 1
+                for target in reversed(obj_refs[oid]):
+                    push((target, remaining))
         return order
 
 
@@ -122,14 +135,22 @@ class HierarchyTraversal:
         visited = {root}
         order = [root]
         frontier = [root]
+        obj_refs = db._obj_refs
+        obj_ref_types = db._obj_ref_types
+        add = visited.add
+        push = order.append
         for __ in range(depth):
             next_frontier: List[int] = []
+            grow = next_frontier.append
             for oid in frontier:
-                for target in db.refs_of_type(oid, ref_type):
-                    if target not in visited:
-                        visited.add(target)
-                        order.append(target)
-                        next_frontier.append(target)
+                # refs_of_type, fused: iterate the parallel lists
+                # without materializing the filtered list per object.
+                types = obj_ref_types[oid]
+                for index, target in enumerate(obj_refs[oid]):
+                    if types[index] == ref_type and target not in visited:
+                        add(target)
+                        push(target)
+                        grow(target)
             if not next_frontier:
                 break
             frontier = next_frontier
@@ -147,12 +168,15 @@ class StochasticTraversal:
     ) -> List[int]:
         order = [root]
         current = root
+        obj_refs = db._obj_refs
+        randint = rng.randint
+        push = order.append
         for __ in range(depth):
-            refs = db.refs(current)
+            refs = obj_refs[current]
             if not refs:
                 break
-            current = refs[rng.randint(0, len(refs) - 1)]
-            order.append(current)
+            current = refs[randint(0, len(refs) - 1)]
+            push(current)
         return order
 
 

@@ -82,6 +82,36 @@ class TestPrefetchAdmission:
         assert buf.hits == 0
         assert buf.misses == 0
 
+    def test_admit_prefetched_uses_the_bound_admit_hook(self):
+        """Regression: admit_prefetched used to call self.policy.on_admit
+        directly, bypassing the bound ``_on_admit`` hot hook that
+        ``access()`` uses — so a swapped-in hook (instrumentation, a
+        policy wrapper) silently missed every prefetch admission."""
+        buf = make_buffer()
+        admitted = []
+        original = buf._on_admit
+
+        def spy(page):
+            admitted.append(page)
+            original(page)
+
+        buf._on_admit = spy
+        buf.access(1)
+        buf.admit_prefetched(2)
+        assert admitted == [1, 2]
+
+    def test_admit_prefetched_keeps_policy_bookkeeping_consistent(self):
+        """The prefetch path must feed the same policy instance the
+        demand path feeds: evicting must consider prefetched pages."""
+        buf = make_buffer(capacity=2)
+        buf.access(1)
+        buf.admit_prefetched(2)
+        buf.access(1)  # refresh page 1: page 2 is now the LRU victim
+        outcome = buf.access(3)
+        assert not outcome.hit
+        assert not buf.contains(2)
+        assert buf.contains(1)
+
 
 class TestMaintenance:
     def test_invalidate(self):

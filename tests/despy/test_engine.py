@@ -159,25 +159,26 @@ class TestRunControl:
 class TestFastDispatch:
     """The immediate-dispatch queue must be invisible except in speed."""
 
-    def test_zero_delay_events_bypass_the_heap(self):
+    def test_zero_delay_events_bypass_the_timed_tiers(self):
         sim = Simulation()
         sim.schedule(0.0, lambda: None)
         sim.run()
         assert sim.events_fast_dispatched == 1
+        assert sim.events_wheel_pushed == 0
         assert sim.events_heap_pushed == 0
 
-    def test_positive_delay_events_use_the_heap(self):
+    def test_positive_delay_events_use_the_wheel(self):
         sim = Simulation()
         sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_fast_dispatched == 0
-        assert sim.events_heap_pushed == 1
+        assert sim.events_wheel_pushed == 1
 
-    def test_prioritized_zero_delay_events_use_the_heap(self):
+    def test_prioritized_zero_delay_events_use_the_timed_tiers(self):
         sim = Simulation()
         sim.schedule(0.0, lambda: None, priority=1)
         sim.run()
-        assert sim.events_heap_pushed == 1
+        assert sim.events_wheel_pushed == 1
 
     def test_wake_runs_at_current_time_in_seq_order(self):
         sim = Simulation()

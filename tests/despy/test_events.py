@@ -163,7 +163,8 @@ class TestImmediateQueue:
         events = EventList()
         events.push(1.0, 0, _noop)
         events.push_immediate(0.0, _noop)
-        assert events.heap_pushed == 1
+        assert events.wheel_pushed == 1
+        assert events.heap_pushed == 0
         assert events.fast_scheduled == 1
         events.pop()  # the immediate
         assert events.fast_dispatched == 1

@@ -164,9 +164,12 @@ def test_jackson_rates_satisfy_the_traffic_equations(gammas, exit_share, data):
             )
         )
         total = sum(weights)
-        # scale the row so it dissipates at least ``exit_share`` of jobs
+        # scale the row so it dissipates at least ``exit_share`` of jobs;
+        # divide *first* — ``w * budget`` underflows for subnormal
+        # weights (e.g. 5e-324), which used to round the row back up to
+        # a no-exit (singular) routing matrix the oracle rejects.
         budget = 1.0 - exit_share
-        row = [w * budget / total if total > 0 else 0.0 for w in weights]
+        row = [w / total * budget if total > 0 else 0.0 for w in weights]
         routing.append(row)
     rates = jackson_arrival_rates(gammas, routing)
     for j in range(n):

@@ -1,6 +1,7 @@
 """Unit tests for reproducible random streams and their distributions."""
 
 import math
+import random
 
 import pytest
 
@@ -151,3 +152,114 @@ class TestZipf:
         stream = RandomStream(1, "z")
         with pytest.raises(ValueError):
             stream.zipf_index(0, 1.0)
+
+
+class TestScalarFastPaths:
+    """The getrandbits-based scalar paths must replay random.Random."""
+
+    def test_randint_matches_random_module_bit_for_bit(self):
+        for seed in (0, 1, 42, 2**31):
+            stream = RandomStream(seed, "ints")
+            reference = random.Random(derive_seed(seed, "ints"))
+            ours = [stream.randint(0, 97) for _ in range(400)]
+            theirs = [reference.randint(0, 97) for _ in range(400)]
+            assert ours == theirs
+            # The underlying state advanced identically too.
+            assert stream._rng.random() == reference.random()
+
+    def test_randint_degenerate_range_consumes_same_draws(self):
+        """randint(a, a) still draws bits (rejection on 1); the fast
+        path must consume the identical sequence, not short-circuit."""
+        stream = RandomStream(3, "deg")
+        reference = random.Random(derive_seed(3, "deg"))
+        assert [stream.randint(5, 5) for _ in range(50)] == [
+            reference.randint(5, 5) for _ in range(50)
+        ]
+        assert stream._rng.getstate() == reference.getstate()
+
+    def test_randint_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            RandomStream(0, "bad").randint(7, 6)
+
+    def test_zipf_skew_zero_matches_randrange(self):
+        stream = RandomStream(9, "z0")
+        reference = random.Random(derive_seed(9, "z0"))
+        assert [stream.zipf_index(33, 0.0) for _ in range(300)] == [
+            reference.randrange(33) for _ in range(300)
+        ]
+
+
+class TestBatchedDraws:
+    """Every *_block consumes exactly the draws of its scalar calls."""
+
+    def test_exponential_block_replays_scalar(self):
+        batched = RandomStream(11, "svc")
+        scalar = RandomStream(11, "svc")
+        assert batched.exponential_block(3.5, 257) == [
+            scalar.exponential(3.5) for _ in range(257)
+        ]
+        assert batched._rng.getstate() == scalar._rng.getstate()
+
+    def test_uniform_block_replays_scalar(self):
+        batched = RandomStream(12, "u")
+        scalar = RandomStream(12, "u")
+        assert batched.uniform_block(-2.0, 9.5, 100) == [
+            scalar.uniform(-2.0, 9.5) for _ in range(100)
+        ]
+        assert batched._rng.getstate() == scalar._rng.getstate()
+
+    def test_randint_block_replays_scalar(self):
+        batched = RandomStream(13, "i")
+        scalar = RandomStream(13, "i")
+        assert batched.randint_block(3, 17, 500) == [
+            scalar.randint(3, 17) for _ in range(500)
+        ]
+        assert batched._rng.getstate() == scalar._rng.getstate()
+
+    def test_zipf_block_replays_scalar_skewed_and_uniform(self):
+        for skew in (0.0, 0.86, 1.4):
+            batched = RandomStream(14, f"z{skew}")
+            scalar = RandomStream(14, f"z{skew}")
+            assert batched.zipf_block(50, skew, 300) == [
+                scalar.zipf_index(50, skew) for _ in range(300)
+            ]
+            assert batched._rng.getstate() == scalar._rng.getstate()
+
+    def test_blocks_interleave_across_named_streams(self):
+        """Blocks on one stream are invisible to every other stream, and
+        a stream mixing block refills with scalar draws *between* blocks
+        replays the all-scalar formulation draw for draw."""
+        seed = 77
+        # Batched side: alternate block refills on two streams, with
+        # scalar draws interleaved between the blocks of each stream.
+        a1 = RandomStream(seed, "alpha")
+        b1 = RandomStream(seed, "beta")
+        mixed: list = []
+        mixed += a1.exponential_block(2.0, 16)
+        mixed += b1.randint_block(0, 9, 16)
+        mixed.append(a1.exponential(2.0))
+        mixed.append(b1.randint(0, 9))
+        mixed += a1.exponential_block(2.0, 8)
+        mixed += b1.randint_block(0, 9, 8)
+        # Scalar side: the same logical consumption, one call at a time.
+        a2 = RandomStream(seed, "alpha")
+        b2 = RandomStream(seed, "beta")
+        expected: list = []
+        expected += [a2.exponential(2.0) for _ in range(16)]
+        expected += [b2.randint(0, 9) for _ in range(16)]
+        expected.append(a2.exponential(2.0))
+        expected.append(b2.randint(0, 9))
+        expected += [a2.exponential(2.0) for _ in range(8)]
+        expected += [b2.randint(0, 9) for _ in range(8)]
+        assert mixed == expected
+        assert a1._rng.getstate() == a2._rng.getstate()
+        assert b1._rng.getstate() == b2._rng.getstate()
+
+    def test_block_error_cases(self):
+        stream = RandomStream(0, "err")
+        with pytest.raises(ValueError):
+            stream.exponential_block(0.0, 4)
+        with pytest.raises(ValueError):
+            stream.randint_block(5, 4, 4)
+        with pytest.raises(ValueError):
+            stream.zipf_block(0, 1.0, 4)

@@ -1,0 +1,204 @@
+"""Hypothesis equivalence suite: wheel+heap kernel vs a pure-heap kernel.
+
+The PR-2/PR-5 contract is that the immediate queue, the calendar wheel,
+the overflow heap, the event pool and the merged-continuation fast paths
+are *invisible except in speed*: for any schedule, the dispatch order is
+exactly the total ``(time, priority, seq)`` order a single binary heap
+would produce.  These properties drive randomly generated schedules —
+nested scheduling, cancellations, ``run(until=...)`` horizon re-entry —
+through the real :class:`Simulation` and through a deliberately naive
+pure-heap reference kernel, and require identical dispatch logs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.despy import Simulation
+
+
+class HeapReferenceKernel:
+    """A minimal, obviously-correct event kernel: one binary heap.
+
+    Mirrors :class:`Simulation`'s scheduling semantics — the
+    ``(time, priority, seq)`` total order, lazy cancellation, horizon
+    handling — with none of its tiers or fast paths.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._cancelled: set[int] = set()
+
+    def schedule(self, delay: float, handler, priority: int = 0) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (self.now + delay, priority, seq, handler))
+        return seq
+
+    def cancel(self, seq: int) -> None:
+        self._cancelled.add(seq)
+
+    def run(self, until: float = math.inf) -> float:
+        heap = self._heap
+        while heap:
+            time, priority, seq, handler = heap[0]
+            if seq in self._cancelled:
+                heapq.heappop(heap)
+                continue
+            if time > until:
+                if until > self.now and not math.isinf(until):
+                    self.now = until
+                return self.now
+            heapq.heappop(heap)
+            self.now = time
+            handler()
+        if not math.isinf(until) and until > self.now:
+            self.now = until
+        return self.now
+
+
+#: One scheduling action: (delay, priority, nested actions, cancel_flag).
+#: ``nested`` actions are scheduled from inside the handler when it
+#: runs; ``cancel_flag`` marks events a sibling handler cancels before
+#: their time comes.
+_action = st.deferred(
+    lambda: st.tuples(
+        st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+        st.integers(min_value=-2, max_value=2),
+        st.lists(_action, max_size=2),
+        st.booleans(),
+    )
+)
+
+_schedules = st.lists(_action, min_size=1, max_size=12)
+
+
+def _drive_simulation(actions, horizons):
+    """Run a schedule on the real kernel; return the dispatch log."""
+    sim = Simulation()
+    log: list = []
+    cancellable: list = []
+    counter = [0]
+
+    def install(action):
+        delay, priority, nested, cancel_me = action
+        label = counter[0]
+        counter[0] += 1
+
+        def handler():
+            log.append((label, sim.now))
+            for sub in nested:
+                install(sub)
+            # Cancel the oldest still-pending cancellable event, if any:
+            # exercises lazy pruning in every tier.
+            while cancellable:
+                event = cancellable.pop(0)
+                if not event.cancelled:
+                    event.cancel()
+                    break
+
+        event = sim.schedule(delay, handler, priority=priority)
+        if cancel_me:
+            cancellable.append(event)
+
+    for action in actions:
+        install(action)
+    for horizon in horizons:
+        sim.run(until=sim.now + horizon)
+    sim.run()
+    return log
+
+
+def _drive_reference(actions, horizons):
+    """Run the same schedule on the pure-heap reference kernel."""
+    kernel = HeapReferenceKernel()
+    log: list = []
+    cancellable: list = []
+    counter = [0]
+
+    def install(action):
+        delay, priority, nested, cancel_me = action
+        label = counter[0]
+        counter[0] += 1
+
+        def handler():
+            log.append((label, kernel.now))
+            for sub in nested:
+                install(sub)
+            while cancellable:
+                seq = cancellable.pop(0)
+                if seq not in kernel._cancelled:
+                    kernel.cancel(seq)
+                    break
+
+        seq = kernel.schedule(delay, handler, priority=priority)
+        if cancel_me:
+            cancellable.append(seq)
+
+    for action in actions:
+        install(action)
+    for horizon in horizons:
+        kernel.run(until=kernel.now + horizon)
+    kernel.run()
+    return log
+
+
+@settings(max_examples=120, deadline=None)
+@given(_schedules)
+def test_dispatch_order_matches_pure_heap_reference(actions):
+    """Same schedule, same dispatch order — wheel tiers invisible."""
+    assert _drive_simulation(actions, ()) == _drive_reference(actions, ())
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    _schedules,
+    st.lists(
+        st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_horizon_reentry_matches_pure_heap_reference(actions, horizons):
+    """run(until=...) slices the same schedule at the same points.
+
+    Horizon re-entry is the adversarial case for the wheel: the clock
+    jumps past the due bucket without dispatching, so later same-tick
+    events must still merge in exact key order.
+    """
+    assert _drive_simulation(actions, horizons) == _drive_reference(
+        actions, horizons
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            st.integers(min_value=-2, max_value=2),
+        ),
+        min_size=1,
+        max_size=64,
+    ),
+    st.integers(min_value=2, max_value=7),
+)
+def test_wide_delay_mix_hits_every_tier(entries, modulus):
+    """Zero delays, tick ties and far-future overflows in one schedule.
+
+    Every ``modulus``-th entry is stretched far beyond the overflow
+    horizon, forcing wheel/heap coexistence; the dispatch order must
+    still be the reference order.
+    """
+    stretched = [
+        (delay * 1e9 if i % modulus == 0 else delay, priority)
+        for i, (delay, priority) in enumerate(entries)
+    ]
+    actions = [(delay, priority, [], False) for delay, priority in stretched]
+    assert _drive_simulation(actions, ()) == _drive_reference(actions, ())
