@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import shutil
 import subprocess
@@ -145,6 +146,26 @@ def _parse_env_side(spec: str) -> Side:
     return Side(spec, REPO_ROOT, env)
 
 
+def geomean_ratio(a: Side, b: Side, min_seconds: float) -> Optional[float]:
+    """Geometric mean of the per-bench A/B ratios above the noise floor.
+
+    The headline number: > 1.0 means side B is faster.  A geomean (of
+    ratios, not a ratio of totals) weights every bench equally, so one
+    long bench cannot mask regressions — or fake speedups — in the
+    others.  ``None`` when no bench clears the floor on either side.
+    """
+    means_a, means_b = a.means(), b.means()
+    logs = []
+    for name in set(means_a) & set(means_b):
+        ma, mb = means_a[name], means_b[name]
+        if (ma < min_seconds and mb < min_seconds) or ma <= 0 or mb <= 0:
+            continue
+        logs.append(math.log(ma / mb))
+    if not logs:
+        return None
+    return math.exp(sum(logs) / len(logs))
+
+
 def format_report(a: Side, b: Side, min_seconds: float) -> str:
     """Aligned per-bench table: mean A, mean B, ratio, noise marker."""
     means_a, means_b = a.means(), b.means()
@@ -171,6 +192,11 @@ def format_report(a: Side, b: Side, min_seconds: float) -> str:
             ["TOTAL>floor", f"{gated_a:.3f}", f"{gated_b:.3f}",
              f"{gated_a / gated_b:.2f}x", ""]
         )
+    geomean = geomean_ratio(a, b, min_seconds)
+    rows.append(
+        ["GEOMEAN", "-", "-",
+         f"{geomean:.2f}x" if geomean is not None else "-", ""]
+    )
     widths = [max(len(r[i]) for r in rows) for i in range(5)]
     lines = [
         "  ".join(cell.ljust(w) if i == 0 else cell.rjust(w)
@@ -211,6 +237,11 @@ def main(argv=None) -> int:
         help="noise floor: benches under this on both sides are excluded "
              "from the headline ratio (default 0.05)",
     )
+    parser.add_argument(
+        "--fail-below", type=float, metavar="RATIO",
+        help="exit 1 unless the geomean A/B speedup is >= RATIO "
+             "(e.g. 1.15 to assert side B at least 1.15x faster)",
+    )
     parser.add_argument("--out", help="write the JSON report here")
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress per-run chatter"
@@ -240,12 +271,14 @@ def main(argv=None) -> int:
                     print(f"pair {pair + 1}/{args.pairs}: running {side.label}")
                 side.record(_run_suite(side, bench_args, args.quiet))
         report = format_report(side_a, side_b, args.min_seconds)
+        geomean = geomean_ratio(side_a, side_b, args.min_seconds)
         print()
         print(report)
         if args.out:
             payload = {
                 "pairs": args.pairs,
                 "min_seconds": args.min_seconds,
+                "geomean_ratio": geomean,
                 "sides": [
                     {
                         "label": side.label,
@@ -262,6 +295,25 @@ def main(argv=None) -> int:
                 json.dumps(payload, indent=2) + "\n", encoding="utf-8"
             )
             print(f"\nreport written to {args.out}")
+        if args.fail_below is not None:
+            if geomean is None:
+                print(
+                    f"\nFAIL: no benches above the {args.min_seconds}s noise "
+                    f"floor — cannot assert the {args.fail_below:.2f}x target",
+                    file=sys.stderr,
+                )
+                return 1
+            if geomean < args.fail_below:
+                print(
+                    f"\nFAIL: geomean speedup {geomean:.2f}x is below the "
+                    f"{args.fail_below:.2f}x target",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"\nOK: geomean speedup {geomean:.2f}x meets the "
+                f"{args.fail_below:.2f}x target"
+            )
         return 0
     finally:
         for side in ref_sides:

@@ -1,8 +1,20 @@
-"""Bench-drift gate: fail CI when a bench's mean wall time regresses.
+"""Bench-drift gate: fail CI when the bench suite's wall time regresses.
 
 Compares a *current* benchmark timing summary against a *baseline* and
-exits non-zero when any bench shared by both regresses more than the
-threshold.  Three baseline shapes are understood:
+exits non-zero when either
+
+* the **geomean** of the per-bench current/baseline ratios drifts past
+  ``--threshold`` (the suite as a whole got slower — a geomean weights
+  every bench equally, so a regression spread thinly across many benches
+  is caught even though no single bench trips a per-bench limit), or
+* any **single bench** regresses past the ``--per-bench-threshold`` hard
+  gate (+150% by default — a localized blow-up fails even when the rest
+  of the suite's improvements would hide it from the geomean).
+
+When the ``--baseline`` file does not exist (e.g. the first CI run on a
+branch with no previous artifact), the committed trajectory snapshot
+given by ``--fallback`` (default: the repo's ``BENCH_6.json``) is used
+instead.  Three baseline shapes are understood:
 
 * the ``VOODB_BENCH_JSON`` summary the bench conftest writes
   (``{"benches": {name: seconds}, "total_wall_s": ...}``) — this is
@@ -28,8 +40,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
+from pathlib import Path
 from typing import Dict, Optional
+
+#: Committed trajectory snapshot used when the baseline artifact is
+#: missing (first run on a branch, expired CI artifact...).
+DEFAULT_FALLBACK = str(Path(__file__).resolve().parent.parent / "BENCH_6.json")
 
 
 def _from_conftest_summary(payload: dict) -> Optional[Dict[str, float]]:
@@ -117,9 +135,32 @@ def check_regression(
     return regressions
 
 
+def geomean_drift(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    min_seconds: float = 0.5,
+) -> Optional[float]:
+    """Geometric mean of the current/baseline ratios above the floor.
+
+    > 1.0 means the suite got slower overall.  ``None`` when no bench is
+    shared and above the noise floor.
+    """
+    logs = []
+    for name, base_mean in baseline.items():
+        cur_mean = current.get(name)
+        if cur_mean is None or base_mean <= 0 or cur_mean <= 0:
+            continue
+        if base_mean < min_seconds and cur_mean < min_seconds:
+            continue
+        logs.append(math.log(cur_mean / base_mean))
+    if not logs:
+        return None
+    return math.exp(sum(logs) / len(logs))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Fail when any per-bench mean regresses past the threshold."
+        description="Fail when the bench suite regresses past the thresholds."
     )
     parser.add_argument("--baseline", required=True, help="baseline timings JSON")
     parser.add_argument("--current", required=True, help="current timings JSON")
@@ -127,7 +168,14 @@ def main(argv=None) -> int:
         "--threshold",
         type=float,
         default=0.25,
-        help="allowed relative regression (0.25 = +25%%)",
+        help="allowed relative geomean regression (0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--per-bench-threshold",
+        type=float,
+        default=1.5,
+        help="hard per-bench gate: any single bench past this relative "
+        "regression fails outright (1.5 = +150%%)",
     )
     parser.add_argument(
         "--min-seconds",
@@ -136,22 +184,41 @@ def main(argv=None) -> int:
         help="ignore benches faster than this on both sides (noise floor)",
     )
     parser.add_argument(
+        "--fallback",
+        default=DEFAULT_FALLBACK,
+        help="committed snapshot used when --baseline does not exist "
+        "(default: the repo's BENCH_6.json)",
+    )
+    parser.add_argument(
         "--allow-missing",
         action="store_true",
-        help="exit 0 (with a notice) when the baseline file does not exist",
+        help="exit 0 (with a notice) when neither the baseline file nor "
+        "the fallback exists",
     )
     args = parser.parse_args(argv)
     if args.threshold <= 0:
         parser.error("--threshold must be > 0")
+    if args.per_bench_threshold <= 0:
+        parser.error("--per-bench-threshold must be > 0")
 
     try:
         baseline = load_bench_means(args.baseline)
     except FileNotFoundError:
-        if args.allow_missing:
-            print(f"no baseline at {args.baseline}; skipping the bench gate")
-            return 0
-        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
-        return 2
+        try:
+            baseline = load_bench_means(args.fallback)
+            print(
+                f"no baseline at {args.baseline}; using committed fallback "
+                f"{args.fallback}"
+            )
+        except (FileNotFoundError, ValueError):
+            if args.allow_missing:
+                print(
+                    f"no baseline at {args.baseline} and no fallback at "
+                    f"{args.fallback}; skipping the bench gate"
+                )
+                return 0
+            print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+            return 2
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -165,26 +232,45 @@ def main(argv=None) -> int:
     new = sorted(set(current) - set(baseline))
     gone = sorted(set(baseline) - set(current))
     print(
-        f"bench gate: {len(shared)} shared benches, threshold "
-        f"+{args.threshold:.0%}, noise floor {args.min_seconds}s"
+        f"bench gate: {len(shared)} shared benches, geomean threshold "
+        f"+{args.threshold:.0%}, per-bench hard gate "
+        f"+{args.per_bench_threshold:.0%}, noise floor {args.min_seconds}s"
     )
     if new:
         print(f"  new benches (not gated): {', '.join(new)}")
     if gone:
         print(f"  benches missing from current run: {', '.join(gone)}")
 
+    failed = False
+    drift = geomean_drift(baseline, current, min_seconds=args.min_seconds)
+    if drift is None:
+        print("  geomean: no benches above the noise floor to compare")
+    else:
+        print(f"  geomean drift: {(drift - 1.0):+.1%}")
+        if drift > 1.0 + args.threshold:
+            failed = True
+            print(
+                f"  geomean regressed past the +{args.threshold:.0%} "
+                "threshold"
+            )
+
     regressions = check_regression(
-        baseline, current, threshold=args.threshold, min_seconds=args.min_seconds
+        baseline,
+        current,
+        threshold=args.per_bench_threshold,
+        min_seconds=args.min_seconds,
     )
-    if not regressions:
-        print("  no regressions past the threshold")
+    if regressions:
+        failed = True
+        print(f"  {len(regressions)} bench(es) regressed past the hard gate:")
+        for name, base_mean, cur_mean, ratio in regressions:
+            print(
+                f"    {name}: {base_mean:.3f}s -> {cur_mean:.3f}s "
+                f"({(ratio - 1.0):+.0%})"
+            )
+    if not failed:
+        print("  no regressions past the thresholds")
         return 0
-    print(f"  {len(regressions)} bench(es) regressed:")
-    for name, base_mean, cur_mean, ratio in regressions:
-        print(
-            f"    {name}: {base_mean:.3f}s -> {cur_mean:.3f}s "
-            f"({(ratio - 1.0):+.0%})"
-        )
     return 1
 
 

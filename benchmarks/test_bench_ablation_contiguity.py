@@ -16,6 +16,7 @@ is a time optimization, which is exactly how Figure 5 draws it.
 
 from conftest import bench_replications, fmt_rows
 from repro.core import VOODBSimulation, build_database, run_replication
+from repro.despy import MS_PER_TICK
 from repro.systems.dstc_experiment import (
     DSTC_EXPERIMENT_PARAMETERS,
     HIERARCHY_DEPTH,
@@ -76,7 +77,7 @@ def reorganization_rows() -> list:
                 "on" if enabled else "off",
                 f"{report.overhead_ios}",
                 f"{model.io.sequential_accesses - seq_before}",
-                f"{model.sim.now - before:.0f}",
+                f"{(model.sim.now - before) * MS_PER_TICK:.0f}",
             ]
         )
     return rows

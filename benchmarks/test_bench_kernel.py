@@ -3,7 +3,8 @@
 Runs one standard replication on the default (Table 4 centralized)
 config and reports where its events went: the calendar wheel vs the
 far-future overflow heap for timed events, the immediate queue and the
-merged continuations for the zero-delay traffic, and how many Event
+merged continuations for the zero-delay traffic, the timed holds the
+warp lane absorbed without any queue at all, and how many Event
 objects the free-list pool recycled instead of allocating.
 
 The published counters are deterministic for a given config and seed, so
@@ -34,6 +35,7 @@ def test_bench_kernel_fast_path(regenerate):
         heap = sim.events_heap_pushed
         merged = sim.events_merged_continuations
         pooled = sim.events_pooled_reused
+        warped = sim.events_holds_warped
         continuations = fast + merged
         rows = [
             ["events executed", executed],
@@ -41,10 +43,13 @@ def test_bench_kernel_fast_path(regenerate):
             ["events heap pushed", heap],
             ["events fast dispatched", fast],
             ["continuations merged in place", merged],
+            ["timed holds warped in place", warped],
             ["events pooled reused", pooled],
+            ["ticks overflowed", sim.events_ticks_overflowed],
+            ["wheel recalibrations", sim.events_wheel_recalibrations],
             [
-                "heap bypass share",
-                f"{(continuations + wheel) / (continuations + wheel + heap):.3f}",
+                "queue bypass share",
+                f"{(continuations + warped) / (continuations + warped + wheel + heap):.3f}",
             ],
             ["transactions", model.tm.transactions_executed],
         ]
@@ -57,10 +62,11 @@ def test_bench_kernel_fast_path(regenerate):
     regenerate("kernel", run)
     sim = state["sim"]
     # The point of the fast paths: zero-delay continuations dominate
-    # VOODB traffic and must bypass the timed tiers entirely, timed
-    # events must ride the wheel (not the overflow heap), and dispatched
-    # continuation events must be recycled through the pool.
+    # VOODB traffic and must bypass the timed tiers entirely, and on
+    # this single-user config the warp lane must absorb the timed holds
+    # too — the whole replication runs without a single queue round
+    # trip, so the wheel, heap and pool all sit idle.
     bypassed = sim.events_fast_dispatched + sim.events_merged_continuations
     assert bypassed > sim.events_heap_pushed
-    assert sim.events_wheel_pushed > sim.events_heap_pushed
-    assert sim.events_pooled_reused > 0
+    assert sim.events_holds_warped > sim.events_wheel_pushed
+    assert sim.events_heap_pushed == 0

@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from check_regression import check_regression, load_bench_means, main
+from check_regression import (
+    check_regression,
+    geomean_drift,
+    load_bench_means,
+    main,
+)
 
 
 def write(path, payload) -> str:
@@ -82,6 +87,19 @@ class TestCheckRegression:
         assert check_regression({"a": 10.0}, {"a": 0.5}) == []
 
 
+class TestGeomeanDrift:
+    def test_balanced_suite_drifts_one(self):
+        drift = geomean_drift({"a": 1.0, "b": 2.0}, {"a": 2.0, "b": 1.0})
+        assert drift == pytest.approx(1.0)
+
+    def test_uniform_slowdown(self):
+        drift = geomean_drift({"a": 1.0, "b": 4.0}, {"a": 1.5, "b": 6.0})
+        assert drift == pytest.approx(1.5)
+
+    def test_none_when_nothing_clears_the_floor(self):
+        assert geomean_drift({"a": 0.01}, {"a": 0.02}, min_seconds=0.5) is None
+
+
 class TestMain:
     def test_green_path_exit_zero(self, tmp_path, capsys):
         baseline = write(tmp_path / "base.json", {"benches": {"a": 1.0}})
@@ -89,21 +107,46 @@ class TestMain:
         assert main(["--baseline", baseline, "--current", current]) == 0
         assert "no regressions" in capsys.readouterr().out
 
-    def test_regression_exit_one(self, tmp_path, capsys):
+    def test_geomean_regression_exit_one(self, tmp_path, capsys):
         baseline = write(tmp_path / "base.json", {"benches": {"a": 1.0}})
         current = write(tmp_path / "cur.json", {"benches": {"a": 2.0}})
         assert main(["--baseline", baseline, "--current", current]) == 1
         out = capsys.readouterr().out
-        assert "regressed" in out
-        assert "a: 1.000s -> 2.000s" in out
+        assert "geomean regressed" in out
 
-    def test_missing_baseline_fails_by_default(self, tmp_path, capsys):
-        current = write(tmp_path / "cur.json", {"benches": {"a": 1.0}})
-        missing = str(tmp_path / "absent.json")
-        assert main(["--baseline", missing, "--current", current]) == 2
+    def test_thin_spread_regression_caught_by_geomean(self, tmp_path, capsys):
+        # Every bench +40%: under the +150% hard gate, over the +25%
+        # geomean threshold — the failure mode per-bench gating misses.
+        baseline = write(
+            tmp_path / "base.json",
+            {"benches": {"a": 1.0, "b": 2.0, "c": 3.0}},
+        )
+        current = write(
+            tmp_path / "cur.json",
+            {"benches": {"a": 1.4, "b": 2.8, "c": 4.2}},
+        )
+        assert main(["--baseline", baseline, "--current", current]) == 1
+        assert "geomean regressed" in capsys.readouterr().out
 
-    def test_allow_missing_baseline(self, tmp_path, capsys):
+    def test_single_blowup_trips_the_hard_gate(self, tmp_path, capsys):
+        # Geomean stays under +25% because the other benches improved,
+        # but one bench past +150% fails outright.
+        baseline = write(
+            tmp_path / "base.json",
+            {"benches": {"a": 1.0, "b": 4.0, "c": 4.0}},
+        )
+        current = write(
+            tmp_path / "cur.json",
+            {"benches": {"a": 3.0, "b": 2.0, "c": 2.0}},
+        )
+        assert main(["--baseline", baseline, "--current", current]) == 1
+        out = capsys.readouterr().out
+        assert "hard gate" in out
+        assert "a: 1.000s -> 3.000s" in out
+
+    def test_missing_baseline_uses_fallback(self, tmp_path, capsys):
         current = write(tmp_path / "cur.json", {"benches": {"a": 1.0}})
+        fallback = write(tmp_path / "BENCH_X.json", {"benches": {"a": 1.0}})
         missing = str(tmp_path / "absent.json")
         assert (
             main(
@@ -112,6 +155,47 @@ class TestMain:
                     missing,
                     "--current",
                     current,
+                    "--fallback",
+                    fallback,
+                ]
+            )
+            == 0
+        )
+        assert "using committed fallback" in capsys.readouterr().out
+
+    def test_missing_baseline_and_fallback_fails_by_default(
+        self, tmp_path, capsys
+    ):
+        current = write(tmp_path / "cur.json", {"benches": {"a": 1.0}})
+        missing = str(tmp_path / "absent.json")
+        gone = str(tmp_path / "no-fallback.json")
+        assert (
+            main(
+                [
+                    "--baseline",
+                    missing,
+                    "--current",
+                    current,
+                    "--fallback",
+                    gone,
+                ]
+            )
+            == 2
+        )
+
+    def test_allow_missing_baseline(self, tmp_path, capsys):
+        current = write(tmp_path / "cur.json", {"benches": {"a": 1.0}})
+        missing = str(tmp_path / "absent.json")
+        gone = str(tmp_path / "no-fallback.json")
+        assert (
+            main(
+                [
+                    "--baseline",
+                    missing,
+                    "--current",
+                    current,
+                    "--fallback",
+                    gone,
                     "--allow-missing",
                 ]
             )

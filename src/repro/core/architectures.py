@@ -496,15 +496,16 @@ class PageServer(Architecture):
         request_medium = network._request_medium
         release_medium = network._release_medium
         holds = network._holds
-        ms_per_byte = network._ms_per_byte
-        msg_time = message_bytes * ms_per_byte
         msg_hold = holds.get(message_bytes)
         if msg_hold is None:
-            msg_hold = holds[message_bytes] = Hold(msg_time)
-        page_time = pgsize * ms_per_byte
+            msg_hold = holds[message_bytes] = Hold(
+                network.transfer_ticks(message_bytes)
+            )
+        msg_time = msg_hold.duration
         page_hold = holds.get(pgsize)
         if page_hold is None:
-            page_hold = holds[pgsize] = Hold(page_time)
+            page_hold = holds[pgsize] = Hold(network.transfer_ticks(pgsize))
+        page_time = page_hold.duration
         medium = network.medium
         medium_inline = medium.try_acquire_inline
         medium_release = medium.release_inline
@@ -514,7 +515,7 @@ class PageServer(Architecture):
         while True:
             network.messages += 1
             network.bytes_sent += message_bytes
-            network.busy_time_ms += msg_time
+            network.busy_ticks += msg_time
             if not medium_inline():
                 yield request_medium
             yield msg_hold
@@ -542,7 +543,7 @@ class PageServer(Architecture):
                 yield from self._miss_io(outcome, page)
             network.messages += 1
             network.bytes_sent += pgsize
-            network.busy_time_ms += page_time
+            network.busy_ticks += page_time
             if not medium_inline():
                 yield request_medium
             yield page_hold

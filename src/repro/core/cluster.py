@@ -177,6 +177,10 @@ class _ClusterIOView:
         return sum(node.io.sequential_accesses for node in self._nodes)
 
     @property
+    def busy_ticks(self) -> int:
+        return sum(node.io.busy_ticks for node in self._nodes)
+
+    @property
     def busy_time_ms(self) -> float:
         return sum(node.io.busy_time_ms for node in self._nodes)
 
@@ -319,6 +323,10 @@ class ClusterLockManager:
     @property
     def waits(self) -> int:
         return sum(node.locks.waits for node in self._nodes)
+
+    @property
+    def wait_ticks(self) -> int:
+        return sum(node.locks.wait_ticks for node in self._nodes)
 
     @property
     def wait_time_ms(self) -> float:

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.despy.randomstream import RandomStream
+from repro.despy.timebase import MS_PER_TICK, ms_to_ticks
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.despy.engine import Simulation
@@ -73,47 +74,57 @@ class FailureInjector:
         self.config = config
         self.memory = memory
         self._rng: RandomStream = sim.stream("failures")
-        self._last_transient_check = 0.0
-        self._last_crash_check = 0.0
+        # Hazard parameters converted to ticks once; the per-operation
+        # probes then stay in pure integer arithmetic.
+        self._transient_mtbf = ms_to_ticks(config.transient_mtbf_ms)
+        self._transient_penalty = ms_to_ticks(config.transient_penalty_ms)
+        self._crash_mtbf = ms_to_ticks(config.crash_mtbf_ms)
+        self._recovery_time = ms_to_ticks(config.recovery_time_ms)
+        self._last_transient_check = 0
+        self._last_crash_check = 0
         # Counters
         self.transient_faults = 0
         self.crashes = 0
-        self.downtime_ms = 0.0
+        self.downtime_ticks = 0
         self.frames_lost = 0
 
-    def io_penalty(self) -> float:
-        """Extra service time the next disk operation owes to transient
+    @property
+    def downtime_ms(self) -> float:
+        return self.downtime_ticks * MS_PER_TICK
+
+    def io_penalty(self) -> int:
+        """Extra service ticks the next disk operation owes to transient
         faults (benign hazards live at the I/O level)."""
-        if self.config.transient_mtbf_ms <= 0:
-            return 0.0
+        if self._transient_mtbf <= 0:
+            return 0
         if self._draws_fault(
-            self.sim.now, "_last_transient_check", self.config.transient_mtbf_ms
+            self.sim.now, "_last_transient_check", self._transient_mtbf
         ):
             self.transient_faults += 1
-            return self.config.transient_penalty_ms
-        return 0.0
+            return self._transient_penalty
+        return 0
 
-    def crash_check(self) -> float:
+    def crash_check(self) -> int:
         """Crash probe at a transaction boundary.
 
         Serious hazards are checked per transaction (they strike whether
         or not the workload happens to be touching the disk — a
         warm-cache system still crashes).  If a crash landed since the
         last check, the buffer is emptied here and the returned recovery
-        downtime must be held by the caller.
+        downtime (ticks) must be held by the caller.
         """
-        if self.config.crash_mtbf_ms <= 0:
-            return 0.0
+        if self._crash_mtbf <= 0:
+            return 0
         if self._draws_fault(
-            self.sim.now, "_last_crash_check", self.config.crash_mtbf_ms
+            self.sim.now, "_last_crash_check", self._crash_mtbf
         ):
             self.crashes += 1
             self.frames_lost += self.memory.invalidate_all()
-            self.downtime_ms += self.config.recovery_time_ms
-            return self.config.recovery_time_ms
-        return 0.0
+            self.downtime_ticks += self._recovery_time
+            return self._recovery_time
+        return 0
 
-    def _draws_fault(self, now: float, marker: str, mtbf: float) -> bool:
+    def _draws_fault(self, now: int, marker: str, mtbf: int) -> bool:
         """Poisson thinning: did >= 1 fault land since the last check?
 
         Multiple faults in one window fold into one (a controller retries
@@ -139,13 +150,14 @@ class NoFailures:
 
     transient_faults = 0
     crashes = 0
+    downtime_ticks = 0
     downtime_ms = 0.0
     frames_lost = 0
 
     @staticmethod
-    def io_penalty() -> float:
-        return 0.0
+    def io_penalty() -> int:
+        return 0
 
     @staticmethod
-    def crash_check() -> float:
-        return 0.0
+    def crash_check() -> int:
+        return 0

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Iterable, List
 
 from repro.despy.process import PARK, Hold, Release, Request
 from repro.despy.resource import Resource
+from repro.despy.timebase import MS_PER_TICK
 from repro.core.failures import NoFailures
 from repro.core.parameters import VOODBConfig
 
@@ -46,7 +47,7 @@ class IOSubsystem:
         "swap_reads",
         "swap_writes",
         "sequential_accesses",
-        "busy_time_ms",
+        "busy_ticks",
     )
 
     def __init__(self, sim: "Simulation", config: VOODBConfig) -> None:
@@ -63,8 +64,8 @@ class IOSubsystem:
         # Request/Release commands are immutable messages naming the
         # disk, so every operation can yield the same two instances.
         self._sequential_ok = config.sequential_optimization
-        self._sequential_time = config.sequential_io_time
-        self._random_time = config.random_io_time
+        self._sequential_time = config.sequential_io_ticks
+        self._random_time = config.random_io_ticks
         self._request_disk = Request(self.disk)
         self._release_disk = Release(self.disk)
         # Without failures every page op holds for one of exactly two
@@ -77,13 +78,18 @@ class IOSubsystem:
         self.swap_reads = 0
         self.swap_writes = 0
         self.sequential_accesses = 0
-        self.busy_time_ms = 0.0
+        self.busy_ticks = 0
+
+    @property
+    def busy_time_ms(self) -> float:
+        """Accumulated disk service time, reported in milliseconds."""
+        return self.busy_ticks * MS_PER_TICK
 
     # ------------------------------------------------------------------
     # Timing
     # ------------------------------------------------------------------
-    def _service(self, page: int) -> "tuple[float, Hold]":
-        """Contiguity-shortcut timing core: (service time, shared Hold).
+    def _service(self, page: int) -> "tuple[int, Hold]":
+        """Contiguity-shortcut timing core: (service ticks, shared Hold).
 
         The single source of truth for the Figure 5 rule.  Mutates the
         head position, so call at most once per physical access.
@@ -96,11 +102,11 @@ class IOSubsystem:
         self._last_page = page
         return pair
 
-    def access_time(self, page: int) -> float:
-        """Service time for one page, applying the contiguity shortcut."""
+    def access_time(self, page: int) -> int:
+        """Service ticks for one page, applying the contiguity shortcut."""
         return self._service(page)[0]
 
-    def _penalized(self, time: float, hold: Hold) -> "tuple[float, Hold]":
+    def _penalized(self, time: int, hold: Hold) -> "tuple[int, Hold]":
         """Apply the failure hazard's per-operation penalty, if any.
 
         Keeps the shared Hold when the penalty is zero (the usual case);
@@ -141,7 +147,7 @@ class IOSubsystem:
             time += penalty
             hold = Hold(time)
         self.reads += 1
-        self.busy_time_ms += time
+        self.busy_ticks += time
         return hold
 
     def write_hold(self, page: int) -> Hold:
@@ -159,7 +165,7 @@ class IOSubsystem:
             time += penalty
             hold = Hold(time)
         self.writes += 1
-        self.busy_time_ms += time
+        self.busy_ticks += time
         return hold
 
     def read_page(self, page: int):
@@ -192,12 +198,12 @@ class IOSubsystem:
         batch: List[int] = sorted(set(pages))
         if not self.disk.try_acquire_inline():
             yield self._request_disk
-        total = self.failures.io_penalty() if batch else 0.0
+        total = self.failures.io_penalty() if batch else 0
         for page in batch:
             time = self.access_time(page)
             self.reads += 1
             total += time
-        self.busy_time_ms += total
+        self.busy_ticks += total
         yield Hold(total)
         if not self.disk.release_inline():
             yield PARK
@@ -207,12 +213,12 @@ class IOSubsystem:
         batch: List[int] = sorted(set(pages))
         if not self.disk.try_acquire_inline():
             yield self._request_disk
-        total = self.failures.io_penalty() if batch else 0.0
+        total = self.failures.io_penalty() if batch else 0
         for page in batch:
             time = self.access_time(page)
             self.writes += 1
             total += time
-        self.busy_time_ms += total
+        self.busy_ticks += total
         yield Hold(total)
         if not self.disk.release_inline():
             yield PARK
@@ -234,7 +240,7 @@ class IOSubsystem:
             time += penalty
             hold = Hold(time)
         self.swap_reads += 1
-        self.busy_time_ms += time
+        self.busy_ticks += time
         return hold
 
     def swap_write_hold(self) -> Hold:
@@ -247,7 +253,7 @@ class IOSubsystem:
             time += penalty
             hold = Hold(time)
         self.swap_writes += 1
-        self.busy_time_ms += time
+        self.busy_ticks += time
         return hold
 
     def swap_read(self):
@@ -278,7 +284,7 @@ class IOSubsystem:
         self.swap_reads = 0
         self.swap_writes = 0
         self.sequential_accesses = 0
-        self.busy_time_ms = 0.0
+        self.busy_ticks = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<IOSubsystem reads={self.reads} writes={self.writes}>"

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
 from repro.despy.errors import ResourceError
 from repro.despy.process import Hold, Release, Request, WaitFor
 from repro.despy.resource import Gate, Resource
+from repro.despy.timebase import MS_PER_TICK
 from repro.core.parameters import VOODBConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -75,11 +76,19 @@ class LockManager:
         #: waiters list) per distinct object, so recycling them saves
         #: three allocations per lock on the sole-holder fast path.
         self._entry_pool: List[_LockEntry] = []
+        # GETLOCK/RELLOCK converted to ticks once (the config is frozen).
+        self._getlock_ticks = config.getlock_ticks
+        self._rellock_ticks = config.rellock_ticks
         # Counters
         self.acquisitions = 0
         self.releases = 0
         self.waits = 0
-        self.wait_time_ms = 0.0
+        self.wait_ticks = 0
+
+    @property
+    def wait_time_ms(self) -> float:
+        """Accumulated lock-wait time, reported in milliseconds."""
+        return self.wait_ticks * MS_PER_TICK
 
     # ------------------------------------------------------------------
     # Transaction-side protocol (yield from within processes)
@@ -127,7 +136,7 @@ class LockManager:
         and shares the list with the release sweep).
         """
         distinct = oids if presorted else sorted(set(oids))
-        lock_cost = self.config.getlock * len(distinct)
+        lock_cost = self._getlock_ticks * len(distinct)
         if lock_cost > 0:
             return self._acquire_timed(txn_id, distinct, writes, lock_cost)
         return self._acquire_sync(txn_id, distinct, writes)
@@ -177,7 +186,7 @@ class LockManager:
                 self.waits += 1
                 started = self.sim.now
                 yield WaitFor(gate)
-                self.wait_time_ms += self.sim.now - started
+                self.wait_ticks += self.sim.now - started
             self.acquisitions += 1
 
     def release_all(self, txn_id: int, oids: Iterable[int]):
@@ -192,7 +201,7 @@ class LockManager:
         """Like :meth:`release_all`; ``None`` when RELLOCK costs nothing
         (releasing never blocks, so only the Hold needs the event loop)."""
         distinct = oids if presorted else sorted(set(oids))
-        release_cost = self.config.rellock * len(distinct)
+        release_cost = self._rellock_ticks * len(distinct)
         if release_cost > 0:
             return self._release_timed(txn_id, distinct, release_cost)
         self._release_sync(txn_id, distinct)

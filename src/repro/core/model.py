@@ -30,6 +30,7 @@ from typing import Dict, Optional
 
 from repro.despy.engine import Simulation
 from repro.despy.randomstream import RandomStream
+from repro.despy.timebase import MS_PER_TICK
 from repro.clustering.base import make_clustering_policy
 from repro.clustering.placement import make_placement
 from repro.core.architectures import make_architecture
@@ -311,8 +312,19 @@ class VOODBSimulation:
         if ocb.coldn > 0:
             self.run_phase(ocb.coldn, stream_label="cold")
         phase = self.run_phase(ocb.hotn, stream_label="hot")
+        sim = self.sim
+        kernel = {
+            "events_wheel_pushed": float(sim.events_wheel_pushed),
+            "events_pooled_reused": float(sim.events_pooled_reused),
+            "ticks_overflowed": float(sim.events_ticks_overflowed),
+            "wheel_recalibrations": float(sim.events_wheel_recalibrations),
+            "holds_warped": float(sim.events_holds_warped),
+        }
         return SimulationResults(
-            phase=phase, clustering=self.clustering.report, seed=self.seed
+            phase=phase,
+            clustering=self.clustering.report,
+            seed=self.seed,
+            kernel=kernel,
         )
 
     # ------------------------------------------------------------------
@@ -341,17 +353,17 @@ class VOODBSimulation:
             "prefetch_hits": arch.prefetch_hits,
             "net_messages": network.messages,
             "net_bytes": network.bytes_sent,
-            "net_time": network.busy_time_ms,
+            "net_time": network.busy_ticks,
             "lock_acq": locks.acquisitions,
             "lock_waits": locks.waits,
-            "lock_wait_time": locks.wait_time_ms,
+            "lock_wait_time": locks.wait_ticks,
             "transactions": tm.transactions_executed,
             "accesses": tm.objects_accessed,
             "overhead_reads": report.overhead_reads,
             "overhead_writes": report.overhead_writes,
             "transient_faults": self.failures.transient_faults,
             "crashes": self.failures.crashes,
-            "downtime": self.failures.downtime_ms,
+            "downtime": self.failures.downtime_ticks,
         }
         cluster = self.cluster
         if cluster is not None:
@@ -364,10 +376,16 @@ class VOODBSimulation:
                 index = node.index
                 snapshot[f"server{index}_ios"] = node.io.total_ios
                 snapshot[f"server{index}_accesses"] = node.accesses
-                snapshot[f"server{index}_busy"] = node.io.busy_time_ms
+                snapshot[f"server{index}_busy"] = node.io.busy_ticks
         return snapshot
 
     def _collect(self, snapshot: Dict[str, float]) -> PhaseResults:
+        """Phase metrics as counter deltas.
+
+        This is the tick→ms boundary: every duration counter in the
+        snapshot is integer ticks, and the conversions below are the
+        only place phase durations become float milliseconds.
+        """
         current = self._snapshot()
 
         def delta(key: str) -> float:
@@ -389,7 +407,7 @@ class VOODBSimulation:
                     int(delta(f"server{i}_accesses")) for i in indices
                 ),
                 "server_busy_ms": tuple(
-                    delta(f"server{i}_busy") for i in indices
+                    delta(f"server{i}_busy") * MS_PER_TICK for i in indices
                 ),
                 "interconnect_messages": int(delta("interconnect_messages")),
                 "interconnect_bytes": int(delta("interconnect_bytes")),
@@ -411,17 +429,17 @@ class VOODBSimulation:
             sequential_reads=int(delta("sequential")),
             network_messages=int(delta("net_messages")),
             network_bytes=int(delta("net_bytes")),
-            network_time_ms=delta("net_time"),
+            network_time_ms=delta("net_time") * MS_PER_TICK,
             lock_acquisitions=int(delta("lock_acq")),
             lock_waits=int(delta("lock_waits")),
-            lock_wait_time_ms=delta("lock_wait_time"),
-            response_time_sum_ms=response.total,
-            response_time_max_ms=max(response.maximum, 0.0),
-            elapsed_ms=delta("time"),
+            lock_wait_time_ms=delta("lock_wait_time") * MS_PER_TICK,
+            response_time_sum_ms=response.total * MS_PER_TICK,
+            response_time_max_ms=max(response.maximum, 0) * MS_PER_TICK,
+            elapsed_ms=delta("time") * MS_PER_TICK,
             transactions_by_kind=dict(self.tm.phase_kind_counts),
             transient_faults=int(delta("transient_faults")),
             crashes=int(delta("crashes")),
-            downtime_ms=delta("downtime"),
+            downtime_ms=delta("downtime") * MS_PER_TICK,
             **cluster_fields,
         )
 

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from repro.despy.process import PARK, Hold, Release, Request
 from repro.despy.resource import Resource
+from repro.despy.timebase import MS_PER_TICK, ms_to_ticks
 from repro.core.parameters import VOODBConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,7 +40,7 @@ class Network:
         "_holds",
         "messages",
         "bytes_sent",
-        "busy_time_ms",
+        "busy_ticks",
     )
 
     def __init__(self, sim: "Simulation", config: VOODBConfig) -> None:
@@ -57,10 +58,20 @@ class Network:
         # Counters
         self.messages = 0
         self.bytes_sent = 0
-        self.busy_time_ms = 0.0
+        self.busy_ticks = 0
+
+    @property
+    def busy_time_ms(self) -> float:
+        """Accumulated medium occupancy, reported in milliseconds."""
+        return self.busy_ticks * MS_PER_TICK
 
     def transfer_time(self, nbytes: int) -> float:
+        """Unquantized transfer time in ms (reporting/estimation only)."""
         return nbytes * self._ms_per_byte
+
+    def transfer_ticks(self, nbytes: int) -> int:
+        """Tick cost of one message — the quantity the hot path holds."""
+        return ms_to_ticks(nbytes * self._ms_per_byte)
 
     def transfer(self, nbytes: int):
         """Ship one message of ``nbytes`` (yield from inside a process).
@@ -83,11 +94,13 @@ class Network:
         return self._timed_transfer(nbytes)
 
     def _timed_transfer(self, nbytes: int):
-        time = nbytes * self._ms_per_byte
-        self.busy_time_ms += time
+        # One Hold per distinct size, carrying the tick-rounded cost;
+        # the busy counter accrues the identical quantized ticks.
         hold = self._holds.get(nbytes)
         if hold is None:
-            hold = self._holds[nbytes] = Hold(time)
+            ticks = ms_to_ticks(nbytes * self._ms_per_byte)
+            hold = self._holds[nbytes] = Hold(ticks)
+        self.busy_ticks += hold.duration
         medium = self.medium
         if not medium.try_acquire_inline():
             yield self._request_medium
@@ -103,7 +116,7 @@ class Network:
     def reset_counters(self) -> None:
         self.messages = 0
         self.bytes_sent = 0
-        self.busy_time_ms = 0.0
+        self.busy_ticks = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         throughput = "inf" if self.infinite else f"{self.config.netthru}MB/s"

@@ -450,6 +450,39 @@ class VOODBConfig:
         bytes_per_ms = self.netthru * (2**20) / 1000.0
         return 1.0 / bytes_per_ms
 
+    # Tick-domain variants of the timing knobs: the model layer converts
+    # each millisecond parameter ONCE (at subsystem init) and runs the
+    # whole hot path in integer ticks (see repro.despy.timebase).
+    @property
+    def random_io_ticks(self) -> int:
+        from repro.despy.timebase import ms_to_ticks
+
+        return ms_to_ticks(self.random_io_time)
+
+    @property
+    def sequential_io_ticks(self) -> int:
+        from repro.despy.timebase import ms_to_ticks
+
+        return ms_to_ticks(self.sequential_io_time)
+
+    @property
+    def getlock_ticks(self) -> int:
+        from repro.despy.timebase import ms_to_ticks
+
+        return ms_to_ticks(self.getlock)
+
+    @property
+    def rellock_ticks(self) -> int:
+        from repro.despy.timebase import ms_to_ticks
+
+        return ms_to_ticks(self.rellock)
+
+    @property
+    def cpu_per_object_ticks(self) -> int:
+        from repro.despy.timebase import ms_to_ticks
+
+        return ms_to_ticks(self.cpu_per_object)
+
     def buffer_bytes(self) -> int:
         return self.buffsize * self.pgsize
 

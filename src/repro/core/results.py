@@ -215,6 +215,11 @@ class SimulationResults:
     seed: int = 0
     #: Results of extra phases keyed by the name given to ``run_phase``.
     extra_phases: Dict[str, PhaseResults] = field(default_factory=dict)
+    #: Kernel perf counters of the whole replication (event-list fast
+    #: paths; see :mod:`repro.despy.events`).  Flattened as ``kernel_*``
+    #: metrics so the ``voodb scenario run --json`` output can report
+    #: where the events of a scenario went.
+    kernel: Dict[str, float] = field(default_factory=dict)
 
     # Convenience pass-throughs for the headline metrics -----------------
     @property
@@ -234,4 +239,6 @@ class SimulationResults:
         metrics.update(self.clustering.to_metrics())
         for name, phase in self.extra_phases.items():
             metrics.update(phase.to_metrics(prefix=f"{name}_"))
+        for name, value in self.kernel.items():
+            metrics[f"kernel_{name}"] = float(value)
         return metrics

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.despy.process import Hold, Process
 from repro.despy.randomstream import RandomStream
+from repro.despy.timebase import ms_to_ticks
 from repro.core.parameters import ArrivalConfig, VOODBConfig
 from repro.core.transaction_manager import TransactionManager
 from repro.ocb.database import Database
@@ -144,7 +145,9 @@ class Users:
         transactions = self._materialize(
             generator, count, workload, hierarchy_type, hierarchy_depth
         )
-        think_hold = Hold(think) if think > 0 else None
+        # THINKTIME is quoted in ms (Table 3); the closed loop holds the
+        # tick-rounded duration.
+        think_hold = Hold(ms_to_ticks(think)) if think > 0 else None
         # The architecture envelope is spliced inline rather than
         # delegated to ``execute_with_envelope``: every yielded command
         # bubbles through each ``yield from`` frame on the way to the
@@ -221,7 +224,7 @@ class Users:
     def _arrival_source(
         self,
         transactions,
-        gaps: Iterator[float],
+        gaps: Iterator[int],
         stream_label: str,
     ):
         for index, txn in enumerate(transactions):

@@ -21,9 +21,11 @@ given, so an arrival sequence is a pure function of ``(seed, stream
 name)`` — replayable exactly, and independent of every other stream of
 the replication (service times, workload draws...).
 
-Times are in the simulation's time unit (milliseconds throughout
-VOODB); rates are given in arrivals **per second** to match how
-workload intensities are usually quoted.
+Parameters are quoted in the units people use — rates in arrivals **per
+second**, intervals and dwell times in milliseconds — but the yielded
+gaps are **integer ticks** (see :mod:`repro.despy.timebase`): the
+ms→tick conversion happens here, at the draw site, so the generators
+feed ``Hold`` commands directly.
 """
 
 from __future__ import annotations
@@ -31,17 +33,19 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from repro.despy.randomstream import RandomStream
+from repro.despy.timebase import ms_to_ticks
 
-#: Milliseconds per second — rates are quoted per second, gaps yielded in ms.
+#: Milliseconds per second — rates are quoted per second.
 _MS_PER_SECOND = 1000.0
 
 
-def fixed_interarrivals(interval_ms: float) -> Iterator[float]:
+def fixed_interarrivals(interval_ms: float) -> Iterator[int]:
     """Deterministic source: one arrival every ``interval_ms``."""
     if interval_ms <= 0:
         raise ValueError(f"interval_ms must be > 0, got {interval_ms}")
+    interval = ms_to_ticks(interval_ms)
     while True:
-        yield interval_ms
+        yield interval
 
 
 #: Gaps pre-drawn per refill by :func:`poisson_interarrivals`.
@@ -50,7 +54,7 @@ _POISSON_BLOCK = 256
 
 def poisson_interarrivals(
     stream: RandomStream, rate_per_s: float
-) -> Iterator[float]:
+) -> Iterator[int]:
     """Poisson source: exponential gaps with mean ``1000 / rate_per_s`` ms.
 
     Gaps are pre-drawn in blocks of ``_POISSON_BLOCK``.  The stream is
@@ -62,14 +66,14 @@ def poisson_interarrivals(
         raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
     mean_ms = _MS_PER_SECOND / rate_per_s
     while True:
-        yield from stream.exponential_block(mean_ms, _POISSON_BLOCK)
+        yield from stream.exponential_ticks_block(mean_ms, _POISSON_BLOCK)
 
 
 def mmpp_interarrivals(
     stream: RandomStream,
     rates_per_s: Sequence[float],
     dwell_ms: Sequence[float],
-) -> Iterator[float]:
+) -> Iterator[int]:
     """Markov-modulated Poisson source cycling through rate states.
 
     The process starts in state 0 and cycles ``0 -> 1 -> ... -> 0``;
@@ -108,5 +112,7 @@ def mmpp_interarrivals(
             remaining = stream.exponential(dwell_ms[state])
             gap = stream.exponential(_MS_PER_SECOND / rates_per_s[state])
         remaining -= gap
-        yield carried + gap
+        # State-machine arithmetic stays in float ms; only the yielded
+        # gap quantizes, through the one canonical ms→tick rounding.
+        yield ms_to_ticks(carried + gap)
         carried = 0.0

@@ -11,6 +11,15 @@ in two styles, mirroring how DESP-C++ models were written:
 
 Both styles share the same deterministic event ordering, so they compose.
 
+Time base
+---------
+The clock and every delay are **integer ticks** (1 tick = 2⁻²⁰ ms; see
+:mod:`repro.despy.timebase`).  Convert milliseconds at the call site
+with :func:`~repro.despy.timebase.ms_to_ticks`; fractional float delays
+raise — they are unit bugs, not near-misses.  Integral floats (including
+the ``float('inf')`` horizon sentinel, which saturates) are coerced.
+:attr:`Simulation.now_ms` reports the clock in milliseconds for display.
+
 Fast paths
 ----------
 Zero-delay, priority-0 events (the continuations that dominate VOODB:
@@ -29,16 +38,36 @@ tier carried and how many Event allocations the free-list pool saved.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, Optional, Union
 
 from repro.despy.errors import SchedulingError
 from repro.despy.events import Event, EventList
 from repro.despy.process import Process
 from repro.despy.randomstream import RandomStream
+from repro.despy.timebase import MS_PER_TICK, TICK_HORIZON, coerce_ticks
 
 #: Fence value above any real sequence number (the engine drains the
 #: immediate queue up to, but not past, a tick-tied timed event's seq).
 _NO_FENCE = 9223372036854775807
+
+
+def _coerce_horizon(until: Union[int, float]) -> Union[int, float]:
+    """Normalize a ``run(until=...)`` horizon to ticks.
+
+    ``float('inf')`` passes through (an infinite horizon compares fine
+    against integer ticks); integral floats become ints; fractional
+    floats are unit bugs and raise.
+    """
+    if isinstance(until, float):
+        if math.isinf(until):
+            return until
+        if until != until or until != int(until):
+            raise SchedulingError(
+                f"run horizon must be integer ticks, got {until!r}; "
+                "convert milliseconds with ms_to_ticks()"
+            )
+        return int(until)
+    return until
 
 
 class Simulation:
@@ -60,9 +89,10 @@ class Simulation:
     def __init__(
         self,
         seed: int = 0,
-        trace: Optional[Callable[[float, str], None]] = None,
+        trace: Optional[Callable[[int, str], None]] = None,
     ) -> None:
-        self.now: float = 0.0
+        #: current simulated time in integer ticks
+        self.now: int = 0
         self.seed = seed
         self._events = EventList()
         self._running = False
@@ -70,6 +100,17 @@ class Simulation:
         self._streams: dict[str, RandomStream] = {}
         self._processes_started = 0
         self._events_executed = 0
+        #: active hold-warp horizon (ticks).  While the untraced run
+        #: loop executes, this is the run's ``until`` (or the largest
+        #: warpable tick under an infinite horizon); -1 disables the
+        #: warp lane (outside run(), under trace, after stop()).  See
+        #: Process._step.
+        self._warp_until = -1
+
+    @property
+    def now_ms(self) -> float:
+        """The clock in milliseconds (reporting only; exact < 2**53)."""
+        return self.now * MS_PER_TICK
 
     # ------------------------------------------------------------------
     # Random streams
@@ -89,26 +130,30 @@ class Simulation:
     # ------------------------------------------------------------------
     def schedule(
         self,
-        delay: float,
+        delay: int,
         handler: Callable[..., Any],
         *args: Any,
         priority: int = 0,
     ) -> Event:
-        """Schedule ``handler(*args)`` to run ``delay`` time units from now."""
-        if delay < 0 or math.isnan(delay):
+        """Schedule ``handler(*args)`` to run ``delay`` ticks from now."""
+        if delay.__class__ is not int:
+            delay = coerce_ticks(delay)
+        if delay < 0:
             raise SchedulingError(f"delay must be >= 0, got {delay!r}")
-        if delay == 0.0 and priority == 0:
+        if delay == 0 and priority == 0:
             return self._events.push_immediate(self.now, handler, args)
         return self._events.push(self.now + delay, priority, handler, args)
 
     def schedule_at(
         self,
-        time: float,
+        time: int,
         handler: Callable[..., Any],
         *args: Any,
         priority: int = 0,
     ) -> Event:
-        """Schedule ``handler(*args)`` at an absolute simulated time."""
+        """Schedule ``handler(*args)`` at an absolute tick time."""
+        if time.__class__ is not int:
+            time = coerce_ticks(time)
         if time < self.now:
             raise SchedulingError(
                 f"cannot schedule at {time} before current time {self.now}"
@@ -118,7 +163,7 @@ class Simulation:
     def wake(self, handler: Callable[..., Any], *args: Any) -> Event:
         """Queue ``handler(*args)`` for immediate dispatch at the current time.
 
-        Equivalent to ``schedule(0.0, handler, *args)`` in every
+        Equivalent to ``schedule(0, handler, *args)`` in every
         observable way (ordering and cancellability included) — just
         spelled as what it is.
         """
@@ -131,12 +176,12 @@ class Simulation:
         self,
         generator: Generator,
         name: str = "",
-        delay: float = 0.0,
+        delay: int = 0,
         priority: int = 0,
     ) -> Process:
         """Register a generator as a simulation process.
 
-        The process starts ``delay`` time units from now.  See
+        The process starts ``delay`` ticks from now.  See
         :mod:`repro.despy.process` for the command protocol.
         """
         proc = Process(self, generator, name or f"process-{self._processes_started}")
@@ -147,20 +192,22 @@ class Simulation:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, until: float = math.inf) -> float:
+    def run(self, until: Union[int, float] = math.inf) -> int:
         """Execute events in order until the list drains or ``until``.
 
-        Returns the final simulation clock.  The clock is left at
-        ``until`` when the horizon is hit with events still pending, and
-        at the last executed event time otherwise.  An infinite horizon
-        never touches the clock (``run(until=float("inf"))`` behaves like
-        ``run()``).
+        Returns the final simulation clock (ticks).  The clock is left
+        at ``until`` when the horizon is hit with events still pending,
+        and at the last executed event time otherwise.  An infinite
+        horizon never touches the clock (``run(until=float("inf"))``
+        behaves like ``run()``).
 
         A drained simulation is *reusable*: scheduling new events and
         calling :meth:`run` again continues on the same clock.  VOODB's
         multi-phase experiments (usage run → clustering → usage run,
         paper §4.4) rely on this.
         """
+        if until.__class__ is not int:
+            until = _coerce_horizon(until)
         if self._trace is not None:
             return self._run_traced(until)
         self._running = True
@@ -173,8 +220,16 @@ class Simulation:
         fast = 0
         now = self.now
         events.now_hint = now
+        # Arm the hold-warp lane (see Process._step): a handler may
+        # advance the clock in place up to this tick when the event
+        # list is provably empty.  Holds landing at the tick horizon
+        # must keep their overflow-heap semantics, hence the -1.
+        self._warp_until = until if until.__class__ is int else TICK_HORIZON - 1
         try:
             while True:
+                # A handler may have warped the clock forward without
+                # queueing anything — re-read it every iteration.
+                now = self.now
                 # Timed head: the due list's live slice, refilled from
                 # the wheel/heap only when it runs dry.
                 if events._timed:
@@ -202,9 +257,9 @@ class Simulation:
                         # negative, or on a seq tie-break at priority 0.
                         # (Priority-0 timed events usually come from an
                         # earlier tick and win the tie-break — but a
-                        # positive delay absorbed by float rounding,
-                        # now + delay == now, lands on this tick with a
-                        # *larger* seq, so the compare is required.)
+                        # zero-tick positive delay, now + 0 == now,
+                        # lands on this tick with a *larger* seq, so
+                        # the compare is required.)
                         prio = head.priority
                         if prio < 0 or (
                             prio == 0 and head.seq < immediate[0].seq
@@ -227,6 +282,12 @@ class Simulation:
                     # pushes a timed event that could preempt this tick
                     # (preempt_dirty).
                     events.preempt_dirty = False
+                    # The timed head is fixed for this drain (pushes
+                    # that could tie the tick set preempt_dirty and
+                    # break out), so its tie status is too.
+                    tie_free = (
+                        head is None or head.time != now or head.priority > 0
+                    )
                     while immediate:
                         event = immediate[0]
                         if event.seq > seq_fence:
@@ -239,6 +300,7 @@ class Simulation:
                         # mid-run introspection matches the traced loop.
                         self._events_executed = executed
                         fast += 1
+                        events.quiet = False if immediate else tie_free
                         event.handler(*event.args)
                         if event.pooled:
                             event.handler = None
@@ -258,6 +320,24 @@ class Simulation:
                 events.now_hint = now = self.now = time
                 executed += 1
                 self._events_executed = executed
+                # Refresh the cached merged-continuation test for the
+                # new tick (the immediate queue is empty here; see
+                # EventList._compute_quiet for the due-head/fallback
+                # reasoning).
+                due = events._due
+                idx = events._due_idx
+                if idx < len(due):
+                    nxt = due[idx]
+                    events.quiet = nxt.priority > 0 or nxt.time != time
+                else:
+                    bucket_heap = events._bucket_heap
+                    heap = events._heap
+                    events.quiet = not (
+                        bucket_heap
+                        and time >> events._shift >= bucket_heap[0]
+                    ) and not (
+                        heap and heap[0][0] == time and heap[0][1] <= 0
+                    )
                 head.handler(*head.args)
                 if head.pooled:
                     head.handler = None
@@ -266,11 +346,12 @@ class Simulation:
             self._events_executed = executed
             events.fast_dispatched += fast
             self._running = False
-        if not math.isinf(until) and until > now:
+            self._warp_until = -1
+        if until.__class__ is int and until > now:
             self.now = until
         return self.now
 
-    def _run_traced(self, until: float) -> float:
+    def _run_traced(self, until: Union[int, float]) -> int:
         """Generic loop used only when a trace callback is installed."""
         self._running = True
         events = self._events
@@ -286,6 +367,7 @@ class Simulation:
                     return self.now
                 event = events.pop()
                 events.now_hint = self.now = event.time
+                events.quiet = events._compute_quiet(event.time)
                 self._events_executed += 1
                 name = getattr(event.handler, "__qualname__", "?")
                 self._trace(self.now, f"execute {name}")
@@ -295,13 +377,16 @@ class Simulation:
                     pool_append(event)
         finally:
             self._running = False
-        if not math.isinf(until) and until > self.now:
+        if until.__class__ is int and until > self.now:
             self.now = until
         return self.now
 
     def stop(self) -> None:
         """Drop every pending event, ending :meth:`run` at the current time."""
         self._events.clear()
+        # Disarm the warp lane: a process stepping on after stop() must
+        # park normally so the drained loop can actually exit.
+        self._warp_until = -1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -343,8 +428,26 @@ class Simulation:
         without any queue round-trip at all (perf counter)."""
         return self._events.merged_continuations
 
+    @property
+    def events_holds_warped(self) -> int:
+        """Timed holds that advanced the clock in place — the event
+        list was provably empty, so the push/dispatch round trip was
+        skipped entirely (perf counter)."""
+        return self._events.holds_warped
+
+    @property
+    def events_ticks_overflowed(self) -> int:
+        """Pushes saturated at the tick horizon (perf counter; see
+        :mod:`repro.despy.timebase`)."""
+        return self._events.ticks_overflowed
+
+    @property
+    def events_wheel_recalibrations(self) -> int:
+        """Adaptive bucket-width re-derivations applied (perf counter)."""
+        return self._events.wheel_recalibrations
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<Simulation t={self.now:.6g} pending={self.pending_events} "
+            f"<Simulation t={self.now} pending={self.pending_events} "
             f"seed={self.seed}>"
         )

@@ -6,26 +6,33 @@ ordering total and deterministic — two events scheduled for the same time
 and priority always execute in scheduling order, which is what makes the
 whole simulation reproducible for a given random seed.
 
+Time is an **integer tick count** (see :mod:`repro.despy.timebase`): the
+wheel's bucket index is an exact shift (``time >> shift``), clock
+compares are integer compares, and the adaptive-width recalibration is
+integer arithmetic — no float quantization anywhere in the schedule.
+
 Three storage tiers share one sequence counter:
 
 * an **immediate queue** (a plain FIFO deque) for priority-0 events at
   the current clock value — the zero-delay continuations that dominate
   VOODB traffic (resource grants, gate openings, process wake-ups);
 * a **calendar-queue event wheel** for timed events in the near future:
-  events are appended unsorted to a bucket keyed by quantized time
-  (``int(time / width)``), and a whole bucket is sorted at once — in C,
-  via an attrgetter sort key — when the clock reaches it.  The bucket
-  width adapts to the observed mean scheduling delay, and a small heap
-  of *bucket indices* (ints, one entry per bucket rather than per event)
-  finds the next non-empty bucket without scanning.  When nothing at all
-  is queued, a push skips the bucket machinery entirely and becomes the
-  due list on its own (the *singleton lane* — the common shape of
+  events are appended unsorted to a bucket keyed by the high bits of
+  their tick time (``time >> shift``; the bucket width is always a power
+  of two), and a whole bucket is sorted at once — in C, via an
+  attrgetter sort key — when the clock reaches it.  The width adapts to
+  the observed mean scheduling delay, and a small heap of *bucket
+  indices* (ints, one entry per bucket rather than per event) finds the
+  next non-empty bucket without scanning.  When nothing at all is
+  queued, a push skips the bucket machinery entirely and becomes the due
+  list on its own (the *singleton lane* — the common shape of
   low-multiprogramming phases);
 * a **binary heap** for far-future overflow: events more than
-  ``_OVERFLOW_BUCKETS`` bucket widths ahead (or at non-finite times)
-  would bloat the bucket-index heap, so they wait in a conventional heap
-  of ``(time, priority, seq, event)`` tuples and are merged, bucket by
-  bucket, as the wheel advances.
+  ``_OVERFLOW_BUCKETS`` bucket widths ahead (or saturated at the tick
+  horizon — the old "non-finite time" case) would bloat the bucket-index
+  heap, so they wait in a conventional heap of ``(time, priority, seq,
+  event)`` tuples and are merged, bucket by bucket, as the wheel
+  advances.
 
 Dispatch drains the *due list* — the sorted current bucket — by index.
 A timed event landing at or before the due bucket is insorted into the
@@ -44,7 +51,6 @@ allocates a few thousand :class:`Event` objects instead of millions.
 
 from __future__ import annotations
 
-import math
 from bisect import insort
 from collections import deque
 from heapq import heappop, heappush
@@ -52,14 +58,15 @@ from operator import attrgetter
 from typing import Any, Callable, Optional
 
 from repro.despy.errors import SchedulingError
+from repro.despy.timebase import TICK_HORIZON, TICKS_PER_MS
 
 #: Timed events further ahead than this many bucket widths go to the
 #: overflow heap instead of the wheel, bounding the bucket-index heap.
 _OVERFLOW_BUCKETS = 4096
 
 #: Pushes with a delay at or past this are excluded from the adaptive
-#: width statistics (sentinel horizons would poison the mean).
-_DELAY_STAT_CAP = 1e15
+#: width statistics (saturated horizons would poison the mean).
+_DELAY_STAT_CAP = TICK_HORIZON
 
 
 class Event:
@@ -76,7 +83,7 @@ class Event:
 
     def __init__(
         self,
-        time: float,
+        time: int,
         priority: int,
         seq: int,
         handler: Callable[..., Any],
@@ -105,7 +112,7 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
         name = getattr(self.handler, "__qualname__", repr(self.handler))
-        return f"<Event t={self.time:.6g} prio={self.priority} {name}{state}>"
+        return f"<Event t={self.time} prio={self.priority} {name}{state}>"
 
 
 #: Bucket sort key: builds the (time, priority, seq) tuples in C, once
@@ -131,8 +138,7 @@ class EventList:
         "_bucket_heap",
         "_heap",
         "_seq",
-        "_width",
-        "_inv_width",
+        "_shift",
         "_delay_sum",
         "_delay_n",
         "_timed",
@@ -141,9 +147,13 @@ class EventList:
         "fast_scheduled",
         "fast_dispatched",
         "pooled_reused",
+        "ticks_overflowed",
+        "wheel_recalibrations",
         "now_hint",
         "preempt_dirty",
+        "quiet",
         "merged_continuations",
+        "holds_warped",
     )
 
     def __init__(self) -> None:
@@ -152,8 +162,9 @@ class EventList:
         #: by index (the dead prefix is dropped wholesale on refill)
         self._due: list = []
         self._due_idx = 0
-        #: quantized-time index of the due bucket; wheel buckets and heap
-        #: entries are always strictly beyond it (see :meth:`push`)
+        #: bucket index (``time >> _shift``) of the due bucket; wheel
+        #: buckets and heap entries are always strictly beyond it (see
+        #: :meth:`push`)
         self._due_bucket = -1
         #: bucket index -> unsorted list of events
         self._buckets: dict = {}
@@ -162,13 +173,13 @@ class EventList:
         #: far-future overflow entries (conventional key-tuple heap)
         self._heap: list = []
         self._seq = 0
-        # Adaptive bucket width.  ``_inv_width == 0.0`` means
-        # uncalibrated: the first timed push seeds the width from its
-        # own delay, and the width is re-derived from the observed mean
-        # delay whenever the wheel runs empty.
-        self._width = 0.0
-        self._inv_width = 0.0
-        self._delay_sum = 0.0
+        # Adaptive bucket width, always a power of two: bucket index =
+        # ``time >> _shift``.  ``_shift < 0`` means uncalibrated: the
+        # first timed push seeds the shift from its own delay, and the
+        # shift is re-derived from the observed mean delay whenever the
+        # wheel runs empty.
+        self._shift = -1
+        self._delay_sum = 0
         self._delay_n = 0
         #: timed events still queued (live or cancelled-but-unpruned)
         self._timed = 0
@@ -182,16 +193,38 @@ class EventList:
         self.fast_dispatched = 0
         #: Event objects recycled from the free list (perf counter)
         self.pooled_reused = 0
+        #: pushes whose time saturated at the tick horizon (perf counter;
+        #: see repro.despy.timebase — these were float-inf sentinels)
+        self.ticks_overflowed = 0
+        #: adaptive-width re-derivations applied while the wheel was
+        #: empty (perf counter)
+        self.wheel_recalibrations = 0
         #: the engine's current clock, mirrored here so :meth:`push` can
         #: tell whether a new timed event could preempt the tick being
         #: drained (see ``preempt_dirty``).
-        self.now_hint = 0.0
+        self.now_hint = 0
         #: set when a timed push lands at the current tick with priority
         #: <= 0; tells the engine's drain loop to re-merge.
         self.preempt_dirty = False
+        #: cached merged-continuation test: True iff the currently
+        #: executing handler's process is provably the next dispatch
+        #: (immediate queue empty, no timed event tying the current tick
+        #: at priority <= 0).  The engine computes it exactly at each
+        #: dispatch (see :meth:`_compute_quiet`); the two push paths
+        #: that can create a tie clear it.  It may go conservatively
+        #: stale-False (a cancel can silently clear a tie) — that skips
+        #: a merge, never permits a wrong one.  One attribute load
+        #: replaces the full test on the hottest kernel sites
+        #: (``Process._step``, the inline grant/release fast paths).
+        self.quiet = False
         #: continuations the process layer ran synchronously because the
         #: process was provably the next dispatch anyway (perf counter).
         self.merged_continuations = 0
+        #: timed holds that advanced the engine clock in place because
+        #: the event list was completely empty — the sole process just
+        #: kept running at its own landing tick (perf counter; see
+        #: Process._step's warp lane).
+        self.holds_warped = 0
 
     @property
     def wheel_pushed(self) -> int:
@@ -215,7 +248,7 @@ class EventList:
     # ------------------------------------------------------------------
     def push(
         self,
-        time: float,
+        time: int,
         priority: int,
         handler: Callable[..., Any],
         args: tuple = (),
@@ -247,19 +280,17 @@ class EventList:
         now = self.now_hint
         if time <= now and priority <= 0:
             self.preempt_dirty = True
-        inv = self._inv_width
-        if inv == 0.0:
-            inv = self._calibrate(time - now)
-        if not seq & 15:
-            # Sampled width statistics: 1 push in 16 is plenty for the
-            # adaptive width and keeps the per-push cost down.
-            delay = time - now
-            if delay < _DELAY_STAT_CAP:
-                self._delay_sum += delay
+            self.quiet = False
+        shift = self._shift
+        if shift < 0:
+            shift = self._calibrate(time - now)
+        if time < TICK_HORIZON:
+            if not seq & 15:
+                # Sampled width statistics: 1 push in 16 is plenty for
+                # the adaptive width and keeps the per-push cost down.
+                self._delay_sum += time - now
                 self._delay_n += 1
-        scaled = time * inv
-        if scaled < math.inf:
-            bucket = int(scaled)
+            bucket = time >> shift
             due_bucket = self._due_bucket
             if bucket > due_bucket:
                 if bucket - due_bucket > _OVERFLOW_BUCKETS:
@@ -284,14 +315,17 @@ class EventList:
             else:
                 insort(self._due, event, self._due_idx)
         else:
+            # Saturated at the tick horizon (float-inf sentinel or an
+            # absurd delay): dispatches last, in key order, off the heap.
             heappush(self._heap, (time, priority, seq, event))
             self.heap_pushed += 1
+            self.ticks_overflowed += 1
         self._timed += 1
         return event
 
     def push_immediate(
         self,
-        time: float,
+        time: int,
         handler: Callable[..., Any],
         args: tuple = (),
         pooled: bool = False,
@@ -318,39 +352,63 @@ class EventList:
         else:
             event = Event(time, 0, seq, handler, args, pooled)
         self.fast_scheduled += 1
+        self.quiet = False
         self._immediate.append(event)
         return event
+
+    def _compute_quiet(self, now: int) -> bool:
+        """The merged-continuation test, evaluated exactly.
+
+        True iff the immediate queue is empty and no pending timed event
+        ties tick ``now`` at priority <= 0.  The due head (always the
+        earliest pending timed event while the due list is live) makes
+        the test exact; with the due list drained it falls back to
+        bucket-index checks against the wheel and overflow heap — exact
+        whenever the clock has not out-run the due bucket, conservative
+        in the rare horizon-jump states.
+        """
+        if self._immediate:
+            return False
+        if self._timed:
+            due = self._due
+            idx = self._due_idx
+            if idx < len(due):
+                head = due[idx]
+                return head.priority > 0 or head.time != now
+            bucket_heap = self._bucket_heap
+            heap = self._heap
+            return not (
+                bucket_heap and now >> self._shift >= bucket_heap[0]
+            ) and not (heap and heap[0][0] == now and heap[0][1] <= 0)
+        return True
 
     # ------------------------------------------------------------------
     # Wheel mechanics
     # ------------------------------------------------------------------
-    def _calibrate(self, delay: float) -> float:
-        """Seed the bucket width from the first observed delay."""
-        if not 0.0 < delay < _DELAY_STAT_CAP:
-            delay = 1.0
-        width = delay / 4.0
-        if width < 1e-9:
-            width = 1e-9
-        self._width = width
-        self._inv_width = 1.0 / width
-        return self._inv_width
+    def _calibrate(self, delay: int) -> int:
+        """Seed the bucket shift from the first observed delay."""
+        if not 0 < delay < _DELAY_STAT_CAP:
+            delay = TICKS_PER_MS  # 1 ms: the old float default
+        width = delay >> 2
+        # Largest power of two <= width (shift 0 = 1-tick buckets).
+        shift = width.bit_length() - 1 if width else 0
+        self._shift = shift
+        return shift
 
     def _recalibrate(self) -> None:
-        """Re-derive the bucket width from the observed mean delay.
+        """Re-derive the bucket shift from the observed mean delay.
 
         Only legal while the wheel's buckets are empty (bucket indices
         are width-relative); callers guarantee that.
         """
         n = self._delay_n
         if n >= 16:
-            mean = self._delay_sum / n
-            if 0.0 < mean < _DELAY_STAT_CAP:
-                width = mean / 4.0
-                if width < 1e-9:
-                    width = 1e-9
-                self._width = width
-                self._inv_width = 1.0 / width
-            self._delay_sum = 0.0
+            mean = self._delay_sum // n
+            if 0 < mean < _DELAY_STAT_CAP:
+                width = mean >> 2
+                self._shift = width.bit_length() - 1 if width else 0
+                self.wheel_recalibrations += 1
+            self._delay_sum = 0
             self._delay_n = 0
 
     def _advance(self):
@@ -378,50 +436,36 @@ class EventList:
             bucket_heap = self._bucket_heap
             heap = self._heap
             if bucket_heap:
-                inv = self._inv_width
+                shift = self._shift
                 bucket = bucket_heap[0]
                 batch = None
                 if heap:
-                    scaled = heap[0][0] * inv
-                    if scaled < bucket:
-                        head_bucket = int(scaled)
-                        if head_bucket < bucket:
-                            # The overflow head precedes every wheel
-                            # bucket: open its bucket instead.
-                            bucket = head_bucket
-                            batch = [heappop(heap)[3]]
+                    head_bucket = heap[0][0] >> shift
+                    if head_bucket < bucket:
+                        # The overflow head precedes every wheel
+                        # bucket: open its bucket instead.
+                        bucket = head_bucket
+                        batch = [heappop(heap)[3]]
                 if batch is None:
                     heappop(bucket_heap)
                     batch = self._buckets.pop(bucket)
-                # Absorb overflow entries falling in the same bucket.
-                # (int-floor compares: a float ``bucket + 1`` boundary
-                # would be absorbed at scaled times beyond 2**53.)
-                while heap:
-                    scaled = heap[0][0] * inv
-                    if scaled == math.inf or int(scaled) > bucket:
-                        break
+                # Absorb overflow entries falling in the same bucket
+                # (exact integer compares — no 2**53 float edge cases).
+                while heap and heap[0][0] >> shift <= bucket:
                     batch.append(heappop(heap)[3])
                 batch.sort(key=_SORT_KEY)
             elif heap:
                 # Wheel empty: a safe moment to adapt the bucket width
-                # before quantizing the overflow head's bucket.
+                # before quantizing the overflow head's bucket.  (The
+                # shift is always calibrated here: push() seeds it on
+                # the first timed event, heap-routed or not.)
                 self._recalibrate()
-                inv = self._inv_width
-                scaled = heap[0][0] * inv
-                if scaled == math.inf:
-                    # Only non-finite times remain; drain them together.
-                    batch = [entry[3] for entry in sorted(heap)]
-                    heap.clear()
-                    bucket = self._due_bucket
-                else:
-                    bucket = int(scaled)
-                    batch = [heappop(heap)[3]]
-                    while heap:
-                        scaled = heap[0][0] * inv
-                        if scaled == math.inf or int(scaled) > bucket:
-                            break
-                        batch.append(heappop(heap)[3])
-                    batch.sort(key=_SORT_KEY)
+                shift = self._shift
+                bucket = heap[0][0] >> shift
+                batch = [heappop(heap)[3]]
+                while heap and heap[0][0] >> shift <= bucket:
+                    batch.append(heappop(heap)[3])
+                batch.sort(key=_SORT_KEY)
             else:
                 # Fully drained: adapt the width for the next burst and
                 # re-anchor the due bucket at the current clock so fresh
@@ -429,11 +473,9 @@ class EventList:
                 self._due = []
                 self._due_idx = 0
                 self._recalibrate()
-                inv = self._inv_width
-                if inv:
-                    scaled = self.now_hint * inv
-                    if scaled < math.inf:
-                        self._due_bucket = int(scaled)
+                shift = self._shift
+                if shift >= 0:
+                    self._due_bucket = self.now_hint >> shift
                 return None
             self._due = due = batch
             self._due_bucket = bucket
@@ -518,7 +560,7 @@ class EventList:
             self._timed -= 1
         return event
 
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> Optional[int]:
         """Time of the next live event, or ``None`` if the list is empty."""
         event = self._head()
         return None if event is None else event.time
@@ -531,3 +573,4 @@ class EventList:
         self._bucket_heap.clear()
         self._heap.clear()
         self._timed = 0
+        self.quiet = False

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Generator
 
 from repro.despy.errors import SchedulingError
+from repro.despy.timebase import coerce_ticks
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.despy.engine import Simulation
@@ -31,11 +32,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 
 class Hold:
-    """Command: advance this process by ``duration`` simulated time units."""
+    """Command: advance this process by ``duration`` integer ticks.
+
+    Durations are ticks (see :mod:`repro.despy.timebase`); fractional
+    floats raise at construction — convert milliseconds at the call
+    site with :func:`~repro.despy.timebase.ms_to_ticks`.
+    """
 
     __slots__ = ("duration", "priority")
 
-    def __init__(self, duration: float, priority: int = 0) -> None:
+    def __init__(self, duration: int, priority: int = 0) -> None:
+        if duration.__class__ is not int:
+            duration = coerce_ticks(duration)
         if duration < 0:
             raise SchedulingError(f"hold duration must be >= 0, got {duration}")
         self.duration = duration
@@ -82,7 +90,7 @@ _STEP_ARGS = (None,)
 #: called :meth:`repro.despy.resource.Resource.release_inline` and was
 #: told it may not keep running yields this to defer itself through the
 #: immediate queue — the exact non-merged branch of ``yield Release``.
-PARK = Hold(0.0)
+PARK = Hold(0)
 
 
 class Process:
@@ -140,13 +148,13 @@ class Process:
         order (and therefore every statistic and random draw) is
         bit-identical; only the queue round-trip disappears.
 
-        The tick-tie test reads the wheel's due head (always the
-        earliest pending timed event while the due list is non-empty).
-        With the due list drained it falls back to bucket-index checks
-        against the wheel and overflow heap — exact whenever the clock
-        has not out-run the due bucket, and *conservative* (skip the
-        merge, park on the immediate queue) in the rare horizon-jump
-        states where a tick tie cannot be ruled out cheaply; the
+        The test itself is the event list's cached ``quiet`` flag — one
+        attribute load.  The engine computes it exactly at every
+        dispatch (reading the wheel's due head, with conservative
+        bucket-index fallbacks; see ``EventList._compute_quiet``) and
+        the push paths that can create a tick tie clear it, so the flag
+        always equals the full test, erring only on the conservative
+        side (skip the merge, park on the immediate queue) — the
         engine's merge loop then re-establishes the exact order.
         """
         send = self._send
@@ -163,107 +171,60 @@ class Process:
             if cls is Hold:
                 duration = command.duration
                 priority = command.priority
-                if duration == 0.0 and priority == 0:
-                    if not events._immediate:
-                        if events._timed:
-                            due = events._due
-                            idx = events._due_idx
-                            if idx < len(due):
-                                head = due[idx]
-                                clear = (
-                                    head.priority > 0 or head.time != sim.now
-                                )
-                            else:
-                                bucket_heap = events._bucket_heap
-                                heap = events._heap
-                                clear = not (
-                                    bucket_heap
-                                    and sim.now * events._inv_width
-                                    >= bucket_heap[0]
-                                ) and not (
-                                    heap
-                                    and heap[0][0] == sim.now
-                                    and heap[0][1] <= 0
-                                )
-                        else:
-                            clear = True
-                        if clear:
-                            events.merged_continuations += 1
-                            send_value = None
-                            continue
+                if duration == 0 and priority == 0:
+                    if events.quiet:
+                        events.merged_continuations += 1
+                        send_value = None
+                        continue
                     events.push_immediate(sim.now, self._step, _STEP_ARGS, True)
                 else:
-                    # Hold already rejected negative durations; only the
-                    # NaN check from Simulation.schedule still applies.
-                    if duration != duration:
-                        raise SchedulingError(
-                            f"delay must be >= 0, got {duration!r}"
-                        )
-                    events.push(
-                        sim.now + duration, priority, self._step, _STEP_ARGS, True
-                    )
+                    time = sim.now + duration
+                    # Warp lane: when the event list is *completely*
+                    # empty, this process is the entire simulation — the
+                    # push would come straight back to it as the next
+                    # dispatch at ``time``.  Advance the clock in place
+                    # instead (within the run's armed horizon) and keep
+                    # sending.  Clock and statistics are bit-identical;
+                    # only the push/dispatch round trip disappears.
+                    if (
+                        priority == 0
+                        and not events._timed
+                        and not events._immediate
+                        and time <= sim._warp_until
+                    ):
+                        sim.now = time
+                        events.now_hint = time
+                        events.quiet = True
+                        events.holds_warped += 1
+                        send_value = None
+                        continue
+                    # Hold validated the duration (int, >= 0) at
+                    # construction — push without re-checking.
+                    events.push(time, priority, self._step, _STEP_ARGS, True)
                 return
             if cls is Request:
                 resource = command.resource
                 if (
-                    resource._in_use < resource.capacity
+                    events.quiet
+                    and resource._in_use < resource.capacity
                     and not resource._queue
-                    and not events._immediate
                 ):
-                    if events._timed:
-                        due = events._due
-                        idx = events._due_idx
-                        if idx < len(due):
-                            head = due[idx]
-                            clear = head.priority > 0 or head.time != sim.now
-                        else:
-                            bucket_heap = events._bucket_heap
-                            heap = events._heap
-                            clear = not (
-                                bucket_heap
-                                and sim.now * events._inv_width
-                                >= bucket_heap[0]
-                            ) and not (
-                                heap
-                                and heap[0][0] == sim.now
-                                and heap[0][1] <= 0
-                            )
-                    else:
-                        clear = True
-                    if clear:
-                        resource._grant_now()
-                        events.merged_continuations += 1
-                        send_value = None
-                        continue
+                    resource._grant_now()
+                    events.merged_continuations += 1
+                    send_value = None
+                    continue
                 resource._enqueue(self, command.priority)
                 return
             if cls is Release:
+                # release() may wake a waiter via push_immediate, which
+                # clears the quiet flag — the merge test below then
+                # parks this process behind the woken one, exactly the
+                # Release command's documented order.
                 command.resource.release(self)
-                if not events._immediate:
-                    if events._timed:
-                        due = events._due
-                        idx = events._due_idx
-                        if idx < len(due):
-                            head = due[idx]
-                            clear = head.priority > 0 or head.time != sim.now
-                        else:
-                            bucket_heap = events._bucket_heap
-                            heap = events._heap
-                            clear = not (
-                                bucket_heap
-                                and sim.now * events._inv_width
-                                >= bucket_heap[0]
-                            ) and not (
-                                heap
-                                and heap[0][0] == sim.now
-                                and heap[0][1] <= 0
-                            )
-                    else:
-                        clear = True
-                    if clear:
-                        events.merged_continuations += 1
-                        send_value = None
-                        continue
+                if events.quiet:
+                    events.merged_continuations += 1
+                    send_value = None
+                    continue
                 events.push_immediate(sim.now, self._step, _STEP_ARGS, True)
                 return
             if cls is WaitFor:

@@ -20,6 +20,8 @@ import random
 from math import log as _log
 from typing import List, Sequence, TypeVar
 
+from repro.despy.timebase import ms_to_ticks
+
 T = TypeVar("T")
 
 
@@ -92,6 +94,17 @@ class RandomStream:
         if mean <= 0:
             raise ValueError(f"exponential mean must be > 0, got {mean}")
         return self._rng.expovariate(1.0 / mean)
+
+    def exponential_ticks(self, mean_ms: float) -> int:
+        """One exponential delay with mean ``mean_ms``, in integer ticks.
+
+        The draw-site conversion for the tick time base: consumes the
+        identical underlying draw as :meth:`exponential`, then rounds
+        through :func:`~repro.despy.timebase.ms_to_ticks` — the one
+        canonical ms→tick rounding, so every delay in the system
+        quantizes the same way.
+        """
+        return ms_to_ticks(self.exponential(mean_ms))
 
     def normal(self, mean: float, stdev: float) -> float:
         return self._rng.gauss(mean, stdev)
@@ -194,6 +207,19 @@ class RandomStream:
         lambd = 1.0 / mean
         rnd = self._rng.random
         return [-_log(1.0 - rnd()) / lambd for __ in range(count)]
+
+    def exponential_ticks_block(self, mean_ms: float, count: int) -> List[int]:
+        """``count`` draws equivalent to ``exponential_ticks(mean_ms)`` each.
+
+        Same underlying draws as :meth:`exponential_block`, converted at
+        the draw site with the canonical ms→tick rounding.
+        """
+        if mean_ms <= 0:
+            raise ValueError(f"exponential mean must be > 0, got {mean_ms}")
+        lambd = 1.0 / mean_ms
+        rnd = self._rng.random
+        convert = ms_to_ticks
+        return [convert(-_log(1.0 - rnd()) / lambd) for __ in range(count)]
 
     def uniform_block(self, low: float, high: float, count: int) -> List[float]:
         """``count`` draws equivalent to ``uniform(low, high)`` each."""

@@ -40,7 +40,7 @@ class Resource:
         self.name = name
         self.capacity = capacity
         self._in_use = 0
-        self._queue: list[tuple[int, int, "Process", float]] = []
+        self._queue: list[tuple[int, int, "Process", int]] = []
         self._queue_seq = 0
         # Statistics
         self.busy_units = TimeWeightedStats(sim)
@@ -84,11 +84,11 @@ class Resource:
         layer then parks it on the immediate queue exactly as the
         Release command's non-merged branch would have.
 
-        The release bookkeeping and the merge test are spelled out
-        inline (every simulated I/O and network transfer ends here); the
-        uncontended no-waiter exit never leaves this frame.  The merge
-        test replicates Process._step's — keep the copies in sync (see
-        the note in repro.despy.events).
+        The release bookkeeping is spelled out inline (every simulated
+        I/O and network transfer ends here); the uncontended no-waiter
+        exit never leaves this frame.  The merge test is the event
+        list's cached ``quiet`` flag — the same one Process._step reads
+        (see the note in repro.despy.events).
         """
         in_use = self._in_use
         if in_use <= 0:
@@ -109,29 +109,14 @@ class Resource:
             self.wait_times.record(now - enqueue_time)
             events = sim._events
             events.push_immediate(now, waiter._step, _STEP_ARGS, True)
-            # The wake-up above makes the immediate queue non-empty, so
-            # the merge test below is False by construction.
+            # The wake-up above cleared the quiet flag, so the merge
+            # test below is False by construction.
             return False
         events = sim._events
-        if events._immediate:
-            return False
-        if events._timed:
-            due = events._due
-            idx = events._due_idx
-            if idx < len(due):
-                head = due[idx]
-                if head.priority <= 0 and head.time == now:
-                    return False
-            else:
-                bucket_heap = events._bucket_heap
-                heap = events._heap
-                if (
-                    bucket_heap
-                    and now * events._inv_width >= bucket_heap[0]
-                ) or (heap and heap[0][0] == now and heap[0][1] <= 0):
-                    return False
-        events.merged_continuations += 1
-        return True
+        if events.quiet:
+            events.merged_continuations += 1
+            return True
+        return False
 
     def try_acquire_inline(self) -> bool:
         """Grant a unit inline iff ``yield Request(self)`` would merge.
@@ -148,27 +133,10 @@ class Resource:
         are spelled out inline for the same reason as
         :meth:`release_inline`.
         """
-        if self._in_use < self.capacity and not self._queue:
-            sim = self.sim
+        sim = self.sim
+        events = sim._events
+        if events.quiet and self._in_use < self.capacity and not self._queue:
             now = sim.now
-            events = sim._events
-            if events._immediate:
-                return False
-            if events._timed:
-                due = events._due
-                idx = events._due_idx
-                if idx < len(due):
-                    head = due[idx]
-                    if head.priority <= 0 and head.time == now:
-                        return False
-                else:
-                    bucket_heap = events._bucket_heap
-                    heap = events._heap
-                    if (
-                        bucket_heap
-                        and now * events._inv_width >= bucket_heap[0]
-                    ) or (heap and heap[0][0] == now and heap[0][1] <= 0):
-                        return False
             self.total_requests += 1
             in_use = self._in_use + 1
             self._in_use = in_use

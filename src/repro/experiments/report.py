@@ -22,6 +22,18 @@ from repro.experiments.specs import SweepResult
 from repro.experiments.tables import TABLE_7_REFERENCE, DSTCExperimentResult
 
 
+#: Kernel perf counters surfaced in the ``scenario run --json`` payload
+#: (recorded per replication by ``VOODBSimulation.run``; see
+#: :mod:`repro.despy.events` for what each one measures).
+_KERNEL_COUNTERS = (
+    "events_wheel_pushed",
+    "events_pooled_reused",
+    "ticks_overflowed",
+    "wheel_recalibrations",
+    "holds_warped",
+)
+
+
 def _format_row(columns: List[str], widths: List[int]) -> str:
     return "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
 
@@ -146,6 +158,17 @@ def scenario_to_json(scenario, result: SweepResult) -> Dict[str, Any]:
         "base_seed": scenario.base_seed,
         "metrics": metrics,
     }
+    kernel: Dict[str, Any] = {}
+    for counter in _KERNEL_COUNTERS:
+        metric = f"kernel_{counter}"
+        if all(metric in analyzer.metrics() for analyzer in result.analyzers):
+            kernel[counter] = {
+                "means": [
+                    analyzer.mean(metric) for analyzer in result.analyzers
+                ]
+            }
+    if kernel:
+        payload["kernel"] = kernel
     servers_per_point = _cluster_servers_per_point(scenario)
     if any(servers_per_point):
         payload["cluster"] = {

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.despy import Simulation
+from repro.despy import Simulation, ticks_to_ms
 from repro.core import IOSubsystem, VOODBConfig
 
 
@@ -20,42 +20,42 @@ def drive(sim, generator):
 class TestFigure5Rule:
     def test_random_access_pays_search_latency_transfer(self):
         sim, io = make_io()
-        assert io.access_time(10) == pytest.approx(7.4 + 4.3 + 0.5)
+        assert ticks_to_ms(io.access_time(10)) == pytest.approx(7.4 + 4.3 + 0.5)
 
     def test_contiguous_access_pays_transfer_only(self):
         sim, io = make_io()
         io.access_time(10)
-        assert io.access_time(11) == pytest.approx(0.5)
+        assert ticks_to_ms(io.access_time(11)) == pytest.approx(0.5)
         assert io.sequential_accesses == 1
 
     def test_backward_jump_is_random(self):
         sim, io = make_io()
         io.access_time(10)
-        assert io.access_time(9) == pytest.approx(12.2)
+        assert ticks_to_ms(io.access_time(9)) == pytest.approx(12.2)
 
     def test_same_page_twice_is_random(self):
         """Re-reading the same page needs a new rotation: not contiguous."""
         sim, io = make_io()
         io.access_time(10)
-        assert io.access_time(10) == pytest.approx(12.2)
+        assert ticks_to_ms(io.access_time(10)) == pytest.approx(12.2)
 
     def test_first_access_never_sequential(self):
         sim, io = make_io()
-        assert io.access_time(0) == pytest.approx(12.2)
+        assert ticks_to_ms(io.access_time(0)) == pytest.approx(12.2)
 
 
 class TestTimedOperations:
     def test_read_page_advances_clock(self):
         sim, io = make_io()
         drive(sim, io.read_page(5))
-        assert sim.now == pytest.approx(12.2)
+        assert sim.now_ms == pytest.approx(12.2)
         assert io.reads == 1
 
     def test_write_page_counts_and_times(self):
         sim, io = make_io()
         drive(sim, io.write_page(5))
         assert io.writes == 1
-        assert sim.now == pytest.approx(12.2)
+        assert sim.now_ms == pytest.approx(12.2)
 
     def test_sequential_chain_is_cheap(self):
         sim, io = make_io()
@@ -66,14 +66,14 @@ class TestTimedOperations:
             yield from io.read_page(7)
 
         drive(sim, chain())
-        assert sim.now == pytest.approx(12.2 + 0.5 + 0.5)
+        assert sim.now_ms == pytest.approx(12.2 + 0.5 + 0.5)
         assert io.sequential_accesses == 2
 
     def test_bulk_read_sorts_for_contiguity(self):
         sim, io = make_io()
         drive(sim, io.read_pages([9, 7, 8]))
         # 7 random, then 8 and 9 sequential
-        assert sim.now == pytest.approx(12.2 + 0.5 + 0.5)
+        assert sim.now_ms == pytest.approx(12.2 + 0.5 + 0.5)
         assert io.reads == 3
 
     def test_bulk_read_deduplicates(self):
@@ -85,7 +85,7 @@ class TestTimedOperations:
         sim, io = make_io()
         drive(sim, io.write_pages([2, 1]))
         assert io.writes == 2
-        assert sim.now == pytest.approx(12.2 + 0.5)
+        assert sim.now_ms == pytest.approx(12.2 + 0.5)
 
     def test_disk_serializes_concurrent_io(self):
         sim, io = make_io()
@@ -93,7 +93,7 @@ class TestTimedOperations:
 
         def reader(tag):
             yield from io.read_page(100 + tag * 50)
-            done.append((tag, sim.now))
+            done.append((tag, sim.now_ms))
 
         sim.process(reader(0))
         sim.process(reader(1))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.despy import Hold, Simulation
+from repro.despy import Hold, Simulation, ms_to_ticks
 from repro.core import LockManager, VOODBConfig
 
 
@@ -22,7 +22,7 @@ class TestAdmission:
             yield from locks.admit()
             inside.append(tag)
             peak[0] = max(peak[0], locks.admission.in_use)
-            yield Hold(5.0)
+            yield Hold(ms_to_ticks(5.0))
             yield from locks.leave()
 
         for tag in range(4):
@@ -30,7 +30,7 @@ class TestAdmission:
         sim.run()
         assert len(inside) == 4
         assert peak[0] == 2
-        assert sim.now == pytest.approx(10.0)
+        assert sim.now_ms == pytest.approx(10.0)
 
 
 class TestLockTimes:
@@ -43,7 +43,7 @@ class TestLockTimes:
 
         sim.process(txn())
         sim.run()
-        assert sim.now == pytest.approx(1.5)
+        assert sim.now_ms == pytest.approx(1.5)
         assert locks.acquisitions == 3
 
     def test_rellock_paid_per_distinct_object(self):
@@ -55,7 +55,7 @@ class TestLockTimes:
 
         sim.process(txn())
         sim.run()
-        assert sim.now == pytest.approx(1.0)
+        assert sim.now_ms == pytest.approx(1.0)
 
     def test_zero_lock_times_cost_nothing(self):
         sim, locks = make_locks(getlock=0.0, rellock=0.0)
@@ -66,7 +66,7 @@ class TestLockTimes:
 
         sim.process(txn())
         sim.run()
-        assert sim.now == 0.0
+        assert sim.now_ms == 0.0
 
 
 class TestSharing:
@@ -76,8 +76,8 @@ class TestSharing:
 
         def reader(tag):
             yield from locks.acquire_all(tag, [42], set())
-            progress.append((tag, sim.now))
-            yield Hold(3.0)
+            progress.append((tag, sim.now_ms))
+            yield Hold(ms_to_ticks(3.0))
             yield from locks.release_all(tag, [42])
 
         sim.process(reader(0))
@@ -93,13 +93,13 @@ class TestSharing:
 
         def writer():
             yield from locks.acquire_all(0, [42], {42})
-            yield Hold(4.0)
+            yield Hold(ms_to_ticks(4.0))
             yield from locks.release_all(0, [42])
 
         def reader():
-            yield Hold(1.0)
+            yield Hold(ms_to_ticks(1.0))
             yield from locks.acquire_all(1, [42], set())
-            progress.append(sim.now)
+            progress.append(sim.now_ms)
             yield from locks.release_all(1, [42])
 
         sim.process(writer())
@@ -115,13 +115,13 @@ class TestSharing:
 
         def reader():
             yield from locks.acquire_all(0, [7], set())
-            yield Hold(2.0)
+            yield Hold(ms_to_ticks(2.0))
             yield from locks.release_all(0, [7])
 
         def writer():
-            yield Hold(0.5)
+            yield Hold(ms_to_ticks(0.5))
             yield from locks.acquire_all(1, [7], {7})
-            progress.append(sim.now)
+            progress.append(sim.now_ms)
             yield from locks.release_all(1, [7])
 
         sim.process(reader())
@@ -135,8 +135,8 @@ class TestSharing:
 
         def txn(tag, oid):
             yield from locks.acquire_all(tag, [oid], {oid})
-            progress.append((tag, sim.now))
-            yield Hold(2.0)
+            progress.append((tag, sim.now_ms))
+            yield Hold(ms_to_ticks(2.0))
             yield from locks.release_all(tag, [oid])
 
         sim.process(txn(0, 1))
@@ -151,7 +151,7 @@ class TestSharing:
         def txn():
             yield from locks.acquire_all(0, [5], set())
             yield from locks.acquire_all(0, [5], set())  # idempotent
-            done.append(sim.now)
+            done.append(sim.now_ms)
             yield from locks.release_all(0, [5])
 
         sim.process(txn())
@@ -178,10 +178,10 @@ class TestContention:
         def writer(tag):
             yield from locks.admit()
             yield from locks.acquire_all(tag, [99], {99})
-            yield Hold(1.0)
+            yield Hold(ms_to_ticks(1.0))
             yield from locks.release_all(tag, [99])
             yield from locks.leave()
-            finished.append(sim.now)
+            finished.append(sim.now_ms)
 
         for tag in range(3):
             sim.process(writer(tag))

@@ -111,7 +111,7 @@ class TestPhases:
         assert first.transactions == 10
         assert second.transactions == 10
         assert second.elapsed_ms > 0
-        assert model.sim.now == pytest.approx(
+        assert model.sim.now_ms == pytest.approx(
             first.elapsed_ms + second.elapsed_ms
         )
 

@@ -37,7 +37,7 @@ class TestTransfers:
         sim, net = make_network(netthru=1.0)
         sim.process(net.transfer(2**20))
         sim.run()
-        assert sim.now == pytest.approx(1000.0)
+        assert sim.now_ms == pytest.approx(1000.0)
         assert net.messages == 1
         assert net.bytes_sent == 2**20
 
@@ -50,7 +50,7 @@ class TestTransfers:
 
         sim.process(work())
         sim.run()
-        assert sim.now == 0.0
+        assert sim.now == 0
         assert net.messages == 2
         assert net.bytes_sent == 4096 + 128
 
@@ -67,7 +67,7 @@ class TestTransfers:
 
         def sender(tag):
             yield from net.transfer(2**20)
-            finished.append((tag, sim.now))
+            finished.append((tag, sim.now_ms))
 
         sim.process(sender(0))
         sim.process(sender(1))

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.despy import MS_PER_TICK
 from repro.core import (
     ArrivalConfig,
     SystemClass,
@@ -97,7 +98,7 @@ class TestThinkTime:
         slow = make_model(ocb=SMALL.with_changes(thinktime=100.0))
         slow.users.launch(20, stream_label="t")
         slow.sim.run()
-        assert slow.sim.now >= fast.sim.now + 19 * 100.0
+        assert slow.sim.now_ms >= fast.sim.now_ms + 19 * 100.0
 
 
 class TestOcbOverride:
@@ -122,7 +123,7 @@ class TestOcbOverride:
             stream_label="think",
             ocb_override=SMALL.with_changes(thinktime=50.0),
         )
-        assert model.sim.now - before >= 4 * 50.0
+        assert (model.sim.now - before) * MS_PER_TICK >= 4 * 50.0
 
 
 class TestPhaseOverrides:
@@ -130,7 +131,7 @@ class TestPhaseOverrides:
         model = make_model(ocb=SMALL.with_changes(thinktime=100.0))
         before = model.sim.now
         model.run_phase(10, stream_label="fast", thinktime=0.0)
-        fast_elapsed = model.sim.now - before
+        fast_elapsed = (model.sim.now - before) * MS_PER_TICK
         assert fast_elapsed < 10 * 100.0
 
     def test_nusers_override_ramps_population(self):

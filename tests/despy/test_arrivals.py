@@ -10,6 +10,7 @@ from repro.despy.arrivals import (
     poisson_interarrivals,
 )
 from repro.despy.randomstream import RandomStream
+from repro.despy.timebase import MS_PER_TICK, ms_to_ticks
 
 
 def take(iterator, n):
@@ -18,7 +19,8 @@ def take(iterator, n):
 
 class TestFixed:
     def test_constant_gaps(self):
-        assert take(fixed_interarrivals(25.0), 4) == [25.0, 25.0, 25.0, 25.0]
+        tick = ms_to_ticks(25.0)
+        assert take(fixed_interarrivals(25.0), 4) == [tick] * 4
 
     def test_rejects_nonpositive_interval(self):
         with pytest.raises(ValueError, match="interval_ms"):
@@ -33,7 +35,7 @@ class TestPoisson:
     def test_mean_gap_matches_rate(self):
         stream = RandomStream(7, "arrivals")
         gaps = take(poisson_interarrivals(stream, 20.0), 5000)
-        mean = sum(gaps) / len(gaps)
+        mean = sum(gaps) / len(gaps) * MS_PER_TICK
         # rate 20/s -> mean gap 50 ms; loose statistical bounds.
         assert 45.0 < mean < 55.0
 
@@ -62,7 +64,7 @@ class TestMMPP:
         gaps = take(
             mmpp_interarrivals(stream, (5.0, 100.0), (1000.0, 1000.0)), 5000
         )
-        rate_per_s = 1000.0 / (sum(gaps) / len(gaps))
+        rate_per_s = 1000.0 / (sum(gaps) / len(gaps) * MS_PER_TICK)
         # Equal dwell shares -> arrival rate is the dwell-weighted mean
         # (5 + 100) / 2 = 52.5; loose statistical bounds.
         assert 40.0 < rate_per_s < 65.0

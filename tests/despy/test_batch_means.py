@@ -3,6 +3,7 @@
 import pytest
 
 from repro.despy import (
+    MS_PER_TICK,
     Hold,
     Release,
     Request,
@@ -11,6 +12,7 @@ from repro.despy import (
     md1_mean_queue_length,
     md1_mean_response_time,
     mm1_mean_queue_length,
+    ms_to_ticks,
 )
 from repro.despy.monitor import OnlineStats
 from repro.despy.resource import Resource
@@ -75,15 +77,17 @@ class TestMD1:
         def source():
             arrivals = sim.stream("arrivals")
             for n in range(jobs):
-                yield Hold(arrivals.exponential(1.0 / lam))
+                yield Hold(arrivals.exponential_ticks(1.0 / lam))
                 sim.process(job(), name=f"job-{n}")
+
+        service = ms_to_ticks(1.0 / mu)
 
         def job():
             start = sim.now
             yield Request(station)
-            yield Hold(1.0 / mu)  # deterministic service
+            yield Hold(service)  # deterministic service
             yield Release(station)
-            response.record(sim.now - start)
+            response.record((sim.now - start) * MS_PER_TICK)
 
         sim.process(source())
         sim.run()
@@ -104,15 +108,17 @@ class TestMD1:
         def source():
             arrivals = sim.stream("arrivals")
             for n in range(jobs):
-                yield Hold(arrivals.exponential(1.0 / lam))
+                yield Hold(arrivals.exponential_ticks(1.0 / lam))
                 sim.process(job(), name=f"job-{n}")
+
+        service = ms_to_ticks(1.0 / mu)
 
         def job():
             start = sim.now
             yield Request(station)
-            yield Hold(1.0 / mu)
+            yield Hold(service)
             yield Release(station)
-            responses.append(sim.now - start)
+            responses.append((sim.now - start) * MS_PER_TICK)
 
         sim.process(source())
         sim.run()

@@ -258,27 +258,29 @@ class TestFastDispatch:
         sim.run()
         assert seen == []
 
-    def test_float_absorbed_delay_keeps_seq_order(self):
-        """Regression: at a huge clock value a positive delay can be
-        absorbed (now + delay == now), landing a priority-0 event in the
-        *heap* on the current tick with a seq *above* queued immediates.
-        The merge must still honor (time, priority, seq) order."""
+    def test_current_tick_timed_event_keeps_seq_order(self):
+        """Regression (from the float kernel's absorbed delays): a
+        priority-0 event landing on the *timed* tier at the current tick
+        with a seq between two queued immediates.  Integer ticks can no
+        longer absorb a positive delay, so the tier mix is staged through
+        the event list directly — the merge must still honor
+        (time, priority, seq) order across tiers."""
 
         def build(trace):
             sim = Simulation(trace=trace)
             order = []
 
             def kick():
-                sim.schedule(0.0, lambda: order.append("imm-first"))
-                # 1e-9 is absorbed at t=1e16: same tick, larger seq.
-                sim.schedule(1e-9, lambda: order.append("absorbed"))
-                sim.schedule(0.0, lambda: order.append("imm-second"))
+                sim.schedule(0, lambda: order.append("imm-first"))
+                # Same tick, timed tier, seq between the two immediates.
+                sim._events.push(sim.now, 0, lambda: order.append("tied"))
+                sim.schedule(0, lambda: order.append("imm-second"))
 
-            sim.schedule(1e16, kick)
+            sim.schedule(10**16, kick)
             sim.run()
             return order
 
-        expected = ["imm-first", "absorbed", "imm-second"]
+        expected = ["imm-first", "tied", "imm-second"]
         assert build(None) == expected
         assert build(lambda t, msg: None) == expected
 
@@ -288,9 +290,11 @@ class TestFastDispatch:
             order = []
 
             def recurring(n):
-                order.append((round(sim.now, 9), n))
+                order.append((sim.now, n))
                 if n < 30:
-                    delay = sim.stream("d").exponential(1.0) if n % 3 else 0.0
+                    delay = (
+                        sim.stream("d").exponential_ticks(1.0) if n % 3 else 0
+                    )
                     sim.schedule(delay, recurring, n + 1)
 
             sim.schedule(0.0, recurring, 0)
@@ -326,10 +330,10 @@ class TestTrace:
     def test_trace_callback_sees_events(self):
         lines = []
         sim = Simulation(trace=lambda t, msg: lines.append((t, msg)))
-        sim.schedule(1.5, lambda: None)
+        sim.schedule(3, lambda: None)
         sim.run()
         assert len(lines) == 1
-        assert lines[0][0] == 1.5
+        assert lines[0][0] == 3
 
     def test_determinism_same_seed_same_trace(self):
         def build():
@@ -337,9 +341,9 @@ class TestTrace:
             order = []
 
             def recurring(n):
-                order.append((round(sim.now, 9), n))
+                order.append((sim.now, n))
                 if n < 20:
-                    delay = sim.stream("d").exponential(1.0)
+                    delay = sim.stream("d").exponential_ticks(1.0)
                     sim.schedule(delay, recurring, n + 1)
 
             sim.schedule(0.0, recurring, 0)

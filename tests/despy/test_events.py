@@ -13,29 +13,29 @@ def _noop():
 class TestEventOrdering:
     def test_pop_returns_events_in_time_order(self):
         events = EventList()
-        events.push(3.0, 0, _noop)
-        events.push(1.0, 0, _noop)
-        events.push(2.0, 0, _noop)
+        events.push(3, 0, _noop)
+        events.push(1, 0, _noop)
+        events.push(2, 0, _noop)
         times = [events.pop().time for _ in range(3)]
-        assert times == [1.0, 2.0, 3.0]
+        assert times == [1, 2, 3]
 
     def test_priority_breaks_time_ties(self):
         events = EventList()
-        low = events.push(1.0, 5, _noop)
-        high = events.push(1.0, -5, _noop)
+        low = events.push(1, 5, _noop)
+        high = events.push(1, -5, _noop)
         assert events.pop() is high
         assert events.pop() is low
 
     def test_insertion_order_breaks_full_ties(self):
         events = EventList()
-        first = events.push(1.0, 0, _noop)
-        second = events.push(1.0, 0, _noop)
-        third = events.push(1.0, 0, _noop)
+        first = events.push(1, 0, _noop)
+        second = events.push(1, 0, _noop)
+        third = events.push(1, 0, _noop)
         assert [events.pop() for _ in range(3)] == [first, second, third]
 
     def test_event_comparison_is_total(self):
-        a = Event(1.0, 0, 0, _noop, ())
-        b = Event(1.0, 0, 1, _noop, ())
+        a = Event(1, 0, 0, _noop, ())
+        b = Event(1, 0, 1, _noop, ())
         assert a < b
         assert not b < a
 
@@ -43,24 +43,24 @@ class TestEventOrdering:
 class TestCancellation:
     def test_cancelled_events_are_skipped_by_pop(self):
         events = EventList()
-        doomed = events.push(1.0, 0, _noop)
-        survivor = events.push(2.0, 0, _noop)
+        doomed = events.push(1, 0, _noop)
+        survivor = events.push(2, 0, _noop)
         doomed.cancel()
         assert events.pop() is survivor
 
     def test_peek_time_skips_cancelled_head(self):
         events = EventList()
-        doomed = events.push(1.0, 0, _noop)
-        events.push(5.0, 0, _noop)
+        doomed = events.push(1, 0, _noop)
+        events.push(5, 0, _noop)
         doomed.cancel()
-        assert events.peek_time() == 5.0
+        assert events.peek_time() == 5
 
     def test_peek_time_empty_returns_none(self):
         assert EventList().peek_time() is None
 
     def test_len_counts_cancelled_until_discarded(self):
         events = EventList()
-        doomed = events.push(1.0, 0, _noop)
+        doomed = events.push(1, 0, _noop)
         doomed.cancel()
         assert len(events) == 1
         assert events.peek_time() is None
@@ -71,18 +71,18 @@ class TestEventListBasics:
     def test_bool_reflects_emptiness(self):
         events = EventList()
         assert not events
-        events.push(1.0, 0, _noop)
+        events.push(1, 0, _noop)
         assert events
 
     def test_clear_empties_the_list(self):
         events = EventList()
-        events.push(1.0, 0, _noop)
+        events.push(1, 0, _noop)
         events.clear()
         assert len(events) == 0
 
     def test_push_stores_handler_and_args(self):
         events = EventList()
-        event = events.push(1.0, 0, _noop, args=(1, 2))
+        event = events.push(1, 0, _noop, args=(1, 2))
         assert event.handler is _noop
         assert event.args == (1, 2)
 
@@ -94,14 +94,14 @@ class TestEventListBasics:
         """Exhaustion is explicit even when the heap is physically
         non-empty: lazily-discarded cancelled events don't count."""
         events = EventList()
-        events.push(1.0, 0, _noop).cancel()
-        events.push(2.0, 0, _noop).cancel()
+        events.push(1, 0, _noop).cancel()
+        events.push(2, 0, _noop).cancel()
         with pytest.raises(SchedulingError, match="no live events"):
             events.pop()
 
     def test_pop_with_only_cancelled_immediates_raises_scheduling_error(self):
         events = EventList()
-        events.push_immediate(0.0, _noop).cancel()
+        events.push_immediate(0, _noop).cancel()
         with pytest.raises(SchedulingError):
             events.pop()
 
@@ -111,43 +111,43 @@ class TestImmediateQueue:
 
     def test_immediate_pops_before_later_heap_time(self):
         events = EventList()
-        later = events.push(1.0, 0, _noop)
-        imm = events.push_immediate(0.0, _noop)
+        later = events.push(1, 0, _noop)
+        imm = events.push_immediate(0, _noop)
         assert events.pop() is imm
         assert events.pop() is later
 
     def test_earlier_heap_seq_beats_immediate_at_same_time(self):
         events = EventList()
-        heap_first = events.push(0.0, 0, _noop)  # smaller seq, same key tier
-        imm = events.push_immediate(0.0, _noop)
+        heap_first = events.push(0, 0, _noop)  # smaller seq, same key tier
+        imm = events.push_immediate(0, _noop)
         assert events.pop() is heap_first
         assert events.pop() is imm
 
     def test_negative_priority_heap_event_beats_immediate(self):
         events = EventList()
-        imm = events.push_immediate(0.0, _noop)
-        urgent = events.push(0.0, -1, _noop)
+        imm = events.push_immediate(0, _noop)
+        urgent = events.push(0, -1, _noop)
         assert events.pop() is urgent
         assert events.pop() is imm
 
     def test_immediates_fifo_among_themselves(self):
         events = EventList()
-        first = events.push_immediate(0.0, _noop)
-        second = events.push_immediate(0.0, _noop)
+        first = events.push_immediate(0, _noop)
+        second = events.push_immediate(0, _noop)
         assert events.pop() is first
         assert events.pop() is second
 
     def test_cancelled_immediate_is_skipped(self):
         events = EventList()
-        doomed = events.push_immediate(0.0, _noop)
-        survivor = events.push_immediate(0.0, _noop)
+        doomed = events.push_immediate(0, _noop)
+        survivor = events.push_immediate(0, _noop)
         doomed.cancel()
         assert events.pop() is survivor
 
     def test_len_and_clear_cover_both_tiers(self):
         events = EventList()
-        events.push(1.0, 0, _noop)
-        events.push_immediate(0.0, _noop)
+        events.push(1, 0, _noop)
+        events.push_immediate(0, _noop)
         assert len(events) == 2
         events.clear()
         assert len(events) == 0
@@ -155,14 +155,14 @@ class TestImmediateQueue:
 
     def test_peek_time_sees_immediate_head(self):
         events = EventList()
-        events.push(5.0, 0, _noop)
-        events.push_immediate(2.0, _noop)
-        assert events.peek_time() == 2.0
+        events.push(5, 0, _noop)
+        events.push_immediate(2, _noop)
+        assert events.peek_time() == 2
 
     def test_counters_track_tiers(self):
         events = EventList()
-        events.push(1.0, 0, _noop)
-        events.push_immediate(0.0, _noop)
+        events.push(1, 0, _noop)
+        events.push_immediate(0, _noop)
         assert events.wheel_pushed == 1
         assert events.heap_pushed == 0
         assert events.fast_scheduled == 1

@@ -1,0 +1,37 @@
+"""The compiled-kernel loader: opt-in, clean fallback, honest label."""
+
+import os
+import subprocess
+import sys
+
+
+def _backend(env_overrides):
+    env = dict(os.environ)
+    env.update(env_overrides)
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.despy import KERNEL_BACKEND; print(KERNEL_BACKEND)",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+class TestKernelBackend:
+    def test_default_is_pure(self):
+        assert _backend({"VOODB_COMPILED": ""}) == "pure"
+
+    def test_opt_in_never_crashes(self):
+        """VOODB_COMPILED=1 loads the compiled unit when built, and must
+        fall back to the pure kernel (not crash) when it is not."""
+        assert _backend({"VOODB_COMPILED": "1"}) in ("pure", "compiled")
+
+    def test_in_process_backend_is_exported(self):
+        from repro.despy import KERNEL_BACKEND
+
+        assert KERNEL_BACKEND in ("pure", "compiled")

@@ -150,14 +150,14 @@ class TestDeterminismUnderContention:
             def job(tag):
                 service = sim.stream("svc")
                 yield Request(res)
-                yield Hold(service.exponential(3.0))
+                yield Hold(service.exponential_ticks(3.0))
                 yield Release(res)
                 trace.append((tag, round(sim.now, 9)))
 
             def source():
                 arrivals = sim.stream("arr")
                 for tag in range(30):
-                    yield Hold(arrivals.exponential(1.0))
+                    yield Hold(arrivals.exponential_ticks(1.0))
                     sim.process(job(tag))
 
             sim.process(source())

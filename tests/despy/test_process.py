@@ -13,14 +13,14 @@ class TestHold:
         seen = []
 
         def proc():
-            yield Hold(2.5)
+            yield Hold(2)
             seen.append(sim.now)
-            yield Hold(1.5)
+            yield Hold(3)
             seen.append(sim.now)
 
         sim.process(proc())
         sim.run()
-        assert seen == [2.5, 4.0]
+        assert seen == [2, 5]
 
     def test_zero_hold_allowed(self):
         sim = Simulation()
@@ -156,7 +156,7 @@ class TestRequestRelease:
             yield Release(res)
 
         def job(tag, prio):
-            yield Hold(0.5)  # enqueue while holder owns the resource
+            yield Hold(1)  # enqueue while holder owns the resource
             yield Request(res, priority=prio)
             order.append(tag)
             yield Release(res)

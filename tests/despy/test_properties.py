@@ -25,7 +25,7 @@ def _noop():
 @given(
     st.lists(
         st.tuples(
-            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            st.integers(min_value=0, max_value=10**12),
             st.integers(min_value=-10, max_value=10),
         ),
         min_size=1,
@@ -44,7 +44,7 @@ def test_event_list_pops_in_nondecreasing_time_order(entries):
 @given(
     st.lists(
         st.tuples(
-            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.integers(min_value=0, max_value=10**8),
             st.integers(min_value=-3, max_value=3),
         ),
         min_size=1,
@@ -66,7 +66,7 @@ def test_event_list_matches_reference_heap(entries):
 
 @given(
     st.lists(
-        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.integers(min_value=0, max_value=10 << 20),
         min_size=1,
         max_size=50,
     )

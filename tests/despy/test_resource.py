@@ -207,7 +207,7 @@ class TestGateReopenCycles:
 
         sim.process(waiter("first-a", 0.0))
         sim.process(waiter("first-b", 0.0))
-        sim.process(waiter("second", 1.5))
+        sim.process(waiter("second", 2))
         sim.process(controller())
         sim.run()
         assert sorted(woken) == [

@@ -8,6 +8,7 @@ simulated stationary metrics against theory.
 import pytest
 
 from repro.despy import (
+    MS_PER_TICK,
     Hold,
     Release,
     Request,
@@ -39,16 +40,16 @@ def simulate_mmc(
     def source():
         arrivals = sim.stream("arrivals")
         for n in range(jobs):
-            yield Hold(arrivals.exponential(1.0 / arrival_rate))
+            yield Hold(arrivals.exponential_ticks(1.0 / arrival_rate))
             sim.process(job(), name=f"job-{n}")
 
     def job():
         service = sim.stream("service")
         start = sim.now
         yield Request(station)
-        yield Hold(service.exponential(1.0 / service_rate))
+        yield Hold(service.exponential_ticks(1.0 / service_rate))
         yield Release(station)
-        response_times.record(sim.now - start)
+        response_times.record((sim.now - start) * MS_PER_TICK)
 
     sim.process(source())
     sim.run()

@@ -14,6 +14,7 @@ single-queue validation suite.
 import pytest
 
 from repro.despy import (
+    MS_PER_TICK,
     Hold,
     Release,
     Request,
@@ -62,7 +63,7 @@ def simulate_split_cluster(
         arrivals = sim.stream("arrivals")
         route = sim.stream("routing")
         for n in range(jobs):
-            yield Hold(arrivals.exponential(1.0 / arrival_rate))
+            yield Hold(arrivals.exponential_ticks(1.0 / arrival_rate))
             draw = route.random()
             node = next(
                 i
@@ -76,9 +77,9 @@ def simulate_split_cluster(
         station = stations[node]
         start = sim.now
         yield Request(station)
-        yield Hold(service.exponential(1.0 / service_rate))
+        yield Hold(service.exponential_ticks(1.0 / service_rate))
         yield Release(station)
-        response_times.record(sim.now - start)
+        response_times.record((sim.now - start) * MS_PER_TICK)
 
     sim.process(source())
     sim.run()
@@ -105,7 +106,7 @@ def simulate_jackson(
     def source():
         arrivals = sim.stream("arrivals")
         for k in range(jobs):
-            yield Hold(arrivals.exponential(1.0 / external_rate))
+            yield Hold(arrivals.exponential_ticks(1.0 / external_rate))
             sim.process(job(), name=f"job-{k}")
 
     def job():
@@ -116,7 +117,7 @@ def simulate_jackson(
         while node is not None:
             station = stations[node]
             yield Request(station)
-            yield Hold(services[node].exponential(1.0 / service_rates[node]))
+            yield Hold(services[node].exponential_ticks(1.0 / service_rates[node]))
             yield Release(station)
             draw = route.random()
             acc = 0.0
@@ -127,7 +128,7 @@ def simulate_jackson(
                     next_node = j
                     break
             node = next_node
-        response_times.record(sim.now - start)
+        response_times.record((sim.now - start) * MS_PER_TICK)
 
     sim.process(source())
     sim.run()

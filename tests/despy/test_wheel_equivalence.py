@@ -18,7 +18,14 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.despy import Simulation
+from repro.despy import (
+    MS_PER_TICK,
+    TICK_HORIZON,
+    TICKS_PER_MS,
+    Simulation,
+    ms_to_ticks,
+    ticks_to_ms,
+)
 
 
 class HeapReferenceKernel:
@@ -30,12 +37,12 @@ class HeapReferenceKernel:
     """
 
     def __init__(self) -> None:
-        self.now = 0.0
+        self.now = 0
         self._heap: list = []
         self._seq = 0
         self._cancelled: set[int] = set()
 
-    def schedule(self, delay: float, handler, priority: int = 0) -> int:
+    def schedule(self, delay: int, handler, priority: int = 0) -> int:
         seq = self._seq
         self._seq = seq + 1
         heapq.heappush(self._heap, (self.now + delay, priority, seq, handler))
@@ -66,10 +73,11 @@ class HeapReferenceKernel:
 #: One scheduling action: (delay, priority, nested actions, cancel_flag).
 #: ``nested`` actions are scheduled from inside the handler when it
 #: runs; ``cancel_flag`` marks events a sibling handler cancels before
-#: their time comes.
+#: their time comes.  Delays are integer ticks spanning ~8 ms, so
+#: schedules hit bucket ties, adjacent buckets and empty stretches.
 _action = st.deferred(
     lambda: st.tuples(
-        st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+        st.integers(min_value=0, max_value=8 << 20),
         st.integers(min_value=-2, max_value=2),
         st.lists(_action, max_size=2),
         st.booleans(),
@@ -160,7 +168,7 @@ def test_dispatch_order_matches_pure_heap_reference(actions):
 @given(
     _schedules,
     st.lists(
-        st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
+        st.integers(min_value=0, max_value=6 << 20),
         min_size=1,
         max_size=4,
     ),
@@ -181,7 +189,7 @@ def test_horizon_reentry_matches_pure_heap_reference(actions, horizons):
 @given(
     st.lists(
         st.tuples(
-            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            st.integers(min_value=0, max_value=50 << 20),
             st.integers(min_value=-2, max_value=2),
         ),
         min_size=1,
@@ -197,8 +205,65 @@ def test_wide_delay_mix_hits_every_tier(entries, modulus):
     still be the reference order.
     """
     stretched = [
-        (delay * 1e9 if i % modulus == 0 else delay, priority)
+        (delay * 10**9 if i % modulus == 0 else delay, priority)
         for i, (delay, priority) in enumerate(entries)
     ]
     actions = [(delay, priority, [], False) for delay, priority in stretched]
     assert _drive_simulation(actions, ()) == _drive_reference(actions, ())
+
+
+# ----------------------------------------------------------------------
+# Tick-domain properties (PR 6): the integer time base itself.
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**40),
+    st.integers(min_value=0, max_value=20),
+)
+def test_dyadic_ms_roundtrip_is_exact(numerator, exponent):
+    """ms -> tick -> ms is *exact* for dyadic delays up to 2**-20 ms.
+
+    The tick scale is 2**20 per ms, so any millisecond value with a
+    denominator that is a power of two no coarser than the tick (0.5 ms,
+    0.25 ms, Table 1's 0.5-ms lock costs...) converts without rounding:
+    the round trip through :func:`ms_to_ticks` / :func:`ticks_to_ms`
+    must reproduce the float bit-for-bit.
+    """
+    ms = numerator / (1 << exponent)
+    ticks = ms_to_ticks(ms)
+    assert ticks == numerator * (TICKS_PER_MS >> exponent)
+    assert ticks_to_ms(ticks) == ms
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=2**50))
+def test_tick_ms_roundtrip_is_exact_for_small_ticks(ticks):
+    """tick -> ms -> tick is exact while ticks fit a float mantissa."""
+    assert ms_to_ticks(ticks * MS_PER_TICK) == ticks
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=TICK_HORIZON // 4),
+        min_size=1,
+        max_size=16,
+    )
+)
+def test_until_inf_run_dispatches_everything_without_overflow(delays):
+    """``run(until=inf)`` drains near-horizon schedules; no tick wraps.
+
+    Delays up to a quarter of the horizon — far beyond any float-era
+    schedule — must dispatch in order with the clock landing exactly on
+    the last event, never saturating or wrapping past
+    :data:`TICK_HORIZON`.
+    """
+    sim = Simulation()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    end = sim.run(until=float("inf"))
+    assert len(observed) == len(delays)
+    assert observed == sorted(observed)
+    assert end == max(delays)
+    assert 0 <= end < TICK_HORIZON

@@ -151,6 +151,31 @@ class TestRoundTrip:
         assert payload["replications"] == 1
         assert set(payload["metrics"]) == set(scenario.metrics)
 
+    def test_json_exposes_kernel_counters(self, scenario):
+        """``scenario run --json`` reports the kernel fast-path counters."""
+        fast = small(scenario)
+        result = run_scenario(fast, executor=SerialExecutor(), replications=1)
+        payload = scenario_to_json(fast, result)
+        kernel = payload["kernel"]
+        assert set(kernel) == {
+            "events_wheel_pushed",
+            "events_pooled_reused",
+            "ticks_overflowed",
+            "wheel_recalibrations",
+            "holds_warped",
+        }
+        for counter in kernel.values():
+            assert len(counter["means"]) == len(payload["x_values"])
+        # Every replication advances time: its timed holds either route
+        # through the wheel or warp the clock in place.
+        assert all(
+            wheel + warped > 0
+            for wheel, warped in zip(
+                kernel["events_wheel_pushed"]["means"],
+                kernel["holds_warped"]["means"],
+            )
+        )
+
 
 class TestDescriptions:
     def test_list_table_contains_every_name(self):
