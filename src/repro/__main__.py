@@ -15,6 +15,13 @@ Usage::
     python -m repro scenario describe open-bursty
     python -m repro scenario run open-bursty         # golden text report
     python -m repro scenario run -r 10 --json failure-storm
+    python -m repro scenario run my-study.yaml       # no registry edit
+    python -m repro scenario validate src/repro/scenarios/library/*.yaml
+
+``scenario describe``/``run`` accept either a registered catalog name
+or a path to a declarative scenario file (``.yaml``/``.yml``/``.toml``,
+see :mod:`repro.scenarios.schema`); ``scenario validate`` schema-checks
+files without running them (exit 2 on the first invalid file).
 
 Every command prints the paper's published series (benchmark and
 simulation) next to this reproduction's means with 95% confidence
@@ -48,10 +55,13 @@ from repro.experiments.report import (
 )
 from repro.experiments.tables import table6, table8
 from repro.scenarios import (
+    ScenarioSchemaError,
+    UnknownScenarioError,
     all_scenarios,
     get_scenario,
+    load_scenario_file,
+    looks_like_scenario_path,
     run_scenario,
-    scenario_names,
 )
 
 
@@ -138,14 +148,21 @@ def build_parser() -> argparse.ArgumentParser:
     scenario = sub.add_parser("scenario", help="the scenario catalog")
     action = scenario.add_subparsers(dest="scenario_command", required=True)
     action.add_parser("list", help="list the registered scenarios")
+    name_help = "catalog name or path to a scenario file (.yaml/.yml/.toml)"
     describe = action.add_parser("describe", help="describe one scenario")
-    describe.add_argument("name", choices=list(scenario_names()))
+    describe.add_argument("name", help=name_help)
     run = action.add_parser("run", help="run one scenario and print its report")
-    run.add_argument("name", choices=list(scenario_names()))
+    run.add_argument("name", help=name_help)
     run.add_argument(
         "--json",
         action="store_true",
         help="emit a machine-readable JSON summary instead of the text table",
+    )
+    validate = action.add_parser(
+        "validate", help="schema-check scenario files without running them"
+    )
+    validate.add_argument(
+        "paths", nargs="+", help="scenario files to validate"
     )
     return parser
 
@@ -158,11 +175,37 @@ def make_cli_executor(
     return make_executor(jobs=jobs, cache=cache)  # None -> VOODB_CACHE_DIR
 
 
+def resolve_scenario(name: str):
+    """A scenario from either the registry or a file path."""
+    if looks_like_scenario_path(name):
+        return load_scenario_file(name)
+    return get_scenario(name)
+
+
+def validate_scenario_files(paths: List[str], output: Optional[str]) -> int:
+    """Schema-check scenario files; exit 2 on the first invalid one."""
+    for path in paths:
+        try:
+            scenario = load_scenario_file(path)
+        except (ScenarioSchemaError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _emit(
+            f"{path}: ok (scenario {scenario.name!r}, "
+            f"{len(scenario.points)} point(s), "
+            f"{scenario.replications} replications)",
+            output,
+        )
+    return 0
+
+
 def run_scenario_command(args, executor: Executor) -> int:
     if args.scenario_command == "list":
         _emit(format_scenario_list(all_scenarios()), args.output)
         return 0
-    scenario = get_scenario(args.name)
+    if args.scenario_command == "validate":
+        return validate_scenario_files(args.paths, args.output)
+    scenario = resolve_scenario(args.name)
     if args.scenario_command == "describe":
         _emit(format_scenario_description(scenario), args.output)
         return 0
@@ -194,7 +237,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     hotn = args.hotn if args.hotn is not None else 1000
     figure_numbers = sorted(ALL_FIGURES, key=int)
     if args.command == "scenario":
-        return run_scenario_command(args, executor)
+        try:
+            return run_scenario_command(args, executor)
+        except (UnknownScenarioError, ScenarioSchemaError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.command == "figure":
         run_figures([args.number], args.replications, hotn, args.output, executor)
     elif args.command == "figures":

@@ -435,6 +435,9 @@ class VOODBSimulation:
             lock_wait_time_ms=delta("lock_wait_time") * MS_PER_TICK,
             response_time_sum_ms=response.total * MS_PER_TICK,
             response_time_max_ms=max(response.maximum, 0) * MS_PER_TICK,
+            response_times_ms=tuple(
+                ticks * MS_PER_TICK for ticks in self.tm.phase_response_series
+            ),
             elapsed_ms=delta("time") * MS_PER_TICK,
             transactions_by_kind=dict(self.tm.phase_kind_counts),
             transient_faults=int(delta("transient_faults")),

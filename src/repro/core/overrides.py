@@ -1,0 +1,58 @@
+"""Eager validation of configuration override keys.
+
+Every config object in the model is a frozen dataclass derived with
+``with_changes(**overrides)``.  ``dataclasses.replace`` already rejects
+unknown field names, but with a bare ``TypeError`` deep in the stdlib
+that names neither the config class nor a likely correction.  A
+misspelled override in a scenario file or an experiment script should
+fail *eagerly* with a message that says which key is wrong, on which
+config, and what was probably meant.
+
+:func:`checked_replace` is that front door: every ``with_changes`` and
+the scenario-file loader route their overrides through it.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import fields, replace
+from typing import Any, Mapping, Optional, Tuple
+
+
+def valid_override_keys(obj: Any) -> Tuple[str, ...]:
+    """The field names ``obj`` (a dataclass instance) accepts, sorted."""
+    return tuple(sorted(f.name for f in fields(obj) if f.init))
+
+
+def suggest_key(key: str, valid: Tuple[str, ...]) -> Optional[str]:
+    """Closest valid field name to a misspelled ``key`` (None = no idea)."""
+    matches = difflib.get_close_matches(key, valid, n=1, cutoff=0.6)
+    return matches[0] if matches else None
+
+
+def unknown_key_error(
+    obj: Any, key: str, label: Optional[str] = None
+) -> ValueError:
+    """The error a misspelled override raises — names the key, the
+    config it missed, the closest valid field and the full menu."""
+    valid = valid_override_keys(obj)
+    target = label or type(obj).__name__
+    hint = suggest_key(key, valid)
+    did_you_mean = f" (did you mean {hint!r}?)" if hint else ""
+    return ValueError(
+        f"unknown {target} field {key!r}{did_you_mean}; "
+        f"valid fields: {', '.join(valid)}"
+    )
+
+
+def checked_replace(obj: Any, changes: Mapping[str, Any], label: Optional[str] = None):
+    """``dataclasses.replace`` with eager, named unknown-key errors.
+
+    ``label`` overrides the config class name in the message (the
+    scenario loader passes the file-relative key path instead).
+    """
+    valid = set(valid_override_keys(obj))
+    for key in changes:
+        if key not in valid:
+            raise unknown_key_error(obj, key, label=label)
+    return replace(obj, **changes)

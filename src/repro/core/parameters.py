@@ -21,6 +21,7 @@ from enum import Enum
 from typing import Optional, Tuple
 
 from repro.core.failures import FailureConfig
+from repro.core.overrides import checked_replace
 from repro.ocb.parameters import OCBConfig
 
 #: Page sizes Table 3 allows for PGSIZE.
@@ -487,5 +488,9 @@ class VOODBConfig:
         return self.buffsize * self.pgsize
 
     def with_changes(self, **changes) -> "VOODBConfig":
-        """Return a validated copy with the given fields replaced."""
-        return replace(self, **changes)
+        """Return a validated copy with the given fields replaced.
+
+        Unknown keys raise :class:`ValueError` naming the key and the
+        closest valid field (see :mod:`repro.core.overrides`).
+        """
+        return checked_replace(self, changes)

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from repro.despy.stats import MIN_STEADY_OBSERVATIONS, steady_state_estimate
+
 
 @dataclass
 class PhaseResults:
@@ -46,6 +48,12 @@ class PhaseResults:
     lock_wait_time_ms: float = 0.0
     response_time_sum_ms: float = 0.0
     response_time_max_ms: float = 0.0
+    #: Per-transaction response times (ms) in completion order — the
+    #: observation series behind the steady-state estimates.  Kept out
+    #: of :meth:`to_metrics` itself (analyzers aggregate scalars); the
+    #: MSER-5/batch-means summary derived from it goes in as the
+    #: ``steady_*`` metrics.
+    response_times_ms: Tuple[float, ...] = ()
     elapsed_ms: float = 0.0
     transactions_by_kind: Dict[str, int] = field(default_factory=dict)
     #: Hazards charged during the phase (§5 failures module).
@@ -123,6 +131,26 @@ class PhaseResults:
             return 0.0
         return self.server_busy_ms[index] / self.elapsed_ms
 
+    # ------------------------------------------------------------------
+    # Steady-state estimates (honest open-system statistics)
+    # ------------------------------------------------------------------
+    @property
+    def has_steady_state(self) -> bool:
+        """Whether the phase recorded enough observations to estimate."""
+        return len(self.response_times_ms) >= MIN_STEADY_OBSERVATIONS
+
+    def steady_state(self, confidence: float = 0.95):
+        """MSER-5 truncated batch-means estimate of the response time.
+
+        The raw :attr:`mean_response_time_ms` averages the initial
+        transient in; this deletes it first (see
+        :func:`repro.despy.stats.steady_state_estimate`) and reports a
+        batch-means CI over what remains.  Raises :class:`ValueError`
+        when the phase is too short to estimate (see
+        :attr:`has_steady_state`).
+        """
+        return steady_state_estimate(self.response_times_ms, confidence=confidence)
+
     def to_metrics(self, prefix: str = "") -> Dict[str, float]:
         """Flatten to a metric dict for the ReplicationAnalyzer."""
         metrics = {
@@ -145,6 +173,12 @@ class PhaseResults:
             f"{prefix}crashes": float(self.crashes),
             f"{prefix}downtime_ms": self.downtime_ms,
         }
+        if self.has_steady_state:
+            steady = self.steady_state()
+            metrics[f"{prefix}steady_response_time_ms"] = steady.point
+            metrics[f"{prefix}steady_response_ci_ms"] = steady.half_width
+            metrics[f"{prefix}steady_truncated"] = float(steady.truncated)
+            metrics[f"{prefix}steady_batches"] = float(steady.batches)
         if self.server_ios:
             metrics[f"{prefix}cluster_servers"] = float(len(self.server_ios))
             metrics[f"{prefix}cluster_imbalance"] = self.cluster_imbalance

@@ -78,9 +78,12 @@ from repro.despy.timebase import (
 from repro.despy.stats import (
     ConfidenceInterval,
     ReplicationAnalyzer,
+    SteadyStateEstimate,
     batch_means_interval,
     confidence_interval,
+    mser5_truncation_index,
     required_replications,
+    steady_state_estimate,
 )
 from repro.despy.validation import (
     jackson_arrival_rates,
@@ -124,9 +127,12 @@ __all__ = [
     "TimeWeightedStats",
     "ConfidenceInterval",
     "ReplicationAnalyzer",
+    "SteadyStateEstimate",
     "confidence_interval",
     "batch_means_interval",
+    "mser5_truncation_index",
     "required_replications",
+    "steady_state_estimate",
     "DespyError",
     "ResourceError",
     "SchedulingError",

@@ -17,6 +17,25 @@ This module implements exactly that workflow:
 * :func:`required_replications` — the n* pilot-study formula;
 * :class:`ReplicationAnalyzer` — collects per-replication metric
   dictionaries and reports mean/CI per metric.
+
+Steady-state output analysis (open-system scenarios)
+----------------------------------------------------
+
+A raw mean over an open-system run is contaminated by the initial
+transient: the first arrivals hit an empty system, so queueing delay is
+systematically under-represented until the backlog reaches steady
+state.  This module therefore also implements the standard two-step
+honest pipeline ([Ban96]; White's MSER):
+
+* :func:`mser5_truncation_index` — MSER-5 warm-up truncation: batch the
+  series in non-overlapping batches of five, and delete the prefix that
+  minimizes the standard error of the retained mean (the Marginal
+  Standard Error Rule);
+* :func:`steady_state_estimate` — truncate with MSER-5, then build a
+  batch-means confidence interval over the retained observations,
+  returning a :class:`SteadyStateEstimate` (point estimate, CI
+  half-width, truncation index, batch count) to report *alongside* the
+  raw mean, never silently in its place.
 """
 
 from __future__ import annotations
@@ -143,6 +162,154 @@ def batch_means_interval(
         chunk = data[b * batch_size : (b + 1) * batch_size]
         means.append(sum(chunk) / len(chunk))
     return confidence_interval(means, confidence)
+
+
+# ----------------------------------------------------------------------
+# Steady-state analysis: MSER-5 truncation + batch means
+# ----------------------------------------------------------------------
+#: MSER's classic batch size: the rule is applied to means of five.
+MSER_BATCH_SIZE = 5
+
+#: Observations below which :func:`steady_state_estimate` refuses to
+#: pretend there is a steady state to estimate.
+MIN_STEADY_OBSERVATIONS = 2 * MSER_BATCH_SIZE
+
+
+@dataclass(frozen=True)
+class SteadyStateEstimate:
+    """A truncated batch-means estimate of a steady-state mean.
+
+    ``point`` is the batch-means estimate over the observations retained
+    after MSER truncation; ``half_width`` its Student-t confidence
+    half-interval over ``batches`` batch means.  ``truncated`` counts
+    the warm-up observations deleted (a multiple of the MSER batch
+    size), ``retained`` the observations the estimate is built from.
+    """
+
+    point: float
+    half_width: float
+    confidence: float
+    truncated: int
+    retained: int
+    batches: int
+
+    @property
+    def low(self) -> float:
+        return self.point - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.point + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.point:.2f} ± {self.half_width:.2f} "
+            f"({self.confidence:.0%}, trunc {self.truncated}, "
+            f"{self.batches} batches)"
+        )
+
+
+def mser5_truncation_index(
+    observations: Sequence[float], batch_size: int = MSER_BATCH_SIZE
+) -> int:
+    """MSER warm-up truncation point, in raw-observation units.
+
+    The Marginal Standard Error Rule over batch means: batch the series
+    into non-overlapping batches of ``batch_size`` (MSER-5 with the
+    default; the trailing remainder is ignored), and pick the deletion
+    point d that minimizes
+
+        MSER(d) = S²(d) / (m - d)²,   S²(d) = Σ_{j>=d} (Z_j - Z̄_d)²
+
+    over the batch means Z_j — the standard error of the retained mean,
+    penalizing both residual transient bias (which inflates S²) and
+    over-deletion (which shrinks m - d).  The search is restricted to
+    the first half of the batches, the usual guard against the
+    statistic's instability when almost everything is deleted.  Ties
+    take the smallest d.  Returns ``d* × batch_size``.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    m = len(observations) // batch_size
+    if m < 2:
+        raise ValueError(
+            f"MSER needs at least 2 batches of {batch_size}, "
+            f"got {len(observations)} observations"
+        )
+    means = [
+        sum(observations[j * batch_size : (j + 1) * batch_size]) / batch_size
+        for j in range(m)
+    ]
+    # Suffix sums make every candidate O(1): S²(d) = Σz² - (Σz)²/(m-d).
+    suffix_sum = [0.0] * (m + 1)
+    suffix_sq = [0.0] * (m + 1)
+    for j in range(m - 1, -1, -1):
+        suffix_sum[j] = suffix_sum[j + 1] + means[j]
+        suffix_sq[j] = suffix_sq[j + 1] + means[j] * means[j]
+    best_d = 0
+    best_stat = math.inf
+    for d in range(m // 2 + 1):
+        kept = m - d
+        variance_sum = suffix_sq[d] - suffix_sum[d] * suffix_sum[d] / kept
+        # Snap cancellation noise to an exact zero: an (analytically)
+        # constant suffix must tie at 0 for every d so the tie-break
+        # below picks the smallest deletion, per the rule.
+        if variance_sum < 1e-12 * suffix_sq[d]:
+            variance_sum = 0.0
+        stat = max(variance_sum, 0.0) / (kept * kept)
+        if stat < best_stat:
+            best_stat = stat
+            best_d = d
+    return best_d * batch_size
+
+
+def steady_state_batches(retained: int) -> int:
+    """Batch count for the post-truncation CI: ⌊√n⌋ clipped to [2, 30].
+
+    The square-root rule balances batch length (long batches absorb
+    autocorrelation) against degrees of freedom; the cap keeps batches
+    long on big runs, where more than ~30 means buys no CI accuracy.
+    """
+    if retained < 2:
+        raise ValueError(f"need at least 2 retained observations, got {retained}")
+    return max(2, min(30, math.isqrt(retained)))
+
+
+def steady_state_estimate(
+    observations: Sequence[float],
+    confidence: float = 0.95,
+    batch_size: int = MSER_BATCH_SIZE,
+) -> SteadyStateEstimate:
+    """MSER-truncated batch-means estimate of a steady-state mean.
+
+    The honest open-system pipeline in one call: delete the initial
+    transient with :func:`mser5_truncation_index`, then treat the
+    retained series as one long steady-state run and build a
+    :func:`batch_means_interval` over ⌊√n⌋ batches.  The result carries
+    its own evidence — truncation index and batch count — so a report
+    can show *how much* warm-up was removed, not just the survivor.
+    """
+    n = len(observations)
+    if n < MIN_STEADY_OBSERVATIONS:
+        raise ValueError(
+            f"steady-state estimation needs at least "
+            f"{MIN_STEADY_OBSERVATIONS} observations, got {n}"
+        )
+    truncated = mser5_truncation_index(observations, batch_size=batch_size)
+    retained = observations[truncated:]
+    batches = steady_state_batches(len(retained))
+    interval = batch_means_interval(retained, batches=batches, confidence=confidence)
+    return SteadyStateEstimate(
+        point=interval.mean,
+        half_width=interval.half_width,
+        confidence=confidence,
+        truncated=truncated,
+        retained=len(retained),
+        batches=batches,
+    )
 
 
 class ReplicationAnalyzer:

@@ -113,6 +113,65 @@ def format_cluster_detail(scenario, result: SweepResult) -> List[str]:
     return lines
 
 
+#: Metric names the steady-state pipeline flattens per replication
+#: (see :meth:`repro.core.results.PhaseResults.to_metrics`).
+_STEADY_METRICS = (
+    "steady_response_time_ms",
+    "steady_response_ci_ms",
+    "steady_truncated",
+    "steady_batches",
+)
+
+
+def _scenario_is_open(scenario) -> bool:
+    """Whether the scenario drives an open (source-driven) system."""
+    return scenario.arrival_mode != "closed"
+
+
+def _has_steady_metrics(analyzer) -> bool:
+    metrics = set(analyzer.metrics())
+    return all(name in metrics for name in _STEADY_METRICS)
+
+
+def format_steady_state(scenario, result: SweepResult) -> List[str]:
+    """The steady-state block of an open-system scenario report.
+
+    One line per point: the MSER-5 truncated batch-means response-time
+    estimate with two half-widths — the across-replication CI of the
+    per-replication point estimates, and the mean within-replication
+    batch-means CI — plus how much warm-up MSER deleted and how many
+    batches the within-run CI used.  The raw (transient-contaminated)
+    mean stays in the table above; this block is the defensible number.
+    """
+    if not _scenario_is_open(scenario):
+        return []
+    lines = [
+        "",
+        "steady-state response time "
+        "(MSER-5 truncation + batch means, per replication):",
+    ]
+    for (x, _config), analyzer in zip(scenario.points, result.analyzers):
+        if not _has_steady_metrics(analyzer):
+            lines.append(
+                f"  {x}: n/a (too few observations for a steady-state estimate)"
+            )
+            continue
+        point = analyzer.interval("steady_response_time_ms")
+        batch_ci = analyzer.mean("steady_response_ci_ms")
+        truncated = analyzer.mean("steady_truncated")
+        observations = analyzer.mean("transactions")
+        batches = analyzer.mean("steady_batches")
+        lines.append(
+            f"  {x}: {_metric_value(point.mean)} ms "
+            f"±{_metric_value(point.half_width)} across replications "
+            f"(batch CI ±{_metric_value(batch_ci)}, "
+            f"truncated {_metric_value(truncated)}/"
+            f"{_metric_value(observations)} obs, "
+            f"{_metric_value(batches)} batches)"
+        )
+    return lines
+
+
 def format_scenario(scenario, result: SweepResult) -> str:
     """Render one executed scenario as its golden text report."""
     spec = result.spec
@@ -135,6 +194,7 @@ def format_scenario(scenario, result: SweepResult) -> str:
             row.extend([_metric_value(ci.mean), _metric_value(ci.half_width)])
         lines.append(_format_row(row, widths))
     lines.extend(format_cluster_detail(scenario, result))
+    lines.extend(format_steady_state(scenario, result))
     return "\n".join(lines)
 
 
@@ -169,6 +229,34 @@ def scenario_to_json(scenario, result: SweepResult) -> Dict[str, Any]:
             }
     if kernel:
         payload["kernel"] = kernel
+    if _scenario_is_open(scenario):
+        steady: Dict[str, Any] = {
+            "method": "mser5+batch-means",
+            "metric": "response_time_ms",
+            "points": [],
+            "replication_half_widths": [],
+            "batch_half_widths": [],
+            "truncated": [],
+            "batches": [],
+        }
+        for analyzer in result.analyzers:
+            if not _has_steady_metrics(analyzer):
+                for key in (
+                    "points",
+                    "replication_half_widths",
+                    "batch_half_widths",
+                    "truncated",
+                    "batches",
+                ):
+                    steady[key].append(None)
+                continue
+            interval = analyzer.interval("steady_response_time_ms")
+            steady["points"].append(interval.mean)
+            steady["replication_half_widths"].append(interval.half_width)
+            steady["batch_half_widths"].append(analyzer.mean("steady_response_ci_ms"))
+            steady["truncated"].append(analyzer.mean("steady_truncated"))
+            steady["batches"].append(analyzer.mean("steady_batches"))
+        payload["steady_state"] = steady
     servers_per_point = _cluster_servers_per_point(scenario)
     if any(servers_per_point):
         payload["cluster"] = {

@@ -18,7 +18,7 @@ Provenance legend used in the field comments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Tuple
 
 
@@ -222,5 +222,14 @@ class OCBConfig:
         return self.coldn + self.hotn
 
     def with_changes(self, **changes) -> "OCBConfig":
-        """Return a copy with the given fields replaced (validated)."""
-        return replace(self, **changes)
+        """Return a copy with the given fields replaced (validated).
+
+        Unknown keys raise :class:`ValueError` naming the key and the
+        closest valid field (see :mod:`repro.core.overrides`).
+        """
+        # Imported here: repro.core depends on this module at import
+        # time (VOODBConfig embeds OCBConfig), so the reverse import
+        # must wait until call time.
+        from repro.core.overrides import checked_replace
+
+        return checked_replace(self, changes)

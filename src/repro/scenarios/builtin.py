@@ -1,13 +1,23 @@
-"""The built-in scenario catalog.
+"""The built-in scenario catalog, loaded from committed scenario files.
 
-Fourteen ready-made studies over the O2 instantiation, spanning the
+Every built-in scenario is a ``.yaml`` file under
+``src/repro/scenarios/library/`` in the declarative schema of
+:mod:`repro.scenarios.schema` — the same format ``voodb scenario run
+path/to/file.yaml`` accepts, so adding a study to the catalog is a data
+change: drop a file in ``library/`` and list it in :data:`MANIFEST`.
+The files are the source of truth; this module only loads and registers
+them, which keeps the schema honest (a scenario the file format cannot
+express cannot hide in the catalog).
+
+Seventeen ready-made studies over the O2 instantiation, spanning the
 axes the ROADMAP's "as many scenarios as you can imagine" asks for: the
 paper-faithful closed system, open-system arrivals (steady Poisson and
 bursty MMPP), OLTP read/write mixes, hot-key skew, a multiprogramming
-ramp, a failure storm, the cold-vs-warm cache pair, and the cluster
-quartet (scale-out ramp, skewed hot shard, replicated read fan-out,
+ramp, a failure storm, the cold-vs-warm cache pair, the cluster quartet
+(scale-out ramp, skewed hot shard, replicated read fan-out,
 object-server forwarding) driving open-system load against sharded
-multi-server topologies.
+multi-server topologies, and the OCB genericity trio mapping the
+classic OO1 / OO7 / HyperModel workloads onto OCB's parameters.
 
 Every scenario is deliberately small (NC=20, NO=2000, a few hundred
 transactions, 3 pinned replications) so the whole catalog regenerates
@@ -18,329 +28,50 @@ gate on every run.
 
 from __future__ import annotations
 
-from repro.core.failures import FailureConfig
-from repro.core.parameters import (
-    ArrivalConfig,
-    ClusterConfig,
-    SystemClass,
-    VOODBConfig,
-)
+from pathlib import Path
+from typing import Tuple
+
 from repro.scenarios.catalog import Scenario, register_scenario
-from repro.systems.o2 import o2_config
+from repro.scenarios.loader import load_scenario_file
 
-#: Shared database shape: small enough for seconds-scale goldens, big
-#: enough that buffer pressure and locality still matter.
-BASE_NC = 20
-BASE_NO = 2000
-BASE_HOTN = 200
+#: Directory holding the committed built-in scenario files.
+LIBRARY_DIR = Path(__file__).resolve().parent / "library"
 
-#: Server cache (MB) for the cache-sensitive scenarios: ~120 pages,
-#: well under the ~410-page base, so misses and evictions stay visible.
-SMALL_CACHE_MB = 0.5
-
-
-def _base(
-    cache_mb: float = 2.0, hotn: int = BASE_HOTN, **ocb_overrides
-) -> VOODBConfig:
-    """The catalog's baseline O2 point (Table 4 settings, small base)."""
-    return o2_config(
-        nc=BASE_NC, no=BASE_NO, cache_mb=cache_mb, hotn=hotn, **ocb_overrides
-    )
-
-
-def _single(name: str, title: str, description: str, config, **kwargs) -> Scenario:
-    return register_scenario(
-        Scenario(
-            name=name,
-            title=title,
-            description=description,
-            points=(("baseline", config),),
-            x_label="point",
-            **kwargs,
-        )
-    )
-
-
-# ----------------------------------------------------------------------
-# 1. The paper-faithful closed system
-# ----------------------------------------------------------------------
-PAPER_BASELINE = _single(
+#: The catalog, in registration (listing) order.  Each entry names one
+#: ``library/<name>.yaml`` file whose ``name:`` field must match.
+MANIFEST: Tuple[str, ...] = (
     "paper-baseline",
-    "Paper-faithful closed system",
-    "The §4.3 protocol in miniature: one user, the Table 5 transaction "
-    "mix, O2's Table 4 settings, closed-system submission.",
-    _base(),
-)
-
-# ----------------------------------------------------------------------
-# 2-3. Open-system arrivals
-# ----------------------------------------------------------------------
-OPEN_POISSON = _single(
     "open-poisson",
-    "Open system, steady Poisson arrivals",
-    "Transactions arrive at 40/s with exponential gaps instead of the "
-    "closed NUSERS loop; MULTILVL admission bounds concurrency while "
-    "queueing delay shows up in the response time.",
-    _base().with_changes(arrivals=ArrivalConfig(mode="poisson", rate_tps=40.0)),
-)
-
-OPEN_BURSTY = _single(
     "open-bursty",
-    "Open system, bursty MMPP arrivals",
-    "A two-state Markov-modulated Poisson source: calm 10/s background "
-    "traffic with 250/s bursts (mean burst 400 ms, mean calm 4 s) — the "
-    "worst case for admission queues and buffer churn.",
-    _base().with_changes(
-        arrivals=ArrivalConfig(
-            mode="mmpp",
-            rate_tps=10.0,
-            burst_rate_tps=250.0,
-            mean_calm_ms=4_000.0,
-            mean_burst_ms=400.0,
-        )
-    ),
-)
-
-# ----------------------------------------------------------------------
-# 4-5. OLTP mixes
-# ----------------------------------------------------------------------
-READ_HEAVY = _single(
     "read-heavy",
-    "Read-heavy OLTP mix",
-    "Set-oriented and simple traversals dominate (70%), writes are rare "
-    "(2% of accesses) — an analytics-leaning read workload.",
-    _base(
-        pset=0.40, psimple=0.30, phier=0.20, pstoch=0.10, pwrite=0.02
-    ),
-)
-
-WRITE_HEAVY = _single(
     "write-heavy",
-    "Write-heavy OLTP mix with churn",
-    "Half of all object accesses write, and 20% of transactions insert "
-    "or delete objects — dirty evictions, exclusive locking and object "
-    "churn all engaged.",
-    _base(
-        pset=0.15,
-        psimple=0.25,
-        phier=0.20,
-        pstoch=0.20,
-        pinsert=0.10,
-        pdelete=0.10,
-        pwrite=0.50,
-    ),
-)
-
-# ----------------------------------------------------------------------
-# 6. Hot-key skew
-# ----------------------------------------------------------------------
-HOT_KEY_SKEW = _single(
     "hot-key-skew",
-    "Zipf hot-key skew on a small cache",
-    "Transaction roots drawn from a Zipf(1.5) distribution over the "
-    "object base with a small (0.5 MB) server cache: the hot set stays "
-    "resident while the cold tail misses.",
-    _base(cache_mb=SMALL_CACHE_MB, root_skew=1.5),
-    metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
-)
-
-# ----------------------------------------------------------------------
-# 7. Multiprogramming ramp
-# ----------------------------------------------------------------------
-MULTIPROGRAMMING_RAMP = register_scenario(
-    Scenario(
-        name="multiprogramming-ramp",
-        title="Multiprogramming ramp (1-8 users)",
-        description=(
-            "The closed user population ramps 1 -> 8 at a multiprogramming "
-            "level of 4, with 20% writes over a hot root region: throughput "
-            "climbs until the scheduler saturates and lock waits take over."
-        ),
-        points=tuple(
-            (
-                nusers,
-                _base(pwrite=0.20, root_region=100).with_changes(
-                    nusers=nusers, multilvl=4
-                ),
-            )
-            for nusers in (1, 2, 4, 8)
-        ),
-        x_label="users",
-        metrics=(
-            "total_ios",
-            "throughput_tps",
-            "lock_waits",
-            "mean_response_time_ms",
-        ),
-    )
-)
-
-# ----------------------------------------------------------------------
-# 8. Failure storm
-# ----------------------------------------------------------------------
-FAILURE_STORM = _single(
+    "multiprogramming-ramp",
     "failure-storm",
-    "Failure storm (transient faults + crashes)",
-    "The §5 hazards module at storm intensity: a transient I/O fault "
-    "every ~300 ms of simulated time and a crash every ~40 s, each "
-    "crash costing 1.5 s of recovery and a cold cache.",
-    _base(cache_mb=SMALL_CACHE_MB).with_changes(
-        failures=FailureConfig(
-            transient_mtbf_ms=300.0,
-            transient_penalty_ms=25.0,
-            crash_mtbf_ms=40_000.0,
-            recovery_time_ms=1_500.0,
-        )
-    ),
-    metrics=(
-        "total_ios",
-        "transient_faults",
-        "crashes",
-        "downtime_ms",
-        "mean_response_time_ms",
-    ),
-)
-
-# ----------------------------------------------------------------------
-# 9-10. Cold vs. warm cache
-# ----------------------------------------------------------------------
-COLD_CACHE = _single(
     "cold-cache",
-    "Cold cache (no warm-up run)",
-    "The measured run starts against an empty 0.5 MB buffer: every "
-    "first touch misses, the paper's COLDN warm-up skipped.",
-    _base(cache_mb=SMALL_CACHE_MB, coldn=0),
-    metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
-)
-
-WARM_CACHE = _single(
     "warm-cache",
-    "Warm cache (COLDN warm-up first)",
-    "The same workload and 0.5 MB buffer as cold-cache, but 200 unmeasured "
-    "warm-up transactions populate the buffer first (§4.3's protocol).",
-    _base(cache_mb=SMALL_CACHE_MB, coldn=200),
-    metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
-)
-
-
-# ----------------------------------------------------------------------
-# 11-14. Cluster topologies (sharded multi-server, open-system load)
-# ----------------------------------------------------------------------
-def _cluster_point(
-    servers: int,
-    placement: str = "hash",
-    replication: int = 1,
-    interconnect_mbps: float = float("inf"),
-    rate_tps: float = 60.0,
-    sysclass: SystemClass = SystemClass.PAGE_SERVER,
-    cache_mb: float = SMALL_CACHE_MB,
-    **ocb_overrides,
-) -> VOODBConfig:
-    """One cluster configuration point: open Poisson load, MPL 8."""
-    return _base(cache_mb=cache_mb, **ocb_overrides).with_changes(
-        sysclass=sysclass,
-        cluster=ClusterConfig(
-            servers=servers,
-            placement=placement,
-            replication=replication,
-            interconnect_mbps=interconnect_mbps,
-        ),
-        arrivals=ArrivalConfig(mode="poisson", rate_tps=rate_tps),
-        multilvl=8,
-    )
-
-
-CLUSTER_SCALE_OUT = register_scenario(
-    Scenario(
-        name="cluster-scale-out",
-        title="Cluster scale-out ramp (1-8 servers)",
-        description=(
-            "The same open Poisson load (60 tps) against hash-sharded page-"
-            "server clusters of 1, 2, 4 and 8 nodes, each bringing its own "
-            "0.5 MB buffer and disk: I/Os and disk pressure fall as shards "
-            "absorb the working set and spread the arrivals."
-        ),
-        points=tuple(
-            (servers, _cluster_point(servers)) for servers in (1, 2, 4, 8)
-        ),
-        x_label="servers",
-        metrics=(
-            "total_ios",
-            "throughput_tps",
-            "mean_response_time_ms",
-            "cluster_max_utilization",
-        ),
-    )
-)
-
-CLUSTER_HOT_SHARD = _single(
+    "cluster-scale-out",
     "cluster-hot-shard",
-    "Skewed hot shard (range placement, Zipf roots)",
-    "Zipf(1.5) transaction roots with 25% writes over a range-sharded "
-    "4-node cluster with tiny (0.25 MB) per-node buffers: the head shard "
-    "absorbs twice its share of accesses but keeps the hot set resident, "
-    "so the disk bottleneck lands on the cold-tail shard — skew moves the "
-    "choke point, it does not remove it.",
-    _cluster_point(
-        4,
-        placement="range",
-        rate_tps=30.0,
-        cache_mb=0.25,
-        root_skew=1.5,
-        pwrite=0.25,
-    ),
-    metrics=(
-        "total_ios",
-        "cluster_imbalance",
-        "cluster_max_utilization",
-        "mean_response_time_ms",
-    ),
-)
-
-CLUSTER_REPLICATED_READ = _single(
     "cluster-replicated-read",
-    "Replicated read fan-out (3 copies on 4 nodes)",
-    "A read-heavy mix (2% writes) on a hash-sharded 4-node cluster storing "
-    "every page on 3 replicas over a 50 MB/s interconnect: reads balance "
-    "round-robin across the copies while the rare writes pay the "
-    "propagation fan-out.",
-    _cluster_point(
-        4,
-        replication=3,
-        interconnect_mbps=50.0,
-        rate_tps=40.0,
-        pset=0.40,
-        psimple=0.30,
-        phier=0.20,
-        pstoch=0.10,
-        pwrite=0.02,
-    ),
-    metrics=(
-        "total_ios",
-        "replica_reads",
-        "replica_writes",
-        "mean_response_time_ms",
-    ),
+    "cluster-object-server",
+    "ocb-oo1-lookup",
+    "ocb-oo7-traversal",
+    "ocb-hypermodel-closure",
 )
 
-CLUSTER_OBJECT_SERVER = _single(
-    "cluster-object-server",
-    "Object-server forwarding (2 nodes, thin clients)",
-    "A range-sharded 2-node object-server cluster behind a round-robin "
-    "balancer: placement-blind clients hand each object request to a "
-    "coordinator, which fetches remotely owned pages across a 25 MB/s "
-    "interconnect before shipping the object back.",
-    _cluster_point(
-        2,
-        placement="range",
-        interconnect_mbps=25.0,
-        rate_tps=30.0,
-        sysclass=SystemClass.OBJECT_SERVER,
-    ),
-    metrics=(
-        "total_ios",
-        "remote_fetches",
-        "interconnect_messages",
-        "mean_response_time_ms",
-    ),
-)
+
+def _load_catalog() -> Tuple[Scenario, ...]:
+    loaded = []
+    for name in MANIFEST:
+        path = LIBRARY_DIR / f"{name}.yaml"
+        scenario = load_scenario_file(path)
+        if scenario.name != name:
+            raise ValueError(
+                f"scenario file {path} declares name {scenario.name!r}, "
+                f"expected {name!r} (file name and scenario name must match)"
+            )
+        loaded.append(register_scenario(scenario))
+    return tuple(loaded)
+
+
+BUILTIN_SCENARIOS: Tuple[Scenario, ...] = _load_catalog()

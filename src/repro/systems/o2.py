@@ -57,7 +57,9 @@ def o2_config(
     ``nc``/``no`` sweep the Figures 6/7 database sizes; ``cache_mb``
     sweeps Figure 8.  Extra keyword arguments override OCB fields.
     """
-    ocb = OCBConfig(nc=nc, no=no, hotn=hotn, **ocb_overrides)
+    # Routed through with_changes so a misspelled OCB override raises a
+    # named ValueError (repro.core.overrides) instead of a bare TypeError.
+    ocb = OCBConfig(nc=nc, no=no, hotn=hotn).with_changes(**ocb_overrides)
     return VOODBConfig(
         sysclass=SystemClass.PAGE_SERVER,
         netthru=math.inf,

@@ -67,7 +67,9 @@ def texas_config(
     sweeps Figure 11 ("Linux allows setting up memory size at boot
     time").  ``clustp="dstc"`` arms the §4.4 clustering policy.
     """
-    ocb = OCBConfig(nc=nc, no=no, hotn=hotn, **ocb_overrides)
+    # Routed through with_changes so a misspelled OCB override raises a
+    # named ValueError (repro.core.overrides) instead of a bare TypeError.
+    ocb = OCBConfig(nc=nc, no=no, hotn=hotn).with_changes(**ocb_overrides)
     return VOODBConfig(
         sysclass=SystemClass.CENTRALIZED,
         memory_model=MemoryModel.VIRTUAL_MEMORY,

@@ -120,6 +120,19 @@ class TestDerived:
         with pytest.raises(ValueError):
             config.with_changes(buffsize=0)
 
+    def test_with_changes_rejects_unknown_key_with_suggestion(self):
+        """Overrides validate eagerly: a typo dies at the call site with
+        the bad key named and the closest valid spelling suggested."""
+        with pytest.raises(ValueError) as excinfo:
+            VOODBConfig().with_changes(buffsiz=1000)
+        message = str(excinfo.value)
+        assert "buffsiz" in message
+        assert "did you mean 'buffsize'" in message
+
+    def test_with_changes_unknown_key_lists_valid_fields(self):
+        with pytest.raises(ValueError, match="valid fields"):
+            VOODBConfig().with_changes(zzz_not_a_field=1)
+
 
 class TestArrivalConfigValidation:
     """Regression wall for the MMPP phase-vector validation bugfix.

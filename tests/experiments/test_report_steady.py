@@ -1,0 +1,78 @@
+"""Steady-state rendering in the scenario report layer.
+
+Open-system scenarios gain an MSER-5 + batch-means block in the text
+report and a ``steady_state`` section in the JSON payload; closed
+scenarios must render exactly as before (the committed goldens depend
+on it).
+"""
+
+import pytest
+
+from repro.experiments.executor import SerialExecutor
+from repro.experiments.report import format_scenario, scenario_to_json
+from repro.scenarios import get_scenario, run_scenario
+
+STEADY_HEADER = "steady-state response time (MSER-5 truncation + batch means"
+
+
+@pytest.fixture(scope="module")
+def open_run():
+    scenario = get_scenario("open-poisson").scaled(hotn=30)
+    return scenario, run_scenario(scenario, executor=SerialExecutor())
+
+
+class TestOpenScenarios:
+    def test_text_report_includes_steady_block(self, open_run):
+        scenario, result = open_run
+        text = format_scenario(scenario, result)
+        assert STEADY_HEADER in text
+        assert "truncated" in text
+        assert "batches" in text
+
+    def test_json_includes_steady_section(self, open_run):
+        scenario, result = open_run
+        payload = scenario_to_json(scenario, result)
+        steady = payload["steady_state"]
+        assert steady["method"] == "mser5+batch-means"
+        assert steady["metric"] == "response_time_ms"
+        n_points = len(payload["x_values"])
+        assert len(steady["points"]) == n_points
+        assert len(steady["batch_half_widths"]) == n_points
+        assert len(steady["truncated"]) == n_points
+        assert len(steady["batches"]) == n_points
+
+    def test_steady_estimates_are_positive_where_present(self, open_run):
+        scenario, result = open_run
+        steady = scenario_to_json(scenario, result)["steady_state"]
+        present = [p for p in steady["points"] if p is not None]
+        assert present, "expected at least one steady-state estimate"
+        assert all(p > 0 for p in present)
+
+    def test_raw_mean_still_reported_alongside(self, open_run):
+        """The honest pipeline reports *next to* the raw mean — the
+        steady block must not replace mean_response_time_ms."""
+        scenario, result = open_run
+        payload = scenario_to_json(scenario, result)
+        assert "mean_response_time_ms" in payload["metrics"]
+
+
+class TestClosedScenarios:
+    def test_closed_scenario_has_no_steady_block(self):
+        scenario = get_scenario("paper-baseline").scaled(hotn=20)
+        result = run_scenario(scenario, executor=SerialExecutor())
+        text = format_scenario(scenario, result)
+        assert STEADY_HEADER not in text
+        payload = scenario_to_json(scenario, result)
+        assert "steady_state" not in payload
+
+
+class TestTooFewObservations:
+    def test_small_point_reports_na_not_crash(self):
+        """A point with fewer transactions than MIN_STEADY_OBSERVATIONS
+        must degrade to an explicit n/a line, never an exception."""
+        scenario = get_scenario("open-poisson").scaled(hotn=4)
+        result = run_scenario(scenario, executor=SerialExecutor(), replications=1)
+        text = format_scenario(scenario, result)
+        assert "n/a (too few observations" in text
+        payload = scenario_to_json(scenario, result)
+        assert all(p is None for p in payload["steady_state"]["points"])

@@ -98,6 +98,13 @@ class TestDerived:
         with pytest.raises(ValueError):
             config.with_changes(no=-5)
 
+    def test_with_changes_rejects_unknown_key_with_suggestion(self):
+        with pytest.raises(ValueError) as excinfo:
+            OCBConfig().with_changes(hotnn=10)
+        message = str(excinfo.value)
+        assert "hotnn" in message
+        assert "did you mean 'hotn'" in message
+
     def test_total_transactions(self):
         assert OCBConfig(coldn=10, hotn=90).total_transactions == 100
 

@@ -1,0 +1,444 @@
+"""Python reference definitions of the built-in scenario catalog.
+
+The catalog's source of truth is the committed YAML library
+(``src/repro/scenarios/library/*.yaml``).  This module rebuilds every
+built-in **in Python**, through the same config helpers the registry
+used before the catalog moved to files — so the round-trip tests can
+pin file <-> code fidelity exactly: each library file must load to a
+Scenario equal (dataclass equality *and* replication-cache digest) to
+its reference here.
+
+If a library file drifts — a mistyped rate, a lost override — the
+comparison fails naming the scenario.  If a schema change alters how
+files compile, the same failure catches it.  Keep this module in sync
+with any deliberate catalog change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.failures import FailureConfig
+from repro.core.parameters import (
+    ArrivalConfig,
+    ClusterConfig,
+    SystemClass,
+    VOODBConfig,
+)
+from repro.ocb.presets import hypermodel_workload, oo1_workload, oo7_workload
+from repro.scenarios.catalog import Scenario
+from repro.systems.o2 import o2_config
+
+BASE_NC = 20
+BASE_NO = 2000
+BASE_HOTN = 200
+SMALL_CACHE_MB = 0.5
+
+
+def _base(
+    cache_mb: float = 2.0, hotn: int = BASE_HOTN, **ocb_overrides
+) -> VOODBConfig:
+    return o2_config(
+        nc=BASE_NC, no=BASE_NO, cache_mb=cache_mb, hotn=hotn, **ocb_overrides
+    )
+
+
+def _cluster_point(
+    servers: int,
+    placement: str = "hash",
+    replication: int = 1,
+    interconnect_mbps: float = float("inf"),
+    rate_tps: float = 60.0,
+    sysclass: SystemClass = SystemClass.PAGE_SERVER,
+    cache_mb: float = SMALL_CACHE_MB,
+    **ocb_overrides,
+) -> VOODBConfig:
+    return _base(cache_mb=cache_mb, **ocb_overrides).with_changes(
+        sysclass=sysclass,
+        cluster=ClusterConfig(
+            servers=servers,
+            placement=placement,
+            replication=replication,
+            interconnect_mbps=interconnect_mbps,
+        ),
+        arrivals=ArrivalConfig(mode="poisson", rate_tps=rate_tps),
+        multilvl=8,
+    )
+
+
+def _ocb_scenario_config(workload) -> VOODBConfig:
+    """O2 machine with a 0.5 MB cache running a scaled OCB preset."""
+    return o2_config(cache_mb=SMALL_CACHE_MB).with_changes(ocb=workload)
+
+
+def build_reference_catalog() -> Dict[str, Scenario]:
+    """Every built-in scenario, built in Python (nothing registered)."""
+    scenarios = [
+        Scenario(
+            name="paper-baseline",
+            title="Paper-faithful closed system",
+            description=(
+                "The §4.3 protocol in miniature: one user, the Table 5 "
+                "transaction mix, O2's Table 4 settings, closed-system "
+                "submission."
+            ),
+            points=(("baseline", _base()),),
+        ),
+        Scenario(
+            name="open-poisson",
+            title="Open system, steady Poisson arrivals",
+            description=(
+                "Transactions arrive at 40/s with exponential gaps instead "
+                "of the closed NUSERS loop; MULTILVL admission bounds "
+                "concurrency while queueing delay shows up in the response "
+                "time."
+            ),
+            points=(
+                (
+                    "baseline",
+                    _base().with_changes(
+                        arrivals=ArrivalConfig(mode="poisson", rate_tps=40.0)
+                    ),
+                ),
+            ),
+        ),
+        Scenario(
+            name="open-bursty",
+            title="Open system, bursty MMPP arrivals",
+            description=(
+                "A two-state Markov-modulated Poisson source: calm 10/s "
+                "background traffic with 250/s bursts (mean burst 400 ms, "
+                "mean calm 4 s) — the worst case for admission queues and "
+                "buffer churn."
+            ),
+            points=(
+                (
+                    "baseline",
+                    _base().with_changes(
+                        arrivals=ArrivalConfig(
+                            mode="mmpp",
+                            rate_tps=10.0,
+                            burst_rate_tps=250.0,
+                            mean_calm_ms=4_000.0,
+                            mean_burst_ms=400.0,
+                        )
+                    ),
+                ),
+            ),
+        ),
+        Scenario(
+            name="read-heavy",
+            title="Read-heavy OLTP mix",
+            description=(
+                "Set-oriented and simple traversals dominate (70%), writes "
+                "are rare (2% of accesses) — an analytics-leaning read "
+                "workload."
+            ),
+            points=(
+                (
+                    "baseline",
+                    _base(
+                        pset=0.40,
+                        psimple=0.30,
+                        phier=0.20,
+                        pstoch=0.10,
+                        pwrite=0.02,
+                    ),
+                ),
+            ),
+        ),
+        Scenario(
+            name="write-heavy",
+            title="Write-heavy OLTP mix with churn",
+            description=(
+                "Half of all object accesses write, and 20% of transactions "
+                "insert or delete objects — dirty evictions, exclusive "
+                "locking and object churn all engaged."
+            ),
+            points=(
+                (
+                    "baseline",
+                    _base(
+                        pset=0.15,
+                        psimple=0.25,
+                        phier=0.20,
+                        pstoch=0.20,
+                        pinsert=0.10,
+                        pdelete=0.10,
+                        pwrite=0.50,
+                    ),
+                ),
+            ),
+        ),
+        Scenario(
+            name="hot-key-skew",
+            title="Zipf hot-key skew on a small cache",
+            description=(
+                "Transaction roots drawn from a Zipf(1.5) distribution over "
+                "the object base with a small (0.5 MB) server cache: the hot "
+                "set stays resident while the cold tail misses."
+            ),
+            points=(
+                ("baseline", _base(cache_mb=SMALL_CACHE_MB, root_skew=1.5)),
+            ),
+            metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
+        ),
+        Scenario(
+            name="multiprogramming-ramp",
+            title="Multiprogramming ramp (1-8 users)",
+            description=(
+                "The closed user population ramps 1 -> 8 at a "
+                "multiprogramming level of 4, with 20% writes over a hot "
+                "root region: throughput climbs until the scheduler "
+                "saturates and lock waits take over."
+            ),
+            points=tuple(
+                (
+                    nusers,
+                    _base(pwrite=0.20, root_region=100).with_changes(
+                        nusers=nusers, multilvl=4
+                    ),
+                )
+                for nusers in (1, 2, 4, 8)
+            ),
+            x_label="users",
+            metrics=(
+                "total_ios",
+                "throughput_tps",
+                "lock_waits",
+                "mean_response_time_ms",
+            ),
+        ),
+        Scenario(
+            name="failure-storm",
+            title="Failure storm (transient faults + crashes)",
+            description=(
+                "The §5 hazards module at storm intensity: a transient I/O "
+                "fault every ~300 ms of simulated time and a crash every "
+                "~40 s, each crash costing 1.5 s of recovery and a cold "
+                "cache."
+            ),
+            points=(
+                (
+                    "baseline",
+                    _base(cache_mb=SMALL_CACHE_MB).with_changes(
+                        failures=FailureConfig(
+                            transient_mtbf_ms=300.0,
+                            transient_penalty_ms=25.0,
+                            crash_mtbf_ms=40_000.0,
+                            recovery_time_ms=1_500.0,
+                        )
+                    ),
+                ),
+            ),
+            metrics=(
+                "total_ios",
+                "transient_faults",
+                "crashes",
+                "downtime_ms",
+                "mean_response_time_ms",
+            ),
+        ),
+        Scenario(
+            name="cold-cache",
+            title="Cold cache (no warm-up run)",
+            description=(
+                "The measured run starts against an empty 0.5 MB buffer: "
+                "every first touch misses, the paper's COLDN warm-up "
+                "skipped."
+            ),
+            points=(
+                ("baseline", _base(cache_mb=SMALL_CACHE_MB, coldn=0)),
+            ),
+            metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
+        ),
+        Scenario(
+            name="warm-cache",
+            title="Warm cache (COLDN warm-up first)",
+            description=(
+                "The same workload and 0.5 MB buffer as cold-cache, but 200 "
+                "unmeasured warm-up transactions populate the buffer first "
+                "(§4.3's protocol)."
+            ),
+            points=(
+                ("baseline", _base(cache_mb=SMALL_CACHE_MB, coldn=200)),
+            ),
+            metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
+        ),
+        Scenario(
+            name="cluster-scale-out",
+            title="Cluster scale-out ramp (1-8 servers)",
+            description=(
+                "The same open Poisson load (60 tps) against hash-sharded "
+                "page-server clusters of 1, 2, 4 and 8 nodes, each bringing "
+                "its own 0.5 MB buffer and disk: I/Os and disk pressure "
+                "fall as shards absorb the working set and spread the "
+                "arrivals."
+            ),
+            points=tuple(
+                (servers, _cluster_point(servers)) for servers in (1, 2, 4, 8)
+            ),
+            x_label="servers",
+            metrics=(
+                "total_ios",
+                "throughput_tps",
+                "mean_response_time_ms",
+                "cluster_max_utilization",
+            ),
+        ),
+        Scenario(
+            name="cluster-hot-shard",
+            title="Skewed hot shard (range placement, Zipf roots)",
+            description=(
+                "Zipf(1.5) transaction roots with 25% writes over a "
+                "range-sharded 4-node cluster with tiny (0.25 MB) per-node "
+                "buffers: the head shard absorbs twice its share of "
+                "accesses but keeps the hot set resident, so the disk "
+                "bottleneck lands on the cold-tail shard — skew moves the "
+                "choke point, it does not remove it."
+            ),
+            points=(
+                (
+                    "baseline",
+                    _cluster_point(
+                        4,
+                        placement="range",
+                        rate_tps=30.0,
+                        cache_mb=0.25,
+                        root_skew=1.5,
+                        pwrite=0.25,
+                    ),
+                ),
+            ),
+            metrics=(
+                "total_ios",
+                "cluster_imbalance",
+                "cluster_max_utilization",
+                "mean_response_time_ms",
+            ),
+        ),
+        Scenario(
+            name="cluster-replicated-read",
+            title="Replicated read fan-out (3 copies on 4 nodes)",
+            description=(
+                "A read-heavy mix (2% writes) on a hash-sharded 4-node "
+                "cluster storing every page on 3 replicas over a 50 MB/s "
+                "interconnect: reads balance round-robin across the copies "
+                "while the rare writes pay the propagation fan-out."
+            ),
+            points=(
+                (
+                    "baseline",
+                    _cluster_point(
+                        4,
+                        replication=3,
+                        interconnect_mbps=50.0,
+                        rate_tps=40.0,
+                        pset=0.40,
+                        psimple=0.30,
+                        phier=0.20,
+                        pstoch=0.10,
+                        pwrite=0.02,
+                    ),
+                ),
+            ),
+            metrics=(
+                "total_ios",
+                "replica_reads",
+                "replica_writes",
+                "mean_response_time_ms",
+            ),
+        ),
+        Scenario(
+            name="cluster-object-server",
+            title="Object-server forwarding (2 nodes, thin clients)",
+            description=(
+                "A range-sharded 2-node object-server cluster behind a "
+                "round-robin balancer: placement-blind clients hand each "
+                "object request to a coordinator, which fetches remotely "
+                "owned pages across a 25 MB/s interconnect before shipping "
+                "the object back."
+            ),
+            points=(
+                (
+                    "baseline",
+                    _cluster_point(
+                        2,
+                        placement="range",
+                        interconnect_mbps=25.0,
+                        rate_tps=30.0,
+                        sysclass=SystemClass.OBJECT_SERVER,
+                    ),
+                ),
+            ),
+            metrics=(
+                "total_ios",
+                "remote_fetches",
+                "interconnect_messages",
+                "mean_response_time_ms",
+            ),
+        ),
+        Scenario(
+            name="ocb-oo1-lookup",
+            title="OCB/OO1 lookup + traversal mix",
+            description=(
+                "The OO1 (Cattell) workload expressed through OCB's "
+                "parameters: small 3-connected parts with 1% connection "
+                "locality, half lookups (depth-0 set accesses), half "
+                "depth-7 traversals over the dominant connection type — run "
+                "closed on the O2 instantiation with a 0.5 MB cache."
+            ),
+            points=(
+                (
+                    "baseline",
+                    _ocb_scenario_config(
+                        oo1_workload(no=BASE_NO, hotn=BASE_HOTN)
+                    ),
+                ),
+            ),
+            metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
+        ),
+        Scenario(
+            name="ocb-oo7-traversal",
+            title="OCB/OO7 deep-traversal mix",
+            description=(
+                "The OO7 workload expressed through OCB's parameters: a "
+                "30-class composition hierarchy with growing instance "
+                "sizes, swept by T1-style raw traversals (60% simple "
+                "traversals of depth 5) plus hierarchy traversals of depth "
+                "7 and T6-style random walks — run closed on the O2 "
+                "instantiation with a 0.5 MB cache."
+            ),
+            points=(
+                (
+                    "baseline",
+                    _ocb_scenario_config(
+                        oo7_workload(no=BASE_NO, hotn=BASE_HOTN)
+                    ),
+                ),
+            ),
+            metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
+        ),
+        Scenario(
+            name="ocb-hypermodel-closure",
+            title="OCB/HyperModel closure mix",
+            description=(
+                "The HyperModel workload expressed through OCB's "
+                "parameters: a hypertext node graph with five reference "
+                "types, dominated by transitive closures over the "
+                "parent/child relation (50% hierarchy traversals of depth "
+                "5) with neighborhood set accesses and short random walks — "
+                "run closed on the O2 instantiation with a 0.5 MB cache."
+            ),
+            points=(
+                (
+                    "baseline",
+                    _ocb_scenario_config(
+                        hypermodel_workload(no=BASE_NO, hotn=BASE_HOTN)
+                    ),
+                ),
+            ),
+            metrics=("total_ios", "hit_rate", "mean_response_time_ms"),
+        ),
+    ]
+    return {scenario.name: scenario for scenario in scenarios}

@@ -36,8 +36,8 @@ def small(scenario: Scenario) -> Scenario:
 
 
 class TestRegistry:
-    def test_catalog_has_fourteen_scenarios(self):
-        assert len(ALL) == 14
+    def test_catalog_has_seventeen_scenarios(self):
+        assert len(ALL) == 17
 
     def test_names_are_unique_and_kebab_case(self):
         names = scenario_names()
@@ -74,6 +74,9 @@ class TestRegistry:
             "cluster-hot-shard",
             "cluster-replicated-read",
             "cluster-object-server",
+            "ocb-oo1-lookup",
+            "ocb-oo7-traversal",
+            "ocb-hypermodel-closure",
         }
 
 

@@ -6,6 +6,7 @@ import pytest
 
 from repro.__main__ import build_parser, main
 from repro.scenarios import scenario_names
+from repro.scenarios.builtin import LIBRARY_DIR
 
 
 class TestParser:
@@ -13,15 +14,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenario"])
 
-    def test_run_requires_known_name(self):
-        with pytest.raises(SystemExit) as excinfo:
-            build_parser().parse_args(["scenario", "run", "no-such-scenario"])
-        assert excinfo.value.code == 2
+    def test_run_rejects_unknown_name(self, capsys):
+        # Names resolve at run time now (any path is also accepted), so
+        # a bad catalog name is a clean exit-2 error, not argparse's.
+        assert main(["scenario", "run", "no-such-scenario"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "paper-baseline" in err
 
-    def test_describe_requires_known_name(self):
-        with pytest.raises(SystemExit) as excinfo:
-            build_parser().parse_args(["scenario", "describe", "nope"])
-        assert excinfo.value.code == 2
+    def test_describe_rejects_unknown_name(self, capsys):
+        assert main(["scenario", "describe", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
 
     def test_run_accepts_json_flag(self):
         args = build_parser().parse_args(["scenario", "run", "--json", "cold-cache"])
@@ -100,3 +103,58 @@ class TestExecution:
         assert main(["-o", str(sink), "scenario", "list"]) == 0
         capsys.readouterr()
         assert "paper-baseline" in sink.read_text()
+
+
+class TestScenarioFiles:
+    """The declarative-file face: run/describe/validate on paths."""
+
+    LIBRARY = str(LIBRARY_DIR)
+
+    def _write(self, tmp_path, text, name="study.yaml"):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_run_accepts_scenario_file(self, tmp_path, capsys):
+        from repro.scenarios import dump_scenario, get_scenario
+
+        scenario = get_scenario("cold-cache")
+        text = dump_scenario(scenario).replace("name: cold-cache", "name: my-study")
+        path = self._write(tmp_path, text)
+        assert main(["-r", "1", "--hotn", "10", "scenario", "run", path]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario my-study" in out
+
+    def test_describe_accepts_scenario_file(self, capsys):
+        path = f"{self.LIBRARY}/open-bursty.yaml"
+        assert main(["scenario", "describe", path]) == 0
+        assert "Scenario open-bursty" in capsys.readouterr().out
+
+    def test_run_file_reports_schema_errors(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            "format: voodb-scenario/v1\nname: broken\ntitle: t\n"
+            "description: d\nconfig:\n  buffsiz: 10\n",
+        )
+        assert main(["scenario", "run", path]) == 2
+        err = capsys.readouterr().err
+        assert "buffsiz" in err
+        assert "buffsize" in err
+
+    def test_run_missing_file_exit_code(self, capsys):
+        assert main(["scenario", "run", "does/not/exist.yaml"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_validate_accepts_library(self, capsys):
+        import glob
+
+        paths = sorted(glob.glob(f"{self.LIBRARY}/*.yaml"))
+        assert paths
+        assert main(["scenario", "validate", *paths]) == 0
+        out = capsys.readouterr().out
+        assert out.count(": ok") == len(paths)
+
+    def test_validate_rejects_bad_file(self, tmp_path, capsys):
+        path = self._write(tmp_path, "format: wrong\nname: x\n")
+        assert main(["scenario", "validate", path]) == 2
+        assert "format" in capsys.readouterr().err

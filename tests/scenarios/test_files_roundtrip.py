@@ -1,0 +1,152 @@
+"""File <-> registry fidelity for the declarative scenario catalog.
+
+Three walls:
+
+* **Serialization round trip** — every registered scenario survives
+  ``dump_scenario`` -> ``load_scenario_text`` unchanged (dataclass
+  equality), and re-dumping is byte-stable (the canonical form is a
+  fixed point).
+* **Library fidelity** — each committed ``library/*.yaml`` file loads
+  to a Scenario equal to its Python reference definition
+  (:mod:`tests.scenarios.reference_catalog`), down to the replication
+  cache's config digest — so a file edit that changes semantics cannot
+  hide, and neither can a schema change that recompiles files
+  differently.
+* **Execution equivalence** — a file-loaded scenario runs
+  byte-identical to its registry twin, serial == parallel ==
+  cache-replay.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cache import ReplicationCache, config_digest
+from repro.experiments.executor import ParallelExecutor, SerialExecutor
+from repro.experiments.report import format_scenario
+from repro.scenarios import (
+    all_scenarios,
+    dump_scenario,
+    get_scenario,
+    load_scenario_file,
+    load_scenario_text,
+    run_scenario,
+    save_scenario_file,
+    scenario_to_dict,
+)
+from repro.scenarios.builtin import LIBRARY_DIR, MANIFEST
+
+from tests.scenarios.reference_catalog import build_reference_catalog
+
+ALL = all_scenarios()
+REFERENCE = build_reference_catalog()
+
+
+@pytest.mark.parametrize("scenario", ALL, ids=lambda s: s.name)
+class TestSerializationRoundTrip:
+    def test_dump_load_is_lossless(self, scenario):
+        text = dump_scenario(scenario)
+        assert load_scenario_text(text, source=scenario.name) == scenario
+
+    def test_dump_is_a_fixed_point(self, scenario):
+        text = dump_scenario(scenario)
+        again = dump_scenario(load_scenario_text(text, source=scenario.name))
+        assert again == text
+
+    def test_save_load_file_round_trip(self, scenario, tmp_path):
+        path = tmp_path / f"{scenario.name}.yaml"
+        save_scenario_file(scenario, path)
+        assert load_scenario_file(path) == scenario
+
+    def test_canonical_dict_omits_defaults(self, scenario):
+        data = scenario_to_dict(scenario)
+        assert data["format"] == "voodb-scenario/v1"
+        # Defaults never serialize: the diff form stays minimal.
+        assert data.get("replications") != 3
+        assert data.get("base_seed") != 1
+        assert data.get("x_label") != "point"
+
+
+class TestLibraryFidelity:
+    def test_manifest_covers_library_directory(self):
+        files = {path.stem for path in LIBRARY_DIR.glob("*.yaml")}
+        assert files == set(MANIFEST)
+
+    def test_reference_catalog_covers_manifest(self):
+        assert set(REFERENCE) == set(MANIFEST)
+
+    @pytest.mark.parametrize("name", MANIFEST)
+    def test_library_file_equals_python_reference(self, name):
+        loaded = load_scenario_file(LIBRARY_DIR / f"{name}.yaml")
+        assert loaded == REFERENCE[name]
+
+    @pytest.mark.parametrize("name", MANIFEST)
+    def test_point_configs_share_cache_digests(self, name):
+        """File-compiled configs hit the same replication-cache entries
+        as Python-built ones — the cache key proves deep equality."""
+        loaded = load_scenario_file(LIBRARY_DIR / f"{name}.yaml")
+        for (_, file_config), (_, ref_config) in zip(
+            loaded.points, REFERENCE[name].points
+        ):
+            assert config_digest(file_config) == config_digest(ref_config)
+
+
+class TestExecutionEquivalence:
+    """A scenario file runs exactly like its registry twin."""
+
+    NAMES = ("paper-baseline", "open-poisson", "cluster-scale-out")
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_file_run_matches_registry_run(self, name):
+        registry = get_scenario(name).scaled(hotn=20)
+        from_file = load_scenario_file(
+            LIBRARY_DIR / f"{name}.yaml"
+        ).scaled(hotn=20)
+        a = run_scenario(registry, executor=SerialExecutor())
+        b = run_scenario(from_file, executor=SerialExecutor())
+        assert format_scenario(registry, a) == format_scenario(from_file, b)
+
+    def test_serial_parallel_cache_replay_identical(self, tmp_path):
+        scenario = load_scenario_file(
+            LIBRARY_DIR / "ocb-oo7-traversal.yaml"
+        ).scaled(hotn=20)
+        serial = run_scenario(scenario, executor=SerialExecutor())
+        parallel = run_scenario(scenario, executor=ParallelExecutor(jobs=2))
+        cache = ReplicationCache(str(tmp_path / "cache"))
+        primed = run_scenario(scenario, executor=SerialExecutor(cache=cache))
+        hits_before = cache.hits
+        replayed = run_scenario(scenario, executor=SerialExecutor(cache=cache))
+        assert cache.hits > hits_before
+        reports = {
+            format_scenario(scenario, result)
+            for result in (serial, parallel, primed, replayed)
+        }
+        assert len(reports) == 1
+
+
+class TestEditedFileBehaviour:
+    """Editing a file changes the run — files are live inputs."""
+
+    def test_edited_override_changes_the_config(self, tmp_path):
+        text = (LIBRARY_DIR / "paper-baseline.yaml").read_text(encoding="utf-8")
+        edited = text.replace("hotn: 200", "hotn: 150")
+        path = tmp_path / "edited.yaml"
+        path.write_text(edited, encoding="utf-8")
+        scenario = load_scenario_file(path)
+        assert scenario.points[0][1].ocb.hotn == 150
+
+
+RESULTS = Path(__file__).resolve().parents[2] / "results"
+
+
+@pytest.mark.parametrize(
+    "name", ("ocb-oo1-lookup", "ocb-oo7-traversal", "ocb-hypermodel-closure")
+)
+def test_ocb_scenarios_reproduce_their_goldens(name, capsys):
+    """The new OCB workload files regenerate their committed reports."""
+    from repro.__main__ import main
+
+    golden = RESULTS / f"scenario_{name.replace('-', '_')}.txt"
+    assert main(["scenario", "run", name]) == 0
+    out = capsys.readouterr().out
+    assert out.rstrip("\n") == golden.read_text(encoding="utf-8").rstrip("\n")
