@@ -210,6 +210,9 @@ class VOODBSimulation:
         )
         self.users = Users(self.sim, config, self.db, self.tm)
         self._phase_counter = 0
+        # Calibration of the phase being collected (aggregated tier
+        # only); stashed by run_phase, consumed by _collect.
+        self._phase_calibration = None
 
     # ------------------------------------------------------------------
     # Phase API
@@ -249,7 +252,26 @@ class VOODBSimulation:
         self.tm.begin_phase()
         if arrivals is None:
             arrivals = self.config.arrivals
-        if arrivals.open:
+        aggregation = self.config.aggregation
+        if aggregation.enabled and not arrivals.open:
+            # Flow-aggregated tier: the closed population collapsed to a
+            # calibrated open stream plus the probe cohort.  Calibration
+            # is memoized per config, so replications share one solve.
+            from repro.core.aggregation import calibrate_aggregate_rate
+
+            calibration = calibrate_aggregate_rate(self.config)
+            self._phase_calibration = calibration
+            self.users.launch_aggregated(
+                transactions,
+                calibration.rate_tps,
+                aggregation,
+                workload=workload,
+                stream_label=stream_label,
+                hierarchy_type=hierarchy_type,
+                hierarchy_depth=hierarchy_depth,
+                ocb_override=ocb_override,
+            )
+        elif arrivals.open:
             self.users.launch_open(
                 transactions,
                 arrivals,
@@ -396,6 +418,24 @@ class VOODBSimulation:
         overhead_reads = delta("overhead_reads")
         overhead_writes = delta("overhead_writes")
         response = self.tm.phase_response
+        aggregation_fields: Dict[str, object] = {}
+        calibration = self._phase_calibration
+        if calibration is not None:
+            self._phase_calibration = None
+            users = self.users
+            aggregation_fields = {
+                "aggregation_population": calibration.population,
+                "aggregate_transactions": users.aggregate_completions,
+                "probe_transactions": len(users.probe_response_ticks),
+                "probe_response_times_ms": tuple(
+                    ticks * MS_PER_TICK
+                    for ticks in users.probe_response_ticks
+                ),
+                "calibrated_rate_tps": calibration.rate_tps,
+                "calibration_iterations": calibration.iterations,
+                "calibration_converged": calibration.converged,
+                "calibration_trace": calibration.trace,
+            }
         cluster_fields: Dict[str, object] = {}
         if self.cluster is not None:
             indices = [node.index for node in self.cluster.nodes]
@@ -443,6 +483,7 @@ class VOODBSimulation:
             transient_faults=int(delta("transient_faults")),
             crashes=int(delta("crashes")),
             downtime_ms=delta("downtime") * MS_PER_TICK,
+            **aggregation_fields,
             **cluster_fields,
         )
 

@@ -197,6 +197,101 @@ class ArrivalConfig:
         raise ValueError("closed arrivals have no interarrival process")
 
 
+@dataclass(frozen=True)
+class AggregationConfig:
+    """Flow aggregation: a large closed population as an open stream.
+
+    A closed population of ``population`` users with think time Z and
+    response time R submits, in steady state, at the interactive-law
+    rate λ = population / (Z + R(λ)).  When enabled (``population > 0``)
+    the model replaces the one-process-per-user closed loop with a
+    calibrated open arrival source at that fixed-point rate (solved by
+    :mod:`repro.core.aggregation` from short pilot runs), plus a
+    ``probe_cohort`` of real closed-loop user processes riding alongside
+    the stream so per-user latency percentiles stay observable.  Z is
+    the workload's ``ocb.thinktime`` — the same knob the closed loop
+    uses, so an aggregated run and its full per-user twin share one
+    think-time source of truth.
+
+    Every knob is validated **eagerly** at construction, with
+    did-you-mean guidance where a neighbouring knob is the likely fix —
+    the λ = N/Z seed rate divides by the think time, so a zero think
+    time must fail here, not as a ZeroDivisionError mid-calibration.
+    """
+
+    #: Simulated user population (0 = aggregation disabled).
+    population: int = 0
+    #: Real closed-loop user processes observing per-user latency.
+    probe_cohort: int = 20
+    #: Relative convergence tolerance of the fixed-point rate solve.
+    tolerance: float = 0.05
+    #: Calibration iteration cap (each iteration is one pilot run).
+    max_iterations: int = 8
+    #: Transactions per calibration pilot run (MSER-5 needs >= 10).
+    pilot_transactions: int = 150
+    #: Seed of the calibration pilot runs — pinned independently of the
+    #: replication seeds so the calibrated rate is a pure function of
+    #: the config, identical across replications and executors.
+    pilot_seed: int = 104729
+
+    def __post_init__(self) -> None:
+        if self.population < 0:
+            raise ValueError(
+                f"population must be >= 0 (0 disables aggregation), "
+                f"got {self.population}"
+            )
+        if self.probe_cohort < 0:
+            raise ValueError(
+                f"probe_cohort must be >= 0, got {self.probe_cohort}"
+            )
+        if not self.enabled:
+            return
+        if self.probe_cohort >= self.population:
+            raise ValueError(
+                f"probe_cohort {self.probe_cohort} must be smaller than the "
+                f"population {self.population} (did you mean a plain closed "
+                "run with nusers instead of aggregation?)"
+            )
+        if not (0.0 < self.tolerance < 1.0) or not math.isfinite(self.tolerance):
+            raise ValueError(
+                f"tolerance must be in (0, 1), got {self.tolerance}"
+            )
+        if self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        if self.pilot_transactions < 10:
+            raise ValueError(
+                f"pilot_transactions must be >= 10 (the MSER-5 steady-state "
+                f"floor), got {self.pilot_transactions}"
+            )
+        if self.pilot_seed < 0:
+            raise ValueError(f"pilot_seed must be >= 0, got {self.pilot_seed}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the aggregated source tier is active."""
+        return self.population > 0
+
+
+def check_aggregation_think_time(thinktime: float) -> None:
+    """Eagerly reject a think time the interactive law cannot use.
+
+    The calibration seeds its fixed point at λ0 = population/Z, so a
+    zero/negative/non-finite Z must fail at configuration time with a
+    message naming the knob to fix — not as a bare ZeroDivisionError
+    deep inside the pilot runs (the old ``Users`` launch-time failure
+    mode).
+    """
+    if not (thinktime > 0) or not math.isfinite(thinktime):
+        raise ValueError(
+            "aggregated arrivals derive their rate from "
+            "population / (thinktime + response_time), so the think time "
+            f"must be finite and > 0 ms, got {thinktime!r} "
+            "(did you mean to set 'thinktime' in the ocb config section?)"
+        )
+
+
 #: Shard-placement strategies a :class:`ClusterConfig` may select.
 ALLOWED_PLACEMENTS = ("hash", "range")
 
@@ -325,6 +420,13 @@ class VOODBConfig:
     #: (default, Table 3) or an open-system source (Poisson / MMPP) —
     #: see :class:`ArrivalConfig` and :mod:`repro.despy.arrivals`.
     arrivals: "ArrivalConfig" = field(default_factory=lambda: ArrivalConfig())
+    #: [extension] flow aggregation: collapse a large closed population
+    #: into a calibrated open stream plus a probe cohort (disabled by
+    #: default) — see :class:`AggregationConfig` and
+    #: :mod:`repro.core.aggregation`.
+    aggregation: "AggregationConfig" = field(
+        default_factory=lambda: AggregationConfig()
+    )
 
     # -- Cluster topology (extension) ---------------------------------------
     #: [extension] multi-server cluster layout (disabled by default) —
@@ -389,6 +491,23 @@ class VOODBConfig:
             raise ValueError("message_bytes must be >= 0")
         if self.cluster.enabled:
             self._check_cluster_combination()
+        if self.aggregation.enabled:
+            self._check_aggregation_combination()
+
+    def _check_aggregation_combination(self) -> None:
+        """Reject combinations the aggregated source tier cannot honour.
+
+        Eager, like :meth:`_check_cluster_combination`: the error names
+        the knob at configuration time, before any pilot run starts.
+        """
+        check_aggregation_think_time(self.ocb.thinktime)
+        if self.arrivals.open:
+            raise ValueError(
+                "aggregation replaces the arrival process with its own "
+                "calibrated open stream and cannot combine with "
+                f"arrivals.mode={self.arrivals.mode.value!r} "
+                "(did you mean arrivals mode 'closed', the default?)"
+            )
 
     def _check_cluster_combination(self) -> None:
         """Reject model combinations the cluster layer does not support.

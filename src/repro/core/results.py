@@ -60,6 +60,24 @@ class PhaseResults:
     transient_faults: int = 0
     crashes: int = 0
     downtime_ms: float = 0.0
+    # -- Flow aggregation (0 population = plain closed/open phase) -------
+    #: Simulated population the aggregated source tier stood in for.
+    aggregation_population: int = 0
+    #: Transactions completed via the aggregate arrival stream.
+    aggregate_transactions: int = 0
+    #: Transactions completed by the probe-cohort user processes.
+    probe_transactions: int = 0
+    #: Probe-cohort response times (ms) in completion order — the
+    #: per-user latency series the aggregate stream cannot observe.
+    probe_response_times_ms: Tuple[float, ...] = ()
+    #: Fixed-point arrival rate the calibration settled on (tps).
+    calibrated_rate_tps: float = 0.0
+    #: Pilot iterations the calibration took, and whether it converged
+    #: within tolerance before the iteration cap.
+    calibration_iterations: int = 0
+    calibration_converged: bool = False
+    #: Per-iteration ``(rate_tps, pilot_response_ms)`` calibration trace.
+    calibration_trace: Tuple[Tuple[float, float], ...] = ()
     # -- Cluster topology (empty tuples = single-server run) -------------
     #: Usage I/Os performed by each server node.
     server_ios: Tuple[int, ...] = ()
@@ -132,6 +150,38 @@ class PhaseResults:
         return self.server_busy_ms[index] / self.elapsed_ms
 
     # ------------------------------------------------------------------
+    # Aggregated-tier roll-ups
+    # ------------------------------------------------------------------
+    @property
+    def aggregated(self) -> bool:
+        """Whether this phase ran the flow-aggregated source tier."""
+        return self.aggregation_population > 0
+
+    @property
+    def probe_mean_response_time_ms(self) -> float:
+        """Mean response time over the probe cohort's transactions."""
+        if not self.probe_response_times_ms:
+            return 0.0
+        return sum(self.probe_response_times_ms) / len(
+            self.probe_response_times_ms
+        )
+
+    def probe_response_percentile(self, quantile: float) -> float:
+        """Probe-cohort latency percentile (nearest-rank, ms).
+
+        The point of the probe cohort: percentiles need per-transaction
+        observations, which the aggregate stream's counters alone cannot
+        provide.  ``quantile`` is in [0, 1].
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+        if not self.probe_response_times_ms:
+            return 0.0
+        ordered = sorted(self.probe_response_times_ms)
+        rank = min(len(ordered) - 1, int(quantile * len(ordered)))
+        return ordered[rank]
+
+    # ------------------------------------------------------------------
     # Steady-state estimates (honest open-system statistics)
     # ------------------------------------------------------------------
     @property
@@ -173,6 +223,30 @@ class PhaseResults:
             f"{prefix}crashes": float(self.crashes),
             f"{prefix}downtime_ms": self.downtime_ms,
         }
+        if self.aggregated:
+            metrics[f"{prefix}aggregation_population"] = float(
+                self.aggregation_population
+            )
+            metrics[f"{prefix}aggregate_transactions"] = float(
+                self.aggregate_transactions
+            )
+            metrics[f"{prefix}probe_transactions"] = float(
+                self.probe_transactions
+            )
+            metrics[f"{prefix}calibrated_rate_tps"] = self.calibrated_rate_tps
+            metrics[f"{prefix}calibration_iterations"] = float(
+                self.calibration_iterations
+            )
+            metrics[f"{prefix}calibration_converged"] = float(
+                self.calibration_converged
+            )
+            if self.probe_response_times_ms:
+                metrics[f"{prefix}probe_mean_response_time_ms"] = (
+                    self.probe_mean_response_time_ms
+                )
+                metrics[f"{prefix}probe_p95_response_time_ms"] = (
+                    self.probe_response_percentile(0.95)
+                )
         if self.has_steady_state:
             steady = self.steady_state()
             metrics[f"{prefix}steady_response_time_ms"] = steady.point

@@ -13,6 +13,14 @@ process per arrival — transactions enter at the configured rate whether
 or not earlier ones have finished, with MULTILVL still bounding how
 many execute concurrently.
 
+Aggregated hybrid (:meth:`Users.launch_aggregated`): a large closed
+population collapsed into one calibrated Poisson aggregate source plus
+a small *probe cohort* of real closed-loop user processes — the
+aggregate stream carries the population's load, the probes observe the
+per-user latency the stream cannot.  Probe and aggregate draws live on
+disjoint named streams, so resizing the cohort never perturbs the
+aggregate arrival sequence.
+
 Users are also where Figure 4's *external clustering demand* comes from;
 the model surfaces that as
 :meth:`repro.core.model.VOODBSimulation.demand_clustering`.
@@ -22,10 +30,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator, List, Optional
 
+from repro.despy.arrivals import aggregated_interarrivals, probe_rescaled_rate
 from repro.despy.process import Hold, Process
 from repro.despy.randomstream import RandomStream
 from repro.despy.timebase import ms_to_ticks
-from repro.core.parameters import ArrivalConfig, VOODBConfig
+from repro.core.parameters import AggregationConfig, ArrivalConfig, VOODBConfig
 from repro.core.transaction_manager import TransactionManager
 from repro.ocb.database import Database
 from repro.ocb.transactions import Transaction, TransactionGenerator
@@ -49,6 +58,13 @@ class Users:
         self.db = db
         self.tm = tm
         self.transactions_submitted = 0
+        # Per-phase aggregated-tier trackers (reset by launch_aggregated).
+        #: Response times (ticks) of probe-cohort transactions, in
+        #: completion order — the per-user latency series of a hybrid
+        #: phase.
+        self.probe_response_ticks: List[int] = []
+        #: Transactions completed by the aggregate source this phase.
+        self.aggregate_completions = 0
 
     def launch(
         self,
@@ -236,3 +252,172 @@ class Users:
 
     def _submission(self, txn: Transaction):
         yield from self.tm.execute_with_envelope(txn)
+
+    # ------------------------------------------------------------------
+    # Aggregated hybrid: calibrated open stream + probe cohort
+    # ------------------------------------------------------------------
+    def launch_aggregated(
+        self,
+        total_transactions: int,
+        rate_tps: float,
+        aggregation: AggregationConfig,
+        workload: str = "mix",
+        stream_label: str = "aggregated",
+        hierarchy_type: int = 0,
+        hierarchy_depth: Optional[int] = None,
+        ocb_override=None,
+    ) -> List[Process]:
+        """Start the hybrid tier: aggregate source + probe cohort.
+
+        ``rate_tps`` is the calibrated population rate (the fixed point
+        of λ = N/(Z+R), see :mod:`repro.core.aggregation`); the
+        aggregate source emits Poisson arrivals at the probe-rescaled
+        share of it so the cohort's own closed-loop load keeps the total
+        offered rate at λ.
+
+        The phase's transactions are split so every probe user gets at
+        least one (at 10⁶ users a proportional share would starve the
+        cohort and leave no latency observations), the remainder riding
+        the aggregate stream.  Streams: the aggregate source draws from
+        ``{stream_label}/aggregate-arrivals`` and
+        ``{stream_label}/aggregate-source``; probe user *u* draws from
+        ``{stream_label}/probe-{u}`` — all disjoint, so the aggregate
+        arrival sequence is invariant under probe-cohort resizing.
+
+        Probe users stagger their starts uniformly over one think time
+        (capped at the expected aggregate window) instead of the closed
+        launch's all-at-zero herd, think Z only *between* their own
+        transactions, and never hold a trailing think — so a hybrid
+        phase's elapsed time tracks the aggregate window, not Z.
+        """
+        if total_transactions < 0:
+            raise ValueError("total_transactions must be >= 0")
+        if workload not in ("mix", "hierarchy"):
+            raise ValueError(f"unknown workload {workload!r}")
+        if not aggregation.enabled:
+            raise ValueError(
+                "launch_aggregated needs an enabled AggregationConfig "
+                "(population > 0); use launch() for the closed NUSERS loop"
+            )
+        self.probe_response_ticks = []
+        self.aggregate_completions = 0
+        ocb = ocb_override if ocb_override is not None else self.config.ocb
+        population = aggregation.population
+        probe_users = min(aggregation.probe_cohort, total_transactions)
+        if probe_users > 0:
+            probe_total = min(
+                total_transactions,
+                max(
+                    probe_users,
+                    total_transactions * aggregation.probe_cohort // population,
+                ),
+            )
+        else:
+            probe_total = 0
+        aggregate_total = total_transactions - probe_total
+        aggregate_rate = probe_rescaled_rate(
+            rate_tps, population, aggregation.probe_cohort
+        )
+        processes: List[Process] = []
+        if aggregate_total > 0:
+            rng = RandomStream(
+                self.sim.seed, f"{stream_label}/aggregate-source"
+            )
+            generator = TransactionGenerator(self.db, ocb, rng)
+            transactions = self._materialize(
+                generator,
+                aggregate_total,
+                workload,
+                hierarchy_type,
+                hierarchy_depth,
+            )
+            gaps = aggregated_interarrivals(
+                RandomStream(
+                    self.sim.seed, f"{stream_label}/aggregate-arrivals"
+                ),
+                aggregate_rate,
+            )
+            processes.append(
+                self.sim.process(
+                    self._aggregate_source(transactions, gaps, stream_label),
+                    name=f"aggregate/{stream_label}",
+                )
+            )
+        # Stagger probe starts over one closed-loop think time — in
+        # steady state the population's cycle phases are uniform — but
+        # never past the aggregate window (at 10⁶ users Z dwarfs it).
+        window_ticks = (
+            ms_to_ticks(aggregate_total * 1000.0 / aggregate_rate)
+            if aggregate_total > 0
+            else 0
+        )
+        think_ticks = ms_to_ticks(ocb.thinktime)
+        spread_ticks = min(think_ticks, window_ticks)
+        share = probe_total // probe_users if probe_users else 0
+        remainder = probe_total % probe_users if probe_users else 0
+        for user in range(probe_users):
+            count = share + (1 if user < remainder else 0)
+            if count == 0:
+                continue
+            rng = RandomStream(self.sim.seed, f"{stream_label}/probe-{user}")
+            generator = TransactionGenerator(self.db, ocb, rng)
+            processes.append(
+                self.sim.process(
+                    self._probe_process(
+                        generator,
+                        count,
+                        workload,
+                        hierarchy_type,
+                        hierarchy_depth,
+                        think_ticks,
+                        spread_ticks * user // probe_users,
+                    ),
+                    name=f"probe-{user}/{stream_label}",
+                )
+            )
+        return processes
+
+    def _aggregate_source(
+        self,
+        transactions,
+        gaps: Iterator[int],
+        stream_label: str,
+    ):
+        for index, txn in enumerate(transactions):
+            yield Hold(next(gaps))
+            self.transactions_submitted += 1
+            self.sim.process(
+                self._aggregate_submission(txn),
+                name=f"agg-txn-{index}/{stream_label}",
+            )
+
+    def _aggregate_submission(self, txn: Transaction):
+        yield from self.tm.execute_with_envelope(txn)
+        self.aggregate_completions += 1
+
+    def _probe_process(
+        self,
+        generator: TransactionGenerator,
+        count: int,
+        workload: str,
+        hierarchy_type: int,
+        hierarchy_depth: Optional[int],
+        think_ticks: int,
+        offset_ticks: int,
+    ):
+        transactions = self._materialize(
+            generator, count, workload, hierarchy_type, hierarchy_depth
+        )
+        if offset_ticks > 0:
+            yield Hold(offset_ticks)
+        think_hold = Hold(think_ticks) if think_ticks > 0 else None
+        sim = self.sim
+        first = True
+        for txn in transactions:
+            if not first and think_hold is not None:
+                yield think_hold
+            first = False
+            self.transactions_submitted += 1
+            started = sim.now
+            yield from self.tm.execute_with_envelope(txn)
+            self.probe_response_ticks.append(sim.now - started)

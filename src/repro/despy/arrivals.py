@@ -14,7 +14,11 @@ processes as plain interarrival-time generators over a
 * :func:`mmpp_interarrivals` — a Markov-modulated Poisson process that
   cycles through states of different rates with exponentially
   distributed dwell times; two states (calm/burst) give the classic
-  bursty-traffic source.
+  bursty-traffic source;
+* :func:`aggregated_interarrivals` — the flow-aggregation source: a
+  large closed population collapsed to Poisson gaps at the calibrated
+  interactive-law rate (:func:`closed_equivalent_rate_tps`), rescaled
+  by :func:`probe_rescaled_rate` for the probe cohort's own load.
 
 All generators are infinite and consume *only* the stream they are
 given, so an arrival sequence is a pure function of ``(seed, stream
@@ -67,6 +71,71 @@ def poisson_interarrivals(
     mean_ms = _MS_PER_SECOND / rate_per_s
     while True:
         yield from stream.exponential_ticks_block(mean_ms, _POISSON_BLOCK)
+
+
+def closed_equivalent_rate_tps(
+    population: int, think_time_ms: float, response_time_ms: float
+) -> float:
+    """The interactive response time law: λ = N / (Z + R).
+
+    A closed population of ``population`` users, each thinking
+    ``think_time_ms`` between transactions that take
+    ``response_time_ms`` to come back, submits in steady state at this
+    rate (transactions per second) — the open-stream equivalent a large
+    closed population aggregates to.  The fixed-point calibration in
+    :mod:`repro.core.aggregation` iterates this with R measured by
+    pilot runs.
+    """
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    if think_time_ms <= 0:
+        raise ValueError(
+            f"think_time_ms must be > 0, got {think_time_ms} "
+            "(a closed loop with zero think time has no finite "
+            "zero-response rate to seed the fixed point)"
+        )
+    if response_time_ms < 0:
+        raise ValueError(
+            f"response_time_ms must be >= 0, got {response_time_ms}"
+        )
+    return population * _MS_PER_SECOND / (think_time_ms + response_time_ms)
+
+
+def probe_rescaled_rate(
+    rate_tps: float, population: int, probe_cohort: int
+) -> float:
+    """Aggregate-stream share of the population rate.
+
+    The ``probe_cohort`` real user processes generate their own
+    closed-loop load, so the aggregate source emits only the remaining
+    ``(population - probe_cohort) / population`` share of the calibrated
+    rate — total offered load stays λ, whatever the cohort size.
+    """
+    if rate_tps <= 0:
+        raise ValueError(f"rate_tps must be > 0, got {rate_tps}")
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    if not 0 <= probe_cohort < population:
+        raise ValueError(
+            f"probe_cohort must be in [0, population), got {probe_cohort} "
+            f"of {population}"
+        )
+    return rate_tps * (population - probe_cohort) / population
+
+
+def aggregated_interarrivals(
+    stream: RandomStream, rate_per_s: float
+) -> Iterator[int]:
+    """The aggregated source: Poisson gaps at the calibrated rate.
+
+    A superposition of many independent, sparse per-user renewal
+    processes converges to a Poisson stream (Palm–Khintchine), which is
+    what justifies collapsing the population in the first place — so the
+    aggregate tier draws exponential gaps at the calibrated rate, on its
+    own dedicated stream, through the same block-drawn fast path as
+    :func:`poisson_interarrivals`.
+    """
+    return poisson_interarrivals(stream, rate_per_s)
 
 
 def mmpp_interarrivals(

@@ -113,6 +113,73 @@ def format_cluster_detail(scenario, result: SweepResult) -> List[str]:
     return lines
 
 
+#: Metric names the aggregated source tier flattens per replication
+#: (see :meth:`repro.core.results.PhaseResults.to_metrics`).
+_AGGREGATION_METRICS = (
+    "aggregation_population",
+    "calibrated_rate_tps",
+    "calibration_iterations",
+    "calibration_converged",
+    "aggregate_transactions",
+    "probe_transactions",
+)
+
+
+def _scenario_is_aggregated(scenario) -> bool:
+    """Whether the scenario runs the flow-aggregated source tier."""
+    return scenario.arrival_mode == "aggregated"
+
+
+def _has_aggregation_metrics(analyzer) -> bool:
+    metrics = set(analyzer.metrics())
+    return all(name in metrics for name in _AGGREGATION_METRICS)
+
+
+def format_aggregation(scenario, result: SweepResult) -> List[str]:
+    """The flow-aggregation block of a scale scenario report.
+
+    One line per point: the population the aggregate stream stood in
+    for, the calibrated fixed-point rate (with how many pilot
+    iterations it took and whether it converged within tolerance), the
+    aggregate/probe transaction split, and the probe cohort's latency
+    (mean and p95) — the per-user numbers only the probes can observe.
+    """
+    if not _scenario_is_aggregated(scenario):
+        return []
+    lines = [
+        "",
+        "flow aggregation (calibrated open stream + probe cohort):",
+    ]
+    for (x, _config), analyzer in zip(scenario.points, result.analyzers):
+        if not _has_aggregation_metrics(analyzer):
+            lines.append(f"  {x}: n/a (no aggregated phase metrics)")
+            continue
+        population = analyzer.mean("aggregation_population")
+        rate = analyzer.mean("calibrated_rate_tps")
+        iterations = analyzer.mean("calibration_iterations")
+        converged = analyzer.mean("calibration_converged") >= 1.0
+        aggregate = analyzer.mean("aggregate_transactions")
+        probe = analyzer.mean("probe_transactions")
+        line = (
+            f"  {x}: N={population:.0f}, rate {_metric_value(rate)} tps "
+            f"({iterations:.0f} pilot iters, "
+            f"{'converged' if converged else 'NOT converged'}), "
+            f"aggregate/probe txns {_metric_value(aggregate)}/"
+            f"{_metric_value(probe)}"
+        )
+        metrics = set(analyzer.metrics())
+        if "probe_mean_response_time_ms" in metrics:
+            mean_ms = analyzer.interval("probe_mean_response_time_ms")
+            p95_ms = analyzer.mean("probe_p95_response_time_ms")
+            line += (
+                f", probe {_metric_value(mean_ms.mean)} ms "
+                f"±{_metric_value(mean_ms.half_width)} "
+                f"(p95 {_metric_value(p95_ms)})"
+            )
+        lines.append(line)
+    return lines
+
+
 #: Metric names the steady-state pipeline flattens per replication
 #: (see :meth:`repro.core.results.PhaseResults.to_metrics`).
 _STEADY_METRICS = (
@@ -194,6 +261,7 @@ def format_scenario(scenario, result: SweepResult) -> str:
             row.extend([_metric_value(ci.mean), _metric_value(ci.half_width)])
         lines.append(_format_row(row, widths))
     lines.extend(format_cluster_detail(scenario, result))
+    lines.extend(format_aggregation(scenario, result))
     lines.extend(format_steady_state(scenario, result))
     return "\n".join(lines)
 
@@ -229,6 +297,49 @@ def scenario_to_json(scenario, result: SweepResult) -> Dict[str, Any]:
             }
     if kernel:
         payload["kernel"] = kernel
+    if _scenario_is_aggregated(scenario):
+        aggregation: Dict[str, Any] = {
+            "populations": [],
+            "calibrated_rates_tps": [],
+            "calibration_iterations": [],
+            "calibration_converged": [],
+            "aggregate_transactions": [],
+            "probe_transactions": [],
+            "probe_mean_response_times_ms": [],
+            "probe_p95_response_times_ms": [],
+        }
+        for analyzer in result.analyzers:
+            if not _has_aggregation_metrics(analyzer):
+                for values in aggregation.values():
+                    values.append(None)
+                continue
+            metrics_present = set(analyzer.metrics())
+            aggregation["populations"].append(
+                analyzer.mean("aggregation_population")
+            )
+            aggregation["calibrated_rates_tps"].append(
+                analyzer.mean("calibrated_rate_tps")
+            )
+            aggregation["calibration_iterations"].append(
+                analyzer.mean("calibration_iterations")
+            )
+            aggregation["calibration_converged"].append(
+                analyzer.mean("calibration_converged") >= 1.0
+            )
+            aggregation["aggregate_transactions"].append(
+                analyzer.mean("aggregate_transactions")
+            )
+            aggregation["probe_transactions"].append(
+                analyzer.mean("probe_transactions")
+            )
+            for key, metric in (
+                ("probe_mean_response_times_ms", "probe_mean_response_time_ms"),
+                ("probe_p95_response_times_ms", "probe_p95_response_time_ms"),
+            ):
+                aggregation[key].append(
+                    analyzer.mean(metric) if metric in metrics_present else None
+                )
+        payload["aggregation"] = aggregation
     if _scenario_is_open(scenario):
         steady: Dict[str, Any] = {
             "method": "mser5+batch-means",
@@ -316,6 +427,14 @@ def format_scenario_description(scenario) -> str:
         f"  users:     NUSERS={first.nusers}, MULTILVL={first.multilvl}",
         f"  failures:  {'on' if first.failures.enabled else 'off'}",
     ]
+    if first.aggregation.enabled:
+        aggregation = first.aggregation
+        lines.append(
+            f"  aggregated: population {aggregation.population}, probe "
+            f"cohort {aggregation.probe_cohort}, tolerance "
+            f"{aggregation.tolerance:g}, max {aggregation.max_iterations} "
+            f"pilot iterations x {aggregation.pilot_transactions} txns"
+        )
     if first.cluster.enabled:
         topology = first.cluster
         interconnect = (

@@ -84,8 +84,17 @@ class Scenario:
     # ------------------------------------------------------------------
     @property
     def arrival_mode(self) -> str:
-        """Arrival mode of the scenario (from its first point)."""
-        return self.points[0][1].arrivals.mode.value
+        """Arrival mode of the scenario (from its first point).
+
+        ``"aggregated"`` when the flow-aggregated source tier is on —
+        the tier replaces the closed loop with a calibrated open
+        stream, so open-system reporting (steady-state statistics)
+        applies.
+        """
+        config = self.points[0][1]
+        if config.aggregation.enabled:
+            return "aggregated"
+        return config.arrivals.mode.value
 
     @property
     def golden_name(self) -> str:

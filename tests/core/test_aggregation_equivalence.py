@@ -1,0 +1,181 @@
+"""Aggregated-vs-full-population equivalence walls.
+
+The flow-aggregated tier is only admissible if, at population sizes the
+closed per-user model can still simulate, an aggregated run is
+statistically indistinguishable from the full run it replaces.  These
+tests pin that wall at N in {100, 500} on three workload/load configs,
+comparing each aggregated run against its **closed twin** — the same
+OCB/system config with ``nusers=N`` closed-loop users instead of an
+``AggregationConfig(population=N)`` calibrated stream.
+
+Two effects make a naive "all metrics equal" comparison dishonest, and
+the envelopes below account for exactly those and nothing more:
+
+* **Steady-state response** is compared within the sum of the
+  across-replication CI half-widths and the within-run batch-means CI
+  half-widths of both sides — pure batch-means CI agreement, the
+  ISSUE's acceptance criterion.
+* **Throughput** of the closed twin is N/(Z + R̄_raw) where R̄_raw is
+  the *raw* mean response over the whole run: every closed user starts
+  at t=0, so the synchronized first-cycle herd inflates R̄_raw far
+  above the steady-state response, depressing closed throughput by
+  first order λ²·(R̄_raw − R_steady)/N (Taylor of the interactive
+  response time law around R_steady).  The aggregated stream has no
+  herd by construction — Poisson arrivals start spread out — so the
+  throughput check allows the closed side exactly that transient term
+  on top of the CI half-widths.
+* **Probe cohort fidelity**: the probe users ride the same queues as
+  the aggregate stream, so their mean response must track the
+  aggregated run's raw mean response (they are the latency eyes of the
+  tier — if they drift from the system they observe, percentiles lie).
+"""
+
+from functools import lru_cache
+from typing import Tuple
+
+import pytest
+
+from repro.core.aggregation import clear_calibration_cache
+from repro.core.model import run_replication
+from repro.core.parameters import AggregationConfig
+from repro.despy.stats import confidence_interval
+from repro.systems.o2 import o2_config
+
+#: Pinned replication seeds for both sides of every comparison.
+SEEDS = (1, 2, 3)
+PROBE_COHORT = 20
+
+#: OLTP-style read-heavy transaction mix (matches the read-heavy
+#: scenario family's emphasis without importing the catalog).
+READ_HEAVY = dict(
+    pset=0.40, psimple=0.30, phier=0.20, pstoch=0.10, pwrite=0.02
+)
+
+#: (label, population, hotn, think-time-per-user ms, ocb overrides).
+#: Think time scales with N so the offered load stays constant across
+#: population sizes: Z = N * per_user keeps lambda_0 = 1000/per_user.
+CONFIG_GRID = [
+    ("base", 100, 600, 100.0, {}),
+    ("base", 500, 1500, 100.0, {}),
+    ("read-heavy", 100, 600, 100.0, READ_HEAVY),
+    ("read-heavy", 500, 1500, 100.0, READ_HEAVY),
+    ("high-load", 100, 600, 50.0, {}),
+    ("high-load", 500, 1500, 50.0, {}),
+]
+GRID_IDS = [f"{label}-{population}" for label, population, *_ in CONFIG_GRID]
+
+
+def twin_configs(population, hotn, per_user_ms, overrides):
+    """The closed config and its aggregated stand-in, sharing one base."""
+    base = o2_config(
+        nc=20,
+        no=2000,
+        cache_mb=2.0,
+        hotn=hotn,
+        coldn=0,
+        thinktime=population * per_user_ms,
+        **overrides,
+    )
+    closed = base.with_changes(nusers=population)
+    aggregated = base.with_changes(
+        aggregation=AggregationConfig(
+            population=population, probe_cohort=PROBE_COHORT
+        )
+    )
+    return closed, aggregated
+
+
+class SideSummary:
+    """Per-side statistics over the pinned replication seeds."""
+
+    def __init__(self, config):
+        steady_points, batch_half_widths = [], []
+        raw_means, throughputs, probe_means = [], [], []
+        for seed in SEEDS:
+            phase = run_replication(config, seed=seed).phase
+            steady = phase.steady_state()
+            steady_points.append(steady.point)
+            batch_half_widths.append(steady.half_width)
+            raw_means.append(phase.mean_response_time_ms)
+            throughputs.append(phase.throughput_tps)
+            if phase.probe_response_times_ms:
+                probe_means.append(phase.probe_mean_response_time_ms)
+        self.steady = confidence_interval(steady_points)
+        self.batch_half_width = sum(batch_half_widths) / len(SEEDS)
+        self.raw_mean = sum(raw_means) / len(SEEDS)
+        self.throughput = confidence_interval(throughputs)
+        self.probe_mean = (
+            sum(probe_means) / len(probe_means) if probe_means else None
+        )
+
+
+@lru_cache(maxsize=None)
+def run_pair(grid_index: int) -> Tuple[SideSummary, SideSummary]:
+    _, population, hotn, per_user_ms, overrides = CONFIG_GRID[grid_index]
+    closed, aggregated = twin_configs(
+        population, hotn, per_user_ms, overrides
+    )
+    clear_calibration_cache()
+    return SideSummary(closed), SideSummary(aggregated)
+
+
+@pytest.mark.parametrize("grid_index", range(len(CONFIG_GRID)), ids=GRID_IDS)
+class TestAggregatedMatchesFullPopulation:
+    def test_steady_state_response_within_batch_means_ci(self, grid_index):
+        """The ISSUE's acceptance wall: batch-means CI agreement."""
+        closed, aggregated = run_pair(grid_index)
+        delta = abs(closed.steady.mean - aggregated.steady.mean)
+        envelope = (
+            closed.steady.half_width
+            + aggregated.steady.half_width
+            + closed.batch_half_width
+            + aggregated.batch_half_width
+        )
+        assert delta <= envelope, (
+            f"steady-state response disagrees: closed "
+            f"{closed.steady.mean:.2f} ms vs aggregated "
+            f"{aggregated.steady.mean:.2f} ms, |delta| {delta:.2f} > "
+            f"CI envelope {envelope:.2f}"
+        )
+
+    def test_throughput_within_ci_plus_transient_allowance(self, grid_index):
+        """Closed throughput carries its start-up herd; allow exactly it."""
+        _, population, *_ = CONFIG_GRID[grid_index]
+        closed, aggregated = run_pair(grid_index)
+        delta = abs(closed.throughput.mean - aggregated.throughput.mean)
+        # First-order interactive-law cost of the closed herd transient:
+        # d(N/(Z+R))/dR = -lambda^2/N per ms of extra mean response.
+        transient_ms = max(0.0, closed.raw_mean - closed.steady.mean)
+        allowance = (
+            aggregated.throughput.mean**2 * transient_ms / (population * 1000.0)
+        )
+        envelope = (
+            closed.throughput.half_width
+            + aggregated.throughput.half_width
+            + allowance
+        )
+        assert delta <= envelope, (
+            f"throughput disagrees: closed {closed.throughput.mean:.2f} tps "
+            f"vs aggregated {aggregated.throughput.mean:.2f} tps, |delta| "
+            f"{delta:.2f} > CI + transient envelope {envelope:.2f}"
+        )
+
+    def test_interactive_law_links_both_sides(self, grid_index):
+        """lambda = N/(Z + R): the closed twin's steady-state response,
+        pushed through the law, predicts the aggregated throughput."""
+        _, population, _, per_user_ms, _ = CONFIG_GRID[grid_index]
+        closed, aggregated = run_pair(grid_index)
+        think_ms = population * per_user_ms
+        law_tps = population * 1000.0 / (think_ms + closed.steady.mean)
+        assert (
+            abs(aggregated.throughput.mean - law_tps)
+            <= aggregated.throughput.half_width + 0.02 * law_tps
+        )
+
+    def test_probe_cohort_tracks_the_aggregate_system(self, grid_index):
+        """Probe latency must follow the stream it rides along with."""
+        _, aggregated = run_pair(grid_index)
+        assert aggregated.probe_mean is not None
+        assert aggregated.probe_mean == pytest.approx(
+            aggregated.raw_mean, rel=0.15
+        )

@@ -36,8 +36,8 @@ def small(scenario: Scenario) -> Scenario:
 
 
 class TestRegistry:
-    def test_catalog_has_seventeen_scenarios(self):
-        assert len(ALL) == 17
+    def test_catalog_has_twenty_scenarios(self):
+        assert len(ALL) == 20
 
     def test_names_are_unique_and_kebab_case(self):
         names = scenario_names()
@@ -77,6 +77,9 @@ class TestRegistry:
             "ocb-oo1-lookup",
             "ocb-oo7-traversal",
             "ocb-hypermodel-closure",
+            "scale-10k",
+            "scale-100k",
+            "scale-1m",
         }
 
 
