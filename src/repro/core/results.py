@@ -15,6 +15,7 @@ for a complete replication.  Both flatten to ``dict`` for the
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
@@ -178,8 +179,13 @@ class PhaseResults:
         if not self.probe_response_times_ms:
             return 0.0
         ordered = sorted(self.probe_response_times_ms)
-        rank = min(len(ordered) - 1, int(quantile * len(ordered)))
-        return ordered[rank]
+        # Nearest-rank: the smallest observation with at least a
+        # ``quantile`` fraction of the sample at or below it, i.e. order
+        # statistic ceil(q*n) (1-based).  ``int(q*n)`` overshoots by one
+        # whenever q*n is integral (n=100, q=0.95 must read the 95th
+        # order statistic, not the 96th).
+        rank = math.ceil(quantile * len(ordered)) - 1
+        return ordered[max(0, min(len(ordered) - 1, rank))]
 
     # ------------------------------------------------------------------
     # Steady-state estimates (honest open-system statistics)

@@ -1,0 +1,52 @@
+"""Regression tests for the nearest-rank probe percentile.
+
+The original implementation indexed ``int(q * n)``, which reads one
+order statistic too high whenever ``q * n`` lands exactly on an
+integer — the common calibration case ``n=100, q=0.95`` reported the
+96th order statistic as "p95".  Nearest-rank is order statistic
+``ceil(q * n)`` (1-based), clamped to the sample.
+"""
+
+import pytest
+
+from repro.core.results import PhaseResults
+
+
+def phase(samples):
+    return PhaseResults(probe_response_times_ms=tuple(samples))
+
+
+class TestNearestRankPercentile:
+    def test_n100_q95_reads_the_95th_order_statistic(self):
+        # 1..100 ms: nearest-rank p95 is the 95th value, 95.0 — the
+        # integral q*n case the int(q*n) bug overshot (it read 96.0).
+        samples = [float(v) for v in range(1, 101)]
+        assert phase(samples).probe_response_percentile(0.95) == 95.0
+
+    def test_order_independent(self):
+        samples = [float(v) for v in range(100, 0, -1)]
+        assert phase(samples).probe_response_percentile(0.95) == 95.0
+
+    def test_non_integral_rank_rounds_up(self):
+        # n=10, q=0.95: ceil(9.5) = 10th order statistic.
+        samples = [float(v) for v in range(1, 11)]
+        assert phase(samples).probe_response_percentile(0.95) == 10.0
+
+    def test_median_of_even_sample(self):
+        # Nearest-rank median of n=4 is the 2nd order statistic.
+        assert phase([1.0, 2.0, 3.0, 4.0]).probe_response_percentile(0.5) == 2.0
+
+    def test_extreme_quantiles_clamp_to_sample(self):
+        samples = [3.0, 1.0, 2.0]
+        assert phase(samples).probe_response_percentile(0.0) == 1.0
+        assert phase(samples).probe_response_percentile(1.0) == 3.0
+
+    def test_single_observation(self):
+        assert phase([7.0]).probe_response_percentile(0.95) == 7.0
+
+    def test_empty_sample_is_zero(self):
+        assert phase([]).probe_response_percentile(0.95) == 0.0
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            phase([1.0]).probe_response_percentile(1.5)
