@@ -121,6 +121,14 @@ class FailureInjector:
             self.crashes += 1
             self.frames_lost += self.memory.invalidate_all()
             self.downtime_ticks += self._recovery_time
+            # Recovery downtime is not hazard exposure: push both hazard
+            # clocks past the window, so the next probe measures elapsed
+            # *up* time only and a second crash cannot be drawn from time
+            # the system spent recovering.
+            resume = self.sim.now + self._recovery_time
+            self._last_crash_check = resume
+            if self._last_transient_check < resume:
+                self._last_transient_check = resume
             return self._recovery_time
         return 0
 
@@ -128,10 +136,14 @@ class FailureInjector:
         """Poisson thinning: did >= 1 fault land since the last check?
 
         Multiple faults in one window fold into one (a controller retries
-        once; a second crash during recovery is absorbed by it).
+        once; a second crash during recovery is absorbed by it).  The
+        marker never moves backwards: probes landing inside a recovery
+        window (concurrent transactions run while one holds the
+        recovery) see non-positive exposure and draw nothing.
         """
         last = getattr(self, marker)
-        setattr(self, marker, now)
+        if now > last:
+            setattr(self, marker, now)
         elapsed = now - last
         if elapsed <= 0:
             return False

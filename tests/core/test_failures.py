@@ -121,3 +121,120 @@ class TestCrashes:
         assert metrics["crashes"] == float(results.phase.crashes)
         assert "transient_faults" in metrics
         assert "downtime_ms" in metrics
+
+
+class _StubMemory:
+    """Just enough buffer surface for a bare injector: crash recovery
+    invalidates every frame; the stub has none to lose."""
+
+    def invalidate_all(self) -> int:
+        return 0
+
+
+class TestBackToBackCrashes:
+    """The hazard-clock regression: recovery downtime is dead time.
+
+    With ``crash_mtbf_ms`` far below ``recovery_time_ms`` every exposed
+    probe crashes almost surely — but probes landing *inside* a recovery
+    window (concurrent transactions keep running while one holds the
+    downtime) must draw nothing, and the post-recovery probe must
+    measure up-time only.  The original clock handling left the markers
+    at the crash instant, so the recovery window itself was counted as
+    hazard exposure and crashes chained back-to-back.
+    """
+
+    MTBF_MS = 1.0
+    RECOVERY_MS = 5_000.0
+
+    def _injector(self, sim):
+        from repro.core.failures import FailureInjector
+
+        return FailureInjector(
+            sim,
+            FailureConfig(
+                crash_mtbf_ms=self.MTBF_MS, recovery_time_ms=self.RECOVERY_MS
+            ),
+            _StubMemory(),
+        )
+
+    def test_consecutive_crashes_are_a_full_recovery_apart(self):
+        from repro.despy import Hold, Simulation
+        from repro.despy.timebase import ms_to_ticks
+
+        sim = Simulation(seed=7)
+        injector = self._injector(sim)
+        crash_times = []
+
+        def victim():
+            # Probes every 100 ms of up-time and rides out its own
+            # downtime, like the transaction that drew the crash.
+            for _ in range(20):
+                yield Hold(ms_to_ticks(100.0))
+                downtime = injector.crash_check()
+                if downtime:
+                    crash_times.append(sim.now)
+                    yield Hold(downtime)
+
+        def bystander():
+            # Concurrent prober that never holds downtime — its probes
+            # land inside the victim's recovery windows.
+            for _ in range(4_000):
+                yield Hold(ms_to_ticks(7.0))
+                downtime = injector.crash_check()
+                if downtime:
+                    crash_times.append(sim.now)
+
+        sim.process(victim())
+        sim.process(bystander())
+        sim.run()
+
+        assert len(crash_times) >= 2, "mtbf << probe interval must crash"
+        gap = ms_to_ticks(self.RECOVERY_MS)
+        for earlier, later in zip(crash_times, crash_times[1:]):
+            assert later - earlier >= gap, (
+                f"crash at {later} only {later - earlier} ticks after "
+                f"{earlier}: drawn from inside the recovery window"
+            )
+
+    def test_marker_never_rewinds_into_the_recovery_window(self):
+        from repro.despy import Hold, Simulation
+        from repro.despy.timebase import ms_to_ticks
+
+        sim = Simulation(seed=11)
+        injector = self._injector(sim)
+        observed = []
+
+        def driver():
+            yield Hold(ms_to_ticks(200.0))
+            observed.append(("first", injector.crash_check()))
+            # Probe mid-recovery: dead time, never exposure.
+            yield Hold(ms_to_ticks(self.RECOVERY_MS / 2))
+            observed.append(("inside", injector.crash_check()))
+            # One tick past the window: exposure is that tick alone, not
+            # the window — a draw here is astronomically unlikely even
+            # at a 1 ms MTBF if the clock was advanced correctly.
+            yield Hold(ms_to_ticks(self.RECOVERY_MS / 2) + 1)
+            observed.append(("after", injector.crash_check()))
+
+        sim.process(driver())
+        sim.run()
+
+        kinds = dict(observed)
+        assert kinds["first"] > 0, "200 ms exposure at 1 ms MTBF crashes"
+        assert kinds["inside"] == 0
+        assert injector.downtime_ticks == ms_to_ticks(self.RECOVERY_MS) * (
+            injector.crashes
+        )
+
+    def test_storm_run_downtime_stays_inside_the_wall_clock(self):
+        # Integration: a closed run under a crash storm still terminates
+        # and cannot spend more time down than it spent simulating.
+        config = config_with(
+            FailureConfig(crash_mtbf_ms=100.0, recovery_time_ms=2_000.0)
+        )
+        results = run_replication(config, seed=3)
+        phase = results.phase
+        assert phase.transactions == SMALL.hotn
+        assert phase.crashes > 0
+        assert phase.downtime_ms == pytest.approx(phase.crashes * 2_000.0)
+        assert phase.downtime_ms <= phase.elapsed_ms
