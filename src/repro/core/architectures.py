@@ -674,10 +674,15 @@ class ClusterPageServer(ClusterArchitecture):
             not write
             or cluster.router.replication == 1
             or cluster.interconnect.infinite
+            or cluster.async_mode
         ):
             # Free client network, and the access cannot owe interconnect
-            # time (reads never do; replication-1 writes never propagate):
-            # the whole loop stays synchronous until a node's disk misses.
+            # time synchronously (reads never do; replication-1 writes
+            # never propagate; async writes ship through the appliers,
+            # which pay the interconnect themselves): the whole loop
+            # stays synchronous until a node's disk misses — any timed
+            # remainder (quorum waits, crash downtime) rides the
+            # returned step.
             round_trip_bytes = self.config.message_bytes + self.config.pgsize
             for page in pages:
                 if client_cache is not None:

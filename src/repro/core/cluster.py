@@ -32,15 +32,33 @@ global) but routes each object lock to the lock table of the object's
 home node, acquiring node partitions in node order — a total order over
 ``(home node, oid)``, so the conservative-2PL deadlock-freedom argument
 of :mod:`repro.core.locks` carries over unchanged.
+
+The **consistency spectrum**
+(:class:`~repro.core.parameters.ReplicationConfig`) selects how replica
+writes propagate: the default ``sync`` mode pays the fan-out inside the
+transaction, while ``async`` mode commits at the primary and enqueues
+the page image on every successor's FIFO apply queue, drained by a
+per-node *applier* process (interconnect ship + optional replay delay)
+— producing ``replica_lag_ms``/``stale_reads``/``apply_queue_peak``.
+Quorum reads consult ``read_quorum`` live replicas and serve the
+freshest; quorum writes wait for ``write_quorum − 1`` applier acks;
+the ``read_your_writes``/``monotonic_reads`` session guarantees fall
+back to the primary when the routed replica is behind the session
+floor.  Failure injection composes per node (independent hazard
+streams): reads fail over around crashed nodes in ring order, writes
+queue behind the down primary's recovery.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
-from repro.despy.process import PARK, Release, Request
-from repro.despy.resource import Resource
+from repro.despy.process import PARK, Hold, Release, Request, WaitFor
+from repro.despy.resource import Gate, Resource
+from repro.despy.timebase import MS_PER_TICK, ms_to_ticks
 from repro.core.buffering import BufferManager
+from repro.core.failures import FailureInjector, NoFailures
 from repro.core.io_subsystem import IOSubsystem
 from repro.core.locks import LockManager
 from repro.core.network import Network
@@ -145,6 +163,21 @@ class ClusterNode:
         self.locks = LockManager(sim, config, with_admission=False)
         #: page/object service operations this node performed.
         self.accesses = 0
+        # --- extended-mode state (async replication / per-node hazards);
+        # inert unless the Cluster wires the corresponding feature on.
+        #: this node's hazard injector (node-indexed stream when enabled).
+        self.failures = NoFailures()
+        #: tick until which this node is crash-recovering (0 = healthy).
+        self.down_until = 0
+        #: highest page version applied locally (async replication).
+        self.applied: Dict[int, int] = {}
+        #: shipped page images awaiting local apply:
+        #: ``(page, version, enqueued_tick, ack)`` entries, FIFO.
+        self.apply_queue: deque = deque()
+        #: wakes this node's applier process when the queue refills.
+        self.apply_gate: Optional[Gate] = None
+        #: deepest the apply queue ever got (backlog indicator).
+        self.queue_peak = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ClusterNode {self.index} accesses={self.accesses}>"
@@ -211,6 +244,49 @@ class _ClusterMemoryView:
         return self.hits / total if total else 0.0
 
 
+class _ClusterFailureView:
+    """Cluster-wide hazard counters, quacking like one ``FailureInjector``.
+
+    On a cluster, hazards live at the nodes: transient faults are drawn
+    by each node's own injector at its disk, and crash probes happen per
+    page service at the serving node (``Cluster._crash_probe``) rather
+    than at the Transaction Manager's global boundary — a crash takes
+    one node down, not the system.  The view therefore sums the per-node
+    counters and answers the TM's probes with "nothing happened here".
+    """
+
+    def __init__(self, nodes: List[ClusterNode]) -> None:
+        self._nodes = nodes
+
+    @property
+    def transient_faults(self) -> int:
+        return sum(node.failures.transient_faults for node in self._nodes)
+
+    @property
+    def crashes(self) -> int:
+        return sum(node.failures.crashes for node in self._nodes)
+
+    @property
+    def downtime_ticks(self) -> int:
+        return sum(node.failures.downtime_ticks for node in self._nodes)
+
+    @property
+    def downtime_ms(self) -> float:
+        return self.downtime_ticks * MS_PER_TICK
+
+    @property
+    def frames_lost(self) -> int:
+        return sum(node.failures.frames_lost for node in self._nodes)
+
+    @staticmethod
+    def io_penalty() -> int:
+        return 0
+
+    @staticmethod
+    def crash_check() -> int:
+        return 0
+
+
 class ClusterLockManager:
     """Global MULTILVL admission + per-node sharded object lock tables.
 
@@ -248,11 +324,26 @@ class ClusterLockManager:
     def leave(self):
         yield self.admission_release
 
-    def _partition(self, oids: Iterable[int]) -> List[Tuple[int, List[int]]]:
+    def _partition(
+        self, oids: Iterable[int], presorted: bool = False
+    ) -> List[Tuple[int, List[int]]]:
+        """Split the lock set by home node, each part in ascending oid.
+
+        A ``presorted`` input (sorted, distinct — the Transaction
+        Manager's contract) partitions order-preservingly, so every
+        per-node part is already canonical and the node tables can skip
+        their re-sort; otherwise ids are deduplicated here and the node
+        tables canonicalize.  Either way the acquisition order is the
+        same total order over ``(home node, oid)``.
+        """
         home_of = self._home_of
         parts: Dict[int, List[int]] = {}
-        for oid in set(oids):
-            parts.setdefault(home_of(oid), []).append(oid)
+        if presorted:
+            for oid in oids:
+                parts.setdefault(home_of(oid), []).append(oid)
+        else:
+            for oid in set(oids):
+                parts.setdefault(home_of(oid), []).append(oid)
         return sorted(parts.items())
 
     def acquire_all(self, txn_id: int, oids: Iterable[int], writes: set):
@@ -267,25 +358,22 @@ class ClusterLockManager:
         writes: set,
         presorted: bool = False,
     ):
-        # ``presorted`` is accepted for interface parity with the
-        # single-node manager; partitioning re-canonicalizes per node
-        # either way.
-        parts = self._partition(oids)
+        parts = self._partition(oids, presorted)
         for position, (node, part) in enumerate(parts):
             step = self._nodes[node].locks.acquire_all_nowait(
-                txn_id, part, writes
+                txn_id, part, writes, presorted
             )
             if step is not None:
                 return self._acquire_tail(
-                    step, txn_id, parts[position + 1 :], writes
+                    step, txn_id, parts[position + 1 :], writes, presorted
                 )
         return None
 
-    def _acquire_tail(self, step, txn_id, rest, writes):
+    def _acquire_tail(self, step, txn_id, rest, writes, presorted):
         yield from step
         for node, part in rest:
             step = self._nodes[node].locks.acquire_all_nowait(
-                txn_id, part, writes
+                txn_id, part, writes, presorted
             )
             if step is not None:
                 yield from step
@@ -299,8 +387,10 @@ class ClusterLockManager:
         self, txn_id: int, oids: Iterable[int], presorted: bool = False
     ):
         steps = []
-        for node, part in self._partition(oids):
-            step = self._nodes[node].locks.release_all_nowait(txn_id, part)
+        for node, part in self._partition(oids, presorted):
+            step = self._nodes[node].locks.release_all_nowait(
+                txn_id, part, presorted
+            )
             if step is not None:
                 steps.append(step)
         if not steps:
@@ -389,6 +479,50 @@ class Cluster:
         self.remote_fetches = 0
         self.replica_reads = 0
         self.replica_writes = 0
+        # --- consistency spectrum (ReplicationConfig) -----------------
+        self.replication_config = config.replication
+        #: async mode ships page images through per-node apply queues
+        #: instead of the synchronous fan-out.
+        self.async_mode = self.replication_config.is_async
+        self._apply_delay = ms_to_ticks(self.replication_config.apply_delay_ms)
+        self._failures_enabled = config.failures.enabled
+        #: extended page service: any feature that perturbs the plain
+        #: sync path (async replication and/or per-node hazards).  The
+        #: plain path stays byte-identical when this is False.
+        self._extended = self.async_mode or self._failures_enabled
+        #: latest version enqueued per page (bumped at the primary write).
+        self._version: Dict[int, int] = {}
+        #: latest version with a full write-quorum of acks per page.
+        self._committed: Dict[int, int] = {}
+        #: highest version ever served per page (monotonic-reads floor).
+        self._served: Dict[int, int] = {}
+        # Extended counters
+        self.stale_reads = 0
+        self.replica_applies = 0
+        self.replica_lag_ticks = 0
+        self.read_failovers = 0
+        self.write_recovery_waits = 0
+        self.failures = NoFailures()
+        if self._failures_enabled:
+            for node in self.nodes:
+                node.failures = FailureInjector(
+                    sim,
+                    config.failures,
+                    node.memory,
+                    stream_label=f"failures-{node.index}",
+                )
+                node.io.failures = node.failures
+            self.failures = _ClusterFailureView(self.nodes)
+        if self.async_mode:
+            for node in self.nodes:
+                node.apply_gate = Gate(sim, f"apply-{node.index}")
+                sim.process(
+                    self._applier(node), name=f"applier-{node.index}"
+                )
+
+    @property
+    def replica_lag_ms(self) -> float:
+        return self.replica_lag_ticks * MS_PER_TICK
 
     # ------------------------------------------------------------------
     # Routing
@@ -438,6 +572,8 @@ class Cluster:
         the client routed the request straight to the serving node
         (page-server smart driver).
         """
+        if self._extended:
+            return self._serve_page_ext(page, write, home)
         owners = self.router.replicas(page)
         target = self._serving_node(page, write, home)
         node = self.nodes[target]
@@ -464,6 +600,11 @@ class Cluster:
         Used when the interconnect has finite throughput, so replica
         and forwarding transfers must pass through the event loop.
         """
+        if self._extended:
+            step = self._serve_page_ext(page, write, home)
+            if step is not None:
+                yield from step
+            return
         owners = self.router.replicas(page)
         target = self._serving_node(page, write, home)
         node = self.nodes[target]
@@ -519,6 +660,327 @@ class Cluster:
         outcome = node.memory.access(page, True)
         if not outcome.hit and outcome.writeback_pages:
             yield from self._node_writebacks(node, outcome.writeback_pages)
+
+    # ------------------------------------------------------------------
+    # Extended page service: async replication and/or per-node hazards
+    # ------------------------------------------------------------------
+    def _serve_page_ext(self, page: int, write: bool, home: Optional[int]):
+        """Nowait-contract page service for the extended cluster modes.
+
+        Backs both :meth:`serve_page_nowait` and :meth:`serve_page` when
+        async replication or per-node failure injection is active:
+        timed work (finite-interconnect transfers, crash downtime,
+        quorum waits, disk misses) is returned as a generator, ``None``
+        means the access completed without simulated time.
+        """
+        owners = self.router.replicas(page)
+        if write:
+            delay = self.nodes[owners[0]].down_until - self.sim.now
+            if delay > 0:
+                # Writes queue behind the crashed primary's recovery.
+                self.write_recovery_waits += 1
+                return self._write_after_recovery(delay, page, home)
+            return self._write_core(page, owners, home)
+        return self._read_core(page, owners, home)
+
+    def _read_core(self, page: int, owners: Tuple[int, ...], home):
+        now = self.sim.now
+        nodes = self.nodes
+        target = self._serving_node(page, False, home)
+        if nodes[target].down_until > now:
+            start = owners.index(target)
+            for offset in range(1, len(owners)):
+                candidate = owners[(start + offset) % len(owners)]
+                if nodes[candidate].down_until <= now:
+                    # Route the read around the crashed node.
+                    self.read_failovers += 1
+                    target = candidate
+                    break
+            else:
+                # The whole replica set is down: wait out the earliest
+                # recovery, then retry the access from scratch.
+                self.read_failovers += 1
+                resume = min(nodes[index].down_until for index in owners)
+                return self._resume_read(resume, page, home)
+        probes = 0
+        if self.async_mode:
+            target, probes = self._consistent_read_target(
+                page, owners, target, now
+            )
+            if target is None:
+                # A session guarantee needs the (down) primary.
+                return self._resume_read(
+                    nodes[owners[0]].down_until, page, home
+                )
+        node = nodes[target]
+        node.accesses += 1
+        if target != owners[0]:
+            self.replica_reads += 1
+        if self.async_mode:
+            applied = node.applied.get(page, 0)
+            if applied < self._committed.get(page, 0):
+                self.stale_reads += 1
+            if applied > self._served.get(page, 0):
+                self._served[page] = applied
+        downtime = self._crash_probe(node)
+        forwarded = home is not None and target != home
+        if forwarded:
+            self.remote_fetches += 1
+        outcome = node.memory.access(page, False)
+        miss = None if outcome.hit else self._node_miss_io(node, outcome)
+        return self._assemble(downtime, forwarded, probes, miss)
+
+    def _consistent_read_target(
+        self, page: int, owners: Tuple[int, ...], target: int, now: int
+    ):
+        """Apply quorum consultation and session guarantees to a read.
+
+        Returns ``(node, probe_messages)``; ``node`` is ``None`` when a
+        session guarantee can only be met by the primary and the primary
+        is down (the caller waits out its recovery).
+        """
+        rep = self.replication_config
+        nodes = self.nodes
+        probes = 0
+        if rep.read_quorum > 1 and len(owners) > 1:
+            # Consult R live replicas (ring order from the routed node)
+            # and serve from the freshest — each extra consultation is a
+            # version-probe round trip on the interconnect.
+            consulted = [target]
+            start = owners.index(target)
+            for offset in range(1, len(owners)):
+                if len(consulted) >= rep.read_quorum:
+                    break
+                candidate = owners[(start + offset) % len(owners)]
+                if nodes[candidate].down_until <= now:
+                    consulted.append(candidate)
+            probes = 2 * (len(consulted) - 1)
+            best = consulted[0]
+            best_version = nodes[best].applied.get(page, 0)
+            for candidate in consulted[1:]:
+                version = nodes[candidate].applied.get(page, 0)
+                if version > best_version:
+                    best, best_version = candidate, version
+            target = best
+        required = 0
+        if rep.read_your_writes:
+            required = self._version.get(page, 0)
+        if rep.monotonic_reads:
+            floor = self._served.get(page, 0)
+            if floor > required:
+                required = floor
+        if required and nodes[target].applied.get(page, 0) < required:
+            # Too stale for the session guarantee: fall back to the
+            # primary, which always holds the newest version when up.
+            primary = owners[0]
+            if nodes[primary].down_until > now:
+                return None, probes
+            target = primary
+        return target, probes
+
+    def _resume_read(self, resume: int, page: int, home):
+        yield Hold(resume - self.sim.now)
+        step = self._serve_page_ext(page, False, home)
+        if step is not None:
+            yield from step
+
+    def _write_after_recovery(self, delay: int, page: int, home):
+        yield Hold(delay)
+        step = self._serve_page_ext(page, True, home)
+        if step is not None:
+            yield from step
+
+    def _write_core(self, page: int, owners: Tuple[int, ...], home):
+        now = self.sim.now
+        node = self.nodes[owners[0]]
+        node.accesses += 1
+        downtime = self._crash_probe(node)
+        forwarded = home is not None and owners[0] != home
+        if forwarded:
+            self.remote_fetches += 1
+        if not self.async_mode:
+            return self._sync_write_with_hazards(
+                page, owners, node, downtime, forwarded
+            )
+        version = self._version.get(page, 0) + 1
+        self._version[page] = version
+        node.applied[page] = version
+        outcome = node.memory.access(page, True)
+        miss = None if outcome.hit else self._node_miss_io(node, outcome)
+        ack = None
+        if len(owners) > 1:
+            quorum = self.replication_config.write_quorum
+            if quorum > 1:
+                # The ack cell: [outstanding count, gate the last
+                # acking applier opens].
+                ack = [quorum - 1, Gate(self.sim, "write-ack")]
+            for position, replica in enumerate(owners[1:]):
+                self.replica_writes += 1
+                peer = self.nodes[replica]
+                peer.apply_queue.append(
+                    (
+                        page,
+                        version,
+                        now,
+                        ack if position < quorum - 1 else None,
+                    )
+                )
+                depth = len(peer.apply_queue)
+                if depth > peer.queue_peak:
+                    peer.queue_peak = depth
+                peer.apply_gate.open()
+        step = self._assemble(downtime, forwarded, 0, miss)
+        if ack is None:
+            # W=1 (or no replicas): the primary apply is the commit.
+            if version > self._committed.get(page, 0):
+                self._committed[page] = version
+            return step
+        return self._await_write_quorum(step, ack, page, version)
+
+    def _await_write_quorum(self, step, ack, page: int, version: int):
+        if step is not None:
+            yield from step
+        gate = ack[1]
+        while ack[0] > 0:
+            gate.close()
+            yield WaitFor(gate)
+        if version > self._committed.get(page, 0):
+            self._committed[page] = version
+
+    def _sync_write_with_hazards(
+        self,
+        page: int,
+        owners: Tuple[int, ...],
+        node: ClusterNode,
+        downtime: int,
+        forwarded: bool,
+    ):
+        outcome = node.memory.access(page, True)
+        miss = None if outcome.hit else self._node_miss_io(node, outcome)
+        step = self._assemble(downtime, forwarded, 0, miss)
+        if len(owners) == 1:
+            return step
+        return self._sync_propagate(step, page, owners)
+
+    def _sync_propagate(self, step, page: int, owners: Tuple[int, ...]):
+        """Synchronous fan-out, skipping replicas that are down.
+
+        A crashed replica misses the propagation, but its crash already
+        invalidated its buffer — on recovery the stale image cannot be
+        served from memory, so the skip is consistency-safe.
+        """
+        if step is not None:
+            yield from step
+        interconnect = self.interconnect
+        for replica in owners[1:]:
+            peer = self.nodes[replica]
+            if peer.down_until > self.sim.now:
+                continue
+            self.replica_writes += 1
+            transfer = interconnect.transfer_nowait(self._page_bytes)
+            if transfer is not None:
+                yield from transfer
+            outcome = peer.memory.access(page, True)
+            if not outcome.hit and outcome.writeback_pages:
+                yield from self._node_writebacks(
+                    peer, outcome.writeback_pages
+                )
+
+    def _crash_probe(self, node: ClusterNode) -> int:
+        """Per-service crash probe at the serving node (0 = healthy).
+
+        On a crash the node's buffer is already cold (the injector
+        invalidated it) and the in-flight request rides out the
+        recovery; later requests route around the node via
+        ``down_until`` until it resumes.
+        """
+        downtime = node.failures.crash_check()
+        if downtime:
+            node.down_until = self.sim.now + downtime
+        return downtime
+
+    def _assemble(self, downtime: int, forwarded: bool, probes: int, miss):
+        """Fold the timed parts of one page service into a nowait step."""
+        interconnect = self.interconnect
+        if interconnect.infinite:
+            if forwarded:
+                interconnect.transfer_nowait(self._message_bytes)
+                interconnect.transfer_nowait(self._page_bytes)
+            for _ in range(probes):
+                interconnect.transfer_nowait(self._message_bytes)
+            if downtime == 0:
+                return miss
+            return self._hold_then(downtime, miss)
+        return self._timed_tail(downtime, forwarded, probes, miss)
+
+    @staticmethod
+    def _hold_then(downtime: int, miss):
+        yield Hold(downtime)
+        if miss is not None:
+            yield from miss
+
+    def _timed_tail(self, downtime: int, forwarded: bool, probes: int, miss):
+        if downtime:
+            yield Hold(downtime)
+        interconnect = self.interconnect
+        if forwarded:
+            step = interconnect.transfer_nowait(self._message_bytes)
+            if step is not None:
+                yield from step
+        for _ in range(probes):
+            step = interconnect.transfer_nowait(self._message_bytes)
+            if step is not None:
+                yield from step
+        if miss is not None:
+            yield from miss
+        if forwarded:
+            step = interconnect.transfer_nowait(self._page_bytes)
+            if step is not None:
+                yield from step
+
+    def _applier(self, node: ClusterNode):
+        """The per-node replication applier (async mode).
+
+        One despy process per node: drains ``(page, version, enqueued,
+        ack)`` entries FIFO, paying the interconnect ship, the
+        configured apply delay and any crash downtime before installing
+        the image and signalling the write-quorum ack.  Replication lag
+        is measured enqueue-to-apply, so queueing, shipping, delay and
+        downtime all count.
+        """
+        sim = self.sim
+        queue = node.apply_queue
+        gate = node.apply_gate
+        interconnect = self.interconnect
+        delay = self._apply_delay
+        applied = node.applied
+        while True:
+            if not queue:
+                gate.close()
+                yield WaitFor(gate)
+                continue
+            page, version, enqueued, ack = queue.popleft()
+            step = interconnect.transfer_nowait(self._page_bytes)
+            if step is not None:
+                yield from step
+            if delay:
+                yield Hold(delay)
+            down = node.down_until - sim.now
+            if down > 0:
+                yield Hold(down)
+            if version > applied.get(page, 0):
+                applied[page] = version
+                outcome = node.memory.access(page, True)
+                if not outcome.hit and outcome.writeback_pages:
+                    yield from self._node_writebacks(
+                        node, outcome.writeback_pages
+                    )
+            self.replica_applies += 1
+            self.replica_lag_ticks += sim.now - enqueued
+            if ack is not None:
+                ack[0] -= 1
+                if ack[0] <= 0:
+                    ack[1].open()
 
     @staticmethod
     def _node_miss_io(node: ClusterNode, outcome):

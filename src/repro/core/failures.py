@@ -67,13 +67,25 @@ class FailureConfig:
 
 
 class FailureInjector:
-    """Draws hazards and charges them to the I/O subsystem."""
+    """Draws hazards and charges them to the I/O subsystem.
 
-    def __init__(self, sim: "Simulation", config: FailureConfig, memory) -> None:
+    ``stream_label`` names the hazard random stream — the single-server
+    assembly uses the default ``"failures"``; cluster nodes pass
+    node-indexed labels so every node draws an independent (but still
+    seed-deterministic) hazard history.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        config: FailureConfig,
+        memory,
+        stream_label: str = "failures",
+    ) -> None:
         self.sim = sim
         self.config = config
         self.memory = memory
-        self._rng: RandomStream = sim.stream("failures")
+        self._rng: RandomStream = sim.stream(stream_label)
         # Hazard parameters converted to ticks once; the per-operation
         # probes then stay in pure integer arithmetic.
         self._transient_mtbf = ms_to_ticks(config.transient_mtbf_ms)

@@ -148,12 +148,15 @@ class VOODBSimulation:
             # buffer/disk/lock table; the model-facing ``io``/``memory``/
             # ``locks`` attributes become cluster-wide aggregate views.
             # Unsupported combinations (VM, clustering policies,
-            # prefetch, failures) were rejected at config construction.
+            # prefetch) were rejected at config construction.  Hazards
+            # live at the nodes (node-indexed injectors with replica
+            # failover); ``cluster.failures`` aggregates them — the TM's
+            # global crash probe is a no-op on clusters.
             self.cluster = Cluster(self.sim, config, self.object_manager)
             self.io = self.cluster.io
             self.memory = self.cluster.memory
             self.locks = self.cluster.locks
-            self.failures = NoFailures()
+            self.failures = self.cluster.failures
             clustering_memory = self.cluster.nodes[0].memory
             clustering_io = self.cluster.nodes[0].io
         else:
@@ -394,6 +397,11 @@ class VOODBSimulation:
             snapshot["remote_fetches"] = cluster.remote_fetches
             snapshot["replica_reads"] = cluster.replica_reads
             snapshot["replica_writes"] = cluster.replica_writes
+            snapshot["stale_reads"] = cluster.stale_reads
+            snapshot["replica_applies"] = cluster.replica_applies
+            snapshot["replica_lag"] = cluster.replica_lag_ticks
+            snapshot["read_failovers"] = cluster.read_failovers
+            snapshot["write_recovery_waits"] = cluster.write_recovery_waits
             for node in cluster.nodes:
                 index = node.index
                 snapshot[f"server{index}_ios"] = node.io.total_ios
@@ -454,7 +462,18 @@ class VOODBSimulation:
                 "remote_fetches": int(delta("remote_fetches")),
                 "replica_reads": int(delta("replica_reads")),
                 "replica_writes": int(delta("replica_writes")),
+                "stale_reads": int(delta("stale_reads")),
+                "replica_applies": int(delta("replica_applies")),
+                "replica_lag_sum_ms": delta("replica_lag") * MS_PER_TICK,
+                "read_failovers": int(delta("read_failovers")),
+                "write_recovery_waits": int(delta("write_recovery_waits")),
             }
+            if self.cluster.async_mode:
+                # Run-to-date high-water marks (not phase deltas): the
+                # deepest each node's apply queue has ever been.
+                cluster_fields["apply_queue_peak"] = tuple(
+                    node.queue_peak for node in self.cluster.nodes
+                )
         return PhaseResults(
             transactions=int(delta("transactions")),
             object_accesses=int(delta("accesses")),

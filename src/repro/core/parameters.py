@@ -295,6 +295,89 @@ def check_aggregation_think_time(thinktime: float) -> None:
 #: Shard-placement strategies a :class:`ClusterConfig` may select.
 ALLOWED_PLACEMENTS = ("hash", "range")
 
+#: Replication modes a :class:`ReplicationConfig` may select.
+ALLOWED_REPLICATION_MODES = ("sync", "async")
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """The consistency spectrum of a replicated cluster.
+
+    ``mode = "sync"`` (the default) is the original semantics: a write
+    installs the page image at every replica inside the transaction, so
+    replicas are never stale and none of the other knobs apply (they
+    must stay at their defaults).
+
+    ``mode = "async"`` decouples propagation from the write: the primary
+    applies immediately and ships the page image to each non-primary
+    replica's **apply queue**, drained by a per-node applier process —
+    replicas lag, reads can be stale, and the knobs below trade
+    consistency back in:
+
+    * ``write_quorum`` W — the writer only returns once the primary plus
+      the first W-1 successor replicas have applied the image;
+    * ``read_quorum`` R — a read consults R replicas (version probes
+      over the interconnect) and serves from the freshest.  With
+      R + W > replication a read always sees the last acknowledged
+      write;
+    * ``read_your_writes`` / ``monotonic_reads`` — session guarantees:
+      reads are routed to a replica that has applied, respectively, the
+      latest write of the page or at least the freshest version any
+      earlier read served (falling back to the primary);
+    * ``apply_delay_ms`` — per-image apply cost at the replica (log
+      replay, index maintenance), the main source of replication lag.
+    """
+
+    #: Replication mode ("sync" | "async").
+    mode: str = "sync"
+    #: Replicas a read consults before serving (async mode).
+    read_quorum: int = 1
+    #: Applied copies a write waits for before returning (async mode).
+    write_quorum: int = 1
+    #: Route reads to a replica that applied the session's own writes.
+    read_your_writes: bool = False
+    #: Never serve a version older than one already served.
+    monotonic_reads: bool = False
+    #: Apply cost per shipped page image at a replica (async mode).
+    apply_delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ALLOWED_REPLICATION_MODES:
+            raise ValueError(
+                f"replication mode must be one of "
+                f"{ALLOWED_REPLICATION_MODES}, got {self.mode!r}"
+            )
+        if self.read_quorum < 1 or self.write_quorum < 1:
+            raise ValueError(
+                f"read/write quorums must be >= 1, got "
+                f"R={self.read_quorum} W={self.write_quorum}"
+            )
+        if not (self.apply_delay_ms >= 0) or not math.isfinite(
+            self.apply_delay_ms
+        ):
+            raise ValueError(
+                f"apply_delay_ms must be finite and >= 0, "
+                f"got {self.apply_delay_ms}"
+            )
+        if self.mode == "sync" and (
+            self.read_quorum != 1
+            or self.write_quorum != 1
+            or self.read_your_writes
+            or self.monotonic_reads
+            or self.apply_delay_ms != 0.0
+        ):
+            raise ValueError(
+                "sync replication installs every write at every replica "
+                "inside the transaction; quorums, session guarantees and "
+                "apply delays only apply to mode 'async' "
+                "(did you mean mode: async?)"
+            )
+
+    @property
+    def is_async(self) -> bool:
+        """Whether the asynchronous apply-queue machinery is active."""
+        return self.mode == "async"
+
 
 @dataclass(frozen=True)
 class ClusterConfig:
@@ -311,8 +394,10 @@ class ClusterConfig:
     contiguous page runs on one node.  ``replication`` stores every
     page on that many consecutive nodes — reads balance round-robin
     over the replicas, writes propagate to all of them across the
-    inter-server network.  ``interconnect_mbps`` throttles that
-    network (``math.inf`` = free, like Table 4's NETTHRU).
+    inter-server network (synchronously inside the transaction by
+    default; :class:`ReplicationConfig` switches the propagation
+    discipline).  ``interconnect_mbps`` throttles that network
+    (``math.inf`` = free, like Table 4's NETTHRU).
     """
 
     #: Number of server nodes (0 = no cluster layer).
@@ -432,6 +517,11 @@ class VOODBConfig:
     #: [extension] multi-server cluster layout (disabled by default) —
     #: see :class:`ClusterConfig` and :mod:`repro.core.cluster`.
     cluster: "ClusterConfig" = field(default_factory=lambda: ClusterConfig())
+    #: [extension] replica consistency spectrum (sync by default) — see
+    #: :class:`ReplicationConfig`; async mode requires a cluster.
+    replication: "ReplicationConfig" = field(
+        default_factory=lambda: ReplicationConfig()
+    )
 
     # -- Reconstructed system knobs ----------------------------------------
     #: [reconstructed] storage overhead factor: usable bytes per page =
@@ -491,6 +581,11 @@ class VOODBConfig:
             raise ValueError("message_bytes must be >= 0")
         if self.cluster.enabled:
             self._check_cluster_combination()
+        elif self.replication != ReplicationConfig():
+            raise ValueError(
+                "replication consistency settings need a cluster topology "
+                "(set cluster.servers >= 1 and cluster.replication >= 2)"
+            )
         if self.aggregation.enabled:
             self._check_aggregation_combination()
 
@@ -539,9 +634,15 @@ class VOODBConfig:
                 "cluster topologies do not support prefetching yet, "
                 f"got prefetch={self.prefetch!r}"
             )
-        if self.failures.enabled:
+        replicas = self.cluster.replication
+        if (
+            self.replication.read_quorum > replicas
+            or self.replication.write_quorum > replicas
+        ):
             raise ValueError(
-                "cluster topologies do not support failure injection yet"
+                f"read/write quorums (R={self.replication.read_quorum}, "
+                f"W={self.replication.write_quorum}) cannot exceed the "
+                f"replication factor {replicas}"
             )
 
     # ------------------------------------------------------------------

@@ -95,6 +95,20 @@ class PhaseResults:
     replica_reads: int = 0
     #: Page images propagated to non-primary replicas on writes.
     replica_writes: int = 0
+    # -- Consistency spectrum (async replication + failover) --------------
+    #: Reads that served a page version older than the last acknowledged
+    #: write of that page (async replication lag made visible).
+    stale_reads: int = 0
+    #: Shipped page images the per-node appliers installed.
+    replica_applies: int = 0
+    #: Total enqueue-to-apply latency over all applies (ms).
+    replica_lag_sum_ms: float = 0.0
+    #: Reads rerouted away from a crashed replica.
+    read_failovers: int = 0
+    #: Writes that queued behind a crashed primary's recovery.
+    write_recovery_waits: int = 0
+    #: Peak apply-queue depth per server node (async mode only).
+    apply_queue_peak: Tuple[int, ...] = ()
 
     # ------------------------------------------------------------------
     @property
@@ -149,6 +163,13 @@ class PhaseResults:
         if self.elapsed_ms <= 0:
             return 0.0
         return self.server_busy_ms[index] / self.elapsed_ms
+
+    @property
+    def replica_lag_ms(self) -> float:
+        """Mean enqueue-to-apply latency of shipped page images (ms)."""
+        if self.replica_applies <= 0:
+            return 0.0
+        return self.replica_lag_sum_ms / self.replica_applies
 
     # ------------------------------------------------------------------
     # Aggregated-tier roll-ups
@@ -274,6 +295,17 @@ class PhaseResults:
             metrics[f"{prefix}remote_fetches"] = float(self.remote_fetches)
             metrics[f"{prefix}replica_reads"] = float(self.replica_reads)
             metrics[f"{prefix}replica_writes"] = float(self.replica_writes)
+            metrics[f"{prefix}stale_reads"] = float(self.stale_reads)
+            metrics[f"{prefix}replica_applies"] = float(self.replica_applies)
+            metrics[f"{prefix}replica_lag_ms"] = self.replica_lag_ms
+            metrics[f"{prefix}read_failovers"] = float(self.read_failovers)
+            metrics[f"{prefix}write_recovery_waits"] = float(
+                self.write_recovery_waits
+            )
+            for index, peak in enumerate(self.apply_queue_peak):
+                metrics[f"{prefix}server{index}_apply_queue_peak"] = float(
+                    peak
+                )
             for index, ios in enumerate(self.server_ios):
                 metrics[f"{prefix}server{index}_total_ios"] = float(ios)
                 metrics[f"{prefix}server{index}_accesses"] = float(

@@ -113,6 +113,92 @@ def format_cluster_detail(scenario, result: SweepResult) -> List[str]:
     return lines
 
 
+def _replication_async_per_point(scenario) -> List[bool]:
+    """Whether each point runs async replication (consistency spectrum)."""
+    return [config.replication.is_async for _x, config in scenario.points]
+
+
+def format_replication(scenario, result: SweepResult) -> List[str]:
+    """The async-replication block of a consistency-spectrum report.
+
+    One line per async point: its quorum pair, the mean replication lag
+    over how many replica applies, the stale reads the staleness window
+    let through, and the deepest any node's apply queue got.
+    """
+    async_per_point = _replication_async_per_point(scenario)
+    if not any(async_per_point):
+        return []
+    lines = ["", "async replication (apply queues, lag, staleness):"]
+    for (x, config), is_async, analyzer in zip(
+        scenario.points, async_per_point, result.analyzers
+    ):
+        if not is_async:
+            lines.append(f"  {x}: sync")
+            continue
+        rep = config.replication
+        metrics = set(analyzer.metrics())
+        if "replica_lag_ms" not in metrics:
+            lines.append(f"  {x}: n/a (no replication metrics)")
+            continue
+        lag = analyzer.mean("replica_lag_ms")
+        applies = analyzer.mean("replica_applies")
+        stale = analyzer.mean("stale_reads")
+        peak = max(
+            (
+                analyzer.mean(f"server{i}_apply_queue_peak")
+                for i in range(config.cluster.servers)
+                if f"server{i}_apply_queue_peak" in metrics
+            ),
+            default=0.0,
+        )
+        lines.append(
+            f"  {x}: R{rep.read_quorum}/W{rep.write_quorum}, "
+            f"lag {_metric_value(lag)} ms over "
+            f"{_metric_value(applies)} applies, "
+            f"stale reads {_metric_value(stale)}, "
+            f"peak queue {_metric_value(peak)}"
+        )
+    return lines
+
+
+def _failover_per_point(scenario) -> List[bool]:
+    """Whether each point composes per-node hazards with a cluster."""
+    return [
+        config.cluster.enabled and config.failures.enabled
+        for _x, config in scenario.points
+    ]
+
+
+def format_failover(scenario, result: SweepResult) -> List[str]:
+    """The failover block of a hazards-on-cluster report.
+
+    One line per hazard point: crash count and downtime, transient
+    faults, and how the cluster routed around the outages (reads that
+    failed over to a live replica; writes that queued behind a down
+    primary's recovery).
+    """
+    failover_per_point = _failover_per_point(scenario)
+    if not any(failover_per_point):
+        return []
+    lines = ["", "failover (per-node hazards on the cluster):"]
+    for (x, _config), active, analyzer in zip(
+        scenario.points, failover_per_point, result.analyzers
+    ):
+        if not active:
+            continue
+        lines.append(
+            f"  {x}: crashes {_metric_value(analyzer.mean('crashes'))} "
+            f"(downtime {_metric_value(analyzer.mean('downtime_ms'))} ms), "
+            f"transient faults "
+            f"{_metric_value(analyzer.mean('transient_faults'))}, "
+            f"read failovers "
+            f"{_metric_value(analyzer.mean('read_failovers'))}, "
+            f"write recovery waits "
+            f"{_metric_value(analyzer.mean('write_recovery_waits'))}"
+        )
+    return lines
+
+
 #: Metric names the aggregated source tier flattens per replication
 #: (see :meth:`repro.core.results.PhaseResults.to_metrics`).
 _AGGREGATION_METRICS = (
@@ -261,6 +347,8 @@ def format_scenario(scenario, result: SweepResult) -> str:
             row.extend([_metric_value(ci.mean), _metric_value(ci.half_width)])
         lines.append(_format_row(row, widths))
     lines.extend(format_cluster_detail(scenario, result))
+    lines.extend(format_replication(scenario, result))
+    lines.extend(format_failover(scenario, result))
     lines.extend(format_aggregation(scenario, result))
     lines.extend(format_steady_state(scenario, result))
     return "\n".join(lines)
@@ -380,6 +468,37 @@ def scenario_to_json(scenario, result: SweepResult) -> Dict[str, Any]:
                 for servers, analyzer in zip(servers_per_point, result.analyzers)
             ],
         }
+    async_per_point = _replication_async_per_point(scenario)
+    if any(async_per_point):
+        replication: Dict[str, Any] = {
+            "modes": [
+                config.replication.mode for _x, config in scenario.points
+            ],
+            "read_quorums": [
+                config.replication.read_quorum
+                for _x, config in scenario.points
+            ],
+            "write_quorums": [
+                config.replication.write_quorum
+                for _x, config in scenario.points
+            ],
+            "replica_lag_ms": [],
+            "replica_applies": [],
+            "stale_reads": [],
+        }
+        for is_async, analyzer in zip(async_per_point, result.analyzers):
+            present = set(analyzer.metrics())
+            for key, metric in (
+                ("replica_lag_ms", "replica_lag_ms"),
+                ("replica_applies", "replica_applies"),
+                ("stale_reads", "stale_reads"),
+            ):
+                replication[key].append(
+                    analyzer.mean(metric)
+                    if is_async and metric in present
+                    else None
+                )
+        payload["replication"] = replication
     return payload
 
 
@@ -447,6 +566,22 @@ def format_scenario_description(scenario) -> str:
             f"placement, replication {topology.replication}, "
             f"interconnect {interconnect}"
         )
+        if first.replication.is_async:
+            rep = first.replication
+            guarantees = [
+                label
+                for flag, label in (
+                    (rep.read_your_writes, "read-your-writes"),
+                    (rep.monotonic_reads, "monotonic-reads"),
+                )
+                if flag
+            ]
+            lines.append(
+                f"  consistency: async, R={rep.read_quorum}/"
+                f"W={rep.write_quorum}, apply delay "
+                f"{rep.apply_delay_ms:g} ms"
+                + (", " + ", ".join(guarantees) if guarantees else "")
+            )
     return "\n".join(lines)
 
 

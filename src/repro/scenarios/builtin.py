@@ -9,14 +9,17 @@ The files are the source of truth; this module only loads and registers
 them, which keeps the schema honest (a scenario the file format cannot
 express cannot hide in the catalog).
 
-Twenty ready-made studies over the O2 instantiation, spanning the
+Twenty-three ready-made studies over the O2 instantiation, spanning the
 axes the ROADMAP's "as many scenarios as you can imagine" asks for: the
 paper-faithful closed system, open-system arrivals (steady Poisson and
 bursty MMPP), OLTP read/write mixes, hot-key skew, a multiprogramming
 ramp, a failure storm, the cold-vs-warm cache pair, the cluster quartet
 (scale-out ramp, skewed hot shard, replicated read fan-out,
 object-server forwarding) driving open-system load against sharded
-multi-server topologies, the OCB genericity trio mapping the classic
+multi-server topologies, the consistency-spectrum trio (async
+replica-lag storm, crash failover under load, quorum stale-read
+audit — see :class:`~repro.core.parameters.ReplicationConfig`), the
+OCB genericity trio mapping the classic
 OO1 / OO7 / HyperModel workloads onto OCB's parameters, and the
 flow-aggregated scale trio (10⁴ / 10⁵ / 10⁶ users collapsed into
 calibrated open streams with probe cohorts — see
@@ -57,6 +60,9 @@ MANIFEST: Tuple[str, ...] = (
     "cluster-hot-shard",
     "cluster-replicated-read",
     "cluster-object-server",
+    "replica-lag-storm",
+    "failover-under-load",
+    "stale-read-audit",
     "ocb-oo1-lookup",
     "ocb-oo7-traversal",
     "ocb-hypermodel-closure",

@@ -9,7 +9,7 @@ only parses text into a dict and hands it here.
 
 Validation is **eager and named**: an unknown key anywhere (top level,
 ``config``, a nested ``ocb``/``arrivals``/``aggregation``/``cluster``/
-``failures`` section, a point) raises :class:`ScenarioSchemaError`
+``failures``/``replication`` section, a point) raises :class:`ScenarioSchemaError`
 carrying the full
 key path and the closest valid spelling, before any simulation runs.
 The semantic checks themselves live in the config dataclasses — the
@@ -50,7 +50,14 @@ from repro.scenarios.catalog import DEFAULT_METRICS, Scenario
 SCENARIO_FORMAT = "voodb-scenario/v1"
 
 #: Nested config sections and the dataclass each one configures.
-CONFIG_SECTIONS = ("ocb", "arrivals", "aggregation", "cluster", "failures")
+CONFIG_SECTIONS = (
+    "ocb",
+    "arrivals",
+    "aggregation",
+    "cluster",
+    "failures",
+    "replication",
+)
 
 #: Loader-only sugar keys a scenario-level config block may open with.
 PRESET_KEYS = ("base", "cache_mb", "memory_mb")

@@ -77,12 +77,32 @@ class TestClusterConfig:
         with pytest.raises(ValueError, match="prefetch"):
             cluster_config(prefetch="one_ahead")
 
-    def test_failures_combination_rejected(self):
+    def test_failures_combination_accepted(self):
+        # PR 9 lifted the eager failures x cluster gate: hazards now
+        # live at the nodes (per-node injectors with replica failover).
         from repro.core import FailureConfig
 
-        with pytest.raises(ValueError, match="failure"):
-            cluster_config(
-                failures=FailureConfig(transient_mtbf_ms=100.0)
+        config = cluster_config(
+            failures=FailureConfig(transient_mtbf_ms=100.0)
+        )
+        assert config.failures.enabled
+        assert config.cluster.enabled
+
+    def test_quorums_cannot_exceed_replication(self):
+        from repro.core.parameters import ReplicationConfig
+
+        base = cluster_config(servers=3, replication=2)
+        with pytest.raises(ValueError, match="quorum"):
+            base.with_changes(
+                replication=ReplicationConfig(mode="async", read_quorum=3)
+            )
+
+    def test_replication_needs_cluster(self):
+        from repro.core.parameters import ReplicationConfig
+
+        with pytest.raises(ValueError, match="cluster"):
+            VOODBConfig(
+                replication=ReplicationConfig(mode="async")
             )
 
 

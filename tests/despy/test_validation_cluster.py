@@ -15,10 +15,12 @@ import pytest
 
 from repro.despy import (
     MS_PER_TICK,
+    Gate,
     Hold,
     Release,
     Request,
     Simulation,
+    WaitFor,
     confidence_interval,
     jackson_arrival_rates,
     jackson_mean_jobs,
@@ -406,4 +408,139 @@ class TestSimulatedJacksonFeedback:
             [r["mean_response_time"] for r in replications],
             expected,
             floor=0.3,
+        )
+
+
+def simulate_async_applier(
+    arrival_rate: float,
+    primary_rate: float,
+    apply_rate: float,
+    jobs: int,
+    seed: int,
+) -> dict:
+    """One replication of the async-replication tandem.
+
+    Poisson(λ) clients queue at a primary M/M/1 station; each finished
+    write enqueues an apply job which a single applier process drains
+    (the deque + :class:`Gate` idiom of ``Cluster._applier``).  Clients
+    never wait on the applier, so their response time is the primary
+    sojourn alone; by Burke's theorem the apply queue sees a Poisson(λ)
+    arrival stream, making the measured enqueue-to-apply lag the sojourn
+    time of a second, independent M/M/1 stage — the two-node tandem
+    Jackson network in product form.
+    """
+    sim = Simulation(seed=seed)
+    primary = Resource(sim, "primary", capacity=1)
+    apply_queue = []
+    apply_gate = Gate(sim, "apply")
+    response_times = OnlineStats()
+    lags = OnlineStats()
+    done = [0]
+
+    def source():
+        arrivals = sim.stream("arrivals")
+        for n in range(jobs):
+            yield Hold(arrivals.exponential_ticks(1.0 / arrival_rate))
+            sim.process(client(), name=f"client-{n}")
+
+    def client():
+        service = sim.stream("primary-service")
+        start = sim.now
+        yield Request(primary)
+        yield Hold(service.exponential_ticks(1.0 / primary_rate))
+        yield Release(primary)
+        # Async hand-off: the client is done once the primary commits.
+        response_times.record((sim.now - start) * MS_PER_TICK)
+        apply_queue.append(sim.now)
+        apply_gate.open()
+
+    def applier():
+        service = sim.stream("apply-service")
+        while done[0] < jobs:
+            if not apply_queue:
+                apply_gate.close()
+                yield WaitFor(apply_gate)
+                continue
+            enqueued = apply_queue.pop(0)
+            yield Hold(service.exponential_ticks(1.0 / apply_rate))
+            lags.record((sim.now - enqueued) * MS_PER_TICK)
+            done[0] += 1
+
+    sim.process(source())
+    sim.process(applier(), name="applier")
+    sim.run()
+    return {
+        "mean_response_time": response_times.mean,
+        "mean_lag": lags.mean,
+    }
+
+
+class TestAsyncApplierTandem:
+    """The ``Cluster._applier`` idiom vs the tandem Jackson oracle.
+
+    Validates the consistency-spectrum machinery at despy level: an
+    async apply queue drained by its own process must (a) leave client
+    response times exactly where the primary-only M/M/1 oracle puts
+    them, (b) exhibit a replica lag equal to the apply-stage M/M/1
+    sojourn (Jackson product form on the tandem pair), and (c) converge
+    to zero lag as the apply service rate grows — the lag→0 limit in
+    which async replication degenerates to the primary-only network.
+    """
+
+    LAM, MU1, MU2, JOBS = 0.6, 1.0, 1.2, 10_000
+
+    @pytest.fixture(scope="class")
+    def replications(self):
+        return [
+            simulate_async_applier(
+                self.LAM, self.MU1, self.MU2, self.JOBS, 900 + s
+            )
+            for s in range(5)
+        ]
+
+    def test_clients_never_wait_on_the_applier(self, replications):
+        # Response time is the primary M/M/1 sojourn, untouched by the
+        # (busier or slower) apply stage.
+        expected = mm1_mean_response_time(self.LAM, self.MU1)
+        _ci_close(
+            [r["mean_response_time"] for r in replications],
+            expected,
+            floor=0.15,
+        )
+
+    def test_lag_matches_apply_stage_sojourn(self, replications):
+        # Burke: the apply queue is M/M/1 at (λ, μ2); lag == its sojourn,
+        # which is also the tandem Jackson response minus stage one.
+        expected = mm1_mean_response_time(self.LAM, self.MU2)
+        tandem = jackson_mean_response_time(
+            (self.LAM, 0.0),
+            (self.MU1, self.MU2),
+            routing=((0.0, 1.0), (0.0, 0.0)),
+        )
+        assert expected == pytest.approx(
+            tandem - mm1_mean_response_time(self.LAM, self.MU1)
+        )
+        _ci_close(
+            [r["mean_lag"] for r in replications],
+            expected,
+            floor=0.2,
+        )
+
+    def test_lag_vanishes_as_apply_rate_grows(self, replications):
+        # μ2 → ∞: the apply stage empties instantly and the tandem
+        # response collapses onto the primary-only Jackson network.
+        fast = [
+            simulate_async_applier(self.LAM, self.MU1, 50.0, self.JOBS, 950 + s)
+            for s in range(3)
+        ]
+        _ci_close(
+            [r["mean_lag"] for r in fast],
+            mm1_mean_response_time(self.LAM, 50.0),
+            floor=0.05,
+        )
+        # ...and the lag→0 limit leaves clients on the single-node oracle.
+        _ci_close(
+            [r["mean_response_time"] for r in fast],
+            jackson_mean_response_time((self.LAM,), (self.MU1,)),
+            floor=0.15,
         )

@@ -23,6 +23,7 @@ from repro.core.parameters import (
     AggregationConfig,
     ArrivalConfig,
     ClusterConfig,
+    ReplicationConfig,
     SystemClass,
     VOODBConfig,
 )
@@ -393,6 +394,140 @@ def build_reference_catalog() -> Dict[str, Scenario]:
                 "total_ios",
                 "remote_fetches",
                 "interconnect_messages",
+                "mean_response_time_ms",
+            ),
+        ),
+        Scenario(
+            name="replica-lag-storm",
+            title="Replica lag storm (async fan-out vs apply delay)",
+            description=(
+                "A write-heavy mix (40% writes) on a 3-node cluster keeping "
+                "3 async copies of every page over a 25 MB/s interconnect: "
+                "each apply-queue entry pays the ship plus a per-replica "
+                "apply delay of 0, 5 or 20 ms, so replication lag (and the "
+                "stale reads its window lets through at R=1/W=1) grows with "
+                "the delay while the writers never wait on the fan-out."
+            ),
+            points=tuple(
+                (
+                    delay,
+                    _cluster_point(
+                        3,
+                        replication=3,
+                        interconnect_mbps=25.0,
+                        rate_tps=40.0,
+                        pset=0.40,
+                        psimple=0.30,
+                        phier=0.20,
+                        pstoch=0.10,
+                        pwrite=0.40,
+                    ).with_changes(
+                        replication=ReplicationConfig(
+                            mode="async", apply_delay_ms=float(delay)
+                        )
+                    ),
+                )
+                for delay in (0, 5, 20)
+            ),
+            x_label="apply_delay_ms",
+            metrics=(
+                "replica_writes",
+                "replica_applies",
+                "replica_lag_ms",
+                "stale_reads",
+                "mean_response_time_ms",
+            ),
+        ),
+        Scenario(
+            name="failover-under-load",
+            title="Replica failover under load (per-node crashes)",
+            description=(
+                "The §5 hazards module composed with a replicated cluster: "
+                "each of the 3 nodes draws its own transient faults and "
+                "crashes (a crash every ~2 s of node uptime, 300 ms of "
+                "recovery), while 2 async copies of every page let reads "
+                "route around the down node and writes queue behind the "
+                "crashed primary's recovery — the failover traffic the "
+                "consistency spectrum exists to measure."
+            ),
+            points=(
+                (
+                    "baseline",
+                    _cluster_point(
+                        3,
+                        replication=2,
+                        interconnect_mbps=25.0,
+                        rate_tps=40.0,
+                        pset=0.40,
+                        psimple=0.30,
+                        phier=0.20,
+                        pstoch=0.10,
+                        pwrite=0.30,
+                    ).with_changes(
+                        replication=ReplicationConfig(
+                            mode="async", apply_delay_ms=2.0
+                        ),
+                        failures=FailureConfig(
+                            transient_mtbf_ms=500.0,
+                            crash_mtbf_ms=2_000.0,
+                            recovery_time_ms=300.0,
+                        ),
+                    ),
+                ),
+            ),
+            metrics=(
+                "crashes",
+                "downtime_ms",
+                "read_failovers",
+                "write_recovery_waits",
+                "mean_response_time_ms",
+            ),
+        ),
+        Scenario(
+            name="stale-read-audit",
+            title="Stale-read audit (quorum sweep over async copies)",
+            description=(
+                "The quorum-intersection law measured: the same mixed load "
+                "(30% writes) against 3 async copies with a 5 ms apply "
+                "delay, sweeping the (R, W) pair. R=1/W=1 reads straight "
+                "into the staleness window; R=2/W=2 and R=1/W=3 satisfy "
+                "R + W > N, so every quorum read intersects the last write "
+                "quorum and the stale-read count collapses to zero — at the "
+                "price of waiting on applies (W) or version probes (R)."
+            ),
+            points=tuple(
+                (
+                    label,
+                    _cluster_point(
+                        3,
+                        replication=3,
+                        interconnect_mbps=25.0,
+                        rate_tps=40.0,
+                        pset=0.40,
+                        psimple=0.30,
+                        phier=0.20,
+                        pstoch=0.10,
+                        pwrite=0.30,
+                    ).with_changes(
+                        replication=ReplicationConfig(
+                            mode="async",
+                            read_quorum=read_quorum,
+                            write_quorum=write_quorum,
+                            apply_delay_ms=5.0,
+                        )
+                    ),
+                )
+                for label, read_quorum, write_quorum in (
+                    ("R1W1", 1, 1),
+                    ("R2W2", 2, 2),
+                    ("R1W3", 1, 3),
+                )
+            ),
+            x_label="quorum",
+            metrics=(
+                "stale_reads",
+                "replica_applies",
+                "replica_lag_ms",
                 "mean_response_time_ms",
             ),
         ),

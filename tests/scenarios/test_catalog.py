@@ -36,8 +36,8 @@ def small(scenario: Scenario) -> Scenario:
 
 
 class TestRegistry:
-    def test_catalog_has_twenty_scenarios(self):
-        assert len(ALL) == 20
+    def test_catalog_has_twenty_three_scenarios(self):
+        assert len(ALL) == 23
 
     def test_names_are_unique_and_kebab_case(self):
         names = scenario_names()
@@ -74,6 +74,9 @@ class TestRegistry:
             "cluster-hot-shard",
             "cluster-replicated-read",
             "cluster-object-server",
+            "replica-lag-storm",
+            "failover-under-load",
+            "stale-read-audit",
             "ocb-oo1-lookup",
             "ocb-oo7-traversal",
             "ocb-hypermodel-closure",

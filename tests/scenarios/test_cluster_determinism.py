@@ -33,6 +33,11 @@ CLUSTER_SCENARIOS = (
     "cluster-hot-shard",
     "cluster-replicated-read",
     "cluster-object-server",
+    # Consistency spectrum (PR 9): async apply queues, quorum waits and
+    # per-node hazard streams must replay just as deterministically.
+    "replica-lag-storm",
+    "failover-under-load",
+    "stale-read-audit",
 )
 
 
