@@ -47,10 +47,35 @@ back to the primary when the routed replica is behind the session
 floor.  Failure injection composes per node (independent hazard
 streams): reads fail over around crashed nodes in ring order, writes
 queue behind the down primary's recovery.
+
+The **fault-tolerance layer**
+(:class:`~repro.core.failures.FaultConfig` /
+:class:`~repro.core.failures.RetryConfig`) adds the degraded-mode
+fault kinds and the recovery machinery on top:
+
+* *network partitions* cut the interconnect links between node groups
+  for a heal time (sampled by thinning on a dedicated ``partitions``
+  stream);
+* *gray failures* put a node into a degraded mode that multiplies its
+  disk and interconnect service times (per-node ``gray-{i}`` streams);
+* every remote operation — quorum-read consultations, replica ships,
+  coordinator fetches — honours the **timeout/retry/backoff contract**
+  and abandons unresponsive peers instead of blocking
+  (``remote_timeouts``/``remote_retries``/``abandoned_reads``);
+* when a page's primary crashes or is partitioned away from the
+  majority of its replica set, the freshest reachable replica is
+  **promoted** after an election delay and writes redirect to it
+  (replacing the write-blocking recovery wait); the old primary
+  catches up through the version-guarded apply path;
+* a periodic **anti-entropy** process Merkle-style compares page
+  versions with reachable peers and back-fills stale copies over the
+  interconnect, and quorum reads **read-repair** divergent replicas
+  they observe.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
@@ -58,7 +83,7 @@ from repro.despy.process import PARK, Hold, Release, Request, WaitFor
 from repro.despy.resource import Gate, Resource
 from repro.despy.timebase import MS_PER_TICK, ms_to_ticks
 from repro.core.buffering import BufferManager
-from repro.core.failures import FailureInjector, NoFailures
+from repro.core.failures import FailureInjector, NoFailures, RetryPolicy
 from repro.core.io_subsystem import IOSubsystem
 from repro.core.locks import LockManager
 from repro.core.network import Network
@@ -178,6 +203,15 @@ class ClusterNode:
         self.apply_gate: Optional[Gate] = None
         #: deepest the apply queue ever got (backlog indicator).
         self.queue_peak = 0
+        # --- fault-layer state (FaultConfig); inert unless wired on.
+        #: tick until which this node is gray (degraded mode; 0 = crisp).
+        self.gray_until = 0
+        #: thinning marker of this node's gray-hazard exposure.
+        self.gray_last = 0
+        #: this node's gray-hazard stream (``gray-{i}`` when enabled).
+        self.gray_stream = None
+        #: this node's retry-jitter stream (``retry-{i}`` when enabled).
+        self.retry_stream = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ClusterNode {self.index} accesses={self.accesses}>"
@@ -486,10 +520,16 @@ class Cluster:
         self.async_mode = self.replication_config.is_async
         self._apply_delay = ms_to_ticks(self.replication_config.apply_delay_ms)
         self._failures_enabled = config.failures.enabled
+        #: public gate for the fault-tolerance layer (partitions, gray
+        #: failures, retry contract, elections, anti-entropy).
+        self.faults_on = config.faults.enabled
         #: extended page service: any feature that perturbs the plain
-        #: sync path (async replication and/or per-node hazards).  The
-        #: plain path stays byte-identical when this is False.
-        self._extended = self.async_mode or self._failures_enabled
+        #: sync path (async replication, per-node hazards and/or the
+        #: fault layer).  The plain path stays byte-identical when this
+        #: is False.
+        self._extended = (
+            self.async_mode or self._failures_enabled or self.faults_on
+        )
         #: latest version enqueued per page (bumped at the primary write).
         self._version: Dict[int, int] = {}
         #: latest version with a full write-quorum of acks per page.
@@ -502,7 +542,62 @@ class Cluster:
         self.replica_lag_ticks = 0
         self.read_failovers = 0
         self.write_recovery_waits = 0
+        #: page reads the extended path served (stale-rate denominator).
+        self.reads_served = 0
+        # Fault-layer counters (all stay 0 when the layer is off)
+        self.partitions = 0
+        self.partition_ticks = 0
+        self.gray_episodes = 0
+        self.degraded_reads = 0
+        self.remote_timeouts = 0
+        self.remote_retries = 0
+        self.abandoned_reads = 0
+        self.elections = 0
+        self.promotions = 0
+        self.repair_pages = 0
+        self.read_repairs = 0
         self.failures = NoFailures()
+        if self.faults_on:
+            fault = config.faults
+            self.retry_policy = RetryPolicy(config.retry)
+            self._partition_mtbf = ms_to_ticks(fault.partition_mtbf_ms)
+            self._partition_heal = ms_to_ticks(fault.partition_heal_ms)
+            self._gray_mtbf = ms_to_ticks(fault.gray_mtbf_ms)
+            self._gray_heal = ms_to_ticks(fault.gray_heal_ms)
+            self._gray_slowdown = fault.gray_slowdown
+            self._election_delay = ms_to_ticks(fault.election_delay_ms)
+            self._repair_interval = ms_to_ticks(fault.repair_interval_ms)
+            self._partition_stream = sim.stream("partitions")
+            self._partition_last = 0
+            #: tick until which the current partition holds (0 = whole).
+            self._partition_until = 0
+            self._group_of = self._resolve_group_of(fault, topology.servers)
+            #: per-page elected primary (absent = the placement primary).
+            self._leader: Dict[int, int] = {}
+            #: per-page election-in-progress completion tick.
+            self._electing: Dict[int, int] = {}
+            self._repair_last = 0
+            # Gray interconnect drag: the extra ticks one page ship
+            # to/from a gray node costs, and whether that slowed ship
+            # blows the retry timeout (making gray peers abandonable).
+            if math.isinf(topology.interconnect_mbps):
+                base_ship = 0
+            else:
+                ship_ms = self._page_bytes * 1000.0 / (
+                    topology.interconnect_mbps * (2**20)
+                )
+                base_ship = ms_to_ticks(ship_ms)
+            self._gray_ship_extra = int(
+                base_ship * (self._gray_slowdown - 1.0)
+            )
+            self._gray_timeout_prone = (
+                base_ship > 0
+                and int(base_ship * self._gray_slowdown)
+                >= self.retry_policy.timeout
+            )
+            for node in self.nodes:
+                node.gray_stream = sim.stream(f"gray-{node.index}")
+                node.retry_stream = sim.stream(f"retry-{node.index}")
         if self._failures_enabled:
             for node in self.nodes:
                 node.failures = FailureInjector(
@@ -674,6 +769,17 @@ class Cluster:
         means the access completed without simulated time.
         """
         owners = self.router.replicas(page)
+        if self.faults_on:
+            self._fault_probe()
+            if write:
+                leader = self._leader.get(page, owners[0])
+                if self._leader_impaired(leader, owners, self.sim.now):
+                    # The primary crashed or lost its majority: elect
+                    # the freshest reachable replica and write there
+                    # (no write-blocking recovery wait).
+                    return self._election_then_write(page, owners, home)
+                return self._write_core(page, owners, home, leader)
+            return self._read_core(page, owners, home)
         if write:
             delay = self.nodes[owners[0]].down_until - self.sim.now
             if delay > 0:
@@ -682,6 +788,218 @@ class Cluster:
                 return self._write_after_recovery(delay, page, home)
             return self._write_core(page, owners, home)
         return self._read_core(page, owners, home)
+
+    # -- Fault-layer state machinery (partitions / gray / retry) -------
+    @staticmethod
+    def _resolve_group_of(fault, servers: int) -> Dict[int, int]:
+        """Node -> partition-side map; () bisects the cluster."""
+        groups = fault.partition_groups
+        if not groups and fault.partition_mtbf_ms > 0:
+            half = (servers + 1) // 2
+            groups = (
+                tuple(range(half)),
+                tuple(range(half, servers)),
+            )
+        group_of: Dict[int, int] = {}
+        for side, members in enumerate(groups):
+            for member in members:
+                group_of[member] = side
+        return group_of
+
+    def _reachable_at(self, src: int, dst: int, when: int) -> bool:
+        """Is the src -> dst interconnect link up at tick ``when``?"""
+        if src == dst or self._partition_until <= when:
+            return True
+        return self._group_of.get(src) == self._group_of.get(dst)
+
+    def _responsive_at(self, src: int, dst: int, when: int) -> bool:
+        """Would ``dst`` answer ``src`` within one timeout at ``when``?
+
+        A peer is unresponsive while crashed, partitioned away, or (when
+        its slowed ship time exceeds the timeout) gray.
+        """
+        node = self.nodes[dst]
+        if node.down_until > when or self.nodes[src].down_until > when:
+            return False
+        if not self._reachable_at(src, dst, when):
+            return False
+        if self._gray_timeout_prone and node.gray_until > when:
+            return False
+        return True
+
+    def _next_responsive(self, src: int, dst: int, when: int) -> int:
+        """Earliest tick >= ``when`` at which ``dst`` answers ``src``."""
+        node = self.nodes[dst]
+        resume = when
+        if node.down_until > resume:
+            resume = node.down_until
+        if self.nodes[src].down_until > resume:
+            resume = self.nodes[src].down_until
+        if self._partition_until > resume and not self._reachable_at(
+            src, dst, resume
+        ):
+            resume = self._partition_until
+        if self._gray_timeout_prone and node.gray_until > resume:
+            resume = node.gray_until
+        return resume
+
+    def _fault_probe(self) -> None:
+        """Advance the global fault state at one observation instant.
+
+        Same thinning-on-observation discipline as the hazard injector:
+        partitions are drawn from elapsed exposure on the dedicated
+        ``partitions`` stream (outage time is not exposure — the marker
+        jumps past the heal), and the anti-entropy cadence fires a
+        repair sweep when its interval has elapsed.  No standing timer
+        events, so workload phases still drain naturally.
+        """
+        now = self.sim.now
+        if self._partition_mtbf and now > self._partition_until:
+            last = self._partition_last
+            if now > last:
+                self._partition_last = now
+            elapsed = now - last
+            if elapsed > 0:
+                probability = 1.0 - math.exp(-elapsed / self._partition_mtbf)
+                if self._partition_stream.bernoulli(probability):
+                    self.partitions += 1
+                    self._partition_until = now + self._partition_heal
+                    self.partition_ticks += self._partition_heal
+                    self._partition_last = self._partition_until
+        if (
+            self._repair_interval
+            and now - self._repair_last >= self._repair_interval
+        ):
+            self._repair_last = now
+            self.sim.process(self._repair_sweep(), name="anti-entropy")
+
+    def _gray_probe(self, node: ClusterNode) -> None:
+        """Per-node gray-hazard probe (thinning on its own stream)."""
+        if not self._gray_mtbf:
+            return
+        now = self.sim.now
+        if now <= node.gray_until:
+            return  # already degraded; exposure resumes at the heal
+        last = node.gray_last
+        if now > last:
+            node.gray_last = now
+        elapsed = now - last
+        if elapsed <= 0:
+            return
+        probability = 1.0 - math.exp(-elapsed / self._gray_mtbf)
+        if node.gray_stream.bernoulli(probability):
+            self.gray_episodes += 1
+            node.gray_until = now + self._gray_heal
+            node.gray_last = node.gray_until
+
+    def _retry_outcome(self, src: int, dst: int, rng, start: int):
+        """Project the timeout/retry/backoff ladder for src -> dst.
+
+        Returns ``(responded, penalty_ticks)``.  Attempts are projected
+        against the known outage schedule (``down_until``, the
+        partition heal, gray episodes), so a retry landing after a heal
+        succeeds: the storm is exactly as long as the outage forces it
+        to be, and the whole ladder is a pure function of the seed
+        (jitter comes from the initiating node's retry stream).
+        """
+        if self._responsive_at(src, dst, start):
+            return True, 0
+        policy = self.retry_policy
+        penalty = 0
+        attempt = 0
+        while True:
+            penalty += policy.timeout
+            self.remote_timeouts += 1
+            if attempt >= policy.max_retries:
+                return False, penalty
+            penalty += policy.backoff_ticks(attempt, rng)
+            self.remote_retries += 1
+            attempt += 1
+            if self._responsive_at(src, dst, start + penalty):
+                return True, penalty
+
+    # -- Primary re-election -------------------------------------------
+    def _leader_impaired(
+        self, leader: int, owners: Tuple[int, ...], now: int
+    ) -> bool:
+        """Is the current primary unfit to take this write?
+
+        Unfit means crashed, or cut off from a strict majority of its
+        replica set by an active partition (writes at a minority-side
+        primary would silently diverge).
+        """
+        if self.nodes[leader].down_until > now:
+            return True
+        if self._partition_until <= now or len(owners) == 1:
+            return False
+        reachable = sum(
+            1 for owner in owners if self._reachable_at(leader, owner, now)
+        )
+        return reachable < len(owners) // 2 + 1
+
+    def _elect(self, page: int, owners: Tuple[int, ...], now: int):
+        """Choose the replica to promote (``None`` = all replicas down).
+
+        Eligible nodes are alive replicas that reach a strict majority
+        of the replica set; when no side holds a majority, any alive
+        replica qualifies (the minority keeps limping rather than
+        blocking).  Among the eligible, the highest locally applied
+        version of the page wins — re-election never promotes a stale
+        replica over a fresher reachable one — with ties resolving in
+        replica-set order.
+        """
+        nodes = self.nodes
+        alive = [o for o in owners if nodes[o].down_until <= now]
+        if not alive:
+            return None
+        majority = len(owners) // 2 + 1
+        eligible = [
+            o
+            for o in alive
+            if sum(
+                1
+                for peer in owners
+                if nodes[peer].down_until <= now
+                and self._reachable_at(o, peer, now)
+            )
+            >= majority
+        ] or alive
+        best = eligible[0]
+        best_version = nodes[best].applied.get(page, 0)
+        for candidate in eligible[1:]:
+            version = nodes[candidate].applied.get(page, 0)
+            if version > best_version:
+                best, best_version = candidate, version
+        return best
+
+    def _election_then_write(self, page: int, owners: Tuple[int, ...], home):
+        """Run (or join) an election for ``page``, then write there."""
+        now = self.sim.now
+        pending = self._electing.get(page, 0)
+        if pending > now:
+            # An election for this page is already under way: wait for
+            # its verdict rather than holding a second one.
+            yield Hold(pending - now)
+        else:
+            self._electing[page] = now + self._election_delay
+            self.elections += 1
+            if self._election_delay:
+                yield Hold(self._election_delay)
+            while True:
+                chosen = self._elect(page, owners, self.sim.now)
+                if chosen is not None:
+                    break
+                # Every replica is down: wait out the earliest recovery.
+                resume = min(self.nodes[o].down_until for o in owners)
+                yield Hold(resume - self.sim.now)
+            if chosen != self._leader.get(page, owners[0]):
+                self._leader[page] = chosen
+                self.promotions += 1
+        step = self._write_core(
+            page, owners, home, self._leader.get(page, owners[0])
+        )
+        if step is not None:
+            yield from step
 
     def _read_core(self, page: int, owners: Tuple[int, ...], home):
         now = self.sim.now
@@ -703,17 +1021,32 @@ class Cluster:
                 resume = min(nodes[index].down_until for index in owners)
                 return self._resume_read(resume, page, home)
         probes = 0
+        penalty = 0
+        repair = None
         if self.async_mode:
-            target, probes = self._consistent_read_target(
-                page, owners, target, now
-            )
+            if self.faults_on:
+                target, probes, penalty, repair = (
+                    self._consistent_read_target_fault(
+                        page, owners, target, now
+                    )
+                )
+            else:
+                target, probes = self._consistent_read_target(
+                    page, owners, target, now
+                )
             if target is None:
                 # A session guarantee needs the (down) primary.
+                primary = (
+                    self._leader.get(page, owners[0])
+                    if self.faults_on
+                    else owners[0]
+                )
                 return self._resume_read(
-                    nodes[owners[0]].down_until, page, home
+                    nodes[primary].down_until, page, home
                 )
         node = nodes[target]
         node.accesses += 1
+        self.reads_served += 1
         if target != owners[0]:
             self.replica_reads += 1
         if self.async_mode:
@@ -723,12 +1056,45 @@ class Cluster:
             if applied > self._served.get(page, 0):
                 self._served[page] = applied
         downtime = self._crash_probe(node)
+        degraded = False
+        if self.faults_on:
+            self._gray_probe(node)
+            degraded = node.gray_until > now
+            if degraded:
+                self.degraded_reads += 1
         forwarded = home is not None and target != home
         if forwarded:
             self.remote_fetches += 1
-        outcome = node.memory.access(page, False)
-        miss = None if outcome.hit else self._node_miss_io(node, outcome)
-        return self._assemble(downtime, forwarded, probes, miss)
+            if self.faults_on:
+                # Coordinator fetch under the retry contract: the home
+                # node keeps the request and completes it once the peer
+                # answers — an abandoned ladder waits the outage out.
+                ok, cost = self._retry_outcome(
+                    home, target, nodes[home].retry_stream, now
+                )
+                if ok:
+                    penalty += cost
+                else:
+                    self.abandoned_reads += 1
+                    penalty += (
+                        self._next_responsive(home, target, now + cost) - now
+                    )
+                if degraded:
+                    penalty += self._gray_ship_extra
+        if degraded:
+            outcome = node.memory.access(page, False)
+            miss = (
+                None
+                if outcome.hit
+                else self._node_miss_io_degraded(node, outcome)
+            )
+        else:
+            outcome = node.memory.access(page, False)
+            miss = None if outcome.hit else self._node_miss_io(node, outcome)
+        step = self._assemble(downtime + penalty, forwarded, probes, miss)
+        if repair is not None:
+            step = repair if step is None else _chain((step, repair))
+        return step
 
     def _consistent_read_target(
         self, page: int, owners: Tuple[int, ...], target: int, now: int
@@ -778,6 +1144,91 @@ class Cluster:
             target = primary
         return target, probes
 
+    def _consistent_read_target_fault(
+        self, page: int, owners: Tuple[int, ...], target: int, now: int
+    ):
+        """Quorum consultation under the retry contract, with read-repair.
+
+        The fault-layer variant of :meth:`_consistent_read_target`:
+        consulted peers that do not answer within the timeout/backoff
+        ladder are **abandoned** (``abandoned_reads``) instead of
+        silently skipped, their ladder cost lands on the read's
+        response time, and replicas the consultation observes behind
+        the freshest version are **read-repaired** over the
+        interconnect.  Returns ``(target, probe_messages,
+        penalty_ticks, repair_step)``; ``target`` ``None`` means a
+        session guarantee needs the (down) primary.
+        """
+        rep = self.replication_config
+        nodes = self.nodes
+        probes = 0
+        penalty = 0
+        repair = None
+        if rep.read_quorum > 1 and len(owners) > 1:
+            rng = nodes[target].retry_stream
+            consulted = [target]
+            start = owners.index(target)
+            for offset in range(1, len(owners)):
+                if len(consulted) >= rep.read_quorum:
+                    break
+                candidate = owners[(start + offset) % len(owners)]
+                self._gray_probe(nodes[candidate])
+                ok, cost = self._retry_outcome(
+                    target, candidate, rng, now + penalty
+                )
+                penalty += cost
+                if ok:
+                    consulted.append(candidate)
+                else:
+                    self.abandoned_reads += 1
+            probes = 2 * (len(consulted) - 1)
+            best = consulted[0]
+            best_version = nodes[best].applied.get(page, 0)
+            for candidate in consulted[1:]:
+                version = nodes[candidate].applied.get(page, 0)
+                if version > best_version:
+                    best, best_version = candidate, version
+            stale = [
+                c
+                for c in consulted
+                if nodes[c].applied.get(page, 0) < best_version
+            ]
+            if stale:
+                self.read_repairs += len(stale)
+                repair = self._read_repair(page, best_version, stale)
+            target = best
+        required = 0
+        if rep.read_your_writes:
+            required = self._version.get(page, 0)
+        if rep.monotonic_reads:
+            floor = self._served.get(page, 0)
+            if floor > required:
+                required = floor
+        if required and nodes[target].applied.get(page, 0) < required:
+            # Too stale for the session guarantee: fall back to the
+            # elected primary, which holds the newest version when up.
+            primary = self._leader.get(page, owners[0])
+            if nodes[primary].down_until > now:
+                return None, probes, penalty, repair
+            target = primary
+        return target, probes, penalty, repair
+
+    def _read_repair(self, page: int, version: int, stale: List[int]):
+        """Back-fill the divergent replicas a quorum read observed."""
+        interconnect = self.interconnect
+        for index in stale:
+            node = self.nodes[index]
+            step = interconnect.transfer_nowait(self._page_bytes)
+            if step is not None:
+                yield from step
+            if version > node.applied.get(page, 0):
+                node.applied[page] = version
+                outcome = node.memory.access(page, True)
+                if not outcome.hit and outcome.writeback_pages:
+                    yield from self._node_writebacks(
+                        node, outcome.writeback_pages
+                    )
+
     def _resume_read(self, resume: int, page: int, home):
         yield Hold(resume - self.sim.now)
         step = self._serve_page_ext(page, False, home)
@@ -790,23 +1241,39 @@ class Cluster:
         if step is not None:
             yield from step
 
-    def _write_core(self, page: int, owners: Tuple[int, ...], home):
+    def _write_core(
+        self,
+        page: int,
+        owners: Tuple[int, ...],
+        home,
+        leader: Optional[int] = None,
+    ):
         now = self.sim.now
-        node = self.nodes[owners[0]]
+        primary = owners[0] if leader is None else leader
+        node = self.nodes[primary]
         node.accesses += 1
         downtime = self._crash_probe(node)
-        forwarded = home is not None and owners[0] != home
+        degraded = False
+        if self.faults_on:
+            self._gray_probe(node)
+            degraded = node.gray_until > now
+        forwarded = home is not None and primary != home
         if forwarded:
             self.remote_fetches += 1
         if not self.async_mode:
             return self._sync_write_with_hazards(
-                page, owners, node, downtime, forwarded
+                page, owners, node, downtime, forwarded, degraded
             )
         version = self._version.get(page, 0) + 1
         self._version[page] = version
         node.applied[page] = version
         outcome = node.memory.access(page, True)
-        miss = None if outcome.hit else self._node_miss_io(node, outcome)
+        if outcome.hit:
+            miss = None
+        elif degraded:
+            miss = self._node_miss_io_degraded(node, outcome)
+        else:
+            miss = self._node_miss_io(node, outcome)
         ack = None
         if len(owners) > 1:
             quorum = self.replication_config.write_quorum
@@ -814,7 +1281,12 @@ class Cluster:
                 # The ack cell: [outstanding count, gate the last
                 # acking applier opens].
                 ack = [quorum - 1, Gate(self.sim, "write-ack")]
-            for position, replica in enumerate(owners[1:]):
+            followers = (
+                owners[1:]
+                if leader is None
+                else [o for o in owners if o != primary]
+            )
+            for position, replica in enumerate(followers):
                 self.replica_writes += 1
                 peer = self.nodes[replica]
                 peer.apply_queue.append(
@@ -854,9 +1326,15 @@ class Cluster:
         node: ClusterNode,
         downtime: int,
         forwarded: bool,
+        degraded: bool = False,
     ):
         outcome = node.memory.access(page, True)
-        miss = None if outcome.hit else self._node_miss_io(node, outcome)
+        if outcome.hit:
+            miss = None
+        elif degraded:
+            miss = self._node_miss_io_degraded(node, outcome)
+        else:
+            miss = self._node_miss_io(node, outcome)
         step = self._assemble(downtime, forwarded, 0, miss)
         if len(owners) == 1:
             return step
@@ -960,6 +1438,29 @@ class Cluster:
                 yield WaitFor(gate)
                 continue
             page, version, enqueued, ack = queue.popleft()
+            if self.faults_on:
+                # The ship honours the retry contract against the
+                # page's current primary: an abandoned ship negative-
+                # acks (so writers never block on a dead link) and the
+                # replica stays stale until anti-entropy or read-repair
+                # back-fills it.
+                source = self._leader.get(
+                    page, self.router.replicas(page)[0]
+                )
+                self._gray_probe(node)
+                ok, cost = self._retry_outcome(
+                    source, node.index, node.retry_stream, sim.now
+                )
+                if cost:
+                    yield Hold(cost)
+                if not ok:
+                    if ack is not None:
+                        ack[0] -= 1
+                        if ack[0] <= 0:
+                            ack[1].open()
+                    continue
+                if node.gray_until > sim.now and self._gray_ship_extra:
+                    yield Hold(self._gray_ship_extra)
             step = interconnect.transfer_nowait(self._page_bytes)
             if step is not None:
                 yield from step
@@ -981,6 +1482,124 @@ class Cluster:
                 ack[0] -= 1
                 if ack[0] <= 0:
                     ack[1].open()
+
+    # -- Anti-entropy repair -------------------------------------------
+    def _repair_sweep(self):
+        """One anti-entropy round over the whole cluster.
+
+        Every live node exchanges a Merkle-style version summary (one
+        control message per reachable peer) and back-fills each page it
+        replicates whose freshest reachable copy is newer than its own,
+        paying one page ship per back-fill.  Versions only move
+        forward, so a sweep is idempotent and the old primary's
+        catch-up after a partition or crash is version-guarded.
+        """
+        sim = self.sim
+        nodes = self.nodes
+        interconnect = self.interconnect
+        router = self.router
+        for node in nodes:
+            if node.down_until > sim.now:
+                continue
+            peers = [
+                other
+                for other in nodes
+                if other.index != node.index
+                and other.down_until <= sim.now
+                and self._reachable_at(node.index, other.index, sim.now)
+            ]
+            if not peers:
+                continue
+            for _ in peers:
+                step = interconnect.transfer_nowait(self._message_bytes)
+                if step is not None:
+                    yield from step
+            for page in sorted(self._version):
+                owners = router.replicas(page)
+                if node.index not in owners:
+                    continue
+                have = node.applied.get(page, 0)
+                best = have
+                source = None
+                for owner in owners:
+                    if owner == node.index:
+                        continue
+                    peer = nodes[owner]
+                    if peer.down_until > sim.now:
+                        continue
+                    if not self._reachable_at(node.index, owner, sim.now):
+                        continue
+                    version = peer.applied.get(page, 0)
+                    if version > best:
+                        best = version
+                        source = owner
+                if source is None:
+                    continue
+                step = interconnect.transfer_nowait(self._page_bytes)
+                if step is not None:
+                    yield from step
+                node.applied[page] = best
+                outcome = node.memory.access(page, True)
+                if not outcome.hit and outcome.writeback_pages:
+                    yield from self._node_writebacks(
+                        node, outcome.writeback_pages
+                    )
+                self.repair_pages += 1
+
+    def drain_repairs(self) -> bool:
+        """Schedule the final anti-entropy round of a drained phase.
+
+        The model calls this after the workload drains: the round waits
+        for active partitions to heal and crashed nodes to recover
+        (convergence is only promised for *healed* faults), then runs
+        one sweep, bringing every replica up to the commit point.
+        Returns ``False`` when the fault layer or repair is off.
+        """
+        if not self.faults_on or not self._repair_interval:
+            return False
+        self.sim.process(self._final_repair(), name="anti-entropy-drain")
+        return True
+
+    def _final_repair(self):
+        sim = self.sim
+        resume = self._partition_until
+        for node in self.nodes:
+            if node.down_until > resume:
+                resume = node.down_until
+        if resume > sim.now:
+            yield Hold(resume - sim.now)
+        yield from self._repair_sweep()
+
+    def _node_miss_io_degraded(self, node: ClusterNode, outcome):
+        """Gray-mode variant of :meth:`_node_miss_io`: every disk
+        operation at a degraded node is stretched by the configured
+        slowdown; the stretch counts as busy time (the disk really is
+        occupied that long)."""
+        io = node.io
+        disk = io.disk
+        scale = self._gray_slowdown - 1.0
+        for victim in outcome.writeback_pages:
+            if not disk.try_acquire_inline():
+                yield io._request_disk
+            hold = io.write_hold(victim)
+            extra = int(hold.duration * scale)
+            yield hold
+            if extra:
+                io.busy_ticks += extra
+                yield Hold(extra)
+            if not disk.release_inline():
+                yield PARK
+        if outcome.read_page is not None:
+            if not disk.try_acquire_inline():
+                yield io._request_disk
+            hold = io.read_hold(outcome.read_page)
+            extra = int(hold.duration * scale)
+            yield hold
+            if extra:
+                io.busy_ticks += extra
+                yield Hold(extra)
+            if not disk.release_inline():
+                yield PARK
 
     @staticmethod
     def _node_miss_io(node: ClusterNode, outcome):

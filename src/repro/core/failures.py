@@ -27,13 +27,25 @@ be noticed anyway.
 Both hazards are disabled by default — the paper's validation
 experiments ran on healthy systems; the failure ablation bench and
 `examples` turn them on.
+
+PR 10 grows this module into the full fault-model subsystem: beyond
+the fail-stop hazards above, :class:`FaultConfig` describes *network
+partitions* (interconnect link cuts between node groups, with heal
+times) and *gray failures* (a degraded mode multiplying a node's
+disk/interconnect service times instead of killing it), plus the
+election delay and anti-entropy repair cadence of the recovery
+machinery, and :class:`RetryConfig` the timeout/retry/backoff contract
+every remote operation honours.  The cluster samples these on the same
+thinning-on-observation-instants discipline, from per-node /
+per-link seeded streams (``partitions``, ``gray-{i}``, ``retry-{i}``),
+so every fault history is a pure function of the master seed.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Tuple
 
 from repro.despy.randomstream import RandomStream
 from repro.despy.timebase import MS_PER_TICK, ms_to_ticks
@@ -56,14 +68,199 @@ class FailureConfig:
     recovery_time_ms: float = 5_000.0
 
     def __post_init__(self) -> None:
-        if self.transient_mtbf_ms < 0 or self.crash_mtbf_ms < 0:
-            raise ValueError("MTBF values must be >= 0 (0 disables)")
-        if self.transient_penalty_ms < 0 or self.recovery_time_ms < 0:
-            raise ValueError("penalty/recovery times must be >= 0")
+        _check_rate("transient_mtbf_ms", self.transient_mtbf_ms)
+        _check_rate("crash_mtbf_ms", self.crash_mtbf_ms)
+        _check_duration("transient_penalty_ms", self.transient_penalty_ms)
+        _check_duration("recovery_time_ms", self.recovery_time_ms)
 
     @property
     def enabled(self) -> bool:
         return self.transient_mtbf_ms > 0 or self.crash_mtbf_ms > 0
+
+
+def _check_rate(name: str, value: float) -> None:
+    """An MTBF/interval knob: 0 disables, otherwise finite and > 0."""
+    if not isinstance(value, (int, float)) or not math.isfinite(value):
+        raise ValueError(
+            f"{name} must be a finite number, got {value!r} "
+            f"(0 disables, a positive mean enables)"
+        )
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0 (0 disables), got {value!r}")
+
+
+def _check_duration(
+    name: str, value: float, minimum: float = 0.0
+) -> None:
+    """A duration knob: finite and >= ``minimum``."""
+    if not isinstance(value, (int, float)) or not math.isfinite(value):
+        raise ValueError(f"{name} must be a finite number, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum:g}, got {value!r}")
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """The timeout/retry/backoff contract on remote operations.
+
+    Every remote operation between cluster nodes — quorum-read
+    consultations, replica ships, coordinator fetches — honours this
+    contract when the fault layer is active: wait ``timeout_ms`` for
+    the peer, back off exponentially (with deterministic jitter drawn
+    from the *initiating* node's retry stream), and abandon the peer
+    after ``max_retries`` retries instead of blocking forever.
+    """
+
+    #: How long one attempt waits before declaring the peer unresponsive.
+    timeout_ms: float = 50.0
+    #: Retries after the first attempt (total attempts = max_retries + 1).
+    max_retries: int = 2
+    #: Backoff before the first retry.
+    backoff_base_ms: float = 5.0
+    #: Multiplier applied to the backoff per further retry.
+    backoff_multiplier: float = 2.0
+    #: Jitter fraction: each backoff is scaled by 1 + jitter * U[0, 1).
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        _check_duration("timeout_ms", self.timeout_ms)
+        if self.timeout_ms <= 0:
+            raise ValueError(
+                f"timeout_ms must be > 0, got {self.timeout_ms!r} "
+                f"(a zero timeout would declare every peer dead)"
+            )
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be an int >= 0, got {self.max_retries!r}"
+            )
+        _check_duration("backoff_base_ms", self.backoff_base_ms)
+        if self.backoff_base_ms <= 0:
+            raise ValueError(
+                f"backoff_base_ms must be > 0, got {self.backoff_base_ms!r}"
+            )
+        _check_duration("backoff_multiplier", self.backoff_multiplier, 1.0)
+        if (
+            not isinstance(self.jitter, (int, float))
+            or not math.isfinite(self.jitter)
+            or not 0 <= self.jitter < 1
+        ):
+            raise ValueError(
+                f"jitter must be in [0, 1), got {self.jitter!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """The degraded-mode fault kinds and recovery machinery (PR 10).
+
+    All disabled at the defaults; any of ``partition_mtbf_ms``,
+    ``gray_mtbf_ms`` or ``repair_interval_ms`` > 0 switches the
+    cluster onto the fault-tolerant serve path (elections, retry
+    contract, anti-entropy) — see :attr:`enabled`.
+    """
+
+    #: Mean simulated ms between interconnect partitions (0 = never).
+    partition_mtbf_ms: float = 0.0
+    #: How long one partition lasts before the links heal.
+    partition_heal_ms: float = 500.0
+    #: Node groups a partition separates; () = bisect the cluster.
+    partition_groups: Tuple[Tuple[int, ...], ...] = ()
+    #: Mean simulated ms between gray episodes per node (0 = never).
+    gray_mtbf_ms: float = 0.0
+    #: How long one gray episode degrades a node.
+    gray_heal_ms: float = 1_000.0
+    #: Service-time multiplier a gray node suffers (disk + interconnect).
+    gray_slowdown: float = 4.0
+    #: Time a primary re-election takes before writes redirect.
+    election_delay_ms: float = 50.0
+    #: Anti-entropy repair cadence per node (0 = never).
+    repair_interval_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        # YAML hands nested sequences as lists; normalise to tuples so
+        # configs stay hashable and comparable.
+        groups = tuple(tuple(group) for group in self.partition_groups)
+        object.__setattr__(self, "partition_groups", groups)
+        _check_rate("partition_mtbf_ms", self.partition_mtbf_ms)
+        _check_rate("gray_mtbf_ms", self.gray_mtbf_ms)
+        _check_rate("repair_interval_ms", self.repair_interval_ms)
+        _check_duration("partition_heal_ms", self.partition_heal_ms)
+        if self.partition_heal_ms <= 0:
+            raise ValueError(
+                f"partition_heal_ms must be > 0, "
+                f"got {self.partition_heal_ms!r}"
+            )
+        _check_duration("gray_heal_ms", self.gray_heal_ms)
+        if self.gray_heal_ms <= 0:
+            raise ValueError(
+                f"gray_heal_ms must be > 0, got {self.gray_heal_ms!r}"
+            )
+        _check_duration("gray_slowdown", self.gray_slowdown, 1.0)
+        _check_duration("election_delay_ms", self.election_delay_ms)
+        if groups:
+            if self.partition_mtbf_ms <= 0:
+                raise ValueError(
+                    "partition_groups without partitions is inert "
+                    "(did you mean to set partition_mtbf_ms > 0?)"
+                )
+            if len(groups) < 2:
+                raise ValueError(
+                    f"partition_groups needs >= 2 groups to cut links "
+                    f"between, got {len(groups)}"
+                )
+            seen = set()
+            for group in groups:
+                if not group:
+                    raise ValueError(
+                        "partition_groups must not contain empty groups"
+                    )
+                for member in group:
+                    if not isinstance(member, int) or member < 0:
+                        raise ValueError(
+                            f"partition group members must be node "
+                            f"indices >= 0, got {member!r}"
+                        )
+                    if member in seen:
+                        raise ValueError(
+                            f"partition groups must be disjoint node "
+                            f"subsets: node {member} appears twice"
+                        )
+                    seen.add(member)
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.partition_mtbf_ms > 0
+            or self.gray_mtbf_ms > 0
+            or self.repair_interval_ms > 0
+        )
+
+
+class RetryPolicy:
+    """:class:`RetryConfig` converted to ticks once, with the backoff
+    ladder drawn deterministically from a caller-supplied stream."""
+
+    __slots__ = ("config", "timeout", "max_retries", "_base", "_mult", "_jitter")
+
+    def __init__(self, config: RetryConfig) -> None:
+        self.config = config
+        self.timeout = ms_to_ticks(config.timeout_ms)
+        self.max_retries = config.max_retries
+        self._base = ms_to_ticks(config.backoff_base_ms)
+        self._mult = config.backoff_multiplier
+        self._jitter = config.jitter
+
+    def backoff_ticks(self, attempt: int, rng: RandomStream) -> int:
+        """Backoff before retry ``attempt`` (0-based), >= 1 tick.
+
+        The jitter draw comes from ``rng`` — the initiating node's
+        retry stream — so backoff ladders are independent per node but
+        a pure function of the master seed.
+        """
+        raw = self._base * (self._mult ** attempt)
+        if self._jitter:
+            raw *= 1.0 + self._jitter * rng.random()
+        return max(1, int(raw))
 
 
 class FailureInjector:

@@ -296,6 +296,11 @@ class VOODBSimulation:
                 nusers=nusers,
             )
         self.sim.run()
+        if self.cluster is not None and self.cluster.drain_repairs():
+            # Fault layer with anti-entropy: run the staleness out of
+            # the drained phase (waits for heals, then one sweep) so
+            # every replica converges to the commit point.
+            self.sim.run()
         return self._collect(snapshot)
 
     def demand_clustering(self) -> ClusteringReport:
@@ -402,6 +407,19 @@ class VOODBSimulation:
             snapshot["replica_lag"] = cluster.replica_lag_ticks
             snapshot["read_failovers"] = cluster.read_failovers
             snapshot["write_recovery_waits"] = cluster.write_recovery_waits
+            snapshot["cluster_reads"] = cluster.reads_served
+            if cluster.faults_on:
+                snapshot["partitions"] = cluster.partitions
+                snapshot["partition_ticks"] = cluster.partition_ticks
+                snapshot["gray_episodes"] = cluster.gray_episodes
+                snapshot["degraded_reads"] = cluster.degraded_reads
+                snapshot["remote_timeouts"] = cluster.remote_timeouts
+                snapshot["remote_retries"] = cluster.remote_retries
+                snapshot["abandoned_reads"] = cluster.abandoned_reads
+                snapshot["elections"] = cluster.elections
+                snapshot["promotions"] = cluster.promotions
+                snapshot["repair_pages"] = cluster.repair_pages
+                snapshot["read_repairs"] = cluster.read_repairs
             for node in cluster.nodes:
                 index = node.index
                 snapshot[f"server{index}_ios"] = node.io.total_ios
@@ -467,7 +485,31 @@ class VOODBSimulation:
                 "replica_lag_sum_ms": delta("replica_lag") * MS_PER_TICK,
                 "read_failovers": int(delta("read_failovers")),
                 "write_recovery_waits": int(delta("write_recovery_waits")),
+                "cluster_reads": int(delta("cluster_reads")),
             }
+            if self.cluster.faults_on:
+                cluster_fields["fault_layer"] = True
+                cluster_fields["partitions"] = int(delta("partitions"))
+                cluster_fields["partition_ms"] = (
+                    delta("partition_ticks") * MS_PER_TICK
+                )
+                cluster_fields["gray_episodes"] = int(delta("gray_episodes"))
+                cluster_fields["degraded_reads"] = int(
+                    delta("degraded_reads")
+                )
+                cluster_fields["remote_timeouts"] = int(
+                    delta("remote_timeouts")
+                )
+                cluster_fields["remote_retries"] = int(
+                    delta("remote_retries")
+                )
+                cluster_fields["abandoned_reads"] = int(
+                    delta("abandoned_reads")
+                )
+                cluster_fields["elections"] = int(delta("elections"))
+                cluster_fields["promotions"] = int(delta("promotions"))
+                cluster_fields["repair_pages"] = int(delta("repair_pages"))
+                cluster_fields["read_repairs"] = int(delta("read_repairs"))
             if self.cluster.async_mode:
                 # Run-to-date high-water marks (not phase deltas): the
                 # deepest each node's apply queue has ever been.

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Optional, Tuple
 
-from repro.core.failures import FailureConfig
+from repro.core.failures import FailureConfig, FaultConfig, RetryConfig
 from repro.core.overrides import checked_replace
 from repro.ocb.parameters import OCBConfig
 
@@ -542,6 +542,14 @@ class VOODBConfig:
     #: Failure injection parameters (disabled by default; see
     #: :mod:`repro.core.failures`).
     failures: "FailureConfig" = field(default_factory=lambda: _default_failures())
+    #: [extension] fault-tolerance layer: partitions, gray failures and
+    #: the election/anti-entropy recovery machinery (disabled by
+    #: default; needs a cluster) — see :class:`~repro.core.failures.FaultConfig`.
+    faults: "FaultConfig" = field(default_factory=lambda: FaultConfig())
+    #: [extension] timeout/retry/backoff contract on remote operations
+    #: (only meaningful with the fault layer active) — see
+    #: :class:`~repro.core.failures.RetryConfig`.
+    retry: "RetryConfig" = field(default_factory=lambda: RetryConfig())
 
     # -- Workload -----------------------------------------------------------
     #: The embedded OCB benchmark configuration (§3.3).
@@ -586,6 +594,19 @@ class VOODBConfig:
                 "replication consistency settings need a cluster topology "
                 "(set cluster.servers >= 1 and cluster.replication >= 2)"
             )
+        if not self.cluster.enabled:
+            if self.faults.enabled:
+                raise ValueError(
+                    "the fault-tolerance layer (partitions, gray failures, "
+                    "anti-entropy) needs a cluster topology "
+                    "(set cluster.servers >= 1)"
+                )
+            if self.retry != RetryConfig():
+                raise ValueError(
+                    "the retry contract governs remote operations between "
+                    "cluster nodes and needs a cluster topology "
+                    "(set cluster.servers >= 1)"
+                )
         if self.aggregation.enabled:
             self._check_aggregation_combination()
 
@@ -644,6 +665,41 @@ class VOODBConfig:
                 f"W={self.replication.write_quorum}) cannot exceed the "
                 f"replication factor {replicas}"
             )
+        if self.faults.enabled:
+            self._check_fault_combination()
+        elif self.retry != RetryConfig():
+            raise ValueError(
+                "retry/timeout settings are inert without the fault layer "
+                "(did you mean to set faults.partition_mtbf_ms, "
+                "faults.gray_mtbf_ms or faults.repair_interval_ms?)"
+            )
+
+    def _check_fault_combination(self) -> None:
+        """Reject fault-layer combinations the recovery machinery cannot
+        honour, eagerly and naming the offending knob."""
+        if self.cluster.replication > 1 and not self.replication.is_async:
+            raise ValueError(
+                "the fault-tolerance layer repairs replicas and re-elects "
+                "primaries through the asynchronous apply machinery; a "
+                "replicated cluster under faults needs replication mode "
+                "'async' (did you mean mode: async?)"
+            )
+        servers = self.cluster.servers
+        if self.faults.partition_mtbf_ms > 0 and servers < 2:
+            raise ValueError(
+                "network partitions need >= 2 servers to cut links "
+                f"between, got cluster.servers={servers}"
+            )
+        groups = self.faults.partition_groups
+        if groups:
+            members = {m for group in groups for m in group}
+            if members != set(range(servers)):
+                raise ValueError(
+                    f"partition_groups must cover every node of the "
+                    f"{servers}-server cluster exactly once, got groups "
+                    f"over nodes {sorted(members)} "
+                    f"(expected {sorted(range(servers))})"
+                )
 
     # ------------------------------------------------------------------
     # Derived quantities

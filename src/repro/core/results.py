@@ -109,6 +109,33 @@ class PhaseResults:
     write_recovery_waits: int = 0
     #: Peak apply-queue depth per server node (async mode only).
     apply_queue_peak: Tuple[int, ...] = ()
+    # -- Fault-tolerance layer (FaultConfig / RetryConfig) -----------------
+    #: Page reads the extended cluster path served (stale-rate base).
+    cluster_reads: int = 0
+    #: Whether the fault layer was active this phase (gates metrics).
+    fault_layer: bool = False
+    #: Interconnect partitions drawn this phase.
+    partitions: int = 0
+    #: Total simulated time some partition was active (ms).
+    partition_ms: float = 0.0
+    #: Gray (degraded-mode) episodes drawn across the nodes.
+    gray_episodes: int = 0
+    #: Reads served by a node while it was gray.
+    degraded_reads: int = 0
+    #: Remote-operation attempts that hit the timeout.
+    remote_timeouts: int = 0
+    #: Backoff-and-retry rounds taken after a timeout.
+    remote_retries: int = 0
+    #: Peers abandoned after exhausting the retry budget.
+    abandoned_reads: int = 0
+    #: Primary elections held (crashed or partitioned-away leaders).
+    elections: int = 0
+    #: Elections that promoted a different replica to primary.
+    promotions: int = 0
+    #: Stale page copies anti-entropy back-filled.
+    repair_pages: int = 0
+    #: Divergent replicas quorum reads repaired in place.
+    read_repairs: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -170,6 +197,18 @@ class PhaseResults:
         if self.replica_applies <= 0:
             return 0.0
         return self.replica_lag_sum_ms / self.replica_applies
+
+    @property
+    def stale_reads_per_1000_reads(self) -> float:
+        """Stale-read *rate*: stale reads per 1000 served page reads.
+
+        The raw counter scales with the workload; the rate is the
+        comparable figure across scenarios (0.0 when no reads ran
+        through the extended path).
+        """
+        if self.cluster_reads <= 0:
+            return 0.0
+        return self.stale_reads * 1000.0 / self.cluster_reads
 
     # ------------------------------------------------------------------
     # Aggregated-tier roll-ups
@@ -302,6 +341,31 @@ class PhaseResults:
             metrics[f"{prefix}write_recovery_waits"] = float(
                 self.write_recovery_waits
             )
+            if self.cluster_reads:
+                metrics[f"{prefix}cluster_reads"] = float(self.cluster_reads)
+                metrics[f"{prefix}stale_reads_per_1000_reads"] = (
+                    self.stale_reads_per_1000_reads
+                )
+            if self.fault_layer:
+                metrics[f"{prefix}partitions"] = float(self.partitions)
+                metrics[f"{prefix}partition_ms"] = self.partition_ms
+                metrics[f"{prefix}gray_episodes"] = float(self.gray_episodes)
+                metrics[f"{prefix}degraded_reads"] = float(
+                    self.degraded_reads
+                )
+                metrics[f"{prefix}remote_timeouts"] = float(
+                    self.remote_timeouts
+                )
+                metrics[f"{prefix}remote_retries"] = float(
+                    self.remote_retries
+                )
+                metrics[f"{prefix}abandoned_reads"] = float(
+                    self.abandoned_reads
+                )
+                metrics[f"{prefix}elections"] = float(self.elections)
+                metrics[f"{prefix}promotions"] = float(self.promotions)
+                metrics[f"{prefix}repair_pages"] = float(self.repair_pages)
+                metrics[f"{prefix}read_repairs"] = float(self.read_repairs)
             for index, peak in enumerate(self.apply_queue_peak):
                 metrics[f"{prefix}server{index}_apply_queue_peak"] = float(
                     peak

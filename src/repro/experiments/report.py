@@ -143,6 +143,12 @@ def format_replication(scenario, result: SweepResult) -> List[str]:
         lag = analyzer.mean("replica_lag_ms")
         applies = analyzer.mean("replica_applies")
         stale = analyzer.mean("stale_reads")
+        stale_cell = f"stale reads {_metric_value(stale)}"
+        if "stale_reads_per_1000_reads" in metrics:
+            # The rate next to the raw counter: comparable across
+            # workload sizes (per 1000 served page reads).
+            rate = analyzer.mean("stale_reads_per_1000_reads")
+            stale_cell += f" ({_metric_value(rate)}/1k reads)"
         peak = max(
             (
                 analyzer.mean(f"server{i}_apply_queue_peak")
@@ -155,7 +161,7 @@ def format_replication(scenario, result: SweepResult) -> List[str]:
             f"  {x}: R{rep.read_quorum}/W{rep.write_quorum}, "
             f"lag {_metric_value(lag)} ms over "
             f"{_metric_value(applies)} applies, "
-            f"stale reads {_metric_value(stale)}, "
+            f"{stale_cell}, "
             f"peak queue {_metric_value(peak)}"
         )
     return lines
@@ -196,6 +202,67 @@ def format_failover(scenario, result: SweepResult) -> List[str]:
             f"write recovery waits "
             f"{_metric_value(analyzer.mean('write_recovery_waits'))}"
         )
+    return lines
+
+
+def _faults_per_point(scenario) -> List[bool]:
+    """Whether each point runs the fault-tolerance layer."""
+    return [
+        config.cluster.enabled and config.faults.enabled
+        for _x, config in scenario.points
+    ]
+
+
+#: The fault-layer counters the degradation block reports, in order:
+#: ``(metric, label)`` pairs grouped into the two report lines.
+_FAULT_LINE_ONE = (
+    ("partitions", "partitions"),
+    ("partition_ms", "partition ms"),
+    ("gray_episodes", "gray episodes"),
+    ("degraded_reads", "degraded reads"),
+)
+_FAULT_LINE_TWO = (
+    ("remote_timeouts", "timeouts"),
+    ("remote_retries", "retries"),
+    ("abandoned_reads", "abandoned"),
+    ("elections", "elections"),
+    ("promotions", "promotions"),
+    ("repair_pages", "repaired pages"),
+    ("read_repairs", "read repairs"),
+)
+
+
+def format_faults(scenario, result: SweepResult) -> List[str]:
+    """The degradation block of a fault-tolerance report.
+
+    Two lines per fault point: the fault pressure (partitions and
+    their total active time, gray episodes, degraded reads) and how
+    the recovery machinery absorbed it (the retry ladder's timeouts/
+    retries/abandons, elections and promotions, anti-entropy and
+    read-repair traffic).
+    """
+    faults_per_point = _faults_per_point(scenario)
+    if not any(faults_per_point):
+        return []
+    lines = ["", "fault tolerance (partitions, gray nodes, recovery):"]
+    for (x, _config), active, analyzer in zip(
+        scenario.points, faults_per_point, result.analyzers
+    ):
+        if not active:
+            continue
+        metrics = set(analyzer.metrics())
+        if "partitions" not in metrics:
+            lines.append(f"  {x}: n/a (no fault metrics)")
+            continue
+        for pairs, indent in ((_FAULT_LINE_ONE, f"  {x}: "), (
+            _FAULT_LINE_TWO,
+            "     ",
+        )):
+            cells = [
+                f"{label} {_metric_value(analyzer.mean(metric))}"
+                for metric, label in pairs
+            ]
+            lines.append(indent + ", ".join(cells))
     return lines
 
 
@@ -349,6 +416,7 @@ def format_scenario(scenario, result: SweepResult) -> str:
     lines.extend(format_cluster_detail(scenario, result))
     lines.extend(format_replication(scenario, result))
     lines.extend(format_failover(scenario, result))
+    lines.extend(format_faults(scenario, result))
     lines.extend(format_aggregation(scenario, result))
     lines.extend(format_steady_state(scenario, result))
     return "\n".join(lines)
@@ -485,6 +553,7 @@ def scenario_to_json(scenario, result: SweepResult) -> Dict[str, Any]:
             "replica_lag_ms": [],
             "replica_applies": [],
             "stale_reads": [],
+            "stale_reads_per_1000_reads": [],
         }
         for is_async, analyzer in zip(async_per_point, result.analyzers):
             present = set(analyzer.metrics())
@@ -492,6 +561,10 @@ def scenario_to_json(scenario, result: SweepResult) -> Dict[str, Any]:
                 ("replica_lag_ms", "replica_lag_ms"),
                 ("replica_applies", "replica_applies"),
                 ("stale_reads", "stale_reads"),
+                (
+                    "stale_reads_per_1000_reads",
+                    "stale_reads_per_1000_reads",
+                ),
             ):
                 replication[key].append(
                     analyzer.mean(metric)
@@ -499,6 +572,21 @@ def scenario_to_json(scenario, result: SweepResult) -> Dict[str, Any]:
                     else None
                 )
         payload["replication"] = replication
+    faults_per_point = _faults_per_point(scenario)
+    if any(faults_per_point):
+        fault_metrics = [metric for metric, _label in _FAULT_LINE_ONE] + [
+            metric for metric, _label in _FAULT_LINE_TWO
+        ]
+        faults: Dict[str, Any] = {metric: [] for metric in fault_metrics}
+        for active, analyzer in zip(faults_per_point, result.analyzers):
+            present = set(analyzer.metrics())
+            for metric in fault_metrics:
+                faults[metric].append(
+                    analyzer.mean(metric)
+                    if active and metric in present
+                    else None
+                )
+        payload["faults"] = faults
     return payload
 
 
@@ -581,6 +669,33 @@ def format_scenario_description(scenario) -> str:
                 f"W={rep.write_quorum}, apply delay "
                 f"{rep.apply_delay_ms:g} ms"
                 + (", " + ", ".join(guarantees) if guarantees else "")
+            )
+        if first.faults.enabled:
+            fault = first.faults
+            retry = first.retry
+            kinds = []
+            if fault.partition_mtbf_ms > 0:
+                kinds.append(
+                    f"partitions (mtbf {fault.partition_mtbf_ms:g} ms, "
+                    f"heal {fault.partition_heal_ms:g} ms)"
+                )
+            if fault.gray_mtbf_ms > 0:
+                kinds.append(
+                    f"gray x{fault.gray_slowdown:g} "
+                    f"(mtbf {fault.gray_mtbf_ms:g} ms, "
+                    f"heal {fault.gray_heal_ms:g} ms)"
+                )
+            if fault.repair_interval_ms > 0:
+                kinds.append(
+                    f"anti-entropy every {fault.repair_interval_ms:g} ms"
+                )
+            lines.append(f"  fault plan: {'; '.join(kinds)}")
+            lines.append(
+                f"  retry:     timeout {retry.timeout_ms:g} ms x "
+                f"{retry.max_retries + 1} attempts, backoff "
+                f"{retry.backoff_base_ms:g} ms "
+                f"x{retry.backoff_multiplier:g} (jitter {retry.jitter:g}); "
+                f"election delay {fault.election_delay_ms:g} ms"
             )
     return "\n".join(lines)
 

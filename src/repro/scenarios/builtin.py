@@ -9,7 +9,7 @@ The files are the source of truth; this module only loads and registers
 them, which keeps the schema honest (a scenario the file format cannot
 express cannot hide in the catalog).
 
-Twenty-three ready-made studies over the O2 instantiation, spanning the
+Twenty-six ready-made studies over the O2 instantiation, spanning the
 axes the ROADMAP's "as many scenarios as you can imagine" asks for: the
 paper-faithful closed system, open-system arrivals (steady Poisson and
 bursty MMPP), OLTP read/write mixes, hot-key skew, a multiprogramming
@@ -20,10 +20,12 @@ multi-server topologies, the consistency-spectrum trio (async
 replica-lag storm, crash failover under load, quorum stale-read
 audit — see :class:`~repro.core.parameters.ReplicationConfig`), the
 OCB genericity trio mapping the classic
-OO1 / OO7 / HyperModel workloads onto OCB's parameters, and the
+OO1 / OO7 / HyperModel workloads onto OCB's parameters, the
 flow-aggregated scale trio (10⁴ / 10⁵ / 10⁶ users collapsed into
 calibrated open streams with probe cohorts — see
-:mod:`repro.core.aggregation`).
+:mod:`repro.core.aggregation`), and the fault-tolerance trio
+(partition storm, gray-failure drag, anti-entropy catch-up — see
+:class:`~repro.core.failures.FaultConfig`).
 
 Every scenario is deliberately small (NC=20, NO=2000, a few hundred
 transactions, 3 pinned replications) so the whole catalog regenerates
@@ -69,6 +71,9 @@ MANIFEST: Tuple[str, ...] = (
     "scale-10k",
     "scale-100k",
     "scale-1m",
+    "partition-storm",
+    "gray-failure-drag",
+    "anti-entropy-catchup",
 )
 
 

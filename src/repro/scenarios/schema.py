@@ -9,7 +9,8 @@ only parses text into a dict and hands it here.
 
 Validation is **eager and named**: an unknown key anywhere (top level,
 ``config``, a nested ``ocb``/``arrivals``/``aggregation``/``cluster``/
-``failures``/``replication`` section, a point) raises :class:`ScenarioSchemaError`
+``failures``/``faults``/``retry``/``replication`` section, a point)
+raises :class:`ScenarioSchemaError`
 carrying the full
 key path and the closest valid spelling, before any simulation runs.
 The semantic checks themselves live in the config dataclasses — the
@@ -56,6 +57,8 @@ CONFIG_SECTIONS = (
     "aggregation",
     "cluster",
     "failures",
+    "faults",
+    "retry",
     "replication",
 )
 

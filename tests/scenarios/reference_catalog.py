@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.failures import FailureConfig
+from repro.core.failures import FailureConfig, FaultConfig, RetryConfig
 from repro.core.parameters import (
     AggregationConfig,
     ArrivalConfig,
@@ -631,6 +631,192 @@ def build_reference_catalog() -> Dict[str, Scenario]:
                 "ROADMAP's \"millions of users\" scale at the cost of a few "
                 "hundred simulated transactions, with the CI scale-smoke "
                 "job holding the wall-clock and memory budgets honest."
+            ),
+        ),
+        Scenario(
+            name="partition-storm",
+            title="Partition storm (link cuts, elections, anti-entropy)",
+            description=(
+                "Interconnect partitions repeatedly isolate node 0 from "
+                "the {1, 2} majority while a mixed load (30% writes) runs "
+                "against 3 async copies with R=2 quorum reads.  Every "
+                "remote operation honours the timeout/retry/backoff "
+                "contract, so consultations abandon the cut-off peer "
+                "instead of blocking; writes whose primary loses its "
+                "majority re-elect the freshest reachable replica after a "
+                "25 ms election delay; and a 250 ms anti-entropy cadence "
+                "back-fills the minority side once links heal.  The sweep "
+                "doubles the partition pressure: halving the MTBF roughly "
+                "doubles partitions and the timeout storm that rides "
+                "along, while the healed-partition convergence guarantee "
+                "keeps every replica at the commit point by the end of "
+                "each phase."
+            ),
+            points=tuple(
+                (
+                    label,
+                    _cluster_point(
+                        3,
+                        replication=3,
+                        interconnect_mbps=25.0,
+                        rate_tps=40.0,
+                        pset=0.40,
+                        psimple=0.30,
+                        phier=0.20,
+                        pstoch=0.10,
+                        pwrite=0.30,
+                    ).with_changes(
+                        replication=ReplicationConfig(
+                            mode="async",
+                            read_quorum=2,
+                            apply_delay_ms=2.0,
+                        ),
+                        faults=FaultConfig(
+                            partition_mtbf_ms=float(mtbf),
+                            partition_heal_ms=400.0,
+                            partition_groups=((0,), (1, 2)),
+                            election_delay_ms=25.0,
+                            repair_interval_ms=250.0,
+                        ),
+                        retry=RetryConfig(
+                            timeout_ms=15.0,
+                            max_retries=2,
+                            backoff_base_ms=5.0,
+                        ),
+                    ),
+                )
+                for label, mtbf in (("mtbf3000", 3000), ("mtbf1500", 1500))
+            ),
+            x_label="partition_mtbf",
+            metrics=(
+                "partitions",
+                "partition_ms",
+                "remote_timeouts",
+                "abandoned_reads",
+                "elections",
+                "mean_response_time_ms",
+            ),
+        ),
+        Scenario(
+            name="gray-failure-drag",
+            title="Gray-failure drag (slow nodes vs the retry contract)",
+            description=(
+                "Gray failures do not kill a node — they make it slow, "
+                "which is worse: a degraded node still answers health "
+                "checks while multiplying its disk and interconnect "
+                "service times.  Here each of 3 async replicas "
+                "independently drifts into gray episodes (mtbf 1200 ms, "
+                "heal 600 ms) under a mixed R=2 quorum-read load, and the "
+                "sweep raises the slowdown.  At x2 a gray peer's page "
+                "ship still beats the 1 ms timeout, so reads just drag "
+                "through the degraded disk; at x8 the slowed ship blows "
+                "the timeout and the retry contract kicks in — "
+                "consultations abandon the gray peer after the backoff "
+                "ladder, trading latency for the timeout storm the report "
+                "counts."
+            ),
+            points=tuple(
+                (
+                    label,
+                    _cluster_point(
+                        3,
+                        replication=3,
+                        interconnect_mbps=25.0,
+                        rate_tps=40.0,
+                        pset=0.40,
+                        psimple=0.30,
+                        phier=0.20,
+                        pstoch=0.10,
+                        pwrite=0.30,
+                    ).with_changes(
+                        replication=ReplicationConfig(
+                            mode="async",
+                            read_quorum=2,
+                            apply_delay_ms=2.0,
+                        ),
+                        faults=FaultConfig(
+                            gray_mtbf_ms=1200.0,
+                            gray_heal_ms=600.0,
+                            gray_slowdown=float(slowdown),
+                        ),
+                        retry=RetryConfig(
+                            timeout_ms=1.0,
+                            max_retries=2,
+                            backoff_base_ms=2.0,
+                        ),
+                    ),
+                )
+                for label, slowdown in (("x2", 2), ("x8", 8))
+            ),
+            x_label="slowdown",
+            metrics=(
+                "gray_episodes",
+                "degraded_reads",
+                "remote_timeouts",
+                "remote_retries",
+                "total_ios",
+                "mean_response_time_ms",
+            ),
+        ),
+        Scenario(
+            name="anti-entropy-catchup",
+            title="Anti-entropy catch-up (crashes, elections, repair)",
+            description=(
+                "Crash-heavy fault tolerance end to end: per-node crashes "
+                "(mtbf 2000 ms, 300 ms recovery) hit 3 async replicas "
+                "under a mixed load. With the fault layer on, a crashed "
+                "primary no longer blocks writes — the freshest reachable "
+                "replica is promoted after a 25 ms election — and the "
+                "200 ms anti-entropy cadence walks every node's page "
+                "versions against its peers, back-filling what the outage "
+                "made stale, so the returning primary catches up through "
+                "the version-guarded apply path. The sweep doubles the "
+                "crash pressure; elections, promotions and repaired pages "
+                "scale with it while stale reads stay bounded by the "
+                "repair cadence rather than the outage length."
+            ),
+            points=tuple(
+                (
+                    label,
+                    _cluster_point(
+                        3,
+                        replication=3,
+                        interconnect_mbps=25.0,
+                        rate_tps=40.0,
+                        pset=0.40,
+                        psimple=0.30,
+                        phier=0.20,
+                        pstoch=0.10,
+                        pwrite=0.30,
+                    ).with_changes(
+                        replication=ReplicationConfig(
+                            mode="async", apply_delay_ms=2.0
+                        ),
+                        failures=FailureConfig(
+                            crash_mtbf_ms=float(mtbf),
+                            recovery_time_ms=300.0,
+                        ),
+                        faults=FaultConfig(
+                            election_delay_ms=25.0,
+                            repair_interval_ms=200.0,
+                        ),
+                        retry=RetryConfig(
+                            timeout_ms=10.0,
+                            max_retries=2,
+                            backoff_base_ms=5.0,
+                        ),
+                    ),
+                )
+                for label, mtbf in (("mtbf4000", 4000), ("mtbf2000", 2000))
+            ),
+            x_label="crash_mtbf",
+            metrics=(
+                "crashes",
+                "elections",
+                "promotions",
+                "repair_pages",
+                "stale_reads",
+                "mean_response_time_ms",
             ),
         ),
     ]

@@ -36,8 +36,8 @@ def small(scenario: Scenario) -> Scenario:
 
 
 class TestRegistry:
-    def test_catalog_has_twenty_three_scenarios(self):
-        assert len(ALL) == 23
+    def test_catalog_has_twenty_six_scenarios(self):
+        assert len(ALL) == 26
 
     def test_names_are_unique_and_kebab_case(self):
         names = scenario_names()
@@ -83,6 +83,9 @@ class TestRegistry:
             "scale-10k",
             "scale-100k",
             "scale-1m",
+            "partition-storm",
+            "gray-failure-drag",
+            "anti-entropy-catchup",
         }
 
 

@@ -38,6 +38,12 @@ CLUSTER_SCENARIOS = (
     "replica-lag-storm",
     "failover-under-load",
     "stale-read-audit",
+    # Fault-tolerance layer (PR 10): partitions, gray failures, the
+    # retry/backoff contract, elections and anti-entropy repair all run
+    # on seeded streams — chaos must replay byte-for-byte too.
+    "partition-storm",
+    "gray-failure-drag",
+    "anti-entropy-catchup",
 )
 
 
